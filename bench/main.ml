@@ -1,0 +1,538 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Figure 3, Table I, Table II, Figure 4), the ablations
+   called out in DESIGN.md, and Bechamel micro-benchmarks of the core
+   operations.
+
+     dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
+                                   ablation-grammar|ablation-sag|ablation-moo|micro]
+                                  [--pop N] [--gens N] [--seed N]
+
+   The search budget defaults to a few seconds per performance; pass
+   --pop 200 --gens 5000 to match the paper's 12-hour runs. *)
+
+module Ota = Caffeine_ota.Ota
+module Posyn = Caffeine_posyn.Posyn
+module Stats = Caffeine_util.Stats
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+module Opset = Caffeine.Opset
+
+type options = {
+  experiment : string;
+  pop_size : int;
+  generations : int;
+  seed : int;
+}
+
+let parse_options () =
+  let experiment = ref "all" in
+  let pop_size = ref 120 in
+  let generations = ref 150 in
+  let seed = ref 11 in
+  let rec scan = function
+    | [] -> ()
+    | "--experiment" :: v :: rest ->
+        experiment := v;
+        scan rest
+    | "--pop" :: v :: rest ->
+        pop_size := int_of_string v;
+        scan rest
+    | "--gens" :: v :: rest ->
+        generations := int_of_string v;
+        scan rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        scan rest
+    | flag :: _ ->
+        Printf.eprintf "unknown argument %s\n" flag;
+        exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  { experiment = !experiment; pop_size = !pop_size; generations = !generations; seed = !seed }
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let percent e = 100. *. e
+
+(* --- shared data and per-performance runs ------------------------------- *)
+
+type run = {
+  performance : Ota.performance;
+  train_targets : float array;
+  test_targets : float array;
+  front : Model.t list;  (** SAG-processed (train error, complexity) front *)
+  scored : Sag.scored list;  (** (test error, complexity) tradeoff *)
+  raw_front : Model.t list;  (** pre-SAG front, for the SAG ablation *)
+}
+
+type context = {
+  options : options;
+  train : Ota.dataset;
+  test : Ota.dataset;
+  config : Config.t;
+  mutable runs : (Ota.performance * run) list;
+}
+
+let make_context options =
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let test = Ota.doe_dataset ~dx:0.03 in
+  Printf.printf
+    "workload: OTA orthogonal-hypercube DOE, %d train samples (dx=0.10), %d test samples (dx=0.03)\n"
+    (Array.length train.Ota.inputs)
+    (Array.length test.Ota.inputs);
+  let config =
+    Config.scaled ~pop_size:options.pop_size ~generations:options.generations Config.paper
+  in
+  Printf.printf "search budget: population %d, %d generations, seed %d\n" config.Config.pop_size
+    config.Config.generations options.seed;
+  { options; train; test; config; runs = [] }
+
+let seed_for context p =
+  context.options.seed
+  +
+  match p with
+  | Ota.Alf -> 1
+  | Ota.Fu -> 2
+  | Ota.Pm -> 3
+  | Ota.Voffset -> 4
+  | Ota.Srp -> 5
+  | Ota.Srn -> 6
+
+let run_performance context p =
+  match List.assoc_opt p context.runs with
+  | Some run -> run
+  | None ->
+      let train_targets = Array.map (Ota.modeling_target p) (Ota.targets context.train p) in
+      let test_targets = Array.map (Ota.modeling_target p) (Ota.targets context.test p) in
+      let started = Sys.time () in
+      let outcome =
+        Search.run ~seed:(seed_for context p) context.config ~inputs:context.train.Ota.inputs
+          ~targets:train_targets
+      in
+      let wb = context.config.Config.wb and wvc = context.config.Config.wvc in
+      let front =
+        Sag.process_front ~wb ~wvc outcome.Search.front ~inputs:context.train.Ota.inputs
+          ~targets:train_targets
+      in
+      let scored = Sag.test_tradeoff front ~inputs:context.test.Ota.inputs ~targets:test_targets in
+      Printf.printf "  [%s: evolved %d-model front in %.1f s]\n%!" (Ota.performance_name p)
+        (List.length front)
+        (Sys.time () -. started);
+      let run =
+        { performance = p; train_targets; test_targets; front; scored; raw_front = outcome.Search.front }
+      in
+      context.runs <- (p, run) :: context.runs;
+      run
+
+let model_test_error context run (m : Model.t) =
+  Model.error_on m ~inputs:context.test.Ota.inputs ~targets:run.test_targets
+
+(* --- Figure 3 ----------------------------------------------------------- *)
+
+let experiment_fig3 context =
+  section "Figure 3: error/complexity tradeoffs per performance";
+  Printf.printf
+    "(left columns: every model on the train-error front; right column: models on the test-error front)\n";
+  let show_performance p =
+    let run = run_performance context p in
+    Printf.printf "\n-- %s --\n" (Ota.performance_name p);
+    Printf.printf "%10s  %10s  %10s  %7s\n" "complexity" "train(%)" "test(%)" "#bases";
+    List.iter
+      (fun (m : Model.t) ->
+        Printf.printf "%10.1f  %10.2f  %10.2f  %7d\n" m.Model.complexity
+          (percent m.Model.train_error)
+          (percent (model_test_error context run m))
+          (Model.num_bases m))
+      run.front;
+    Printf.printf "test-error tradeoff (%d models):\n" (List.length run.scored);
+    List.iter
+      (fun (s : Sag.scored) ->
+        Printf.printf "%10.1f  %10.2f  %10.2f  %7d\n" s.Sag.model.Model.complexity
+          (percent s.Sag.model.Model.train_error)
+          (percent s.Sag.test_error)
+          (Model.num_bases s.Sag.model))
+      run.scored
+  in
+  List.iter show_performance Ota.all_performances
+
+(* --- Table I ------------------------------------------------------------ *)
+
+let experiment_table1 context =
+  section "Table I: symbolic models with <10% training and testing error";
+  let show_performance p =
+    let run = run_performance context p in
+    (* Prefer a non-constant model when one also meets the caps — the paper's
+       rows are informative expressions, not bare constants. *)
+    let chosen =
+      match Sag.best_within run.scored ~train_cap:0.10 ~test_cap:0.10 with
+      | Some s when Model.num_bases s.Sag.model = 0 -> (
+          match
+            List.find_opt
+              (fun (c : Sag.scored) ->
+                Model.num_bases c.Sag.model > 0
+                && c.Sag.model.Model.train_error <= 0.10
+                && c.Sag.test_error <= 0.10)
+              run.scored
+          with
+          | Some better -> Some better
+          | None -> Some s)
+      | other -> other
+    in
+    match chosen with
+    | None -> Printf.printf "%-8s: no model met the 10%% / 10%% caps\n" (Ota.performance_name p)
+    | Some s ->
+        let expression = Model.to_string ~var_names:Ota.var_names s.Sag.model in
+        let expression =
+          match p with
+          | Ota.Fu -> "10^( " ^ expression ^ " )"
+          | Ota.Alf | Ota.Pm | Ota.Voffset | Ota.Srp | Ota.Srn -> expression
+        in
+        Printf.printf "%-8s (train %.1f%%, test %.1f%%):\n    %s\n" (Ota.performance_name p)
+          (percent s.Sag.model.Model.train_error)
+          (percent s.Sag.test_error) expression
+  in
+  List.iter show_performance Ota.all_performances
+
+(* --- Table II ----------------------------------------------------------- *)
+
+let experiment_table2 context =
+  section "Table II: PM models in decreasing error, increasing complexity";
+  let run = run_performance context Ota.Pm in
+  Printf.printf "%9s  %10s  expression\n" "test(%)" "train(%)";
+  List.iter
+    (fun (s : Sag.scored) ->
+      Printf.printf "%9.2f  %10.2f  %s\n" (percent s.Sag.test_error)
+        (percent s.Sag.model.Model.train_error)
+        (Model.to_string ~var_names:Ota.var_names s.Sag.model))
+    run.scored
+
+(* --- Figure 4 ----------------------------------------------------------- *)
+
+let experiment_fig4 context =
+  section "Figure 4: CAFFEINE vs posynomial (test error at matched train error)";
+  Printf.printf "%-8s  %21s  %21s  %10s\n" "perf" "posyn train/test (%)" "caff train/test (%)"
+    "test ratio";
+  let show_performance p =
+    let run = run_performance context p in
+    let posyn_model = Posyn.fit ~inputs:context.train.Ota.inputs ~targets:run.train_targets () in
+    let posyn_test =
+      Posyn.error_on posyn_model ~inputs:context.test.Ota.inputs ~targets:run.test_targets
+    in
+    let all_scored =
+      List.map
+        (fun (m : Model.t) -> { Sag.model = m; test_error = model_test_error context run m })
+        run.front
+    in
+    let usable = List.filter (fun s -> Float.is_finite s.Sag.test_error) all_scored in
+    let sorted =
+      List.sort (fun a b -> compare a.Sag.model.Model.complexity b.Sag.model.Model.complexity) usable
+    in
+    match Sag.at_train_error sorted ~train_cap:posyn_model.Posyn.train_error with
+    | None -> Printf.printf "%-8s  no usable CAFFEINE model\n" (Ota.performance_name p)
+    | Some s ->
+        let ratio = if s.Sag.test_error > 0. then posyn_test /. s.Sag.test_error else Float.nan in
+        Printf.printf "%-8s  %9.2f / %-9.2f  %9.2f / %-9.2f  %9.2fx\n" (Ota.performance_name p)
+          (percent posyn_model.Posyn.train_error)
+          (percent posyn_test)
+          (percent s.Sag.model.Model.train_error)
+          (percent s.Sag.test_error) ratio
+  in
+  List.iter show_performance Ota.all_performances;
+  Printf.printf
+    "(paper shape: CAFFEINE test < train; posynomial test > train; ratio 2x-5x except voffset)\n"
+
+(* --- ablations ----------------------------------------------------------- *)
+
+let best_by_train_error front =
+  List.fold_left
+    (fun acc (m : Model.t) ->
+      match acc with
+      | None -> Some m
+      | Some b -> if m.Model.train_error < b.Model.train_error then Some m else acc)
+    None front
+
+let experiment_ablation_grammar context =
+  section "Ablation: grammar restrictions (PM)";
+  let run = run_performance context Ota.Pm in
+  let variants =
+    [
+      ("full grammar", context.config.Config.opset);
+      ("no trig", Opset.no_trig);
+      ("rational only", Opset.rational);
+      ("polynomial only", Opset.polynomial);
+    ]
+  in
+  Printf.printf "%-16s  %10s  %10s\n" "grammar" "best train" "its test";
+  List.iter
+    (fun (label, opset) ->
+      let config = { context.config with Config.opset } in
+      let outcome =
+        Search.run ~seed:(context.options.seed + 100) config ~inputs:context.train.Ota.inputs
+          ~targets:run.train_targets
+      in
+      match best_by_train_error outcome.Search.front with
+      | None -> Printf.printf "%-16s  (no valid model)\n" label
+      | Some m ->
+          Printf.printf "%-16s  %9.2f%%  %9.2f%%\n" label
+            (percent m.Model.train_error)
+            (percent (model_test_error context run m)))
+    variants
+
+let experiment_ablation_sag context =
+  section "Ablation: simplification-after-generation (PRESS pruning)";
+  let show_performance p =
+    let run = run_performance context p in
+    let mean_test front =
+      let errors =
+        List.filter_map
+          (fun (m : Model.t) ->
+            let e = model_test_error context run m in
+            if Float.is_finite e then Some e else None)
+          front
+      in
+      if errors = [] then Float.nan else Stats.mean (Array.of_list errors)
+    in
+    let mean_bases front =
+      let counts = List.map (fun m -> float_of_int (Model.num_bases m)) front in
+      if counts = [] then Float.nan else Stats.mean (Array.of_list counts)
+    in
+    Printf.printf
+      "%-8s  raw: mean test %5.2f%%, mean #bases %4.1f   |   SAG: mean test %5.2f%%, mean #bases %4.1f\n"
+      (Ota.performance_name p)
+      (percent (mean_test run.raw_front))
+      (mean_bases run.raw_front)
+      (percent (mean_test run.front))
+      (mean_bases run.front)
+  in
+  List.iter show_performance Ota.all_performances
+
+let experiment_ablation_moo context =
+  section "Ablation: multi-objective vs error-only selection (PM)";
+  let run = run_performance context Ota.Pm in
+  (* Error-only: zero the complexity weights so the second objective carries
+     only tree size through nnodes; additionally strip it by replacing the
+     complexity measure — achieved here by wb = wvc = 0 (nnodes remains, the
+     closest error-only proxy that reuses the same machinery). *)
+  let config = { context.config with Config.wb = 0.; wvc = 0. } in
+  let outcome =
+    Search.run ~seed:(context.options.seed + 200) config ~inputs:context.train.Ota.inputs
+      ~targets:run.train_targets
+  in
+  let summarize label front =
+    match best_by_train_error front with
+    | None -> Printf.printf "%-24s  (no valid model)\n" label
+    | Some m ->
+        let nodes =
+          Array.fold_left (fun acc b -> acc + Caffeine_expr.Expr.nnodes_basis b) 0 m.Model.bases
+        in
+        Printf.printf "%-24s  best train %.2f%%  test %.2f%%  #bases %d  #nodes %d\n" label
+          (percent m.Model.train_error)
+          (percent (model_test_error context run m))
+          (Model.num_bases m) nodes
+  in
+  summarize "multi-objective (paper)" run.front;
+  summarize "error-only (wb=wvc=0)" outcome.Search.front
+
+let experiment_ablation_scalar context =
+  section "Ablation: NSGA-II vs scalarized single-objective GA (PM)";
+  let run = run_performance context Ota.Pm in
+  let config = context.config in
+  let dims = Ota.dims in
+  let rng_seed = context.options.seed + 300 in
+  Printf.printf "%-22s  %10s  %10s  %7s\n" "selection" "train" "test" "#bases";
+  (* Scalarized: minimize train_error + lambda * complexity with a plain
+     elitist GA reusing the same generation/variation operators. *)
+  List.iter
+    (fun lambda ->
+      let fitness individual =
+        match
+          Model.fit ~wb:config.Config.wb ~wvc:config.Config.wvc individual
+            ~inputs:context.train.Ota.inputs ~targets:run.train_targets
+        with
+        | None -> Float.infinity
+        | Some m -> m.Model.train_error +. (lambda *. m.Model.complexity)
+      in
+      let population =
+        Caffeine_evo.Ga.run
+          ~rng:(Caffeine_util.Rng.create ~seed:rng_seed ())
+          {
+            Caffeine_evo.Ga.pop_size = config.Config.pop_size;
+            generations = config.Config.generations;
+            elite = 2;
+            tournament = 3;
+            init = (fun rng -> Caffeine.Gen.random_individual rng config ~dims);
+            fitness;
+            vary = (fun rng p1 p2 -> Caffeine.Vary.vary rng config ~dims p1 p2);
+          }
+      in
+      let champion = Caffeine_evo.Ga.best population in
+      match
+        Model.fit ~wb:config.Config.wb ~wvc:config.Config.wvc champion.Caffeine_evo.Ga.genome
+          ~inputs:context.train.Ota.inputs ~targets:run.train_targets
+      with
+      | None -> Printf.printf "GA lambda=%-8g  (invalid champion)\n" lambda
+      | Some m ->
+          Printf.printf "GA lambda=%-12g %9.2f%%  %9.2f%%  %7d\n" lambda
+            (percent m.Model.train_error)
+            (percent (model_test_error context run m))
+            (Model.num_bases m))
+    [ 0.; 1e-4; 1e-3 ];
+  (* The NSGA-II front end-point for reference. *)
+  match best_by_train_error run.front with
+  | None -> ()
+  | Some m ->
+      Printf.printf "%-22s %9.2f%%  %9.2f%%  %7d\n" "NSGA-II (best train)"
+        (percent m.Model.train_error)
+        (percent (model_test_error context run m))
+        (Model.num_bases m)
+
+let experiment_tran_slew context =
+  section "Validation: analytic vs transient-measured slew rate";
+  ignore context;
+  Printf.printf "%-28s  %12s  %12s  %12s  %12s\n" "design point" "SRp analytic" "SRp transient"
+    "SRn analytic" "SRn transient";
+  let points =
+    [
+      ("nominal", Ota.nominal);
+      ( "id2 +20%",
+        (let x = Array.copy Ota.nominal in
+         x.(1) <- x.(1) *. 1.2;
+         x) );
+      ( "id1 -10%, vgs2 +5%",
+        (let x = Array.copy Ota.nominal in
+         x.(0) <- x.(0) *. 0.9;
+         x.(4) <- x.(4) *. 1.05;
+         x) );
+    ]
+  in
+  List.iter
+    (fun (label, x) ->
+      match (Ota.evaluate x, Caffeine_ota.Testbench.transient_slew x) with
+      | Ok values, Ok (rising, falling) ->
+          Printf.printf "%-28s  %10.2f V/us %10.2f V/us %10.2f V/us %10.2f V/us\n" label
+            (values.(4) *. 1e-6) (rising *. 1e-6) (values.(5) *. 1e-6) (falling *. 1e-6)
+      | Error msg, _ | _, Error msg -> Printf.printf "%-28s  failed: %s\n" label msg)
+    points;
+  Printf.printf "(the analytic current-limit estimates feed the datasets; the transient\n";
+  Printf.printf " measurement of the transistor-level netlist corroborates them)\n"
+
+(* Opt-in extension (not part of --experiment all): the Miller two-stage
+   op-amp as a second modeling target. *)
+let experiment_miller options =
+  section "Extension: Miller two-stage op-amp (second topology)";
+  let module Miller = Caffeine_ota.Miller in
+  let rng = Caffeine_util.Rng.create ~seed:options.seed () in
+  let train_inputs, train_outputs = Miller.dataset rng ~samples:220 ~spread:0.15 in
+  let test_inputs, test_outputs = Miller.dataset rng ~samples:220 ~spread:0.05 in
+  Printf.printf "workload: %d train / %d test Latin-hypercube samples, %d variables\n"
+    (Array.length train_inputs) (Array.length test_inputs) Miller.dims;
+  let config =
+    Config.scaled ~pop_size:options.pop_size ~generations:options.generations Config.paper
+  in
+  let column p rows =
+    let rec index i = function
+      | [] -> assert false
+      | q :: rest -> if q = p then i else index (i + 1) rest
+    in
+    let j = index 0 Miller.all_performances in
+    Array.map (fun (row : float array) -> row.(j)) rows
+  in
+  List.iter
+    (fun p ->
+      let transform =
+        match p with Miller.Fu -> log10 | Miller.Alf | Miller.Pm | Miller.Power -> Fun.id
+      in
+      let targets = Array.map transform (column p train_outputs) in
+      let test_targets = Array.map transform (column p test_outputs) in
+      let outcome = Search.run ~seed:(options.seed + 7) config ~inputs:train_inputs ~targets in
+      let front =
+        Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
+          ~inputs:train_inputs ~targets
+      in
+      let scored = Sag.test_tradeoff front ~inputs:test_inputs ~targets:test_targets in
+      match Sag.best_within scored ~train_cap:0.10 ~test_cap:0.10 with
+      | None ->
+          Printf.printf "%-6s: no model within 10%%/10%%\n" (Miller.performance_name p)
+      | Some s ->
+          Printf.printf "%-6s (train %.2f%%, test %.2f%%): %s\n" (Miller.performance_name p)
+            (percent s.Sag.model.Model.train_error)
+            (percent s.Sag.test_error)
+            (Model.to_string ~var_names:Miller.var_names s.Sag.model))
+    Miller.all_performances
+
+(* --- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let experiment_micro () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Caffeine_util.Rng.create ~seed:99 () in
+  let opset = Opset.default in
+  let basis = Caffeine.Gen.random_basis rng opset ~dims:13 ~depth:6 ~max_vc_vars:3 in
+  let point = Array.make 13 1.2 in
+  let design =
+    Caffeine_linalg.Matrix.init 243 16 (fun i j ->
+        sin (float_of_int ((i * 31) + j)) +. if i mod 16 = j then 2. else 0.)
+  in
+  let rhs = Array.init 243 (fun i -> cos (float_of_int i)) in
+  let objectives =
+    Array.init 200 (fun i -> [| Float.of_int (i mod 17); Float.of_int (i * 7 mod 23) |])
+  in
+  let tests =
+    [
+      Test.make ~name:"expr eval (1 basis, 1 point)"
+        (Staged.stage (fun () -> ignore (Caffeine_expr.Expr.eval_basis basis point)));
+      Test.make ~name:"lstsq 243x16"
+        (Staged.stage (fun () -> ignore (Caffeine_linalg.Decomp.lstsq design rhs)));
+      Test.make ~name:"press 243x16"
+        (Staged.stage (fun () -> ignore (Caffeine_linalg.Decomp.press design rhs)));
+      Test.make ~name:"nondominated sort (200)"
+        (Staged.stage (fun () -> ignore (Caffeine_evo.Nsga2.fast_nondominated_sort objectives)));
+      Test.make ~name:"ota evaluate (AC sweep)"
+        (Staged.stage (fun () -> ignore (Ota.evaluate Ota.nominal)));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ estimate ] -> Printf.printf "%-34s %12.1f ns/run\n" name estimate
+          | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+        stats)
+    tests
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let options = parse_options () in
+  let wants name = options.experiment = "all" || options.experiment = name in
+  let needs_context =
+    List.exists wants
+      [
+        "fig3"; "table1"; "table2"; "fig4"; "ablation-grammar"; "ablation-sag"; "ablation-moo";
+        "ablation-scalar"; "tran-slew";
+      ]
+  in
+  let context = if needs_context then Some (make_context options) else None in
+  let with_context f = match context with Some c -> f c | None -> () in
+  if wants "fig3" then with_context experiment_fig3;
+  if wants "table1" then with_context experiment_table1;
+  if wants "table2" then with_context experiment_table2;
+  if wants "fig4" then with_context experiment_fig4;
+  if wants "ablation-grammar" then with_context experiment_ablation_grammar;
+  if wants "ablation-sag" then with_context experiment_ablation_sag;
+  if wants "ablation-moo" then with_context experiment_ablation_moo;
+  if wants "ablation-scalar" then with_context experiment_ablation_scalar;
+  if wants "tran-slew" then with_context experiment_tran_slew;
+  (* Opt-in only: not included in --experiment all. *)
+  if options.experiment = "miller" then experiment_miller options;
+  if wants "micro" then experiment_micro ()

@@ -1,0 +1,480 @@
+(* caffeine — command-line front end.
+
+   Subcommands:
+     gen-data   sample the OTA testbench with the paper's DOE plan -> CSV
+     simulate   evaluate the OTA performances at one design point
+     fit        evolve symbolic models for one column of a CSV dataset
+     predict    evaluate saved models against a CSV dataset
+     grammar    print / validate canonical-form grammar files
+     analyze    DC / AC analysis of a SPICE-format netlist
+     export     render a saved model as C or Verilog-A
+     insight    variable usage, sensitivities and Sobol indices of a model
+*)
+
+open Cmdliner
+
+module Ota = Caffeine_ota.Ota
+module Csv = Caffeine_io.Csv
+module Grammar = Caffeine_grammar.Grammar
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+module Opset = Caffeine.Opset
+
+(* --- gen-data ---------------------------------------------------------- *)
+
+let gen_data dx out =
+  let dataset = Ota.doe_dataset ~dx in
+  let performance_names =
+    Array.of_list (List.map Ota.performance_name Ota.all_performances)
+  in
+  let header = Array.append Ota.var_names performance_names in
+  let rows =
+    Array.map2 (fun inputs outputs -> Array.append inputs outputs) dataset.Ota.inputs
+      dataset.Ota.outputs
+  in
+  Csv.write ~path:out { Csv.header; rows };
+  Printf.printf "wrote %d samples (dx=%.3g) to %s\n" (Array.length rows) dx out;
+  0
+
+let dx_arg =
+  let doc = "Relative perturbation per design variable (paper: 0.10 train, 0.03 test)." in
+  Arg.(value & opt float 0.10 & info [ "dx" ] ~docv:"DX" ~doc)
+
+let out_arg default =
+  let doc = "Output file path." in
+  Arg.(value & opt string default & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
+let gen_data_cmd =
+  let info =
+    Cmd.info "gen-data"
+      ~doc:"Sample the simulated OTA with the paper's orthogonal-hypercube DOE plan."
+  in
+  Cmd.v info Term.(const gen_data $ dx_arg $ out_arg "ota_data.csv")
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let parse_override spec =
+  match String.index_opt spec '=' with
+  | None -> Error (`Msg (Printf.sprintf "expected name=value, got %S" spec))
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let value = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt value with
+      | None -> Error (`Msg (Printf.sprintf "bad number %S" value))
+      | Some v -> Ok (name, v))
+
+let override_conv = Arg.conv (parse_override, fun ppf (n, v) -> Format.fprintf ppf "%s=%g" n v)
+
+let simulate overrides =
+  let x = Array.copy Ota.nominal in
+  let apply (name, value) =
+    let rec find i =
+      if i >= Array.length Ota.var_names then begin
+        Printf.eprintf "unknown design variable %s (known: %s)\n" name
+          (String.concat ", " (Array.to_list Ota.var_names));
+        exit 2
+      end
+      else if Ota.var_names.(i) = name then x.(i) <- value
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter apply overrides;
+  Printf.printf "design point:\n";
+  Array.iteri (fun i name -> Printf.printf "  %-6s = %.6g\n" name x.(i)) Ota.var_names;
+  match Ota.evaluate x with
+  | Error msg ->
+      Printf.printf "simulation failed: %s\n" msg;
+      1
+  | Ok values ->
+      Printf.printf "performances:\n";
+      List.iteri
+        (fun i p -> Printf.printf "  %-8s = %.6g\n" (Ota.performance_name p) values.(i))
+        Ota.all_performances;
+      0
+
+let overrides_arg =
+  let doc = "Override a design variable, e.g. --set id1=1.2e-5 (repeatable)." in
+  Arg.(value & opt_all override_conv [] & info [ "set" ] ~docv:"NAME=VALUE" ~doc)
+
+let simulate_cmd =
+  let info = Cmd.info "simulate" ~doc:"Evaluate the OTA performances at one design point." in
+  Cmd.v info Term.(const simulate $ overrides_arg)
+
+(* --- fit --------------------------------------------------------------- *)
+
+let load_table path =
+  match Csv.read ~path with
+  | Ok table -> table
+  | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 2
+
+let split_target table target =
+  match Csv.column table target with
+  | exception Not_found ->
+      Printf.eprintf "no column named %s (available: %s)\n" target
+        (String.concat ", " (Array.to_list table.Csv.header));
+      exit 2
+  | targets ->
+      (* Inputs: every column that is not one of the known performance
+         names; this lets gen-data output be used directly. *)
+      let performance_names = List.map Ota.performance_name Ota.all_performances in
+      let names, inputs = Csv.columns_except table (target :: performance_names) in
+      (names, inputs, targets)
+
+let fit train_path test_path target pop gens seed log_target grammar_path max_bases no_sag out =
+  let train = load_table train_path in
+  let var_names, inputs, raw_targets = split_target train target in
+  let transform v = if log_target then log10 v else v in
+  let targets = Array.map transform raw_targets in
+  let opset =
+    match grammar_path with
+    | None -> Opset.default
+    | Some path -> (
+        let channel = open_in path in
+        let text = really_input_string channel (in_channel_length channel) in
+        close_in channel;
+        match Grammar.parse text with
+        | Ok g -> Opset.of_grammar g
+        | Error msg ->
+            Printf.eprintf "cannot parse grammar %s: %s\n" path msg;
+            exit 2)
+  in
+  let config =
+    { (Config.scaled ~pop_size:pop ~generations:gens Config.paper) with Config.opset; max_bases }
+  in
+  Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d)\n%!" target
+    (Array.length targets) (Array.length var_names) pop gens seed;
+  let outcome = Search.run ~seed config ~inputs ~targets in
+  let front =
+    if no_sag then outcome.Search.front
+    else
+      Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~inputs
+        ~targets
+  in
+  let test_data =
+    match test_path with
+    | None -> None
+    | Some path ->
+        let test = load_table path in
+        let _, test_inputs, test_raw = split_target test target in
+        Some (test_inputs, Array.map transform test_raw)
+  in
+  Printf.printf "\n%-10s %-10s %-9s expression\n" "train err" "test err" "complexity";
+  List.iter
+    (fun (m : Model.t) ->
+      let test_err =
+        match test_data with
+        | None -> "-"
+        | Some (test_inputs, test_targets) ->
+            Printf.sprintf "%8.2f%%" (100. *. Model.error_on m ~inputs:test_inputs ~targets:test_targets)
+      in
+      Printf.printf "%9.2f%% %10s %9.1f %s\n"
+        (100. *. m.Model.train_error)
+        test_err m.Model.complexity
+        (Model.to_string ~var_names m))
+    front;
+  (match out with
+  | None -> ()
+  | Some path ->
+      Caffeine.Model_io.save ~path ~var_names front;
+      Printf.printf "\nsaved %d models to %s\n" (List.length front) path);
+  0
+
+let train_arg =
+  let doc = "Training CSV (header row; inputs + target columns)." in
+  Arg.(required & opt (some string) None & info [ "train" ] ~docv:"CSV" ~doc)
+
+let test_arg =
+  let doc = "Optional testing CSV with the same columns." in
+  Arg.(value & opt (some string) None & info [ "test" ] ~docv:"CSV" ~doc)
+
+let target_arg =
+  let doc = "Name of the target column to model." in
+  Arg.(required & opt (some string) None & info [ "target" ] ~docv:"NAME" ~doc)
+
+let pop_arg = Arg.(value & opt int 120 & info [ "pop" ] ~docv:"N" ~doc:"Population size.")
+let gens_arg = Arg.(value & opt int 150 & info [ "gens" ] ~docv:"N" ~doc:"Generations.")
+let seed_arg = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let log_target_arg =
+  Arg.(value & flag & info [ "log-target" ] ~doc:"Model log10 of the target (the paper's fu scaling).")
+
+let grammar_arg =
+  Arg.(value & opt (some string) None & info [ "grammar" ] ~docv:"FILE" ~doc:"Grammar file restricting the operator set.")
+
+let max_bases_arg =
+  Arg.(value & opt int 15 & info [ "max-bases" ] ~docv:"N" ~doc:"Maximum basis functions (paper: 15).")
+
+let no_sag_arg =
+  Arg.(value & flag & info [ "no-sag" ] ~doc:"Skip PRESS-guided simplification after generation.")
+
+let fit_out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the model front to a models file.")
+
+let fit_cmd =
+  let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
+  Cmd.v info
+    Term.(
+      const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg
+      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ fit_out_arg)
+
+(* --- predict ------------------------------------------------------------ *)
+
+let predict models_path data_path target log_target =
+  match Caffeine.Model_io.load ~path:models_path ~wb:10. ~wvc:0.25 with
+  | Error msg ->
+      Printf.eprintf "cannot load models: %s\n" msg;
+      2
+  | Ok (var_names, models) ->
+      let table = load_table data_path in
+      let _, inputs, raw_targets = split_target table target in
+      let transform v = if log_target then log10 v else v in
+      let targets = Array.map transform raw_targets in
+      Printf.printf "%-10s %-9s expression\n" "error" "#bases";
+      List.iter
+        (fun (m : Model.t) ->
+          let err = Model.error_on m ~inputs ~targets in
+          Printf.printf "%9.2f%% %9d %s\n" (100. *. err) (Model.num_bases m)
+            (Model.to_string ~var_names m))
+        models;
+      0
+
+let models_arg =
+  Arg.(required & opt (some string) None & info [ "models" ] ~docv:"FILE" ~doc:"Models file written by fit --out.")
+
+let data_arg =
+  Arg.(required & opt (some string) None & info [ "data" ] ~docv:"CSV" ~doc:"Dataset to evaluate on.")
+
+let predict_cmd =
+  let info = Cmd.info "predict" ~doc:"Evaluate saved models against a CSV dataset." in
+  Cmd.v info Term.(const predict $ models_arg $ data_arg $ target_arg $ log_target_arg)
+
+(* --- export -------------------------------------------------------------- *)
+
+let export models_path language index out =
+  match Caffeine.Model_io.load ~path:models_path ~wb:10. ~wvc:0.25 with
+  | Error msg ->
+      Printf.eprintf "cannot load models: %s\n" msg;
+      2
+  | Ok (var_names, models) -> (
+      match List.nth_opt models index with
+      | None ->
+          Printf.eprintf "model index %d out of range (file has %d models)\n" index
+            (List.length models);
+          2
+      | Some model ->
+          let source =
+            match language with
+            | `C -> Caffeine.Export.to_c ~name:"caffeine_model" ~var_names model
+            | `Verilog_a -> Caffeine.Export.to_verilog_a ~name:"caffeine_model" ~var_names model
+          in
+          (match out with
+          | None -> print_string source
+          | Some path ->
+              let channel = open_out path in
+              output_string channel source;
+              close_out channel;
+              Printf.printf "wrote %s\n" path);
+          0)
+
+let language_arg =
+  let parse = function
+    | "c" -> Ok `C
+    | "verilog-a" | "va" -> Ok `Verilog_a
+    | other -> Error (`Msg (Printf.sprintf "unknown language %S (use c or verilog-a)" other))
+  in
+  let print ppf l = Format.pp_print_string ppf (match l with `C -> "c" | `Verilog_a -> "verilog-a") in
+  Arg.(value & opt (conv (parse, print)) `C & info [ "language" ] ~docv:"LANG" ~doc:"c or verilog-a.")
+
+let index_arg =
+  Arg.(value & opt int 0 & info [ "index" ] ~docv:"N" ~doc:"Which model in the file (0-based; models are complexity-sorted).")
+
+let export_out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to a file instead of stdout.")
+
+let export_cmd =
+  let info = Cmd.info "export" ~doc:"Render a saved model as C or Verilog-A source." in
+  Cmd.v info Term.(const export $ models_arg $ language_arg $ index_arg $ export_out_arg)
+
+(* --- insight ------------------------------------------------------------- *)
+
+let insight models_path index =
+  match Caffeine.Model_io.load ~path:models_path ~wb:10. ~wvc:0.25 with
+  | Error msg ->
+      Printf.eprintf "cannot load models: %s\n" msg;
+      2
+  | Ok (var_names, models) -> (
+      match List.nth_opt models index with
+      | None ->
+          Printf.eprintf "model index %d out of range (file has %d models)\n" index
+            (List.length models);
+          2
+      | Some model ->
+          (* When the variables are the OTA's, analyze at its nominal point
+             and over its sampled box; otherwise use all-ones. *)
+          let at, lo, hi =
+            if var_names = Ota.var_names then
+              ( Ota.nominal,
+                Array.map (fun v -> v *. 0.9) Ota.nominal,
+                Array.map (fun v -> v *. 1.1) Ota.nominal )
+            else begin
+              let dims = Array.length var_names in
+              (Array.make dims 1., Array.make dims 0.9, Array.make dims 1.1)
+            end
+          in
+          print_string (Caffeine.Insight.report ~var_names ~at model);
+          let rng = Caffeine_util.Rng.create ~seed:1 () in
+          let indices = Caffeine.Insight.sobol_first_order rng model ~lo ~hi in
+          let ranked =
+            List.sort
+              (fun (_, a) (_, b) -> compare b a)
+              (Array.to_list (Array.mapi (fun i s -> (i, s)) indices))
+          in
+          Printf.printf "first-order Sobol indices over +-10%% of the analysis point:\n";
+          List.iter
+            (fun (i, s) ->
+              if s > 0.005 then Printf.printf "  %-8s %.3f\n" var_names.(i) s)
+            ranked;
+          0)
+
+let insight_cmd =
+  let info =
+    Cmd.info "insight"
+      ~doc:"Variable usage, local sensitivities and Sobol indices of a saved model."
+  in
+  Cmd.v info Term.(const insight $ models_arg $ index_arg)
+
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze netlist_path want_op ac_input ac_output =
+  match Caffeine_spice.Netlist.parse_file netlist_path with
+  | Error msg ->
+      Printf.eprintf "cannot parse %s: %s\n" netlist_path msg;
+      2
+  | Ok deck -> (
+      (match deck.Caffeine_spice.Netlist.title with
+      | Some title -> Printf.printf "* %s\n" title
+      | None -> ());
+      match Caffeine_spice.Dc.solve deck.Caffeine_spice.Netlist.circuit with
+      | Error msg ->
+          Printf.printf "DC solve failed: %s\n" msg;
+          1
+      | Ok dc ->
+          Printf.printf "DC operating point (%d Newton iterations):\n" dc.Caffeine_spice.Dc.iterations;
+          List.iter
+            (fun (name, index) -> Printf.printf "  v(%s) = %.6g V\n" name
+                (Caffeine_spice.Dc.node_voltage dc index))
+            deck.Caffeine_spice.Netlist.node_names;
+          List.iter
+            (fun (name, current) -> Printf.printf "  i(%s) = %.6g A\n" name current)
+            dc.Caffeine_spice.Dc.branch_currents;
+          if want_op then begin
+            Printf.printf "device operating points:\n";
+            List.iter
+              (fun (bias : Caffeine_spice.Dc.mos_bias) ->
+                Printf.printf "  %-8s ids=%.4g A gm=%.4g S gds=%.4g S (%s)\n" bias.Caffeine_spice.Dc.name
+                  bias.Caffeine_spice.Dc.op.Caffeine_spice.Mos.ids
+                  bias.Caffeine_spice.Dc.op.Caffeine_spice.Mos.gm
+                  bias.Caffeine_spice.Dc.op.Caffeine_spice.Mos.gds
+                  (match bias.Caffeine_spice.Dc.op.Caffeine_spice.Mos.region with
+                  | `Cutoff -> "cutoff"
+                  | `Triode -> "triode"
+                  | `Saturation -> "saturation"))
+              dc.Caffeine_spice.Dc.mos_biases
+          end;
+          (match (ac_input, ac_output) with
+          | Some input, Some output_name -> (
+              match Caffeine_spice.Netlist.node deck output_name with
+              | exception Not_found ->
+                  Printf.printf "unknown output node %s\n" output_name
+              | output ->
+                  let freqs =
+                    Caffeine_spice.Ac.log_frequencies ~start_hz:1. ~stop_hz:1e10
+                      ~points_per_decade:10
+                  in
+                  let sweep =
+                    Caffeine_spice.Ac.transfer ~circuit:deck.Caffeine_spice.Netlist.circuit ~dc
+                      ~input ~output ~freqs
+                  in
+                  Printf.printf "AC (%s -> %s):\n" input output_name;
+                  Printf.printf "  low-frequency gain %.2f dB\n"
+                    (Caffeine_spice.Ac.low_frequency_gain_db sweep);
+                  (match Caffeine_spice.Ac.unity_gain_frequency sweep with
+                  | Some fu -> Printf.printf "  unity-gain frequency %.4g Hz\n" fu
+                  | None -> Printf.printf "  no unity-gain crossing in sweep\n");
+                  match Caffeine_spice.Ac.phase_margin_deg sweep with
+                  | Some pm -> Printf.printf "  phase margin %.1f deg\n" pm
+                  | None -> ())
+          | Some _, None | None, Some _ ->
+              Printf.printf "(need both --ac-input and --ac-output for an AC sweep)\n"
+          | None, None -> ());
+          0)
+
+let netlist_arg =
+  Arg.(required & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc:"SPICE-format deck.")
+
+let op_arg = Arg.(value & flag & info [ "op" ] ~doc:"Print per-device operating points.")
+
+let ac_input_arg =
+  Arg.(value & opt (some string) None & info [ "ac-input" ] ~docv:"VSRC" ~doc:"AC input source name.")
+
+let ac_output_arg =
+  Arg.(value & opt (some string) None & info [ "ac-output" ] ~docv:"NODE" ~doc:"AC output node name.")
+
+let analyze_cmd =
+  let info = Cmd.info "analyze" ~doc:"DC (and optionally AC) analysis of a SPICE-format netlist." in
+  Cmd.v info Term.(const analyze $ netlist_arg $ op_arg $ ac_input_arg $ ac_output_arg)
+
+(* --- grammar ----------------------------------------------------------- *)
+
+let grammar_command check_path =
+  match check_path with
+  | None ->
+      print_string Grammar.caffeine_text;
+      0
+  | Some path -> (
+      let channel = open_in path in
+      let text = really_input_string channel (in_channel_length channel) in
+      close_in channel;
+      match Grammar.parse text with
+      | Error msg ->
+          Printf.printf "parse error: %s\n" msg;
+          1
+      | Ok g -> (
+          match Grammar.validate g with
+          | Ok () ->
+              Printf.printf "%s: ok (%d nonterminals, %d terminals)\n" path
+                (List.length (Grammar.nonterminals g))
+                (List.length (Grammar.terminals g));
+              0
+          | Error msgs ->
+              Printf.printf "%s: invalid\n" path;
+              List.iter (fun m -> Printf.printf "  %s\n" m) msgs;
+              1))
+
+let check_arg =
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc:"Validate a grammar file.")
+
+let grammar_cmd =
+  let info =
+    Cmd.info "grammar" ~doc:"Print the built-in canonical-form grammar or validate a grammar file."
+  in
+  Cmd.v info Term.(const grammar_command $ check_arg)
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "caffeine" ~version:Caffeine.Caffeine_version.version
+      ~doc:"Template-free symbolic model generation of analog circuits (CAFFEINE, DATE'05)."
+  in
+  let group =
+    Cmd.group info
+      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,48 @@
+(* Closing the loop on the operating-point formulation: the design variables
+   assert drain currents and drive voltages, device sizes are derived from
+   the square law, and here the *full transistor-level netlist* of the
+   symmetrical OTA is solved with the nonlinear Newton DC engine.  The
+   solved currents should come back close to the asserted ones (differences
+   stem from channel-length modulation at the actual node voltages). *)
+
+module Ota = Caffeine_ota.Ota
+module Testbench = Caffeine_ota.Testbench
+
+let region_name = function `Cutoff -> "cutoff" | `Triode -> "triode" | `Saturation -> "sat"
+
+let () =
+  print_endline "== transistor-level DC validation of the OTA bias point ==";
+  match Testbench.validate Ota.nominal with
+  | Error msg ->
+      print_endline ("validation failed: " ^ msg);
+      exit 1
+  | Ok report ->
+      Printf.printf "Newton converged in %d iterations; vout = %.3f V, vtail = %.3f V\n\n"
+        report.Testbench.iterations report.Testbench.output_voltage
+        report.Testbench.tail_voltage;
+      Printf.printf "%-5s %14s %14s %9s\n" "dev" "designed (uA)" "solved (uA)" "region";
+      List.iter
+        (fun d ->
+          Printf.printf "%-5s %14.2f %14.2f %9s\n" d.Testbench.name
+            (1e6 *. d.Testbench.designed_current)
+            (1e6 *. d.Testbench.solved_current)
+            (region_name d.Testbench.region))
+        report.Testbench.devices;
+      Printf.printf "\nworst relative current mismatch: %.1f%%\n"
+        (100. *. Testbench.max_current_mismatch report)
+
+(* Large-signal check: measure the slew rate by transient simulation of the
+   same netlist and compare against the analytic current-limit estimate
+   used for dataset generation. *)
+let () =
+  print_endline "\n== transient slew-rate measurement ==";
+  match Testbench.transient_slew Ota.nominal with
+  | Error msg -> print_endline ("transient failed: " ^ msg)
+  | Ok (rising, falling) -> (
+      Printf.printf "measured:  SRp = %.3g V/us   SRn = %.3g V/us\n" (rising *. 1e-6)
+        (falling *. 1e-6);
+      match Ota.evaluate Ota.nominal with
+      | Error _ -> ()
+      | Ok values ->
+          Printf.printf "analytic:  SRp = %.3g V/us   SRn = %.3g V/us\n"
+            (values.(4) *. 1e-6) (values.(5) *. 1e-6))

@@ -1,0 +1,72 @@
+(* Grammar playground: load a canonical-form grammar (from a file or the
+   built-in paper grammar), apply designer rule-toggles, and sample random
+   expressions that conform to it.
+
+   The paper's prototype "defined the grammar in a separate text file and
+   parsed it by the CAFFEINE system"; this example demonstrates the same
+   workflow.
+
+   Usage:
+     dune exec examples/grammar_playground.exe                 (built-in grammar)
+     dune exec examples/grammar_playground.exe -- my_grammar.txt
+     dune exec examples/grammar_playground.exe -- --no-trig --no-lte *)
+
+module Grammar = Caffeine_grammar.Grammar
+module Expr = Caffeine_expr.Expr
+module Rng = Caffeine_util.Rng
+module Opset = Caffeine.Opset
+module Gen = Caffeine.Gen
+
+let () =
+  let grammar = ref Grammar.caffeine in
+  let toggles = ref [] in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "--no-trig" -> toggles := [ "SIN"; "COS"; "TAN" ] @ !toggles
+      | "--no-lte" -> toggles := "LTE" :: !toggles
+      | "--no-pow" -> toggles := "POW" :: !toggles
+      | path when Sys.file_exists path ->
+          let channel = open_in path in
+          let length = in_channel_length channel in
+          let text = really_input_string channel length in
+          close_in channel;
+          (match Grammar.parse text with
+          | Ok g -> grammar := g
+          | Error msg ->
+              Printf.eprintf "cannot parse %s: %s\n" path msg;
+              exit 2)
+      | other ->
+          Printf.eprintf "unknown argument %s\n" other;
+          exit 2)
+    (List.tl (Array.to_list Sys.argv));
+
+  (* Apply the designer's rule-toggles. *)
+  let grammar =
+    List.fold_left (fun g terminal -> Grammar.remove_terminal g terminal) !grammar !toggles
+  in
+  print_endline "grammar in use:";
+  print_endline (Grammar.to_text grammar);
+  (match Grammar.validate grammar with
+  | Ok () -> print_endline "validation: ok"
+  | Error msgs ->
+      print_endline "validation problems:";
+      List.iter (fun m -> print_endline ("  " ^ m)) msgs;
+      exit 1);
+
+  let opset = Opset.of_grammar grammar in
+  Printf.printf "\nderived operator set: %d unary, %d binary, lte=%b, vc=%b\n\n"
+    (Array.length opset.Opset.unops)
+    (Array.length opset.Opset.binops)
+    opset.Opset.allow_lte opset.Opset.allow_vc;
+
+  let rng = Rng.create ~seed:1234 () in
+  let var_names = [| "id1"; "id2"; "vsg1"; "vgs2"; "vds2" |] in
+  print_endline "random canonical-form expressions from this grammar:";
+  for i = 1 to 12 do
+    let basis = Gen.random_basis rng opset ~dims:5 ~depth:(2 + (i mod 4)) ~max_vc_vars:2 in
+    Printf.printf "%2d. %s\n" i (Expr.basis_to_string ~var_names basis);
+    match Expr.check ~dims:5 basis with
+    | Ok () -> ()
+    | Error msg -> Printf.printf "    INVALID: %s\n" msg
+  done

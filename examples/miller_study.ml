@@ -1,0 +1,70 @@
+(* Template-free modeling of a different topology: a Miller-compensated
+   two-stage op-amp.  The paper's claim is that the approach handles "any
+   nonlinear circuits and circuit characteristics"; here the target is the
+   phase margin of a pole-split amplifier, whose dependence on the
+   compensation capacitor and stage currents is decidedly non-posynomial.
+
+   Usage: dune exec examples/miller_study.exe -- [ALF|fu|PM|power] *)
+
+module Miller = Caffeine_ota.Miller
+module Rng = Caffeine_util.Rng
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+module Insight = Caffeine.Insight
+
+let () =
+  let performance =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> Miller.Pm
+    | name :: _ -> (
+        match
+          List.find_opt (fun p -> Miller.performance_name p = name) Miller.all_performances
+        with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "unknown performance %S (ALF, fu, PM, power)\n" name;
+            exit 2)
+  in
+  let name = Miller.performance_name performance in
+  Printf.printf "== CAFFEINE on the Miller two-stage op-amp: %s ==\n\n%!" name;
+  let rng = Rng.create ~seed:77 () in
+  let inputs, outputs = Miller.dataset rng ~samples:200 ~spread:0.15 in
+  let test_inputs, test_outputs = Miller.dataset rng ~samples:200 ~spread:0.05 in
+  let column p rows =
+    let rec index i = function
+      | [] -> assert false
+      | q :: rest -> if q = p then i else index (i + 1) rest
+    in
+    let j = index 0 Miller.all_performances in
+    Array.map (fun row -> row.(j)) rows
+  in
+  let transform = match performance with Miller.Fu -> log10 | Miller.Alf | Miller.Pm | Miller.Power -> Fun.id in
+  let targets = Array.map transform (column performance outputs) in
+  let test_targets = Array.map transform (column performance test_outputs) in
+  Printf.printf "%d training / %d testing samples over %d variables\n%!"
+    (Array.length targets) (Array.length test_targets) Miller.dims;
+
+  let config = Config.scaled ~pop_size:100 ~generations:120 Config.paper in
+  let outcome = Search.run ~seed:9 config ~inputs ~targets in
+  let front =
+    Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~inputs
+      ~targets
+  in
+  let scored = Sag.test_tradeoff front ~inputs:test_inputs ~targets:test_targets in
+  Printf.printf "\n%-10s %-10s expression\n" "train err" "test err";
+  List.iter
+    (fun (s : Sag.scored) ->
+      Printf.printf "%9.2f%% %9.2f%% %s\n"
+        (100. *. s.Sag.model.Model.train_error)
+        (100. *. s.Sag.test_error)
+        (Model.to_string ~var_names:Miller.var_names s.Sag.model))
+    scored;
+
+  (* Which design variables drive this performance? *)
+  match List.rev scored with
+  | [] -> ()
+  | best :: _ ->
+      Printf.printf "\ninsight on the most accurate model:\n%s"
+        (Insight.report ~var_names:Miller.var_names ~at:Miller.nominal best.Sag.model)

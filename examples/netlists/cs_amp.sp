@@ -1,0 +1,7 @@
+demo: resistively loaded common-source amplifier
+VDD vdd 0 DC 5
+VIN in 0 DC 1.1 AC 1
+M1 out in 0 0 NMOS W=20u L=2u
+R1 vdd out 50k
+C1 out 0 1p
+.end

@@ -1,0 +1,6 @@
+demo: 1:2 NMOS current mirror
+IB 0 d 20u
+M1 d d 0 0 NMOS W=20u L=1u
+M2 o d 0 0 NMOS W=40u L=1u
+VO o 0 DC 2
+.end

@@ -1,0 +1,96 @@
+(* The paper's flow end-to-end on the simulated OTA (Figure 1):
+
+     SPICE-style simulation data -> CAFFEINE -> set of symbolic models
+     trading off error and complexity -> SAG post-processing -> models
+     filtered on testing data.
+
+   Usage:
+     dune exec examples/ota_study.exe                 (models PM)
+     dune exec examples/ota_study.exe -- fu --gens 300 --pop 150
+*)
+
+module Ota = Caffeine_ota.Ota
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+
+let parse_arguments () =
+  let performance = ref Ota.Pm in
+  let pop_size = ref 120 in
+  let generations = ref 150 in
+  let rec scan = function
+    | [] -> ()
+    | "--pop" :: v :: rest ->
+        pop_size := int_of_string v;
+        scan rest
+    | "--gens" :: v :: rest ->
+        generations := int_of_string v;
+        scan rest
+    | name :: rest -> (
+        match Ota.performance_of_name name with
+        | Some p ->
+            performance := p;
+            scan rest
+        | None ->
+            Printf.eprintf "unknown performance %S (use ALF, fu, PM, voffset, SRp or SRn)\n" name;
+            exit 2)
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  (!performance, !pop_size, !generations)
+
+let () =
+  let performance, pop_size, generations = parse_arguments () in
+  let name = Ota.performance_name performance in
+  Printf.printf "== CAFFEINE study of the OTA performance %s ==\n\n" name;
+
+  (* 1. "SPICE" simulation data: full orthogonal-hypercube DOE around the
+     nominal operating point, dx = 0.10 for training, 0.03 for testing. *)
+  Printf.printf "sampling design points (243-run orthogonal array, 13 variables)...\n%!";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let test = Ota.doe_dataset ~dx:0.03 in
+  let y_train = Array.map (Ota.modeling_target performance) (Ota.targets train performance) in
+  let y_test = Array.map (Ota.modeling_target performance) (Ota.targets test performance) in
+  Printf.printf "  %d training and %d testing samples\n\n" (Array.length y_train)
+    (Array.length y_test);
+
+  (* 2. Evolve the model set. *)
+  let config = Config.scaled ~pop_size ~generations Config.paper in
+  Printf.printf "evolving (population %d, %d generations)...\n%!" pop_size generations;
+  let outcome =
+    Search.run ~seed:2005
+      ~on_generation:(fun gen ~best_error ~front_size ->
+        if gen mod 25 = 0 then
+          Printf.printf "  generation %4d: best train error %.2f%%, front size %d\n%!" gen
+            (100. *. best_error) front_size)
+      config ~inputs:train.Ota.inputs ~targets:y_train
+  in
+
+  (* 3. Simplification after generation + testing-data filtering. *)
+  let wb = config.Config.wb and wvc = config.Config.wvc in
+  let front =
+    Sag.process_front ~wb ~wvc outcome.Search.front ~inputs:train.Ota.inputs ~targets:y_train
+  in
+  let scored = Sag.test_tradeoff front ~inputs:test.Ota.inputs ~targets:y_test in
+
+  Printf.printf "\nmodels on the (test error, complexity) tradeoff:\n";
+  Printf.printf "%-10s  %-10s  expression\n" "train err" "test err";
+  List.iter
+    (fun (s : Sag.scored) ->
+      let rendered = Model.to_string ~var_names:Ota.var_names s.Sag.model in
+      let rendered =
+        match performance with
+        | Ota.Fu -> "10^( " ^ rendered ^ " )"
+        | Ota.Alf | Ota.Pm | Ota.Voffset | Ota.Srp | Ota.Srn -> rendered
+      in
+      Printf.printf "%9.2f%%  %9.2f%%  %s\n"
+        (100. *. s.Sag.model.Model.train_error)
+        (100. *. s.Sag.test_error) rendered)
+    scored;
+
+  (* 4. The paper's Table-I query: the simplest model below 10% on both. *)
+  match Sag.best_within scored ~train_cap:0.10 ~test_cap:0.10 with
+  | None -> Printf.printf "\nno model met the 10%%/10%% caps\n"
+  | Some s ->
+      Printf.printf "\nsimplest model within 10%% train and test error:\n  %s = %s\n" name
+        (Model.to_string ~var_names:Ota.var_names s.Sag.model)

@@ -1,0 +1,73 @@
+(* CAFFEINE vs. the posynomial baseline on one OTA performance — the
+   experiment behind the paper's Figure 4.
+
+   The posynomial template (Daems/Gielen/Sansen) nails the training data
+   with dozens of terms but generalizes poorly; CAFFEINE's compact
+   canonical-form models predict unseen (interpolation) data better than
+   they fit the training extremes.
+
+   Usage: dune exec examples/posyn_compare.exe -- [ALF|fu|PM|voffset|SRp|SRn] *)
+
+module Ota = Caffeine_ota.Ota
+module Posyn = Caffeine_posyn.Posyn
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+
+let () =
+  let performance =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> Ota.Srn
+    | name :: _ -> (
+        match Ota.performance_of_name name with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "unknown performance %S\n" name;
+            exit 2)
+  in
+  let name = Ota.performance_name performance in
+  Printf.printf "== posynomial vs CAFFEINE on %s ==\n\n%!" name;
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let test = Ota.doe_dataset ~dx:0.03 in
+  let y_train = Array.map (Ota.modeling_target performance) (Ota.targets train performance) in
+  let y_test = Array.map (Ota.modeling_target performance) (Ota.targets test performance) in
+
+  (* Baseline: posynomial template fit. *)
+  let posyn = Posyn.fit ~inputs:train.Ota.inputs ~targets:y_train () in
+  let posyn_test = Posyn.error_on posyn ~inputs:test.Ota.inputs ~targets:y_test in
+  Printf.printf "posynomial: %d terms\n  train error %.2f%%   test error %.2f%%\n\n"
+    (Posyn.num_terms posyn)
+    (100. *. posyn.Posyn.train_error)
+    (100. *. posyn_test);
+  Printf.printf "posynomial model (truncated to 240 chars):\n  %s...\n\n"
+    (let s = Posyn.to_string ~var_names:Ota.var_names posyn in
+     String.sub s 0 (min 240 (String.length s)));
+
+  (* CAFFEINE, then pick the front model whose training error matches. *)
+  Printf.printf "evolving CAFFEINE models...\n%!";
+  let config = Config.scaled ~pop_size:120 ~generations:150 Config.paper in
+  let outcome = Search.run ~seed:404 config ~inputs:train.Ota.inputs ~targets:y_train in
+  let front =
+    Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
+      ~inputs:train.Ota.inputs ~targets:y_train
+  in
+  let scored =
+    List.map
+      (fun (m : Model.t) ->
+        { Sag.model = m; test_error = Model.error_on m ~inputs:test.Ota.inputs ~targets:y_test })
+      front
+  in
+  let usable = List.filter (fun (s : Sag.scored) -> Float.is_finite s.Sag.test_error) scored in
+  match Sag.at_train_error usable ~train_cap:posyn.Posyn.train_error with
+  | None -> print_endline "no CAFFEINE model available"
+  | Some s ->
+      Printf.printf "CAFFEINE (matched at posynomial's train error): %d bases\n"
+        (Model.num_bases s.Sag.model);
+      Printf.printf "  train error %.2f%%   test error %.2f%%\n\n"
+        (100. *. s.Sag.model.Model.train_error)
+        (100. *. s.Sag.test_error);
+      Printf.printf "CAFFEINE model:\n  %s\n\n" (Model.to_string ~var_names:Ota.var_names s.Sag.model);
+      if s.Sag.test_error > 0. then
+        Printf.printf "test-error ratio (posynomial / CAFFEINE): %.1fx\n"
+          (posyn_test /. s.Sag.test_error)

@@ -1,0 +1,33 @@
+(* Quickstart: rediscover a known symbolic law from samples.
+
+   We sample y = 3 - 0.5 c^2 + 2 a/b on 120 random points and let CAFFEINE
+   evolve template-free symbolic models.  The printed front trades off
+   training error against expression complexity; the exact law appears at
+   zero error. *)
+
+module Rng = Caffeine_util.Rng
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+
+let () =
+  let rng = Rng.create ~seed:42 () in
+  let n = 120 in
+  let inputs =
+    Array.init n (fun _ ->
+        [| Rng.range rng 0.5 2.0; Rng.range rng 0.5 2.0; Rng.range rng 0.5 2.0 |])
+  in
+  let targets =
+    Array.map (fun x -> 3.0 +. (2.0 *. x.(0) /. x.(1)) -. (0.5 *. x.(2) *. x.(2))) inputs
+  in
+  print_endline "quickstart: evolving symbolic models of y = 3 - 0.5*c^2 + 2*a/b";
+  let outcome = Search.run ~seed:7 Config.default ~inputs ~targets in
+  let var_names = [| "a"; "b"; "c" |] in
+  Printf.printf "%-10s  %-8s  expression\n" "train err" "complexity";
+  List.iter
+    (fun (m : Model.t) ->
+      Printf.printf "%9.2f%%  %8.1f  %s\n"
+        (100. *. m.Model.train_error)
+        m.Model.complexity
+        (Model.to_string ~var_names m))
+    outcome.Search.front

@@ -1,0 +1,3 @@
+(** Library version string. *)
+
+val version : string

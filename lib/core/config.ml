@@ -1,0 +1,35 @@
+type t = {
+  pop_size : int;
+  generations : int;
+  max_bases : int;
+  max_depth : int;
+  wb : float;
+  wvc : float;
+  opset : Opset.t;
+  param_mutation_weight : float;
+  crossover_probability : float;
+  max_vc_vars : int;
+}
+
+let paper =
+  {
+    pop_size = 200;
+    generations = 5000;
+    max_bases = 15;
+    max_depth = 8;
+    wb = 10.;
+    wvc = 0.25;
+    opset = Opset.default;
+    param_mutation_weight = 5.;
+    crossover_probability = 0.5;
+    max_vc_vars = 3;
+  }
+
+let default = { paper with pop_size = 100; generations = 80 }
+
+let scaled ?pop_size ?generations t =
+  {
+    t with
+    pop_size = (match pop_size with Some p -> p | None -> t.pop_size);
+    generations = (match generations with Some g -> g | None -> t.generations);
+  }

@@ -1,0 +1,28 @@
+(** Run settings for a CAFFEINE search.
+
+    {!paper} mirrors section 6.1 (population 200, 5000 generations, at most
+    15 basis functions, maximum tree depth 8, w_b = 10, w_vc = 0.25,
+    parameter mutation 5x more likely than the other operators).  {!default}
+    keeps every algorithmic setting but trims the budget so that a run takes
+    seconds rather than the paper's 12 hours. *)
+
+type t = {
+  pop_size : int;
+  generations : int;
+  max_bases : int;  (** maximum number of top-level basis functions *)
+  max_depth : int;  (** maximum tree depth of one basis function *)
+  wb : float;  (** complexity: minimum cost per basis function *)
+  wvc : float;  (** complexity: cost per unit of VC exponent magnitude *)
+  opset : Opset.t;
+  param_mutation_weight : float;
+      (** relative selection weight of parameter (Cauchy) mutation; the
+          other operators have weight 1 *)
+  crossover_probability : float;  (** probability a child mixes two parents *)
+  max_vc_vars : int;  (** variables in a freshly generated VC *)
+}
+
+val default : t
+val paper : t
+
+val scaled : ?pop_size:int -> ?generations:int -> t -> t
+(** Adjust only the search budget. *)

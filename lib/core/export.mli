@@ -1,0 +1,20 @@
+(** Export fitted models as source code.
+
+    Symbolic performance models are typically consumed by other tools — a
+    sizing optimizer evaluating a C callback, or a behavioural simulation
+    embedding the model as a Verilog-A expression.  This module renders a
+    {!Model.t} as a self-contained function in either language.
+
+    All canonical-form constructs are supported; the generated code guards
+    the same domain errors the evaluator does (division by zero, logs of
+    non-positive values) by emitting [NAN] through guarded helpers in C and
+    relying on the simulator semantics in Verilog-A. *)
+
+val to_c : name:string -> var_names:string array -> Model.t -> string
+(** A C99 function [double <name>(const double *x)] with one comment line
+    per design variable mapping names to indices.  Uses [math.h]
+    functions; compiles standalone with [-lm]. *)
+
+val to_verilog_a : name:string -> var_names:string array -> Model.t -> string
+(** An analog function block [analog function real <name>; input ...] for
+    inclusion in a Verilog-A module. *)

@@ -1,0 +1,100 @@
+module Expr = Caffeine_expr.Expr
+module Linfit = Caffeine_regress.Linfit
+module Stats = Caffeine_util.Stats
+
+type t = {
+  bases : Expr.basis array;
+  intercept : float;
+  weights : float array;
+  train_error : float;
+  complexity : float;
+}
+
+let complexity_of ~wb ~wvc bases =
+  Array.fold_left
+    (fun acc basis ->
+      let vc_cost =
+        List.fold_left
+          (fun sum vc -> sum +. (wvc *. float_of_int (Array.fold_left (fun a e -> a + abs e) 0 vc)))
+          0. (Expr.vcs_of_basis basis)
+      in
+      acc +. wb +. float_of_int (Expr.nnodes_basis basis) +. vc_cost)
+    0. bases
+
+let basis_columns bases inputs =
+  let n = Array.length inputs in
+  let columns =
+    Array.map
+      (fun basis -> Array.init n (fun i -> Expr.eval_basis basis inputs.(i)))
+      bases
+  in
+  if Array.for_all Stats.is_finite_array columns then Some columns else None
+
+let fit ~wb ~wvc bases ~inputs ~targets =
+  match basis_columns bases inputs with
+  | None -> None
+  | Some columns -> (
+      match Linfit.fit ~basis_values:columns ~targets with
+      | fitted ->
+          if
+            Float.is_finite fitted.Linfit.train_error
+            && Float.is_finite fitted.Linfit.intercept
+            && Stats.is_finite_array fitted.Linfit.weights
+          then
+            Some
+              {
+                bases;
+                intercept = fitted.Linfit.intercept;
+                weights = fitted.Linfit.weights;
+                train_error = fitted.Linfit.train_error;
+                complexity = complexity_of ~wb ~wvc bases;
+              }
+          else None
+      | exception Caffeine_linalg.Decomp.Singular -> None)
+
+let predict_point model x =
+  let acc = ref model.intercept in
+  Array.iteri (fun j basis -> acc := !acc +. (model.weights.(j) *. Expr.eval_basis basis x)) model.bases;
+  !acc
+
+let predict model inputs = Array.map (predict_point model) inputs
+
+let error_on model ~inputs ~targets =
+  let predictions = predict model inputs in
+  if Stats.is_finite_array predictions then Stats.normalized_error targets predictions
+  else Float.infinity
+
+let num_bases model = Array.length model.bases
+
+let to_string ~var_names model =
+  let terms =
+    Array.to_list (Array.mapi (fun j basis -> (model.weights.(j), basis)) model.bases)
+  in
+  let visible = List.filter (fun (w, _) -> w <> 0.) terms in
+  Expr.wsum_to_string ~var_names { Expr.bias = model.intercept; terms = visible }
+
+let simplify ~wb ~wvc model =
+  let intercept = ref model.intercept in
+  let kept = ref [] in
+  Array.iteri
+    (fun j basis ->
+      let weight = model.weights.(j) in
+      if weight <> 0. then begin
+        let scale, simplified = Expr.simplify_basis basis in
+        match simplified with
+        | None -> intercept := !intercept +. (weight *. scale)
+        | Some b ->
+            let w = weight *. scale in
+            if w <> 0. then kept := (w, b) :: !kept
+      end)
+    model.bases;
+  let kept = List.rev !kept in
+  let bases = Array.of_list (List.map snd kept) in
+  let weights = Array.of_list (List.map fst kept) in
+  {
+    bases;
+    intercept = !intercept;
+    weights;
+    train_error = model.train_error;
+    complexity = complexity_of ~wb ~wvc bases;
+  }

@@ -1,0 +1,45 @@
+(** A fitted CAFFEINE model: a set of basis-function trees with
+    least-squares-learned linear weights, plus its training error and the
+    complexity measure of eq. (1). *)
+
+module Expr = Caffeine_expr.Expr
+
+type t = {
+  bases : Expr.basis array;
+  intercept : float;
+  weights : float array;  (** same length as [bases] *)
+  train_error : float;  (** normalized error on the fitting data *)
+  complexity : float;
+}
+
+val complexity_of : wb:float -> wvc:float -> Expr.basis array -> float
+(** Eq. (1): [Σ_j (w_b + nnodes(j) + Σ_k w_vc·Σ_d |vc_k(d)|)]. *)
+
+val basis_columns : Expr.basis array -> float array array -> float array array option
+(** Evaluate each basis on each input row; [None] when any value is not
+    finite (the model is invalid on this data). *)
+
+val fit :
+  wb:float -> wvc:float -> Expr.basis array -> inputs:float array array -> targets:float array ->
+  t option
+(** Least-squares weighting of the basis functions; [None] for invalid
+    models.  An empty basis array yields the constant model. *)
+
+val predict_point : t -> float array -> float
+
+val predict : t -> float array array -> float array
+
+val error_on : t -> inputs:float array array -> targets:float array -> float
+(** Normalized error on a dataset; [infinity] when predictions are not
+    finite. *)
+
+val num_bases : t -> int
+
+val to_string : var_names:string array -> t -> string
+(** Paper-style rendering, e.g.
+    ["90.5 + 190.6 * id1 / vsg1 + 22.2 * id2 / vds2"]. *)
+
+val simplify : wb:float -> wvc:float -> t -> t
+(** Algebraic cleanup: fold constant subexpressions into the linear weights
+    and the intercept, drop zero-weight bases, recompute complexity.  The
+    predictions are unchanged (up to rounding). *)

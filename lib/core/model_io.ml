@@ -1,0 +1,71 @@
+module Expr = Caffeine_expr.Expr
+module Infix = Caffeine_expr.Infix
+
+let parse_model ~var_names ~wb ~wvc source =
+  match Infix.parse_wsum ~var_names source with
+  | Error msg -> Error msg
+  | Ok ws ->
+      let bases = Array.of_list (List.map snd ws.Expr.terms) in
+      let weights = Array.of_list (List.map fst ws.Expr.terms) in
+      Ok
+        {
+          Model.bases;
+          intercept = ws.Expr.bias;
+          weights;
+          train_error = Float.nan;
+          complexity = Model.complexity_of ~wb ~wvc bases;
+        }
+
+let save ~path ~var_names models =
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () ->
+      output_string channel "# caffeine models (one expression per line)\n";
+      output_string channel
+        ("vars: " ^ String.concat " " (Array.to_list var_names) ^ "\n");
+      List.iter
+        (fun model ->
+          output_string channel (Model.to_string ~var_names model);
+          output_char channel '\n')
+        models)
+
+let load ~path ~wb ~wvc =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | channel ->
+      Fun.protect
+        ~finally:(fun () -> close_in channel)
+        (fun () ->
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line channel :: !lines
+             done
+           with End_of_file -> ());
+          let lines = List.rev !lines in
+          let var_names = ref [||] in
+          let models = ref [] in
+          let error = ref None in
+          List.iteri
+            (fun lineno line ->
+              if !error = None then begin
+                let trimmed = String.trim line in
+                if trimmed = "" || trimmed.[0] = '#' then ()
+                else if String.length trimmed > 5 && String.sub trimmed 0 5 = "vars:" then
+                  var_names :=
+                    Array.of_list
+                      (List.filter
+                         (fun s -> s <> "")
+                         (String.split_on_char ' '
+                            (String.sub trimmed 5 (String.length trimmed - 5))))
+                else
+                  match parse_model ~var_names:!var_names ~wb ~wvc trimmed with
+                  | Ok model -> models := model :: !models
+                  | Error msg ->
+                      error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
+              end)
+            lines;
+          match !error with
+          | Some msg -> Error msg
+          | None -> Ok (!var_names, List.rev !models))

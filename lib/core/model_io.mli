@@ -1,0 +1,22 @@
+(** Textual save/load of fitted models.
+
+    A model is persisted as the exact expression string the library prints
+    (paper-style infix), so saved files are both machine-readable and
+    directly human-readable.  A models file holds one model per line,
+    optionally preceded by [# comment] lines and a [vars: a b c] header
+    naming the design variables. *)
+
+val parse_model :
+  var_names:string array -> wb:float -> wvc:float -> string -> (Model.t, string) result
+(** Parse one printed expression back into a model.  The training error is
+    not stored in the text and is returned as [nan]; the complexity is
+    recomputed from the parsed structure. *)
+
+val save :
+  path:string -> var_names:string array -> Model.t list -> unit
+(** Write a models file (header + one expression per line). *)
+
+val load :
+  path:string -> wb:float -> wvc:float -> (string array * Model.t list, string) result
+(** Read a models file back: returns the variable names from the [vars:]
+    header and the parsed models, in file order. *)

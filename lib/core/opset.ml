@@ -1,0 +1,72 @@
+module Op = Caffeine_expr.Op
+module Grammar = Caffeine_grammar.Grammar
+
+type t = {
+  unops : Op.unary array;
+  binops : Op.binary array;
+  allow_lte : bool;
+  allow_vc : bool;
+  allow_nonlinear : bool;
+  max_exponent : int;
+  min_exponent : int;
+}
+
+let default =
+  {
+    unops = Array.of_list Op.all_unary;
+    binops = Array.of_list Op.all_binary;
+    allow_lte = true;
+    allow_vc = true;
+    allow_nonlinear = true;
+    max_exponent = 2;
+    min_exponent = -2;
+  }
+
+let rational =
+  {
+    default with
+    unops = [||];
+    binops = [||];
+    allow_lte = false;
+    allow_nonlinear = false;
+  }
+
+let polynomial = { rational with min_exponent = 0 }
+
+let no_trig =
+  {
+    default with
+    unops =
+      Array.of_list
+        (List.filter
+           (fun op -> not (List.mem op [ Op.Sin; Op.Cos; Op.Tan ]))
+           Op.all_unary);
+  }
+
+let of_grammar grammar =
+  let terminal_names = Grammar.terminals grammar in
+  let unops =
+    Array.of_list (List.filter_map Op.unary_of_name terminal_names)
+  in
+  let binops =
+    Array.of_list (List.filter_map Op.binary_of_name terminal_names)
+  in
+  let allow_lte = List.mem "LTE" terminal_names in
+  let allow_vc = List.mem "VC" terminal_names in
+  {
+    default with
+    unops;
+    binops;
+    allow_lte;
+    allow_vc;
+    allow_nonlinear = Array.length unops > 0 || Array.length binops > 0 || allow_lte;
+  }
+
+let exponent_choices t =
+  if t.max_exponent < 1 then invalid_arg "Opset.exponent_choices: max_exponent < 1";
+  if t.min_exponent > t.max_exponent then invalid_arg "Opset.exponent_choices: empty range";
+  let choices = ref [] in
+  for e = t.max_exponent downto t.min_exponent do
+    if e <> 0 then choices := e :: !choices
+  done;
+  Array.of_list !choices

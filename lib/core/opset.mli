@@ -1,0 +1,43 @@
+(** Which canonical-form building blocks the search may use.
+
+    "The designer can turn off any of the rules if they are considered
+    unwanted or unneeded.  For example, one could easily restrict the search
+    to polynomials or rationals, or remove potentially difficult-to-interpret
+    functions such as sin and cos."  An {!t} captures exactly that: the
+    enabled operators plus VC exponent limits.  It can be built from a
+    grammar file via {!of_grammar}. *)
+
+module Op = Caffeine_expr.Op
+
+type t = {
+  unops : Op.unary array;  (** enabled single-input operators *)
+  binops : Op.binary array;  (** enabled double-input operators *)
+  allow_lte : bool;  (** the paper's [lte] conditional *)
+  allow_vc : bool;  (** variable combos (rational monomials) *)
+  allow_nonlinear : bool;  (** any operator factors at all *)
+  max_exponent : int;  (** |VC exponent| limit, >= 1 *)
+  min_exponent : int;  (** smallest allowed exponent (e.g. 0 to forbid
+                           negative powers in the polynomial ablation) *)
+}
+
+val default : t
+(** The full experimental setup of section 6.1: all 13 unary and 4 binary
+    operators, [lte], exponents in [{-2, -1, 1, 2}]. *)
+
+val rational : t
+(** Rational-functions ablation: VCs only, no nonlinear operators. *)
+
+val polynomial : t
+(** Polynomial ablation: VCs with non-negative exponents only. *)
+
+val no_trig : t
+(** {!default} without sin, cos and tan — the "difficult-to-interpret"
+    functions the paper suggests removing. *)
+
+val of_grammar : Caffeine_grammar.Grammar.t -> t
+(** Derive the operator set from a grammar's terminals (1OP/2OP rule names,
+    presence of 'VC' and 'LTE').  Unknown operator terminals are ignored.
+    Exponent limits keep their defaults. *)
+
+val exponent_choices : t -> int array
+(** The nonzero exponents a VC entry may take, e.g. [{-2,-1,1,2}]. *)

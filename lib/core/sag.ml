@@ -1,0 +1,83 @@
+module Expr = Caffeine_expr.Expr
+module Linfit = Caffeine_regress.Linfit
+
+type scored = {
+  model : Model.t;
+  test_error : float;
+}
+
+let simplify_model ~wb ~wvc (model : Model.t) ~inputs ~targets =
+  if Array.length model.Model.bases = 0 then model
+  else
+    match Model.basis_columns model.Model.bases inputs with
+    | None -> model
+    | Some columns ->
+        let chosen = Linfit.forward_select ~basis_values:columns ~targets () in
+        let bases = Array.map (fun i -> model.Model.bases.(i)) chosen in
+        let refit = Model.fit ~wb ~wvc bases ~inputs ~targets in
+        let pruned = match refit with Some m -> m | None -> model in
+        let cleaned = Model.simplify ~wb ~wvc pruned in
+        (* Keep the cleanup only if it did not break the fit. *)
+        (match Model.fit ~wb ~wvc cleaned.Model.bases ~inputs ~targets with
+        | Some refitted -> refitted
+        | None -> pruned)
+
+let nondominated_by key models =
+  List.filter
+    (fun m ->
+      let err_m, cx_m = key m in
+      not
+        (List.exists
+           (fun other ->
+             let err_o, cx_o = key other in
+             err_o <= err_m && cx_o <= cx_m && (err_o < err_m || cx_o < cx_m))
+           models))
+    models
+
+let dedup_by_key key models =
+  List.rev
+    (List.fold_left
+       (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
+       [] models)
+
+let process_front ~wb ~wvc front ~inputs ~targets =
+  let simplified = List.map (fun m -> simplify_model ~wb ~wvc m ~inputs ~targets) front in
+  let key (m : Model.t) = (m.Model.train_error, m.Model.complexity) in
+  simplified
+  |> nondominated_by key
+  |> dedup_by_key key
+  |> List.sort (fun a b -> compare a.Model.complexity b.Model.complexity)
+
+let test_tradeoff front ~inputs ~targets =
+  let scored =
+    List.map (fun m -> { model = m; test_error = Model.error_on m ~inputs ~targets }) front
+  in
+  let usable = List.filter (fun s -> Float.is_finite s.test_error) scored in
+  let key s = (s.test_error, s.model.Model.complexity) in
+  usable
+  |> nondominated_by key
+  |> dedup_by_key key
+  |> List.sort (fun a b -> compare a.model.Model.complexity b.model.Model.complexity)
+
+let best_within scored ~train_cap ~test_cap =
+  List.find_opt
+    (fun s -> s.model.Model.train_error <= train_cap && s.test_error <= test_cap)
+    scored
+
+let at_train_error scored ~train_cap =
+  let within = List.filter (fun s -> s.model.Model.train_error <= train_cap) scored in
+  match within with
+  | first :: _ -> Some first
+  | [] ->
+      (* Nothing meets the cap: fall back to the closest training error. *)
+      List.fold_left
+        (fun best s ->
+          match best with
+          | None -> Some s
+          | Some b ->
+              if
+                Float.abs (s.model.Model.train_error -. train_cap)
+                < Float.abs (b.model.Model.train_error -. train_cap)
+              then Some s
+              else best)
+        None scored

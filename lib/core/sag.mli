@@ -1,0 +1,52 @@
+(** Simplification after generation (paper section 5.1) and final tradeoff
+    filtering.
+
+    After the evolutionary run, each model on the (train error, complexity)
+    front is pruned by PRESS-guided forward regression — basis functions
+    that harm leave-one-out predictive ability are dropped and the linear
+    weights refit — then the set is evaluated on testing data and filtered
+    down to the models on the (test error, complexity) tradeoff. *)
+
+type scored = {
+  model : Model.t;
+  test_error : float;
+}
+
+val simplify_model :
+  wb:float ->
+  wvc:float ->
+  Model.t ->
+  inputs:float array array ->
+  targets:float array ->
+  Model.t
+(** PRESS forward selection over the model's own basis functions, refit,
+    then algebraic cleanup ({!Model.simplify}).  The result never has more
+    bases than the input model. *)
+
+val process_front :
+  wb:float ->
+  wvc:float ->
+  Model.t list ->
+  inputs:float array array ->
+  targets:float array ->
+  Model.t list
+(** Apply {!simplify_model} to every front member and re-extract the
+    nondominated (train error, complexity) set, sorted by complexity. *)
+
+val test_tradeoff :
+  Model.t list ->
+  inputs:float array array ->
+  targets:float array ->
+  scored list
+(** Score each model on testing data and keep only models on the
+    (test error, complexity) tradeoff, sorted by increasing complexity. *)
+
+val best_within :
+  scored list -> train_cap:float -> test_cap:float -> scored option
+(** The least complex model with train and test errors both at or below the
+    caps (the paper's "all models with <10% error" query). *)
+
+val at_train_error : scored list -> train_cap:float -> scored option
+(** The model whose training error best matches (is at most, else closest
+    to) [train_cap] — used to compare against the posynomial baseline at
+    matched training error. *)

@@ -1,0 +1,189 @@
+module Rng = Caffeine_util.Rng
+module Stats = Caffeine_util.Stats
+module Expr = Caffeine_expr.Expr
+module Linfit = Caffeine_regress.Linfit
+module Nsga2 = Caffeine_evo.Nsga2
+
+type outcome = {
+  front : Model.t list;
+  population_size : int;
+  generations_run : int;
+}
+
+let log_src = Logs.Src.create "caffeine.search" ~doc:"CAFFEINE evolutionary search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Memoized per-basis evaluation columns.  Keys are whole basis trees;
+   structural equality and the polymorphic hash are exactly what we want
+   (weights included: a mutated weight is a different column). *)
+module Basis_cache = Hashtbl.Make (struct
+  type t = Expr.basis
+
+  let equal = Expr.equal_basis
+  let hash = Hashtbl.hash
+end)
+
+let column_of cache inputs basis =
+  match Basis_cache.find_opt cache basis with
+  | Some column -> column
+  | None ->
+      let column = Array.map (fun x -> Expr.eval_basis basis x) inputs in
+      Basis_cache.add cache basis column;
+      column
+
+let fit_cached cache ~wb ~wvc bases ~inputs ~targets =
+  let columns = Array.map (column_of cache inputs) bases in
+  if not (Array.for_all Stats.is_finite_array columns) then None
+  else
+    match Linfit.fit ~basis_values:columns ~targets with
+    | fitted ->
+        if
+          Float.is_finite fitted.Linfit.train_error
+          && Float.is_finite fitted.Linfit.intercept
+          && Stats.is_finite_array fitted.Linfit.weights
+        then
+          Some
+            {
+              Model.bases;
+              intercept = fitted.Linfit.intercept;
+              weights = fitted.Linfit.weights;
+              train_error = fitted.Linfit.train_error;
+              complexity = Model.complexity_of ~wb ~wvc bases;
+            }
+        else None
+    | exception Caffeine_linalg.Decomp.Singular -> None
+
+let validate_data ~inputs ~targets =
+  let n = Array.length inputs in
+  if n < 2 then invalid_arg "Search.run: need at least 2 samples";
+  if Array.length targets <> n then invalid_arg "Search.run: inputs/targets length mismatch";
+  let dims = Array.length inputs.(0) in
+  if dims = 0 then invalid_arg "Search.run: zero-width design points";
+  Array.iter
+    (fun row -> if Array.length row <> dims then invalid_arg "Search.run: ragged inputs")
+    inputs;
+  dims
+
+let run ?(seed = 17) ?on_generation config ~inputs ~targets =
+  let dims = validate_data ~inputs ~targets in
+  let rng = Rng.create ~seed () in
+  let cache = Basis_cache.create 4096 in
+  let wb = config.Config.wb and wvc = config.Config.wvc in
+  let objectives individual =
+    match fit_cached cache ~wb ~wvc individual ~inputs ~targets with
+    | Some model -> [| model.Model.train_error; model.Model.complexity |]
+    | None -> [| Float.infinity; Model.complexity_of ~wb ~wvc individual |]
+  in
+  let notify gen population =
+    let best_error =
+      Array.fold_left
+        (fun acc (ind : Vary.individual Nsga2.individual) -> Float.min acc ind.Nsga2.objectives.(0))
+        Float.infinity population
+    in
+    let front_size = Array.length (Nsga2.pareto_front population) in
+    Log.debug (fun m ->
+        m "generation %d: best train error %.4f, front size %d" gen best_error front_size);
+    match on_generation with
+    | None -> ()
+    | Some f -> f gen ~best_error ~front_size
+  in
+  let population =
+    Nsga2.run ~on_generation:notify ~rng
+      {
+        Nsga2.pop_size = config.Config.pop_size;
+        generations = config.Config.generations;
+        init = (fun rng -> Gen.random_individual rng config ~dims);
+        objectives;
+        vary = (fun rng p1 p2 -> Vary.vary rng config ~dims p1 p2);
+      }
+  in
+  (* Refit the rank-0 genomes into models, always include the constant
+     model, and keep an exact nondominated set sorted by complexity. *)
+  let front_genomes = Nsga2.pareto_front population in
+  let candidate_models =
+    Array.to_list front_genomes
+    |> List.filter_map (fun (ind : Vary.individual Nsga2.individual) ->
+           fit_cached cache ~wb ~wvc ind.Nsga2.genome ~inputs ~targets)
+  in
+  let constant =
+    let fitted = Linfit.fit_constant ~targets in
+    {
+      Model.bases = [||];
+      intercept = fitted.Linfit.intercept;
+      weights = [||];
+      train_error = fitted.Linfit.train_error;
+      complexity = 0.;
+    }
+  in
+  let dominated (a : Model.t) (b : Model.t) =
+    (* b dominates a *)
+    b.Model.train_error <= a.Model.train_error
+    && b.Model.complexity <= a.Model.complexity
+    && (b.Model.train_error < a.Model.train_error || b.Model.complexity < a.Model.complexity)
+  in
+  let all = constant :: candidate_models in
+  let nondominated =
+    List.filter (fun m -> not (List.exists (fun other -> dominated m other) all)) all
+  in
+  (* Dedup identical (error, complexity) pairs, keep the first. *)
+  let deduped =
+    List.fold_left
+      (fun acc m ->
+        if
+          List.exists
+            (fun kept ->
+              kept.Model.train_error = m.Model.train_error
+              && kept.Model.complexity = m.Model.complexity)
+            acc
+        then acc
+        else m :: acc)
+      [] nondominated
+    |> List.rev
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.Model.complexity b.Model.complexity) deduped
+  in
+  {
+    front = sorted;
+    population_size = config.Config.pop_size;
+    generations_run = config.Config.generations;
+  }
+
+let dedup_and_sort models =
+  let dominated (a : Model.t) (b : Model.t) =
+    b.Model.train_error <= a.Model.train_error
+    && b.Model.complexity <= a.Model.complexity
+    && (b.Model.train_error < a.Model.train_error || b.Model.complexity < a.Model.complexity)
+  in
+  let nondominated =
+    List.filter (fun m -> not (List.exists (fun other -> dominated m other) models)) models
+  in
+  let deduped =
+    List.fold_left
+      (fun acc (m : Model.t) ->
+        if
+          List.exists
+            (fun (kept : Model.t) ->
+              kept.Model.train_error = m.Model.train_error
+              && kept.Model.complexity = m.Model.complexity)
+            acc
+        then acc
+        else m :: acc)
+      [] nondominated
+    |> List.rev
+  in
+  List.sort (fun (a : Model.t) b -> compare a.Model.complexity b.Model.complexity) deduped
+
+let merge_fronts fronts = dedup_and_sort (List.concat fronts)
+
+let run_multi ?(seed = 17) ~restarts config ~inputs ~targets =
+  if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
+  let outcomes =
+    List.init restarts (fun k -> run ~seed:(seed + k) config ~inputs ~targets)
+  in
+  {
+    front = merge_fronts (List.map (fun o -> o.front) outcomes);
+    population_size = config.Config.pop_size;
+    generations_run = config.Config.generations * restarts;
+  }

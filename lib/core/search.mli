@@ -1,0 +1,45 @@
+(** The CAFFEINE search loop: NSGA-II over (training error, complexity) with
+    grammar-respecting initialization and variation.
+
+    Basis-function evaluations are memoized per structural tree, so bases
+    shared between individuals (the common case under set crossover) are
+    evaluated on the training data only once. *)
+
+module Expr = Caffeine_expr.Expr
+
+type outcome = {
+  front : Model.t list;
+      (** the nondominated (train error, complexity) models, sorted by
+          increasing complexity *)
+  population_size : int;
+  generations_run : int;
+}
+
+val run :
+  ?seed:int ->
+  ?on_generation:(int -> best_error:float -> front_size:int -> unit) ->
+  Config.t ->
+  inputs:float array array ->
+  targets:float array ->
+  outcome
+(** Evolve symbolic models of [targets] as functions of [inputs] (row-major
+    design points).  Requires at least 2 samples and width-consistent rows.
+    The returned front always contains the constant model as its
+    zero-complexity end.  Progress is logged on the ["caffeine.search"]
+    {!Logs} source at debug level. *)
+
+val run_multi :
+  ?seed:int ->
+  restarts:int ->
+  Config.t ->
+  inputs:float array array ->
+  targets:float array ->
+  outcome
+(** Independent restarts (seeds [seed], [seed+1], ...) merged into a single
+    nondominated front — the stochastic-search hedge the paper leaves to one
+    run per goal ("the aim was proof-of-concept, not efficiency").
+    Requires [restarts >= 1]. *)
+
+val merge_fronts : Model.t list list -> Model.t list
+(** The nondominated, deduplicated union of several fronts, sorted by
+    complexity. *)

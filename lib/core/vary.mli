@@ -1,0 +1,63 @@
+(** Evolutionary operators on CAFFEINE individuals (sets of basis-function
+    trees).
+
+    These implement the paper's operator inventory: basis-function set
+    crossover (take >0 bases from each of two parents), deleting / adding /
+    copying basis functions, grammar-respecting subtree crossover (only
+    same-nonterminal subtrees are exchanged — here, nested REPVC bases and
+    inner weighted sums), zero-mean Cauchy mutation on weights (5x more
+    likely than the rest), VC one-point crossover and exponent perturbation,
+    and same-arity operator swaps.  Every operator returns a structurally
+    valid individual within the configured bounds. *)
+
+module Expr = Caffeine_expr.Expr
+
+type individual = Expr.basis array
+
+val vary :
+  Caffeine_util.Rng.t -> Config.t -> dims:int -> individual -> individual -> individual
+(** Produce a child from two parents: with the configured probability the
+    basis-function sets are first mixed, then a randomly chosen mutation is
+    applied (parameter mutation weighted by [param_mutation_weight]). *)
+
+(** The individual pieces are exposed for unit testing. *)
+
+val crossover_bases :
+  Caffeine_util.Rng.t -> max_bases:int -> individual -> individual -> individual
+(** ">0 basis functions from each of 2 parents", truncated to [max_bases]. *)
+
+val mutate_weight : Caffeine_util.Rng.t -> individual -> individual
+(** Cauchy-perturb one randomly chosen inner weight (no-op when the
+    individual has no inner weights). *)
+
+val mutate_vc : Caffeine_util.Rng.t -> Opset.t -> individual -> individual
+(** Add or subtract 1 from one exponent of one VC, keeping it within the
+    opset's exponent range and never producing an all-zero VC. *)
+
+val crossover_vc : Caffeine_util.Rng.t -> individual -> individual -> individual
+(** One-point crossover between a VC of the child and a VC of the donor. *)
+
+val swap_operator : Caffeine_util.Rng.t -> Opset.t -> individual -> individual
+(** Replace one operator with another of the same arity. *)
+
+val add_basis : Caffeine_util.Rng.t -> Config.t -> dims:int -> individual -> individual
+(** Append a freshly generated basis function (no-op at [max_bases]). *)
+
+val delete_basis : Caffeine_util.Rng.t -> individual -> individual
+(** Remove one random basis function (no-op when only one remains). *)
+
+val copy_basis_from : Caffeine_util.Rng.t -> max_bases:int -> individual -> individual -> individual
+(** Copy a (possibly nested) subtree basis of the donor as a new top-level
+    basis function of the child. *)
+
+val subtree_crossover : Caffeine_util.Rng.t -> individual -> individual -> individual
+(** Replace one nested basis of the child by a nested basis of the donor
+    (same grammar nonterminal, REPVC). *)
+
+val randomize_subtree :
+  Caffeine_util.Rng.t -> Config.t -> dims:int -> individual -> individual
+(** Replace one inner weighted sum with a freshly generated one. *)
+
+val nested_bases : individual -> Expr.basis list
+(** All bases appearing anywhere in the individual (top-level and nested);
+    exposed for tests. *)

@@ -1,0 +1,28 @@
+module Rng = Caffeine_util.Rng
+
+type t = float
+
+let bound = 10.
+
+let of_raw raw = Float.max (-2. *. bound) (Float.min (2. *. bound) raw)
+
+let raw t = t
+
+let value t = if t = 0. then 0. else Float.of_int (compare t 0.) *. (10. ** (Float.abs t -. bound))
+
+let of_value v =
+  if v = 0. then 0.
+  else begin
+    let magnitude = Float.abs v in
+    let raw = log10 magnitude +. bound in
+    let clamped = Float.max 0. (Float.min (2. *. bound) raw) in
+    if v > 0. then clamped else -.clamped
+  end
+
+let random rng = Rng.range rng (-2. *. bound) (2. *. bound)
+
+let mutate ?(scale = 1.0) rng t = of_raw (t +. Rng.cauchy ~scale rng)
+
+let random_value rng = value (random rng)
+
+let mutate_value ?scale rng v = value (mutate ?scale rng (of_value v))

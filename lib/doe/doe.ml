@@ -1,0 +1,122 @@
+type design = int array array
+
+let full_factorial ~levels ~factors =
+  if levels < 2 then invalid_arg "Doe.full_factorial: need at least 2 levels";
+  if factors < 1 then invalid_arg "Doe.full_factorial: need at least 1 factor";
+  let runs =
+    let rec power acc i = if i = 0 then acc else power (acc * levels) (i - 1) in
+    power 1 factors
+  in
+  if runs > 10_000_000 then invalid_arg "Doe.full_factorial: design too large";
+  Array.init runs (fun r ->
+      let digits = Array.make factors 0 in
+      let rest = ref r in
+      for f = factors - 1 downto 0 do
+        digits.(f) <- !rest mod levels;
+        rest := !rest / levels
+      done;
+      digits)
+
+let pow3 k =
+  let rec power acc i = if i = 0 then acc else power (acc * 3) (i - 1) in
+  power 1 k
+
+let max_oa_factors ~runs_exponent =
+  if runs_exponent < 1 then invalid_arg "Doe.max_oa_factors: exponent must be positive";
+  (pow3 runs_exponent - 1) / 2
+
+(* Column generators: all nonzero vectors of GF(3)^k whose first nonzero
+   coordinate is 1 (one representative per projective point). *)
+let column_generators k =
+  let total = pow3 k in
+  let vectors = ref [] in
+  for code = 1 to total - 1 do
+    let digits = Array.make k 0 in
+    let rest = ref code in
+    for i = k - 1 downto 0 do
+      digits.(i) <- !rest mod 3;
+      rest := !rest / 3
+    done;
+    let rec first_nonzero i = if digits.(i) <> 0 then digits.(i) else first_nonzero (i + 1) in
+    if first_nonzero 0 = 1 then vectors := digits :: !vectors
+  done;
+  Array.of_list (List.rev !vectors)
+
+let orthogonal_array ~runs_exponent ~factors =
+  if factors < 1 then invalid_arg "Doe.orthogonal_array: need at least 1 factor";
+  let available = max_oa_factors ~runs_exponent in
+  if factors > available then
+    invalid_arg
+      (Printf.sprintf "Doe.orthogonal_array: %d factors exceed the %d available columns" factors
+         available);
+  let k = runs_exponent in
+  let generators = column_generators k in
+  let runs = pow3 k in
+  Array.init runs (fun r ->
+      let u = Array.make k 0 in
+      let rest = ref r in
+      for i = k - 1 downto 0 do
+        u.(i) <- !rest mod 3;
+        rest := !rest / 3
+      done;
+      Array.init factors (fun f ->
+          let g = generators.(f) in
+          let acc = ref 0 in
+          for i = 0 to k - 1 do
+            acc := !acc + (u.(i) * g.(i))
+          done;
+          !acc mod 3))
+
+let smallest_runs_exponent ~factors =
+  let rec search k = if max_oa_factors ~runs_exponent:k >= factors then k else search (k + 1) in
+  search 1
+
+let check_design_width name center design =
+  Array.iter
+    (fun run ->
+      if Array.length run <> Array.length center then invalid_arg (name ^ ": width mismatch"))
+    design
+
+let scale_levels ~center ~dx design =
+  check_design_width "Doe.scale_levels" center design;
+  let level_value c = function
+    | 0 -> c *. (1. -. dx)
+    | 1 -> c
+    | 2 -> c *. (1. +. dx)
+    | l -> invalid_arg (Printf.sprintf "Doe.scale_levels: level %d outside 3-level design" l)
+  in
+  Array.map (fun run -> Array.mapi (fun i l -> level_value center.(i) l) run) design
+
+let scale_levels_additive ~center ~delta design =
+  check_design_width "Doe.scale_levels_additive" center design;
+  if Array.length delta <> Array.length center then
+    invalid_arg "Doe.scale_levels_additive: delta width mismatch";
+  let level_value c d = function
+    | 0 -> c -. d
+    | 1 -> c
+    | 2 -> c +. d
+    | l ->
+        invalid_arg (Printf.sprintf "Doe.scale_levels_additive: level %d outside 3-level design" l)
+  in
+  Array.map (fun run -> Array.mapi (fun i l -> level_value center.(i) delta.(i) l) run) design
+
+let latin_hypercube rng ~samples ~dims =
+  if samples < 1 || dims < 1 then invalid_arg "Doe.latin_hypercube: empty design";
+  let points = Array.make_matrix samples dims 0. in
+  for d = 0 to dims - 1 do
+    let order = Caffeine_util.Rng.permutation rng samples in
+    for s = 0 to samples - 1 do
+      let stratum = float_of_int order.(s) in
+      points.(s).(d) <- (stratum +. Caffeine_util.Rng.uniform rng) /. float_of_int samples
+    done
+  done;
+  points
+
+let map_unit_to_box ~lo ~hi points =
+  let dims = Array.length lo in
+  if Array.length hi <> dims then invalid_arg "Doe.map_unit_to_box: bound width mismatch";
+  Array.map
+    (fun p ->
+      if Array.length p <> dims then invalid_arg "Doe.map_unit_to_box: point width mismatch";
+      Array.mapi (fun i x -> lo.(i) +. (x *. (hi.(i) -. lo.(i)))) p)
+    points

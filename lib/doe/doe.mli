@@ -1,0 +1,46 @@
+(** Design-of-experiments sampling plans.
+
+    The paper samples design points with "full orthogonal-hypercube DOE"
+    around a nominal design: each of the 13 design variables takes three
+    levels (center, center·(1−dx), center·(1+dx)) and 243 = 3⁵ runs are
+    arranged as a strength-2 orthogonal array.  This module provides that
+    plan plus full factorial and Latin hypercube designs. *)
+
+type design = int array array
+(** [runs x factors] level matrix; every entry is a level index in
+    [\[0, levels)]. *)
+
+val full_factorial : levels:int -> factors:int -> design
+(** Every combination of levels; [levels ** factors] runs.  Raises
+    [Invalid_argument] when the run count would exceed [10^7]. *)
+
+val max_oa_factors : runs_exponent:int -> int
+(** Number of 3-level columns available from a [3^k]-run linear orthogonal
+    array: [(3^k - 1) / 2]. *)
+
+val orthogonal_array : runs_exponent:int -> factors:int -> design
+(** [orthogonal_array ~runs_exponent:k ~factors:d] is a strength-2 orthogonal
+    array with [3^k] runs and [d] 3-level columns, built from the GF(3)
+    linear code whose column generators are the distinct nonzero vectors of
+    GF(3)^k up to scalar multiples.  Every pair of columns contains each of
+    the 9 level pairs equally often.  Raises [Invalid_argument] when
+    [d > max_oa_factors ~runs_exponent:k]. *)
+
+val smallest_runs_exponent : factors:int -> int
+(** Smallest [k] such that a [3^k]-run array supports [factors] columns. *)
+
+val scale_levels : center:float array -> dx:float -> design -> float array array
+(** Map a 3-level design to real design points: level [0 -> c·(1-dx)],
+    [1 -> c], [2 -> c·(1+dx)] per variable, the paper's "scaled dx"
+    hypercube. *)
+
+val scale_levels_additive : center:float array -> delta:float array -> design -> float array array
+(** Additive variant: level [0 -> c-δ], [1 -> c], [2 -> c+δ]. *)
+
+val latin_hypercube : Caffeine_util.Rng.t -> samples:int -> dims:int -> float array array
+(** Latin hypercube sample of the unit cube [\[0,1\]^dims]: one point per
+    stratum per dimension, uniformly jittered within strata. *)
+
+val map_unit_to_box :
+  lo:float array -> hi:float array -> float array array -> float array array
+(** Affinely rescale unit-cube points into the box [\[lo, hi\]]. *)

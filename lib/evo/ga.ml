@@ -1,0 +1,59 @@
+module Rng = Caffeine_util.Rng
+
+type 'a individual = {
+  genome : 'a;
+  fitness : float;
+}
+
+type 'a config = {
+  pop_size : int;
+  generations : int;
+  elite : int;
+  tournament : int;
+  init : Rng.t -> 'a;
+  fitness : 'a -> float;
+  vary : Rng.t -> 'a -> 'a -> 'a;
+}
+
+let sanitize fitness = if Float.is_nan fitness then Float.infinity else fitness
+
+let sort_population (population : _ individual array) =
+  Array.sort (fun (a : _ individual) b -> compare a.fitness b.fitness) population;
+  population
+
+let run ?on_generation ~rng config =
+  if config.pop_size < 2 then invalid_arg "Ga.run: pop_size must be at least 2";
+  if config.elite < 0 || config.elite >= config.pop_size then
+    invalid_arg "Ga.run: elite must be in [0, pop_size)";
+  if config.tournament < 1 then invalid_arg "Ga.run: tournament must be at least 1";
+  let evaluate genome = { genome; fitness = sanitize (config.fitness genome) } in
+  let population =
+    ref (sort_population (Array.init config.pop_size (fun _ -> evaluate (config.init rng))))
+  in
+  (match on_generation with Some f -> f 0 ~best:!population.(0) | None -> ());
+  for gen = 1 to config.generations do
+    let current = !population in
+    let select () =
+      let champion = ref current.(Rng.int rng config.pop_size) in
+      for _ = 2 to config.tournament do
+        let challenger = current.(Rng.int rng config.pop_size) in
+        if challenger.fitness < !champion.fitness then champion := challenger
+      done;
+      !champion
+    in
+    let next =
+      Array.init config.pop_size (fun i ->
+          if i < config.elite then current.(i)
+          else begin
+            let p1 = select () and p2 = select () in
+            evaluate (config.vary rng p1.genome p2.genome)
+          end)
+    in
+    population := sort_population next;
+    match on_generation with Some f -> f gen ~best:!population.(0) | None -> ()
+  done;
+  !population
+
+let best population =
+  if Array.length population = 0 then invalid_arg "Ga.best: empty population";
+  population.(0)

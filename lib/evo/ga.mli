@@ -1,0 +1,34 @@
+(** A plain single-objective generational GA with elitism.
+
+    Used as the ablation counterpart to {!Nsga2}: instead of evolving a
+    Pareto set over (error, complexity), a scalarized fitness
+    [error + λ·complexity] is minimized.  Comparing the two quantifies what
+    the paper's multi-objective formulation buys. *)
+
+type 'a individual = {
+  genome : 'a;
+  fitness : float;  (** minimized; non-finite values are treated as worst *)
+}
+
+type 'a config = {
+  pop_size : int;
+  generations : int;
+  elite : int;  (** individuals copied unchanged into the next generation *)
+  tournament : int;  (** tournament size for parent selection *)
+  init : Caffeine_util.Rng.t -> 'a;
+  fitness : 'a -> float;
+  vary : Caffeine_util.Rng.t -> 'a -> 'a -> 'a;
+}
+
+val run :
+  ?on_generation:(int -> best:'a individual -> unit) ->
+  rng:Caffeine_util.Rng.t ->
+  'a config ->
+  'a individual array
+(** Returns the final population sorted by fitness (best first).  The best
+    fitness is monotonically non-increasing across generations (elitism).
+    Raises [Invalid_argument] for inconsistent sizes
+    ([pop_size < 2], [elite >= pop_size], [tournament < 1]). *)
+
+val best : 'a individual array -> 'a individual
+(** First element; raises [Invalid_argument] on an empty population. *)

@@ -1,0 +1,161 @@
+module Rng = Caffeine_util.Rng
+
+type 'a individual = {
+  genome : 'a;
+  objectives : float array;
+  rank : int;
+  crowding : float;
+}
+
+let sanitize objectives =
+  Array.map (fun v -> if Float.is_nan v then Float.infinity else v) objectives
+
+let dominates a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let no_worse = ref true and strictly_better = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false else if a.(i) < b.(i) then strictly_better := true
+  done;
+  !no_worse && !strictly_better
+
+let fast_nondominated_sort objectives =
+  let n = Array.length objectives in
+  let dominated_by = Array.make n [] in
+  let domination_count = Array.make n 0 in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      if dominates objectives.(p) objectives.(q) then begin
+        dominated_by.(p) <- q :: dominated_by.(p);
+        domination_count.(q) <- domination_count.(q) + 1
+      end
+      else if dominates objectives.(q) objectives.(p) then begin
+        dominated_by.(q) <- p :: dominated_by.(q);
+        domination_count.(p) <- domination_count.(p) + 1
+      end
+    done
+  done;
+  let fronts = ref [] in
+  let current = ref [] in
+  for p = 0 to n - 1 do
+    if domination_count.(p) = 0 then current := p :: !current
+  done;
+  while !current <> [] do
+    fronts := List.rev !current :: !fronts;
+    let next = ref [] in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            domination_count.(q) <- domination_count.(q) - 1;
+            if domination_count.(q) = 0 then next := q :: !next)
+          dominated_by.(p))
+      !current;
+    current := List.rev !next
+  done;
+  Array.of_list (List.rev !fronts)
+
+let crowding_distances objectives front =
+  match front with
+  | [] -> []
+  | [ only ] -> [ (only, Float.infinity) ]
+  | _ :: _ :: _ ->
+      let members = Array.of_list front in
+      let count = Array.length members in
+      let distance = Hashtbl.create count in
+      Array.iter (fun i -> Hashtbl.replace distance i 0.) members;
+      let num_objectives = Array.length objectives.(members.(0)) in
+      for m = 0 to num_objectives - 1 do
+        let sorted = Array.copy members in
+        Array.sort (fun a b -> compare objectives.(a).(m) objectives.(b).(m)) sorted;
+        let lo = objectives.(sorted.(0)).(m) in
+        let hi = objectives.(sorted.(count - 1)).(m) in
+        Hashtbl.replace distance sorted.(0) Float.infinity;
+        Hashtbl.replace distance sorted.(count - 1) Float.infinity;
+        let span = hi -. lo in
+        if span > 0. && Float.is_finite span then
+          for k = 1 to count - 2 do
+            let gap =
+              (objectives.(sorted.(k + 1)).(m) -. objectives.(sorted.(k - 1)).(m)) /. span
+            in
+            let previous = Hashtbl.find distance sorted.(k) in
+            Hashtbl.replace distance sorted.(k) (previous +. gap)
+          done
+      done;
+      List.map (fun i -> (i, Hashtbl.find distance i)) front
+
+let pareto_front population = Array.of_list (List.filter (fun ind -> ind.rank = 0) (Array.to_list population))
+
+type 'a config = {
+  pop_size : int;
+  generations : int;
+  init : Rng.t -> 'a;
+  objectives : 'a -> float array;
+  vary : Rng.t -> 'a -> 'a -> 'a;
+}
+
+(* Rank the raw (genome, objectives) pairs and keep the best [target] of
+   them, truncating the split front by crowding distance. *)
+let environmental_selection genomes objectives target =
+  let fronts = fast_nondominated_sort objectives in
+  let selected = ref [] in
+  let remaining = ref target in
+  Array.iteri
+    (fun rank front ->
+      if !remaining > 0 then begin
+        let scored = crowding_distances objectives front in
+        let scored =
+          if List.length scored <= !remaining then scored
+          else begin
+            let sorted =
+              List.sort (fun (_, c1) (_, c2) -> compare c2 c1) scored
+            in
+            List.filteri (fun k _ -> k < !remaining) sorted
+          end
+        in
+        List.iter
+          (fun (i, crowding) ->
+            selected :=
+              { genome = genomes.(i); objectives = objectives.(i); rank; crowding } :: !selected)
+          scored;
+        remaining := !remaining - List.length scored
+      end)
+    fronts;
+  let population = Array.of_list (List.rev !selected) in
+  Array.sort
+    (fun a b -> if a.rank <> b.rank then compare a.rank b.rank else compare b.crowding a.crowding)
+    population;
+  population
+
+let binary_tournament rng population =
+  let pick () = population.(Rng.int rng (Array.length population)) in
+  let a = pick () and b = pick () in
+  if a.rank < b.rank then a
+  else if b.rank < a.rank then b
+  else if a.crowding > b.crowding then a
+  else b
+
+let run ?on_generation ~rng config =
+  if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
+  let evaluate genome = sanitize (config.objectives genome) in
+  let genomes = Array.init config.pop_size (fun _ -> config.init rng) in
+  let objectives = Array.map evaluate genomes in
+  let population = ref (environmental_selection genomes objectives config.pop_size) in
+  (match on_generation with Some f -> f 0 !population | None -> ());
+  for gen = 1 to config.generations do
+    let parents = !population in
+    let children =
+      Array.init config.pop_size (fun _ ->
+          let p1 = binary_tournament rng parents in
+          let p2 = binary_tournament rng parents in
+          config.vary rng p1.genome p2.genome)
+    in
+    let child_objectives = Array.map evaluate children in
+    let merged_genomes = Array.append (Array.map (fun ind -> ind.genome) parents) children in
+    let merged_objectives =
+      Array.append (Array.map (fun (ind : _ individual) -> ind.objectives) parents) child_objectives
+    in
+    population := environmental_selection merged_genomes merged_objectives config.pop_size;
+    match on_generation with Some f -> f gen !population | None -> ()
+  done;
+  !population

@@ -1,0 +1,49 @@
+(** NSGA-II, the fast elitist non-dominated sorting genetic algorithm of Deb
+    et al. (PPSN VI, 2000), generic over the genome type.
+
+    All objectives are minimized.  Non-finite objective values are treated as
+    [infinity] (worst), so invalid genomes are dominated away rather than
+    crashing the sort. *)
+
+type 'a individual = {
+  genome : 'a;
+  objectives : float array;  (** sanitized: nan replaced by [infinity] *)
+  rank : int;  (** 0 = Pareto-optimal within the population *)
+  crowding : float;  (** crowding distance within its front *)
+}
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse in every objective and strictly better
+    in at least one. *)
+
+val fast_nondominated_sort : float array array -> int list array
+(** Partition indices into fronts; element 0 is the non-dominated front. *)
+
+val crowding_distances : float array array -> int list -> (int * float) list
+(** Crowding distance of each member of one front (boundary points get
+    [infinity]). *)
+
+val pareto_front : 'a individual array -> 'a individual array
+(** Members with [rank = 0]. *)
+
+type 'a config = {
+  pop_size : int;
+  generations : int;
+  init : Caffeine_util.Rng.t -> 'a;
+  objectives : 'a -> float array;
+  vary : Caffeine_util.Rng.t -> 'a -> 'a -> 'a;
+      (** Produce one child from two (tournament-selected) parents; expected
+          to perform crossover and/or mutation internally. *)
+}
+
+val run :
+  ?on_generation:(int -> 'a individual array -> unit) ->
+  rng:Caffeine_util.Rng.t ->
+  'a config ->
+  'a individual array
+(** Full NSGA-II loop: initialize, then per generation create [pop_size]
+    children by binary tournament on (rank, crowding), merge parents and
+    children, and keep the best [pop_size] by non-dominated rank with
+    crowding-distance truncation of the split front.  Returns the final
+    population sorted by (rank, crowding desc).  [on_generation] observes
+    the population after each environmental selection. *)

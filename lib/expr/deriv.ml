@@ -1,0 +1,131 @@
+type dual = { value : float; deriv : float }
+
+let constant v = { value = v; deriv = 0. }
+let variable v = { value = v; deriv = 1. }
+
+let add a b = { value = a.value +. b.value; deriv = a.deriv +. b.deriv }
+
+let mul a b =
+  { value = a.value *. b.value; deriv = (a.deriv *. b.value) +. (a.value *. b.deriv) }
+
+let scale k a = { value = k *. a.value; deriv = k *. a.deriv }
+
+let divide a b =
+  if b.value = 0. then { value = Float.nan; deriv = Float.nan }
+  else
+    {
+      value = a.value /. b.value;
+      deriv = ((a.deriv *. b.value) -. (a.value *. b.deriv)) /. (b.value *. b.value);
+    }
+
+let apply_unary op x =
+  let v = x.value and dv = x.deriv in
+  match op with
+  | Op.Sqrt ->
+      if v < 0. then { value = Float.nan; deriv = Float.nan }
+      else if v = 0. then { value = 0.; deriv = if dv = 0. then 0. else Float.infinity }
+      else
+        let root = sqrt v in
+        { value = root; deriv = dv /. (2. *. root) }
+  | Op.Log_e ->
+      if v <= 0. then { value = Float.nan; deriv = Float.nan }
+      else { value = log v; deriv = dv /. v }
+  | Op.Log_10 ->
+      if v <= 0. then { value = Float.nan; deriv = Float.nan }
+      else { value = log10 v; deriv = dv /. (v *. log 10.) }
+  | Op.Inv ->
+      if v = 0. then { value = Float.nan; deriv = Float.nan }
+      else { value = 1. /. v; deriv = -.dv /. (v *. v) }
+  | Op.Abs -> { value = Float.abs v; deriv = (if v < 0. then -.dv else dv) }
+  | Op.Square -> { value = v *. v; deriv = 2. *. v *. dv }
+  | Op.Sin -> { value = sin v; deriv = dv *. cos v }
+  | Op.Cos -> { value = cos v; deriv = -.dv *. sin v }
+  | Op.Tan ->
+      let t = tan v in
+      { value = t; deriv = dv *. (1. +. (t *. t)) }
+  | Op.Max0 -> if v > 0. then { value = v; deriv = dv } else { value = 0.; deriv = 0. }
+  | Op.Min0 -> if v < 0. then { value = v; deriv = dv } else { value = 0.; deriv = 0. }
+  | Op.Exp2 ->
+      let e = Float.pow 2. v in
+      { value = e; deriv = dv *. e *. log 2. }
+  | Op.Exp10 ->
+      let e = Float.pow 10. v in
+      { value = e; deriv = dv *. e *. log 10. }
+
+let apply_binary op a b =
+  match op with
+  | Op.Div -> divide a b
+  | Op.Pow ->
+      (* d(a^b) = a^b (b' ln a + b a'/a); valid for a > 0.  For a <= 0 the
+         value follows Float.pow, the derivative only exists for constant
+         integer exponents (handled as b.deriv = 0 and a <> 0). *)
+      let value = Float.pow a.value b.value in
+      if a.value > 0. then
+        {
+          value;
+          deriv =
+            value *. ((b.deriv *. log a.value) +. (b.value *. a.deriv /. a.value));
+        }
+      else if b.deriv = 0. && a.value <> 0. && Float.is_integer b.value then
+        (* a^k with integer k: derivative k a^(k-1) a'. *)
+        { value; deriv = b.value *. Float.pow a.value (b.value -. 1.) *. a.deriv }
+      else { value; deriv = Float.nan }
+  | Op.Max -> if a.value >= b.value then a else b
+  | Op.Min -> if a.value <= b.value then a else b
+
+let int_pow_dual x e =
+  (* x^e for integer e via value/derivative of the power. *)
+  if e = 0 then constant 1.
+  else begin
+    let value = Expr.int_pow x.value e in
+    if x.value = 0. then
+      if e > 1 then { value; deriv = 0. }
+      else if e = 1 then { value; deriv = x.deriv }
+      else { value = Float.nan; deriv = Float.nan }
+    else
+      let deriv = float_of_int e *. Expr.int_pow x.value (e - 1) *. x.deriv in
+      { value; deriv }
+  end
+
+let eval_vc exponents point ~wrt =
+  let acc = ref (constant 1.) in
+  Array.iteri
+    (fun i e ->
+      if e <> 0 then begin
+        let xi = if i = wrt then variable point.(i) else constant point.(i) in
+        acc := mul !acc (int_pow_dual xi e)
+      end)
+    exponents;
+  !acc
+
+let rec eval_basis (b : Expr.basis) point ~wrt =
+  let start =
+    match b.Expr.vc with None -> constant 1. | Some exponents -> eval_vc exponents point ~wrt
+  in
+  List.fold_left (fun acc f -> mul acc (eval_factor f point ~wrt)) start b.Expr.factors
+
+and eval_factor f point ~wrt =
+  match f with
+  | Expr.Unary (op, ws) -> apply_unary op (eval_wsum ws point ~wrt)
+  | Expr.Binary (op, a1, a2) ->
+      apply_binary op (eval_arg a1 point ~wrt) (eval_arg a2 point ~wrt)
+  | Expr.Lte { test; threshold; less; otherwise } ->
+      let t = eval_wsum test point ~wrt in
+      let c = eval_arg threshold point ~wrt in
+      if Float.is_nan t.value || Float.is_nan c.value then
+        { value = Float.nan; deriv = Float.nan }
+      else if t.value <= c.value then eval_arg less point ~wrt
+      else eval_arg otherwise point ~wrt
+
+and eval_arg a point ~wrt =
+  match a with
+  | Expr.Const w -> constant w
+  | Expr.Sum ws -> eval_wsum ws point ~wrt
+
+and eval_wsum (ws : Expr.wsum) point ~wrt =
+  List.fold_left
+    (fun acc (w, b) -> add acc (scale w (eval_basis b point ~wrt)))
+    (constant ws.Expr.bias) ws.Expr.terms
+
+let gradient_wsum ws point =
+  Array.init (Array.length point) (fun wrt -> (eval_wsum ws point ~wrt).deriv)

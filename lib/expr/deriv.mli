@@ -1,0 +1,25 @@
+(** Exact derivatives of canonical-form expressions by forward-mode
+    automatic differentiation (dual numbers).
+
+    Used for model sensitivity analysis: unlike finite differences, the
+    result is exact up to floating point and costs one extra multiply per
+    node.  Non-smooth points (|x| at 0, max/min ties, lte switches) take the
+    derivative of the branch that evaluates. *)
+
+type dual = { value : float; deriv : float }
+
+val constant : float -> dual
+val variable : float -> dual
+(** [variable v] seeds the derivative to 1 — the differentiation variable. *)
+
+val eval_vc : Expr.vc -> float array -> wrt:int -> dual
+val eval_basis : Expr.basis -> float array -> wrt:int -> dual
+val eval_wsum : Expr.wsum -> float array -> wrt:int -> dual
+(** Evaluate value and ∂/∂x_[wrt] simultaneously at the point. *)
+
+val gradient_wsum : Expr.wsum -> float array -> float array
+(** All partial derivatives at a point (one forward pass per variable). *)
+
+val apply_unary : Op.unary -> dual -> dual
+val apply_binary : Op.binary -> dual -> dual -> dual
+(** Exposed for tests: dual-number op semantics. *)

@@ -1,0 +1,358 @@
+type t =
+  | Number of float
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Call of string * t list
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | Tnumber of float
+  | Tident of string
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tcaret
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tend
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let error = ref None in
+  let i = ref 0 in
+  while !error = None && !i < n do
+    let c = source.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit source.[!i + 1]) then begin
+      let start = !i in
+      while !i < n && (is_digit source.[!i] || source.[!i] = '.') do
+        incr i
+      done;
+      (* optional exponent *)
+      if !i < n && (source.[!i] = 'e' || source.[!i] = 'E') then begin
+        let mark = !i in
+        incr i;
+        if !i < n && (source.[!i] = '+' || source.[!i] = '-') then incr i;
+        if !i < n && is_digit source.[!i] then
+          while !i < n && is_digit source.[!i] do
+            incr i
+          done
+        else i := mark (* not an exponent after all, e.g. "2e" followed by ident *)
+      end;
+      let text = String.sub source start (!i - start) in
+      match float_of_string_opt text with
+      | Some v -> tokens := (Tnumber v, start) :: !tokens
+      | None -> error := Some (Printf.sprintf "bad number %S at %d" text start)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        incr i
+      done;
+      tokens := (Tident (String.sub source start (!i - start)), start) :: !tokens
+    end
+    else begin
+      let simple tok = tokens := (tok, !i) :: !tokens; incr i in
+      match c with
+      | '+' -> simple Tplus
+      | '-' -> simple Tminus
+      | '*' -> simple Tstar
+      | '/' -> simple Tslash
+      | '^' -> simple Tcaret
+      | '(' -> simple Tlparen
+      | ')' -> simple Trparen
+      | ',' -> simple Tcomma
+      | _ -> error := Some (Printf.sprintf "unexpected character %C at %d" c !i)
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (Array.of_list (List.rev ((Tend, n) :: !tokens)))
+
+(* --- parser ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse source =
+  match tokenize source with
+  | Error msg -> Error msg
+  | Ok tokens ->
+      let position = ref 0 in
+      let peek () = fst tokens.(!position) in
+      let here () = snd tokens.(!position) in
+      let advance () = incr position in
+      let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg (here ()))) in
+      let expect tok msg = if peek () = tok then advance () else fail msg in
+      let rec expr () =
+        let left = ref (term ()) in
+        let continue = ref true in
+        while !continue do
+          match peek () with
+          | Tplus ->
+              advance ();
+              left := Add (!left, term ())
+          | Tminus ->
+              advance ();
+              left := Sub (!left, term ())
+          | Tnumber _ | Tident _ | Tstar | Tslash | Tcaret | Tlparen | Trparen | Tcomma | Tend
+            -> continue := false
+        done;
+        !left
+      and term () =
+        let left = ref (unary ()) in
+        let continue = ref true in
+        while !continue do
+          match peek () with
+          | Tstar ->
+              advance ();
+              left := Mul (!left, unary ())
+          | Tslash ->
+              advance ();
+              left := Div (!left, unary ())
+          | Tnumber _ | Tident _ | Tplus | Tminus | Tcaret | Tlparen | Trparen | Tcomma | Tend
+            -> continue := false
+        done;
+        !left
+      and unary () =
+        match peek () with
+        | Tminus ->
+            advance ();
+            Neg (unary ())
+        | Tnumber _ | Tident _ | Tplus | Tstar | Tslash | Tcaret | Tlparen | Trparen | Tcomma
+        | Tend -> power ()
+      and power () =
+        let base = atom () in
+        match peek () with
+        | Tcaret ->
+            advance ();
+            Pow (base, unary ())
+        | Tnumber _ | Tident _ | Tplus | Tminus | Tstar | Tslash | Tlparen | Trparen | Tcomma
+        | Tend -> base
+      and atom () =
+        match peek () with
+        | Tnumber v ->
+            advance ();
+            Number v
+        | Tident name ->
+            advance ();
+            if peek () = Tlparen then begin
+              advance ();
+              let args = ref [ expr () ] in
+              while peek () = Tcomma do
+                advance ();
+                args := expr () :: !args
+              done;
+              expect Trparen "expected )";
+              Call (name, List.rev !args)
+            end
+            else Var name
+        | Tlparen ->
+            advance ();
+            let inner = expr () in
+            expect Trparen "expected )";
+            inner
+        | Tplus | Tminus | Tstar | Tslash | Tcaret | Trparen | Tcomma | Tend ->
+            fail "expected a number, variable or ("
+      in
+      (try
+         let result = expr () in
+         if peek () = Tend then Ok result else Error (Printf.sprintf "trailing input at %d" (here ()))
+       with Parse_error msg -> Error msg)
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+let pretty_unary_table =
+  List.map (fun op -> (Op.unary_pretty op, op)) Op.all_unary
+
+let pretty_binary_table =
+  List.map (fun op -> (Op.binary_pretty op, op)) Op.all_binary
+
+let eval expression ~env =
+  let rec go = function
+    | Number v -> Ok v
+    | Var name -> (
+        match env name with
+        | Some v -> Ok v
+        | None -> Error ("unknown variable " ^ name))
+    | Neg a -> Result.map Float.neg (go a)
+    | Add (a, b) -> binop a b ( +. )
+    | Sub (a, b) -> binop a b ( -. )
+    | Mul (a, b) -> binop a b ( *. )
+    | Div (a, b) -> binop a b (fun x y -> if y = 0. then Float.nan else x /. y)
+    | Pow (a, b) -> binop a b (fun x y -> Float.pow x y)
+    | Call (name, args) -> (
+        let arg_values = List.map go args in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | Ok v :: rest -> collect (v :: acc) rest
+          | (Error _ as e) :: _ -> e
+        in
+        match collect [] arg_values with
+        | Error _ as e -> e
+        | Ok values -> (
+            match (List.assoc_opt name pretty_unary_table, values) with
+            | Some op, [ v ] -> Ok (Op.apply_unary op v)
+            | Some _, _ -> Error (name ^ ": expected 1 argument")
+            | None, _ -> (
+                match (List.assoc_opt name pretty_binary_table, values) with
+                | Some op, [ x; y ] -> Ok (Op.apply_binary op x y)
+                | Some _, _ -> Error (name ^ ": expected 2 arguments")
+                | None, _ -> (
+                    match (name, values) with
+                    | "lte", [ t; c; a; b ] -> Ok (if t <= c then a else b)
+                    | "lte", _ -> Error "lte: expected 4 arguments"
+                    | _ -> Error ("unknown function " ^ name)))))
+  and binop a b f =
+    match (go a, go b) with
+    | Ok x, Ok y -> Ok (f x y)
+    | (Error _ as e), _ | _, (Error _ as e) -> e
+  in
+  go expression
+
+(* --- canonicalization ----------------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* An exponent expression that denotes a constant integer (possibly under
+   unary minus), e.g. the "-1" in [c^-1]. *)
+let rec constant_exponent = function
+  | Number k when Float.is_integer k -> Some (int_of_float k)
+  | Neg inner -> Option.map (fun e -> -e) (constant_exponent inner)
+  | Number _ | Var _ | Add _ | Sub _ | Mul _ | Div _ | Pow _ | Call _ -> None
+
+let to_canonical ~var_names expression =
+  let dims = Array.length var_names in
+  let var_index name =
+    let rec search i =
+      if i >= dims then None else if var_names.(i) = name then Some i else search (i + 1)
+    in
+    search 0
+  in
+  (* A product term accumulates a coefficient, VC exponents, and operator
+     factors. *)
+  let rec canonical_wsum expression =
+    let* intercept, terms = canonical_sum expression in
+    Ok { Expr.bias = intercept; terms }
+  and canonical_sum expression =
+    (* Flatten into signed product terms, then canonicalize each. *)
+    let rec flatten sign acc = function
+      | Add (a, b) -> flatten sign (flatten sign acc a) b
+      | Sub (a, b) -> flatten (-.sign) (flatten sign acc a) b
+      | Neg a -> flatten (-.sign) acc a
+      | (Number _ | Var _ | Mul _ | Div _ | Pow _ | Call _) as leaf -> (sign, leaf) :: acc
+    in
+    let signed_terms = List.rev (flatten 1. [] expression) in
+    let intercept = ref 0. in
+    let terms = ref [] in
+    let* () =
+      let rec process = function
+        | [] -> Ok ()
+        | (sign, term) :: rest ->
+            let* coeff, basis = canonical_product term in
+            (match basis with
+            | None -> intercept := !intercept +. (sign *. coeff)
+            | Some b -> terms := ((sign *. coeff), b) :: !terms);
+            process rest
+      in
+      process signed_terms
+    in
+    Ok (!intercept, List.rev !terms)
+  and canonical_product term =
+    let coeff = ref 1. in
+    let exponents = Array.make dims 0 in
+    let factors = ref [] in
+    let invert_factor factor =
+      (* 1 / f expressed canonically: DIVIDE(1, 0 + 1*{f}). *)
+      let inner = { Expr.vc = None; factors = [ factor ] } in
+      Expr.Binary (Op.Div, Expr.Const 1., Expr.Sum { Expr.bias = 0.; terms = [ (1., inner) ] })
+    in
+    let rec walk ~invert = function
+      | Number v ->
+          if invert then
+            if v = 0. then Error "division by constant zero" else Ok (coeff := !coeff /. v)
+          else Ok (coeff := !coeff *. v)
+      | Neg a ->
+          coeff := -. !coeff;
+          walk ~invert a
+      | Var name -> (
+          match var_index name with
+          | Some i ->
+              exponents.(i) <- exponents.(i) + (if invert then -1 else 1);
+              Ok ()
+          | None -> Error ("unknown variable " ^ name))
+      | Pow (Var name, expo)
+        when (match constant_exponent expo with Some _ -> true | None -> false) -> (
+          match (var_index name, constant_exponent expo) with
+          | Some i, Some e ->
+              exponents.(i) <- exponents.(i) + (if invert then -e else e);
+              Ok ()
+          | None, _ -> Error ("unknown variable " ^ name)
+          | Some _, None -> assert false)
+      | Pow (base, expo) ->
+          let* factor = canonical_call "pow" [ base; expo ] in
+          factors := (if invert then invert_factor factor else factor) :: !factors;
+          Ok ()
+      | Mul (a, b) ->
+          let* () = walk ~invert a in
+          walk ~invert b
+      | Div (a, b) ->
+          let* () = walk ~invert a in
+          walk ~invert:(not invert) b
+      | Call (name, args) ->
+          let* factor = canonical_call name args in
+          factors := (if invert then invert_factor factor else factor) :: !factors;
+          Ok ()
+      | Add _ | Sub _ -> Error "a sum inside a product is not canonical form"
+    in
+    let* () = walk ~invert:false term in
+    let vc = if Array.exists (fun e -> e <> 0) exponents then Some exponents else None in
+    let factors = List.rev !factors in
+    if vc = None && factors = [] then Ok (!coeff, None)
+    else Ok (!coeff, Some { Expr.vc; factors })
+  and canonical_arg expression =
+    let* ws = canonical_wsum expression in
+    if ws.Expr.terms = [] then Ok (Expr.Const ws.Expr.bias) else Ok (Expr.Sum ws)
+  and canonical_call name args =
+    match (List.assoc_opt name pretty_unary_table, args) with
+    | Some op, [ arg ] ->
+        let* ws = canonical_wsum arg in
+        Ok (Expr.Unary (op, ws))
+    | Some _, _ -> Error (name ^ ": expected 1 argument")
+    | None, _ -> (
+        match (List.assoc_opt name pretty_binary_table, args) with
+        | Some op, [ a; b ] ->
+            let* arg_a = canonical_arg a in
+            let* arg_b = canonical_arg b in
+            Ok (Expr.Binary (op, arg_a, arg_b))
+        | Some _, _ -> Error (name ^ ": expected 2 arguments")
+        | None, _ -> (
+            match (name, args) with
+            | "lte", [ t; c; a; b ] ->
+                let* test = canonical_wsum t in
+                let* threshold = canonical_arg c in
+                let* less = canonical_arg a in
+                let* otherwise = canonical_arg b in
+                Ok (Expr.Lte { test; threshold; less; otherwise })
+            | "lte", _ -> Error "lte: expected 4 arguments"
+            | _ -> Error ("unknown function " ^ name)))
+  in
+  let* intercept, terms = canonical_sum expression in
+  Ok (intercept, terms)
+
+let parse_wsum ~var_names source =
+  let* parsed = parse source in
+  let* intercept, terms = to_canonical ~var_names parsed in
+  Ok { Expr.bias = intercept; terms }

@@ -1,0 +1,93 @@
+type unary =
+  | Sqrt
+  | Log_e
+  | Log_10
+  | Inv
+  | Abs
+  | Square
+  | Sin
+  | Cos
+  | Tan
+  | Max0
+  | Min0
+  | Exp2
+  | Exp10
+
+type binary =
+  | Div
+  | Pow
+  | Max
+  | Min
+
+let all_unary =
+  [ Sqrt; Log_e; Log_10; Inv; Abs; Square; Sin; Cos; Tan; Max0; Min0; Exp2; Exp10 ]
+
+let all_binary = [ Div; Pow; Max; Min ]
+
+let unary_name = function
+  | Sqrt -> "SQRT"
+  | Log_e -> "LOGE"
+  | Log_10 -> "LOG10"
+  | Inv -> "INV"
+  | Abs -> "ABS"
+  | Square -> "SQUARE"
+  | Sin -> "SIN"
+  | Cos -> "COS"
+  | Tan -> "TAN"
+  | Max0 -> "MAX0"
+  | Min0 -> "MIN0"
+  | Exp2 -> "EXP2"
+  | Exp10 -> "EXP10"
+
+let binary_name = function
+  | Div -> "DIVIDE"
+  | Pow -> "POW"
+  | Max -> "MAX"
+  | Min -> "MIN"
+
+let unary_of_name name = List.find_opt (fun op -> unary_name op = name) all_unary
+let binary_of_name name = List.find_opt (fun op -> binary_name op = name) all_binary
+
+let unary_pretty = function
+  | Sqrt -> "sqrt"
+  | Log_e -> "ln"
+  | Log_10 -> "log10"
+  | Inv -> "inv"
+  | Abs -> "abs"
+  | Square -> "sq"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Tan -> "tan"
+  | Max0 -> "max0"
+  | Min0 -> "min0"
+  | Exp2 -> "exp2"
+  | Exp10 -> "exp10"
+
+let binary_pretty = function
+  | Div -> "div"
+  | Pow -> "pow"
+  | Max -> "max"
+  | Min -> "min"
+
+let apply_unary op x =
+  match op with
+  | Sqrt -> if x < 0. then Float.nan else sqrt x
+  | Log_e -> if x <= 0. then Float.nan else log x
+  | Log_10 -> if x <= 0. then Float.nan else log10 x
+  | Inv -> if x = 0. then Float.nan else 1. /. x
+  | Abs -> Float.abs x
+  | Square -> x *. x
+  | Sin -> sin x
+  | Cos -> cos x
+  | Tan -> tan x
+  | Max0 -> Float.max 0. x
+  | Min0 -> Float.min 0. x
+  | Exp2 -> Float.pow 2. x
+  | Exp10 -> Float.pow 10. x
+
+let apply_binary op x y =
+  match op with
+  | Div -> if y = 0. then Float.nan else x /. y
+  | Pow -> Float.pow x y
+  | Max -> Float.max x y
+  | Min -> Float.min x y

@@ -1,0 +1,294 @@
+type symbol =
+  | Terminal of string
+  | Nonterminal of string
+
+type production = symbol list
+
+type t = { start : string; order : string list; rules : (string, production list) Hashtbl.t }
+
+let of_rules ~start rules =
+  let table = Hashtbl.create 16 in
+  let order =
+    List.map
+      (fun (lhs, alternatives) ->
+        if Hashtbl.mem table lhs then
+          invalid_arg ("Grammar.of_rules: duplicate rule for " ^ lhs);
+        Hashtbl.add table lhs alternatives;
+        lhs)
+      rules
+  in
+  if not (Hashtbl.mem table start) then
+    invalid_arg ("Grammar.of_rules: start symbol " ^ start ^ " has no rule");
+  { start; order; rules = table }
+
+let start g = g.start
+let productions g name = Hashtbl.find g.rules name
+let has_nonterminal g name = Hashtbl.mem g.rules name
+let nonterminals g = g.order
+
+let terminals g =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun lhs ->
+      List.iter
+        (fun production ->
+          List.iter
+            (function
+              | Terminal name ->
+                  if not (Hashtbl.mem seen name) then begin
+                    Hashtbl.add seen name ();
+                    out := name :: !out
+                  end
+              | Nonterminal _ -> ())
+            production)
+        (productions g lhs))
+    g.order;
+  List.rev !out
+
+(* --- text format --- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let tokenize line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let error msg = Error (Printf.sprintf "%s (at column %d of %S)" msg !i line) in
+  let result = ref None in
+  while !result = None && !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '\'' then begin
+      match String.index_from_opt line (!i + 1) '\'' with
+      | None -> result := Some (error "unterminated quote")
+      | Some close ->
+          tokens := `Term (String.sub line (!i + 1) (close - !i - 1)) :: !tokens;
+          i := close + 1
+    end
+    else if c = '|' then begin
+      tokens := `Bar :: !tokens;
+      incr i
+    end
+    else if !i + 1 < n && c = '=' && line.[!i + 1] = '>' then begin
+      tokens := `Arrow :: !tokens;
+      i := !i + 2
+    end
+    else begin
+      let start_pos = !i in
+      while
+        !i < n
+        &&
+        let c = line.[!i] in
+        c <> ' ' && c <> '\t' && c <> '\'' && c <> '|' && not (c = '=' && !i + 1 < n && line.[!i + 1] = '>')
+      do
+        incr i
+      done;
+      tokens := `Word (String.sub line start_pos (!i - start_pos)) :: !tokens
+    end
+  done;
+  match !result with Some err -> err | None -> Ok (List.rev !tokens)
+
+let split_alternatives tokens =
+  let rec loop current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | `Bar :: rest -> loop [] (List.rev current :: acc) rest
+    | `Term name :: rest -> loop (Terminal name :: current) acc rest
+    | `Word name :: rest -> loop (Nonterminal name :: current) acc rest
+    | `Arrow :: _ -> invalid_arg "unexpected =>"
+  in
+  loop [] [] tokens
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* Merge continuation lines (starting with |) into the previous rule. *)
+  let logical = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then begin
+        let line = strip_comment raw in
+        let trimmed = String.trim line in
+        if trimmed <> "" then
+          if trimmed.[0] = '|' then
+            match !logical with
+            | [] -> error := Some (Printf.sprintf "line %d: continuation with no rule" (lineno + 1))
+            | head :: rest -> logical := (head ^ " " ^ trimmed) :: rest
+          else logical := trimmed :: !logical
+      end)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      let logical = List.rev !logical in
+      let parse_rule line =
+        match tokenize line with
+        | Error msg -> Error msg
+        | Ok tokens -> (
+            match tokens with
+            | `Word lhs :: `Arrow :: rest -> (
+                match split_alternatives rest with
+                | alternatives ->
+                    if List.exists (fun alt -> alt = []) alternatives then
+                      Error (Printf.sprintf "empty alternative in rule for %s" lhs)
+                    else Ok (lhs, alternatives)
+                | exception Invalid_argument msg -> Error msg)
+            | _ -> Error (Printf.sprintf "expected NONTERM => ... in %S" line))
+      in
+      let rec build acc = function
+        | [] -> (
+            match List.rev acc with
+            | [] -> Error "no rules"
+            | ((first, _) :: _ as rules) -> (
+                match of_rules ~start:first rules with
+                | g -> Ok g
+                | exception Invalid_argument msg -> Error msg))
+        | line :: rest -> (
+            match parse_rule line with
+            | Error msg -> Error msg
+            | Ok rule -> build (rule :: acc) rest)
+      in
+      build [] logical
+
+let parse_exn text =
+  match parse text with Ok g -> g | Error msg -> failwith ("Grammar.parse: " ^ msg)
+
+let to_text g =
+  let buffer = Buffer.create 256 in
+  List.iter
+    (fun lhs ->
+      Buffer.add_string buffer lhs;
+      Buffer.add_string buffer " => ";
+      let alternatives = productions g lhs in
+      List.iteri
+        (fun i production ->
+          if i > 0 then Buffer.add_string buffer " | ";
+          List.iteri
+            (fun j symbol ->
+              if j > 0 then Buffer.add_char buffer ' ';
+              match symbol with
+              | Terminal name -> Buffer.add_string buffer ("'" ^ name ^ "'")
+              | Nonterminal name -> Buffer.add_string buffer name)
+            production)
+        alternatives;
+      Buffer.add_char buffer '\n')
+    g.order;
+  Buffer.contents buffer
+
+(* --- validation --- *)
+
+let reachable g =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      if has_nonterminal g name then
+        List.iter
+          (fun production ->
+            List.iter
+              (function Nonterminal n -> visit n | Terminal _ -> ())
+              production)
+          (productions g name)
+    end
+  in
+  visit g.start;
+  seen
+
+let productive_set g =
+  let productive = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun lhs ->
+        if not (Hashtbl.mem productive lhs) then
+          let usable production =
+            List.for_all
+              (function
+                | Terminal _ -> true
+                | Nonterminal n -> Hashtbl.mem productive n)
+              production
+          in
+          if List.exists usable (productions g lhs) then begin
+            Hashtbl.add productive lhs ();
+            changed := true
+          end)
+      g.order
+  done;
+  productive
+
+let validate g =
+  let errors = ref [] in
+  let note msg = errors := msg :: !errors in
+  let reached = reachable g in
+  List.iter
+    (fun lhs ->
+      List.iter
+        (fun production ->
+          List.iter
+            (function
+              | Nonterminal n when not (has_nonterminal g n) ->
+                  note (Printf.sprintf "undefined nonterminal %s (used by %s)" n lhs)
+              | Nonterminal _ | Terminal _ -> ())
+            production)
+        (productions g lhs))
+    g.order;
+  List.iter
+    (fun lhs ->
+      if not (Hashtbl.mem reached lhs) then
+        note (Printf.sprintf "nonterminal %s unreachable from %s" lhs g.start))
+    g.order;
+  let productive = productive_set g in
+  List.iter
+    (fun lhs ->
+      if Hashtbl.mem reached lhs && not (Hashtbl.mem productive lhs) then
+        note (Printf.sprintf "nonterminal %s cannot derive a finite string" lhs))
+    g.order;
+  List.iter
+    (fun lhs ->
+      if Hashtbl.mem reached lhs && productions g lhs = [] then
+        note (Printf.sprintf "nonterminal %s has no alternatives" lhs))
+    g.order;
+  match List.rev !errors with [] -> Ok () | msgs -> Error msgs
+
+let filter_alternatives g ~keep_production =
+  let rules =
+    List.map (fun lhs -> (lhs, List.filter keep_production (productions g lhs))) g.order
+  in
+  let filtered = of_rules ~start:g.start rules in
+  match validate filtered with
+  | Ok () -> filtered
+  | Error msgs ->
+      invalid_arg ("Grammar: rule removal breaks the grammar: " ^ String.concat "; " msgs)
+
+let remove_terminal g name =
+  let keep_production production =
+    not (List.exists (function Terminal t -> t = name | Nonterminal _ -> false) production)
+  in
+  filter_alternatives g ~keep_production
+
+let restrict_terminals g ~keep =
+  let keep_production production =
+    List.for_all (function Terminal t -> keep t | Nonterminal _ -> true) production
+  in
+  filter_alternatives g ~keep_production
+
+let caffeine_text =
+  "# CAFFEINE canonical-form grammar (McConaghy et al., DATE 2005, section 5)\n\
+   # with the operator set of the experimental setup (section 6.1).\n\
+   REPVC => 'VC' | REPVC '*' REPOP | REPOP\n\
+   REPOP => REPOP '*' REPOP\n\
+   | 1OP '(' 'W' '+' REPADD ')'\n\
+   | 2OP '(' 2ARGS ')'\n\
+   | 'LTE' '(' 'W' '+' REPADD ',' MAYBEW ',' MAYBEW ',' MAYBEW ')'\n\
+   2ARGS => 'W' '+' REPADD ',' MAYBEW | MAYBEW ',' 'W' '+' REPADD\n\
+   MAYBEW => 'W' | 'W' '+' REPADD\n\
+   REPADD => 'W' '*' REPVC | REPADD '+' REPADD\n\
+   1OP => 'SQRT' | 'LOGE' | 'LOG10' | 'INV' | 'ABS' | 'SQUARE'\n\
+   | 'SIN' | 'COS' | 'TAN' | 'MAX0' | 'MIN0' | 'EXP2' | 'EXP10'\n\
+   2OP => 'DIVIDE' | 'POW' | 'MAX' | 'MIN'\n"
+
+let caffeine = parse_exn caffeine_text

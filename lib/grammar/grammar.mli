@@ -1,0 +1,76 @@
+(** Context-free grammars for canonical-form functions.
+
+    The CAFFEINE prototype "defined the grammar in a separate text file and
+    parsed it"; this module reproduces that workflow.  A grammar is a start
+    symbol plus derivation rules mapping each nonterminal to alternatives
+    (sequences of symbols).  Terminals are written in single quotes in the
+    text format, exactly as printed in the paper:
+
+    {v
+    REPVC => 'VC' | REPVC '*' REPOP | REPOP
+    REPOP => 1OP '(' 'W' '+' REPADD ')' | 2OP '(' 2ARGS ')'
+    2OP => 'DIVIDE' | 'POW'
+    v}
+
+    The designer can "turn off any of the rules if they are considered
+    unwanted or unneeded" — see {!remove_terminal} and {!restrict_terminals}. *)
+
+type symbol =
+  | Terminal of string
+  | Nonterminal of string
+
+type production = symbol list
+(** One alternative of a derivation rule. *)
+
+type t
+(** A grammar: start symbol + rules. *)
+
+val of_rules : start:string -> (string * production list) list -> t
+(** Build a grammar directly.  Raises [Invalid_argument] when the start symbol
+    has no rule or a nonterminal is defined twice. *)
+
+val start : t -> string
+
+val productions : t -> string -> production list
+(** Alternatives for a nonterminal.  Raises [Not_found] for an unknown one. *)
+
+val has_nonterminal : t -> string -> bool
+
+val nonterminals : t -> string list
+(** Defined nonterminals, in rule order. *)
+
+val terminals : t -> string list
+(** All distinct terminal names, in first-appearance order. *)
+
+val parse : string -> (t, string) result
+(** Parse the text format.  Rules are [NONTERM => alt | alt | ...], one rule
+    per line; lines beginning with [|] continue the previous rule's
+    alternatives; [#] starts a comment; quoted tokens are terminals; the
+    first rule's left-hand side is the start symbol. *)
+
+val parse_exn : string -> t
+(** Like {!parse} but raises [Failure] with the error message. *)
+
+val to_text : t -> string
+(** Render back to the text format ({!parse} ∘ {!to_text} is the identity up
+    to whitespace). *)
+
+val validate : t -> (unit, string list) result
+(** Check that every referenced nonterminal is defined, every nonterminal is
+    reachable from the start symbol, and every nonterminal can derive a
+    finite terminal string. *)
+
+val remove_terminal : t -> string -> t
+(** [remove_terminal g name] drops every alternative that mentions the
+    terminal [name] — the designer's rule-toggle.  Raises [Invalid_argument]
+    if this would leave some reachable nonterminal with no alternatives. *)
+
+val restrict_terminals : t -> keep:(string -> bool) -> t
+(** Keep only alternatives whose terminals all satisfy [keep]. *)
+
+val caffeine_text : string
+(** The paper's canonical-form grammar (section 5) in text form, with the
+    full operator set of the experimental setup (section 6.1). *)
+
+val caffeine : t
+(** Parsed {!caffeine_text}. *)

@@ -1,0 +1,97 @@
+type table = {
+  header : string array;
+  rows : float array array;
+}
+
+let write ~path table =
+  let width = Array.length table.header in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then invalid_arg "Csv.write: row width mismatch")
+    table.rows;
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () ->
+      output_string channel (String.concat "," (Array.to_list table.header));
+      output_char channel '\n';
+      Array.iter
+        (fun row ->
+          let cells = Array.to_list (Array.map (fun v -> Printf.sprintf "%.17g" v) row) in
+          output_string channel (String.concat "," cells);
+          output_char channel '\n')
+        table.rows)
+
+let read ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | channel ->
+      Fun.protect
+        ~finally:(fun () -> close_in channel)
+        (fun () ->
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line channel :: !lines
+             done
+           with End_of_file -> ());
+          let lines =
+            List.filteri (fun _ line -> String.trim line <> "") (List.rev !lines)
+          in
+          match lines with
+          | [] -> Error "empty file"
+          | header_line :: data_lines ->
+              let header =
+                Array.of_list (List.map String.trim (String.split_on_char ',' header_line))
+              in
+              let width = Array.length header in
+              let parse_row lineno line =
+                let cells = String.split_on_char ',' line in
+                if List.length cells <> width then
+                  Error (Printf.sprintf "line %d: expected %d cells, found %d" lineno width
+                           (List.length cells))
+                else
+                  let values = Array.make width 0. in
+                  let failed = ref None in
+                  List.iteri
+                    (fun i cell ->
+                      match float_of_string_opt (String.trim cell) with
+                      | Some v -> values.(i) <- v
+                      | None ->
+                          if !failed = None then
+                            failed := Some (Printf.sprintf "line %d: bad number %S" lineno cell))
+                    cells;
+                  match !failed with Some msg -> Error msg | None -> Ok values
+              in
+              let rec parse_all acc lineno = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | line :: rest -> (
+                    match parse_row lineno line with
+                    | Ok row -> parse_all (row :: acc) (lineno + 1) rest
+                    | Error _ as e -> e)
+              in
+              (match parse_all [] 2 data_lines with
+              | Ok rows -> Ok { header; rows }
+              | Error msg -> Error msg))
+
+let column_index table name =
+  let rec search i =
+    if i >= Array.length table.header then raise Not_found
+    else if table.header.(i) = name then i
+    else search (i + 1)
+  in
+  search 0
+
+let column table name =
+  let index = column_index table name in
+  Array.map (fun row -> row.(index)) table.rows
+
+let columns_except table excluded =
+  let keep = ref [] in
+  Array.iteri
+    (fun i name -> if not (List.mem name excluded) then keep := i :: !keep)
+    table.header;
+  let indices = Array.of_list (List.rev !keep) in
+  let names = Array.map (fun i -> table.header.(i)) indices in
+  let rows = Array.map (fun row -> Array.map (fun i -> row.(i)) indices) table.rows in
+  (names, rows)

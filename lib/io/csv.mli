@@ -1,0 +1,26 @@
+(** Minimal CSV reading/writing for numeric datasets with a header row.
+
+    The format is deliberately simple — comma-separated, no quoting, one
+    header line of column names, numeric cells — which is all the sampled
+    circuit data needs. *)
+
+type table = {
+  header : string array;
+  rows : float array array;  (** every row has [Array.length header] cells *)
+}
+
+val write : path:string -> table -> unit
+(** Raises [Invalid_argument] when a row width disagrees with the header;
+    [Sys_error] on IO failure. *)
+
+val read : path:string -> (table, string) result
+(** Parse a file written by {!write} (or compatible).  Blank lines are
+    skipped.  Returns [Error] with a line-numbered message on malformed
+    input. *)
+
+val column : table -> string -> float array
+(** Extract a column by name.  Raises [Not_found]. *)
+
+val columns_except : table -> string list -> string array * float array array
+(** [(names, rows)] of all columns whose name is not listed — used to split
+    a table into design variables vs the target column. *)

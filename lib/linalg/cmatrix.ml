@@ -1,0 +1,74 @@
+type t = { rows : int; cols : int; data : Complex.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Cmatrix.create: dimensions must be positive";
+  { rows; cols; data = Array.make (rows * cols) Complex.zero }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Cmatrix: index out of bounds"
+
+let get m i j =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j z =
+  check_bounds m i j;
+  m.data.((i * m.cols) + j) <- z
+
+let add_entry m i j z = set m i j (Complex.add (get m i j) z)
+
+let copy m = { m with data = Array.copy m.data }
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Cmatrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref Complex.zero in
+      for j = 0 to m.cols - 1 do
+        acc := Complex.add !acc (Complex.mul m.data.((i * m.cols) + j) v.(j))
+      done;
+      !acc)
+
+let solve m b =
+  let n = m.rows in
+  if m.cols <> n || Array.length b <> n then invalid_arg "Cmatrix.solve: dimension mismatch";
+  let work = copy m in
+  let rhs = Array.copy b in
+  for k = 0 to n - 1 do
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Complex.norm (get work i k) > Complex.norm (get work !best k) then best := i
+    done;
+    if !best <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get work k j in
+        set work k j (get work !best j);
+        set work !best j tmp
+      done;
+      let tmp = rhs.(k) in
+      rhs.(k) <- rhs.(!best);
+      rhs.(!best) <- tmp
+    end;
+    let pivot = get work k k in
+    if Complex.norm pivot < 1e-300 then raise Decomp.Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Complex.div (get work i k) pivot in
+      if Complex.norm factor > 0. then begin
+        for j = k to n - 1 do
+          set work i j (Complex.sub (get work i j) (Complex.mul factor (get work k j)))
+        done;
+        rhs.(i) <- Complex.sub rhs.(i) (Complex.mul factor rhs.(k))
+      end
+    done
+  done;
+  let x = Array.make n Complex.zero in
+  for i = n - 1 downto 0 do
+    let acc = ref rhs.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Complex.sub !acc (Complex.mul (get work i j) x.(j))
+    done;
+    x.(i) <- Complex.div !acc (get work i i)
+  done;
+  x

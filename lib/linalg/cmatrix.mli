@@ -1,0 +1,28 @@
+(** Dense complex matrices and a complex linear solver.
+
+    Used by the small-signal AC analysis in the circuit simulator, where the
+    nodal admittance matrix has entries [g + jωc]. *)
+
+type t
+(** A [rows x cols] dense complex matrix. *)
+
+val create : int -> int -> t
+(** Zero matrix; dimensions must be positive. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+
+val add_entry : t -> int -> int -> Complex.t -> unit
+(** [add_entry m i j z] accumulates [z] into entry [(i, j)] — the natural
+    operation for MNA stamping. *)
+
+val copy : t -> t
+
+val mul_vec : t -> Complex.t array -> Complex.t array
+
+val solve : t -> Complex.t array -> Complex.t array
+(** Gaussian elimination with partial pivoting (by modulus).
+    Raises {!Decomp.Singular} when a pivot vanishes. *)

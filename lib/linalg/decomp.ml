@@ -1,0 +1,245 @@
+exception Singular
+
+(* Householder QR.  A first pass applies reflectors H_k to a working copy of
+   [a], producing R with P a = R for P = H_{n-1} … H_0.  Since each reflector
+   is symmetric, Q = Pᵀ = H_0 … H_{n-1}; a second pass applies the stored
+   reflectors in reverse order to a thin identity to materialize Q. *)
+let qr a =
+  let m = Matrix.rows a and n = Matrix.cols a in
+  if m < n then invalid_arg "Decomp.qr: need rows >= cols";
+  let r = Matrix.copy a in
+  let reflectors = Array.make n None in
+  let apply_reflector target k v vnorm2 =
+    let width = Matrix.cols target in
+    for j = 0 to width - 1 do
+      let dot = ref 0. in
+      for i = k to m - 1 do
+        dot := !dot +. (v.(i) *. Matrix.get target i j)
+      done;
+      let factor = 2. *. !dot /. vnorm2 in
+      if factor <> 0. then
+        for i = k to m - 1 do
+          Matrix.set target i j (Matrix.get target i j -. (factor *. v.(i)))
+        done
+    done
+  in
+  for k = 0 to n - 1 do
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      let x = Matrix.get r i k in
+      norm := !norm +. (x *. x)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0. then begin
+      let v = Array.make m 0. in
+      let head = Matrix.get r k k in
+      let alpha = if head >= 0. then -.norm else norm in
+      v.(k) <- head -. alpha;
+      for i = k + 1 to m - 1 do
+        v.(i) <- Matrix.get r i k
+      done;
+      let vnorm2 = ref 0. in
+      for i = k to m - 1 do
+        vnorm2 := !vnorm2 +. (v.(i) *. v.(i))
+      done;
+      if !vnorm2 > 0. then begin
+        apply_reflector r k v !vnorm2;
+        reflectors.(k) <- Some (v, !vnorm2)
+      end
+    end
+  done;
+  let q = Matrix.init m n (fun i j -> if i = j then 1. else 0.) in
+  for k = n - 1 downto 0 do
+    match reflectors.(k) with
+    | None -> ()
+    | Some (v, vnorm2) -> apply_reflector q k v vnorm2
+  done;
+  let r_top = Matrix.init n n (fun i j -> if i <= j then Matrix.get r i j else 0.) in
+  (q, r_top)
+
+let solve_upper_triangular r b =
+  let n = Matrix.rows r in
+  if Matrix.cols r <> n || Array.length b <> n then
+    invalid_arg "Decomp.solve_upper_triangular: dimension mismatch";
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get r i j *. x.(j))
+    done;
+    let pivot = Matrix.get r i i in
+    if pivot = 0. then raise Singular;
+    x.(i) <- !acc /. pivot
+  done;
+  x
+
+let solve_lower_triangular l b =
+  let n = Matrix.rows l in
+  if Matrix.cols l <> n || Array.length b <> n then
+    invalid_arg "Decomp.solve_lower_triangular: dimension mismatch";
+  let x = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get l i j *. x.(j))
+    done;
+    let pivot = Matrix.get l i i in
+    if pivot = 0. then raise Singular;
+    x.(i) <- !acc /. pivot
+  done;
+  x
+
+let lu_solve a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Array.length b <> n then
+    invalid_arg "Decomp.lu_solve: dimension mismatch";
+  let work = Matrix.copy a in
+  let rhs = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get work i k) > Float.abs (Matrix.get work !best k) then best := i
+    done;
+    if !best <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get work k j in
+        Matrix.set work k j (Matrix.get work !best j);
+        Matrix.set work !best j tmp
+      done;
+      let tmp = rhs.(k) in
+      rhs.(k) <- rhs.(!best);
+      rhs.(!best) <- tmp
+    end;
+    let pivot = Matrix.get work k k in
+    if Float.abs pivot < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get work i k /. pivot in
+      if factor <> 0. then begin
+        for j = k to n - 1 do
+          Matrix.set work i j (Matrix.get work i j -. (factor *. Matrix.get work k j))
+        done;
+        rhs.(i) <- rhs.(i) -. (factor *. rhs.(k))
+      end
+    done
+  done;
+  solve_upper_triangular work rhs
+
+let cholesky a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Decomp.cholesky: not square";
+  let l = Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise Singular;
+        Matrix.set l i i (sqrt !acc)
+      end
+      else Matrix.set l i j (!acc /. Matrix.get l j j)
+    done
+  done;
+  l
+
+let solve_spd a b =
+  let l = cholesky a in
+  let y = solve_lower_triangular l b in
+  solve_upper_triangular (Matrix.transpose l) y
+
+let rank_from_r ?(tol = 1e-10) r =
+  let n = min (Matrix.rows r) (Matrix.cols r) in
+  let largest = ref 0. in
+  for i = 0 to n - 1 do
+    largest := Float.max !largest (Float.abs (Matrix.get r i i))
+  done;
+  let threshold = !largest *. tol in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if Float.abs (Matrix.get r i i) > threshold then incr count
+  done;
+  !count
+
+let gram_trace a =
+  let n = Matrix.cols a in
+  let g = Matrix.gram a in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. Matrix.get g i i
+  done;
+  (g, Float.max !acc 1.)
+
+let ridge_solve ?ridge a b =
+  let n = Matrix.cols a in
+  let g, trace = gram_trace a in
+  let lambda = match ridge with Some r -> r | None -> 1e-10 *. trace /. float_of_int n in
+  let regularized =
+    Matrix.init n n (fun i j ->
+        let base = Matrix.get g i j in
+        if i = j then base +. lambda else base)
+  in
+  let atb = Matrix.mul_vec (Matrix.transpose a) b in
+  solve_spd regularized atb
+
+let lstsq ?ridge a b =
+  if Matrix.rows a <> Array.length b then invalid_arg "Decomp.lstsq: dimension mismatch";
+  if Matrix.rows a < Matrix.cols a then ridge_solve ?ridge a b
+  else
+    let q, r = qr a in
+    if rank_from_r r < Matrix.cols a then ridge_solve ?ridge a b
+    else
+      let qtb = Matrix.mul_vec (Matrix.transpose q) b in
+      solve_upper_triangular r qtb
+
+let hat_diag ?ridge a =
+  let m = Matrix.rows a and n = Matrix.cols a in
+  let via_ridge () =
+    (* h_ii = aᵢᵀ (aᵀa + λI)⁻¹ aᵢ, one SPD solve per column of aᵀ. *)
+    let g, trace = gram_trace a in
+    let lambda = match ridge with Some r -> r | None -> 1e-10 *. trace /. float_of_int n in
+    let regularized =
+      Matrix.init n n (fun i j ->
+          let base = Matrix.get g i j in
+          if i = j then base +. lambda else base)
+    in
+    let l = cholesky regularized in
+    let h = Array.make m 0. in
+    for i = 0 to m - 1 do
+      let ai = Matrix.row a i in
+      let y = solve_lower_triangular l ai in
+      let z = solve_upper_triangular (Matrix.transpose l) y in
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (ai.(k) *. z.(k))
+      done;
+      h.(i) <- !acc
+    done;
+    h
+  in
+  if m < n then via_ridge ()
+  else
+    let q, r = qr a in
+    if rank_from_r r < n then via_ridge ()
+    else
+      Array.init m (fun i ->
+          let acc = ref 0. in
+          for j = 0 to n - 1 do
+            let qij = Matrix.get q i j in
+            acc := !acc +. (qij *. qij)
+          done;
+          !acc)
+
+let press ?ridge a b =
+  let coeffs = lstsq ?ridge a b in
+  let predicted = Matrix.mul_vec a coeffs in
+  let leverages = hat_diag ?ridge a in
+  let m = Matrix.rows a in
+  let acc = ref 0. in
+  for i = 0 to m - 1 do
+    let denom = Float.max (1. -. leverages.(i)) 1e-9 in
+    let e = (b.(i) -. predicted.(i)) /. denom in
+    acc := !acc +. (e *. e)
+  done;
+  !acc

@@ -1,0 +1,40 @@
+(** A second modeling target: a Miller-compensated two-stage op-amp.
+
+    The paper argues CAFFEINE applies to "any nonlinear circuits and circuit
+    characteristics"; this testbench backs that claim with a different
+    topology — NMOS differential pair with PMOS mirror load (first stage),
+    common-source PMOS second stage, and a Miller compensation capacitor
+    whose pole-splitting and right-half-plane zero give the AC response a
+    qualitatively different character from the symmetrical OTA.
+
+    Design variables (operating-point formulation, 8 variables): the two
+    stage currents, four drive voltages, the compensation capacitor, and the
+    load capacitor.  Performances: ALF (dB), fu (Hz), PM (degrees), and
+    static power (W). *)
+
+type performance =
+  | Alf
+  | Fu
+  | Pm
+  | Power
+
+val all_performances : performance list
+
+val performance_name : performance -> string
+
+val dims : int
+(** 8 design variables. *)
+
+val var_names : string array
+(** [id1; id2; vgs1; vsg3; vgs5; vgs7; cc; cl] — currents in A, drive
+    voltages in V, capacitors in F. *)
+
+val nominal : float array
+
+val evaluate : float array -> (float array, string) result
+(** The four performances at a design point, in {!all_performances} order. *)
+
+val dataset :
+  Caffeine_util.Rng.t -> samples:int -> spread:float -> float array array * float array array
+(** Latin-hypercube sample of the box [nominal · (1 ± spread)]; rows that
+    fail to evaluate are dropped.  Returns (inputs, outputs). *)

@@ -1,0 +1,204 @@
+module Mos = Caffeine_spice.Mos
+module Circuit = Caffeine_spice.Circuit
+module Dc = Caffeine_spice.Dc
+
+type device_report = {
+  name : string;
+  designed_current : float;
+  solved_current : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+type report = {
+  output_voltage : float;
+  tail_voltage : float;
+  iterations : int;
+  devices : device_report list;
+}
+
+let nmos = Mos.default_nmos
+let pmos = Mos.default_pmos
+let length = 3e-6
+let vdd = Ota.supply_voltage
+let common_mode = 2.0
+let cascode_headroom = 0.5
+
+(* Node map:
+   0 gnd, 1 vdd, 2 bias gate, 3 tail, 4 input common mode,
+   5 drain M1a / diode M2a, 6 drain M1b / diode M2b,
+   7 diode M3 / gate M4, 8 cascode internal, 9 output, 10 cascode gate,
+   11 driven input gate (M1a; M1b stays at the common mode). *)
+let n_gnd = 0
+and n_vdd = 1
+and n_bias = 2
+and n_tail = 3
+and n_cm = 4
+and n_d1a = 5
+and n_d1b = 6
+and n_mirror = 7
+and n_casc = 8
+and n_out = 9
+and n_cascgate = 10
+and n_inp = 11
+
+let overdrive params v_drive =
+  let vov = v_drive -. Float.abs params.Mos.vth0 in
+  if vov <= 0.02 then Error "device in or near cutoff (overdrive <= 20 mV)" else Ok vov
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let netlist x =
+  if Array.length x <> Ota.dims then invalid_arg "Testbench.netlist: design point width";
+  let value name =
+    let rec find i =
+      if i >= Array.length Ota.var_names then invalid_arg ("Testbench: no variable " ^ name)
+      else if Ota.var_names.(i) = name then x.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let id1 = value "id1" and id2 = value "id2" and ib = value "ib" in
+  if id1 <= 0. || id2 <= 0. || ib <= 0. then Error "non-positive branch current"
+  else
+    let* vov1 = overdrive pmos (value "vsg1") in
+    let* vov2 = overdrive nmos (value "vgs2") in
+    let* vov3 = overdrive pmos (value "vsg3") in
+    let* vov4 = overdrive pmos (value "vsg4") in
+    let* vov5 = overdrive pmos (value "vsg5") in
+    let* vov6 = overdrive pmos (value "vgs6") in
+    let size params ~id ~vov = Mos.size_for_current params ~id ~vov ~l:length in
+    let w1 = size pmos ~id:id1 ~vov:vov1 in
+    let w2 = size nmos ~id:id1 ~vov:vov2 in
+    let w2k = size nmos ~id:id2 ~vov:vov2 in
+    let w3 = size pmos ~id:id2 ~vov:vov3 in
+    let w4 = size pmos ~id:id2 ~vov:vov4 in
+    let w5 = size pmos ~id:id2 ~vov:vov5 in
+    let w6 = size pmos ~id:(2. *. id1) ~vov:vov6 in
+    let w7 = size pmos ~id:ib ~vov:vov6 in
+    let vcasc = vdd -. cascode_headroom -. (vov5 +. Float.abs pmos.Mos.vth0) in
+    let mosfet name drain gate source bulk params w =
+      Circuit.Mosfet { name; drain; gate; source; bulk; params; w; l = length }
+    in
+    Ok
+      (Circuit.make
+         [
+           Circuit.Vsource { name = "vdd"; pos = n_vdd; neg = n_gnd; dc = vdd; ac = 0. };
+           Circuit.Vsource { name = "vcm"; pos = n_cm; neg = n_gnd; dc = common_mode; ac = 0. };
+           Circuit.Vsource { name = "vinp"; pos = n_inp; neg = n_gnd; dc = common_mode; ac = 1. };
+           Circuit.Vsource
+             { name = "vcasc"; pos = n_cascgate; neg = n_gnd; dc = vcasc; ac = 0. };
+           (* Bias branch: ib through the diode-connected PMOS M7. *)
+           Circuit.Isource { name = "ibias"; from_node = n_bias; to_node = n_gnd; amps = ib };
+           mosfet "m7" n_bias n_bias n_vdd n_vdd pmos w7;
+           (* Tail source M6 mirrors the bias branch scaled to 2 id1. *)
+           mosfet "m6" n_tail n_bias n_vdd n_vdd pmos w6;
+           (* PMOS input pair. *)
+           mosfet "m1a" n_d1a n_inp n_tail n_vdd pmos w1;
+           mosfet "m1b" n_d1b n_cm n_tail n_vdd pmos w1;
+           (* NMOS diode loads and their scaled mirror outputs. *)
+           mosfet "m2a" n_d1a n_d1a n_gnd n_gnd nmos w2;
+           mosfet "m2b" n_d1b n_d1b n_gnd n_gnd nmos w2;
+           mosfet "m2c" n_mirror n_d1a n_gnd n_gnd nmos w2k;
+           mosfet "m2d" n_out n_d1b n_gnd n_gnd nmos w2k;
+           (* PMOS mirror and cascode to the output. *)
+           mosfet "m3" n_mirror n_mirror n_vdd n_vdd pmos w3;
+           mosfet "m4" n_casc n_mirror n_vdd n_vdd pmos w4;
+           mosfet "m5" n_out n_cascgate n_casc n_vdd pmos w5;
+           (* Weak DC anchor for the high-impedance output node. *)
+           Circuit.Resistor { name = "ranchor"; n1 = n_out; n2 = n_cm; ohms = 1e8 };
+           Circuit.Capacitor { name = "cl"; n1 = n_out; n2 = n_gnd; farads = Ota.load_capacitance };
+         ])
+
+let initial_guess x =
+  let value name =
+    let rec find i =
+      if Ota.var_names.(i) = name then x.(i) else find (i + 1)
+    in
+    find 0
+  in
+  let guesses = Array.make 12 0. in
+  guesses.(n_vdd) <- vdd;
+  guesses.(n_bias) <- vdd -. value "vgs6";
+  guesses.(n_tail) <- common_mode +. value "vsg1";
+  guesses.(n_cm) <- common_mode;
+  guesses.(n_d1a) <- value "vgs2";
+  guesses.(n_d1b) <- value "vgs2";
+  guesses.(n_mirror) <- vdd -. value "vsg3";
+  guesses.(n_casc) <- vdd -. cascode_headroom;
+  guesses.(n_out) <- common_mode;
+  guesses.(n_cascgate) <- vdd -. cascode_headroom -. value "vsg5";
+  guesses.(n_inp) <- common_mode;
+  guesses
+
+let validate x =
+  let* circuit = netlist x in
+  match Dc.solve ~initial:(initial_guess x) circuit with
+  | Error msg -> Error ("DC solve failed: " ^ msg)
+  | Ok solution ->
+      let value name =
+        let rec find i =
+          if Ota.var_names.(i) = name then x.(i) else find (i + 1)
+        in
+        find 0
+      in
+      let id1 = value "id1" and id2 = value "id2" and ib = value "ib" in
+      let designed =
+        [
+          ("m1a", id1); ("m1b", id1); ("m2a", id1); ("m2b", id1);
+          ("m2c", id2); ("m2d", id2); ("m3", id2); ("m4", id2); ("m5", id2);
+          ("m6", 2. *. id1); ("m7", ib);
+        ]
+      in
+      let devices =
+        List.map
+          (fun (name, designed_current) ->
+            let bias = Dc.mos_bias solution name in
+            {
+              name;
+              designed_current;
+              solved_current = Float.abs bias.Dc.op.Mos.ids;
+              region = bias.Dc.op.Mos.region;
+            })
+          designed
+      in
+      Ok
+        {
+          output_voltage = Dc.node_voltage solution n_out;
+          tail_voltage = Dc.node_voltage solution n_tail;
+          iterations = solution.Dc.iterations;
+          devices;
+        }
+
+let transient_slew ?(step_voltage = 0.4) ?(duration = 400e-9) x =
+  let* circuit = netlist x in
+  match Dc.solve ~initial:(initial_guess x) circuit with
+  | Error msg -> Error ("DC solve failed: " ^ msg)
+  | Ok operating_point ->
+      let run direction =
+        (* The input pair is PMOS with the inverting path through the
+           mirrors: a negative gate step raises the output. *)
+        let stimulus name t =
+          if name = "vinp" && t > 0. then Some (common_mode +. (direction *. step_voltage))
+          else None
+        in
+        match
+          Caffeine_spice.Tran.simulate ~stimulus ~initial:operating_point ~circuit
+            ~step:(duration /. 400.) ~duration ()
+        with
+        | Error msg -> Error ("transient failed: " ^ msg)
+        | Ok waveform -> Ok (Caffeine_spice.Tran.slew_rates waveform ~node:n_out)
+      in
+      let* rising_pair = run (-1.) in
+      let* falling_pair = run 1. in
+      let rising, _ = rising_pair in
+      let _, falling = falling_pair in
+      Ok (rising, falling)
+
+let max_current_mismatch report =
+  List.fold_left
+    (fun acc d ->
+      let relative =
+        Float.abs (d.solved_current -. d.designed_current) /. Float.max 1e-12 d.designed_current
+      in
+      Float.max acc relative)
+    0. report.devices

@@ -1,0 +1,103 @@
+module Matrix = Caffeine_linalg.Matrix
+module Decomp = Caffeine_linalg.Decomp
+
+(* Lawson & Hanson (1974), "Solving Least Squares Problems", chapter 23.
+   P is the passive (free) set, R the active (zeroed) set.  Each outer step
+   moves the most promising column into P; the inner loop backtracks along
+   the segment between the current x and the unconstrained solution on P
+   until feasibility is restored. *)
+let solve ?(max_iterations = 1000) ?tolerance ?max_active a b =
+  let m = Matrix.rows a and n = Matrix.cols a in
+  if Array.length b <> m then invalid_arg "Nnls.solve: dimension mismatch";
+  let cap = match max_active with Some c -> min c n | None -> n in
+  let x = Array.make n 0. in
+  let in_passive = Array.make n false in
+  let passive_count = ref 0 in
+  let tol =
+    match tolerance with
+    | Some t -> t
+    | None ->
+        let scale = Matrix.frobenius_norm a in
+        1e-10 *. Float.max 1. scale
+  in
+  let residual () =
+    let ax = Matrix.mul_vec a x in
+    Array.init m (fun i -> b.(i) -. ax.(i))
+  in
+  let gradient () =
+    let r = residual () in
+    Array.init n (fun j ->
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (Matrix.get a i j *. r.(i))
+        done;
+        !acc)
+  in
+  let passive_indices () =
+    let out = ref [] in
+    for j = n - 1 downto 0 do
+      if in_passive.(j) then out := j :: !out
+    done;
+    Array.of_list !out
+  in
+  let unconstrained_on_passive () =
+    let idx = passive_indices () in
+    let sub = Matrix.select_columns a idx in
+    let z_sub = Decomp.lstsq sub b in
+    let z = Array.make n 0. in
+    Array.iteri (fun k j -> z.(j) <- z_sub.(k)) idx;
+    z
+  in
+  let outer = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !outer < max_iterations do
+    incr outer;
+    let w = gradient () in
+    (* Choose the most violated column in R. *)
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not in_passive.(j)) && w.(j) > tol then
+        if !best < 0 || w.(j) > w.(!best) then best := j
+    done;
+    if !best < 0 || !passive_count >= cap then finished := true
+    else begin
+      in_passive.(!best) <- true;
+      incr passive_count;
+      let inner_done = ref false in
+      let inner = ref 0 in
+      while (not !inner_done) && !inner < max_iterations do
+        incr inner;
+        let z = unconstrained_on_passive () in
+        let all_positive =
+          Array.for_all (fun j -> not in_passive.(j) || z.(j) > 0.) (Array.init n (fun j -> j))
+        in
+        if all_positive then begin
+          Array.iteri (fun j passive -> if passive then x.(j) <- z.(j) else x.(j) <- 0.) in_passive;
+          inner_done := true
+        end
+        else begin
+          (* Step towards z, stopping at the first coefficient that hits 0. *)
+          let alpha = ref Float.infinity in
+          for j = 0 to n - 1 do
+            if in_passive.(j) && z.(j) <= 0. then begin
+              let denom = x.(j) -. z.(j) in
+              if denom > 0. then alpha := Float.min !alpha (x.(j) /. denom)
+            end
+          done;
+          let alpha = if Float.is_finite !alpha then !alpha else 0. in
+          for j = 0 to n - 1 do
+            if in_passive.(j) then begin
+              x.(j) <- x.(j) +. (alpha *. (z.(j) -. x.(j)));
+              if x.(j) <= 1e-14 then begin
+                x.(j) <- 0.;
+                in_passive.(j) <- false;
+                decr passive_count
+              end
+            end
+          done;
+          if !passive_count = 0 then inner_done := true
+        end
+      done
+    end
+  done;
+  x

@@ -1,0 +1,17 @@
+(** Non-negative least squares, Lawson–Hanson active-set algorithm.
+
+    Solves [min ‖A x − b‖₂ subject to x ≥ 0].  Used to fit posynomial
+    models, whose defining constraint is positive monomial coefficients. *)
+
+val solve :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?max_active:int ->
+  Caffeine_linalg.Matrix.t ->
+  float array ->
+  float array
+(** [solve a b] returns the coefficient vector.  [max_active] caps the
+    number of strictly-positive coefficients (the template's "dozens of
+    terms"); default unlimited.  [tolerance] is the dual-feasibility
+    threshold on the gradient (default [1e-10] scaled by the problem).
+    Raises [Invalid_argument] on dimension mismatch. *)

@@ -1,0 +1,158 @@
+module Matrix = Caffeine_linalg.Matrix
+module Stats = Caffeine_util.Stats
+
+type model = {
+  exponents : int array array;
+  coefficients : float array;
+  intercept : float;
+  sign : float;
+  train_error : float;
+}
+
+let candidate_exponents ~dims ~max_single_exponent =
+  if dims < 1 then invalid_arg "Posyn.candidate_exponents: dims < 1";
+  if max_single_exponent < 1 then invalid_arg "Posyn.candidate_exponents: exponent < 1";
+  let candidates = ref [] in
+  let add vector = candidates := vector :: !candidates in
+  for i = 0 to dims - 1 do
+    for e = 1 to max_single_exponent do
+      let up = Array.make dims 0 in
+      up.(i) <- e;
+      add up;
+      let down = Array.make dims 0 in
+      down.(i) <- -e;
+      add down
+    done
+  done;
+  for i = 0 to dims - 1 do
+    for j = i + 1 to dims - 1 do
+      List.iter
+        (fun (ei, ej) ->
+          let v = Array.make dims 0 in
+          v.(i) <- ei;
+          v.(j) <- ej;
+          add v)
+        [ (1, 1); (1, -1); (-1, 1); (-1, -1) ]
+    done
+  done;
+  Array.of_list (List.rev !candidates)
+
+let monomial_value exponents x =
+  let acc = ref 1. in
+  Array.iteri
+    (fun i e ->
+      if e <> 0 then begin
+        let rec power acc base k = if k = 0 then acc else power (acc *. base) base (k - 1) in
+        let magnitude = power 1. x.(i) (abs e) in
+        acc := if e > 0 then !acc *. magnitude else !acc /. magnitude
+      end)
+    exponents;
+  !acc
+
+let check_inputs inputs =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          if v <= 0. then invalid_arg "Posyn: design variables must be positive")
+        row)
+    inputs
+
+let fit ?(max_terms = 40) ~inputs ~targets () =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Posyn.fit: no samples";
+  if Array.length targets <> n then invalid_arg "Posyn.fit: inputs/targets length mismatch";
+  check_inputs inputs;
+  let dims = Array.length inputs.(0) in
+  let exponents = candidate_exponents ~dims ~max_single_exponent:2 in
+  let k = Array.length exponents in
+  let mean = Stats.mean targets in
+  let sign = if mean < 0. then -1. else 1. in
+  let flipped = Array.map (fun y -> sign *. y) targets in
+  (* Columns are normalized monomials so NNLS treats all scales fairly; the
+     two extra columns (+1 / -1) implement a free-sign intercept. *)
+  let scales =
+    Array.map
+      (fun e ->
+        let magnitude =
+          Array.fold_left (fun acc x -> acc +. Float.abs (monomial_value e x)) 0. inputs
+          /. float_of_int n
+        in
+        if magnitude > 0. then magnitude else 1.)
+      exponents
+  in
+  let design =
+    Matrix.init n (k + 2) (fun i j ->
+        if j < k then monomial_value exponents.(j) inputs.(i) /. scales.(j)
+        else if j = k then 1.
+        else -1.)
+  in
+  (* The active-set cap counts the two intercept columns too; tighten and
+     re-solve until at most [max_terms] monomials are active. *)
+  let raw =
+    let rec solve_with cap =
+      let raw = Nnls.solve ~max_active:cap design flipped in
+      let active_monomials =
+        let count = ref 0 in
+        for j = 0 to k - 1 do
+          if raw.(j) > 0. then incr count
+        done;
+        !count
+      in
+      if active_monomials <= max_terms || cap <= 1 then raw
+      else solve_with (cap - (active_monomials - max_terms))
+    in
+    solve_with (max_terms + 2)
+  in
+  let coefficients = Array.init k (fun j -> raw.(j) /. scales.(j)) in
+  let intercept = raw.(k) -. raw.(k + 1) in
+  let model = { exponents; coefficients; intercept; sign; train_error = 0. } in
+  let predictions_flipped =
+    Array.map
+      (fun x ->
+        Array.to_seq (Array.mapi (fun j c -> c *. monomial_value exponents.(j) x) coefficients)
+        |> Seq.fold_left ( +. ) intercept)
+      inputs
+  in
+  let train_error =
+    Stats.normalized_error flipped predictions_flipped
+  in
+  { model with train_error }
+
+let predict model inputs =
+  Array.map
+    (fun x ->
+      let acc = ref model.intercept in
+      Array.iteri
+        (fun j c -> if c > 0. then acc := !acc +. (c *. monomial_value model.exponents.(j) x))
+        model.coefficients;
+      model.sign *. !acc)
+    inputs
+
+let error_on model ~inputs ~targets =
+  let predictions = predict model inputs in
+  if Stats.is_finite_array predictions then Stats.normalized_error targets predictions
+  else Float.infinity
+
+let num_terms model = Array.fold_left (fun acc c -> if c > 0. then acc + 1 else acc) 0 model.coefficients
+
+let to_string ~var_names model =
+  let buffer = Buffer.create 256 in
+  if model.sign < 0. then Buffer.add_string buffer "-(";
+  Buffer.add_string buffer (Printf.sprintf "%.4g" model.intercept);
+  Array.iteri
+    (fun j c ->
+      if c > 0. then begin
+        Buffer.add_string buffer (Printf.sprintf " + %.4g" c);
+        Array.iteri
+          (fun i e ->
+            if e <> 0 then begin
+              let name = if i < Array.length var_names then var_names.(i) else Printf.sprintf "x%d" i in
+              if e = 1 then Buffer.add_string buffer (Printf.sprintf " * %s" name)
+              else Buffer.add_string buffer (Printf.sprintf " * %s^%d" name e)
+            end)
+          model.exponents.(j)
+      end)
+    model.coefficients;
+  if model.sign < 0. then Buffer.add_string buffer ")";
+  Buffer.contents buffer

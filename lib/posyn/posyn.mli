@@ -1,0 +1,43 @@
+(** Posynomial performance models — the comparison baseline of the paper
+    (Daems, Gielen & Sansen, DAC'02 / TCAD'03).
+
+    A posynomial is a sum of monomials with positive coefficients:
+    [f(x) = Σ_k c_k · Π_i x_i^(a_ik)], [c_k > 0].  Following the published
+    approach we fix a template — an order-2 candidate set with single-variable
+    terms [x_i^e] ([e ∈ {-2,-1,1,2}]) and pairwise products/ratios
+    [x_i^(±1) · x_j^(±1)] — and learn the coefficients from simulation data,
+    here by non-negative least squares (which also performs the template's
+    term selection).  A free-sign intercept and a global sign flip let the
+    template fit negative-valued performances such as SRn.
+
+    This captures the baseline's defining characteristics the paper argues
+    against: a fixed functional template, dozens of terms, and no guarantee
+    that the data is posynomial at all. *)
+
+type model = {
+  exponents : int array array;  (** candidate monomial exponents, per term *)
+  coefficients : float array;  (** same length; >= 0, mostly zero *)
+  intercept : float;
+  sign : float;  (** +1 or -1: the template fits [sign · y] *)
+  train_error : float;  (** normalized error on the fitting data *)
+}
+
+val candidate_exponents : dims:int -> max_single_exponent:int -> int array array
+(** The order-2 template: single-variable and pairwise exponent vectors. *)
+
+val fit : ?max_terms:int -> inputs:float array array -> targets:float array -> unit -> model
+(** Fit the template by NNLS ([max_terms] caps the active monomials,
+    default 40 — "dozens of terms").  Raises [Invalid_argument] on
+    non-positive design-variable values (posynomials require x > 0) or
+    shape mismatches. *)
+
+val predict : model -> float array array -> float array
+
+val error_on : model -> inputs:float array array -> targets:float array -> float
+(** Normalized error, [infinity] if predictions are not finite. *)
+
+val num_terms : model -> int
+(** Count of strictly positive coefficients. *)
+
+val to_string : var_names:string array -> model -> string
+(** Human-readable rendering of the (typically long) model. *)

@@ -1,0 +1,112 @@
+module Matrix = Caffeine_linalg.Matrix
+module Decomp = Caffeine_linalg.Decomp
+module Stats = Caffeine_util.Stats
+
+type t = {
+  intercept : float;
+  weights : float array;
+  predictions : float array;
+  train_error : float;
+}
+
+let check_columns name columns =
+  let k = Array.length columns in
+  if k = 0 then invalid_arg (name ^ ": no columns");
+  let n = Array.length columns.(0) in
+  if n = 0 then invalid_arg (name ^ ": empty columns");
+  Array.iter
+    (fun col ->
+      if Array.length col <> n then invalid_arg (name ^ ": ragged columns");
+      if not (Stats.is_finite_array col) then invalid_arg (name ^ ": non-finite basis values"))
+    columns;
+  n
+
+let design_matrix columns =
+  let n = check_columns "Linfit.design_matrix" columns in
+  let k = Array.length columns in
+  Matrix.init n (k + 1) (fun i j -> if j = 0 then 1. else columns.(j - 1).(i))
+
+let fit_constant ~targets =
+  if Array.length targets = 0 then invalid_arg "Linfit.fit_constant: no targets";
+  let intercept = Stats.mean targets in
+  let predictions = Array.map (fun _ -> intercept) targets in
+  {
+    intercept;
+    weights = [||];
+    predictions;
+    train_error = Stats.normalized_error targets predictions;
+  }
+
+let fit ~basis_values ~targets =
+  if Array.length basis_values = 0 then fit_constant ~targets
+  else begin
+    let design = design_matrix basis_values in
+    if Matrix.rows design <> Array.length targets then
+      invalid_arg "Linfit.fit: sample count mismatch";
+    let coeffs = Decomp.lstsq design targets in
+    let predictions = Matrix.mul_vec design coeffs in
+    {
+      intercept = coeffs.(0);
+      weights = Array.sub coeffs 1 (Array.length coeffs - 1);
+      predictions;
+      train_error = Stats.normalized_error targets predictions;
+    }
+  end
+
+let predict model ~basis_values =
+  if Array.length basis_values <> Array.length model.weights then
+    invalid_arg "Linfit.predict: basis count mismatch";
+  if Array.length basis_values = 0 then
+    Array.make (Array.length model.predictions) model.intercept
+  else begin
+    let n = check_columns "Linfit.predict" basis_values in
+    Array.init n (fun i ->
+        let acc = ref model.intercept in
+        Array.iteri (fun j col -> acc := !acc +. (model.weights.(j) *. col.(i))) basis_values;
+        !acc)
+  end
+
+let press ~basis_values ~targets =
+  if Array.length basis_values = 0 then begin
+    (* Intercept-only: h_ii = 1/n for every sample. *)
+    let n = Array.length targets in
+    if n = 0 then invalid_arg "Linfit.press: no targets";
+    let m = Stats.mean targets in
+    let shrink = 1. -. (1. /. float_of_int n) in
+    Array.fold_left
+      (fun acc y ->
+        let e = (y -. m) /. Float.max shrink 1e-9 in
+        acc +. (e *. e))
+      0. targets
+  end
+  else Decomp.press (design_matrix basis_values) targets
+
+let forward_select ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
+  let total = Array.length basis_values in
+  let cap = match max_bases with Some m -> min m total | None -> total in
+  let usable = Array.map Stats.is_finite_array basis_values in
+  let chosen = ref [] in
+  let chosen_count = ref 0 in
+  let current_press = ref (press ~basis_values:[||] ~targets) in
+  let continue = ref true in
+  while !continue && !chosen_count < cap do
+    let best = ref None in
+    for candidate = 0 to total - 1 do
+      if usable.(candidate) && not (List.mem candidate !chosen) then begin
+        let columns =
+          Array.of_list (List.rev_map (fun i -> basis_values.(i)) (candidate :: !chosen))
+        in
+        let score = press ~basis_values:columns ~targets in
+        match !best with
+        | Some (_, best_score) when best_score <= score -> ()
+        | Some _ | None -> if Float.is_finite score then best := Some (candidate, score)
+      end
+    done;
+    match !best with
+    | Some (candidate, score) when score < !current_press *. (1. -. tolerance) ->
+        chosen := candidate :: !chosen;
+        incr chosen_count;
+        current_press := score
+    | Some _ | None -> continue := false
+  done;
+  Array.of_list (List.rev !chosen)

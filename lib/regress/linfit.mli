@@ -1,0 +1,50 @@
+(** Linear weighting of basis functions.
+
+    CAFFEINE's top-level weights are not evolved: given the values of each
+    basis function on the training samples, the weights (plus intercept) are
+    learned by least squares.  This module performs that fit, computes the
+    paper's normalized error measure, and exposes the PRESS statistic and
+    PRESS-guided forward regression used by simplification-after-generation
+    (section 5.1). *)
+
+type t = {
+  intercept : float;
+  weights : float array;  (** one weight per basis column *)
+  predictions : float array;  (** fitted values on the training inputs *)
+  train_error : float;  (** normalized error on the training targets *)
+}
+
+val design_matrix : float array array -> Caffeine_linalg.Matrix.t
+(** [design_matrix columns] builds the [n x (1 + k)] design whose first column
+    is all ones and whose remaining columns are the per-basis value vectors.
+    All columns must share the (positive) length [n]. *)
+
+val fit : basis_values:float array array -> targets:float array -> t
+(** Least-squares fit of [targets ≈ intercept + Σ wᵢ · basisᵢ].  With an empty
+    [basis_values] the result is the constant (mean) model.  Raises
+    [Invalid_argument] when a basis column contains non-finite values —
+    callers are expected to screen those out (such models are invalid). *)
+
+val fit_constant : targets:float array -> t
+(** The zero-complexity model: intercept = mean of targets. *)
+
+val predict : t -> basis_values:float array array -> float array
+(** Apply fitted weights to basis values measured at other sample points. *)
+
+val press : basis_values:float array array -> targets:float array -> float
+(** Predicted Residual Sum of Squares of the linear fit (leave-one-out
+    shortcut on the linear parameters). *)
+
+val forward_select :
+  ?max_bases:int ->
+  ?tolerance:float ->
+  basis_values:float array array ->
+  targets:float array ->
+  unit ->
+  int array
+(** PRESS-guided forward regression: starting from the intercept-only model,
+    greedily add the basis column whose inclusion lowers PRESS the most, and
+    stop when no addition improves PRESS by more than [tolerance] (relative,
+    default [1e-6]) or when [max_bases] columns are selected.  Returns the
+    chosen column indices in selection order.  Columns with non-finite
+    values are never selected. *)

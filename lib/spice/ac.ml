@@ -1,0 +1,171 @@
+module Cmatrix = Caffeine_linalg.Cmatrix
+
+type point = { freq_hz : float; response : Complex.t }
+
+type sweep = point array
+
+let log_frequencies ~start_hz ~stop_hz ~points_per_decade =
+  if start_hz <= 0. || stop_hz <= start_hz then invalid_arg "Ac.log_frequencies: bad range";
+  if points_per_decade < 1 then invalid_arg "Ac.log_frequencies: need at least 1 point/decade";
+  let decades = log10 (stop_hz /. start_hz) in
+  let count = int_of_float (ceil (decades *. float_of_int points_per_decade)) + 1 in
+  Array.init count (fun i ->
+      start_hz *. (10. ** (float_of_int i /. float_of_int points_per_decade)))
+
+(* Linearized stamps for one frequency.  Same unknown layout as Dc. *)
+let stamp_ac circuit dc omega =
+  let n = Circuit.num_nodes circuit in
+  let sources = Circuit.vsource_names circuit in
+  let m = List.length sources in
+  let size = n + m in
+  let y = Cmatrix.create (max size 1) (max size 1) in
+  let rhs = Array.make (max size 1) Complex.zero in
+  let add_y row col value = if row > 0 && col > 0 then Cmatrix.add_entry y (row - 1) (col - 1) value in
+  let real g = { Complex.re = g; im = 0. } in
+  let imaginary c = { Complex.re = 0.; im = c } in
+  let add_conductance n1 n2 g =
+    add_y n1 n1 (real g);
+    add_y n2 n2 (real g);
+    add_y n1 n2 (real (-.g));
+    add_y n2 n1 (real (-.g))
+  in
+  let add_capacitance n1 n2 c =
+    let admittance = omega *. c in
+    add_y n1 n1 (imaginary admittance);
+    add_y n2 n2 (imaginary admittance);
+    add_y n1 n2 (imaginary (-.admittance));
+    add_y n2 n1 (imaginary (-.admittance))
+  in
+  let add_vccs out_pos out_neg in_pos in_neg gm =
+    add_y out_pos in_pos (real gm);
+    add_y out_pos in_neg (real (-.gm));
+    add_y out_neg in_pos (real (-.gm));
+    add_y out_neg in_neg (real gm)
+  in
+  let branch = ref 0 in
+  List.iter
+    (fun element ->
+      match element with
+      | Circuit.Resistor { n1; n2; ohms; _ } -> add_conductance n1 n2 (1. /. ohms)
+      | Circuit.Capacitor { n1; n2; farads; _ } -> add_capacitance n1 n2 farads
+      | Circuit.Vsource { pos; neg; ac; _ } ->
+          let k = n + !branch in
+          if pos > 0 then begin
+            Cmatrix.add_entry y (pos - 1) k Complex.one;
+            Cmatrix.add_entry y k (pos - 1) Complex.one
+          end;
+          if neg > 0 then begin
+            Cmatrix.add_entry y (neg - 1) k { Complex.re = -1.; im = 0. };
+            Cmatrix.add_entry y k (neg - 1) { Complex.re = -1.; im = 0. }
+          end;
+          rhs.(k) <- { Complex.re = ac; im = 0. };
+          incr branch
+      | Circuit.Isource _ -> ()
+      | Circuit.Vccs { out_pos; out_neg; in_pos; in_neg; gm; _ } ->
+          add_vccs out_pos out_neg in_pos in_neg gm
+      | Circuit.Mosfet { name; drain; gate; source; bulk; params; w; l } ->
+          let bias = Dc.mos_bias dc name in
+          let op = bias.Dc.op in
+          add_vccs drain source gate source op.Mos.gm;
+          add_conductance drain source op.Mos.gds;
+          add_vccs drain source bulk source op.Mos.gmb;
+          add_capacitance gate source (Mos.cgs params ~w ~l);
+          add_capacitance gate drain (Mos.cgd params ~w);
+          add_capacitance drain bulk (Mos.cdb params ~w);
+          add_capacitance source bulk (Mos.cdb params ~w))
+    (Circuit.elements circuit);
+  (y, rhs, size)
+
+let transfer ~circuit ~dc ~input ~output ~freqs =
+  let input_index =
+    match Circuit.vsource_index circuit input with
+    | index -> index
+    | exception Not_found -> invalid_arg ("Ac.transfer: unknown voltage source " ^ input)
+  in
+  if output <= 0 || output > Circuit.num_nodes circuit then
+    invalid_arg "Ac.transfer: output node out of range";
+  (* Drive the chosen source with unit AC; silence the others. *)
+  let adjusted =
+    Circuit.make
+      (List.map
+         (fun element ->
+           match element with
+           | Circuit.Vsource ({ name; _ } as v) ->
+               Circuit.Vsource { v with ac = (if Circuit.vsource_index circuit name = input_index then 1. else 0.) }
+           | Circuit.Resistor _ | Circuit.Capacitor _ | Circuit.Isource _ | Circuit.Vccs _
+           | Circuit.Mosfet _ -> element)
+         (Circuit.elements circuit))
+  in
+  Array.map
+    (fun freq_hz ->
+      let omega = 2. *. Float.pi *. freq_hz in
+      let y, rhs, _ = stamp_ac adjusted dc omega in
+      let solution = Cmatrix.solve y rhs in
+      { freq_hz; response = solution.(output - 1) })
+    freqs
+
+let gain_db sweep =
+  Array.map (fun p -> 20. *. log10 (Float.max (Complex.norm p.response) 1e-300)) sweep
+
+let phase_deg_unwrapped sweep =
+  let n = Array.length sweep in
+  let out = Array.make n 0. in
+  let previous = ref 0. in
+  for i = 0 to n - 1 do
+    let raw = Complex.arg sweep.(i).response in
+    let unwrapped =
+      if i = 0 then raw
+      else begin
+        (* Shift by multiples of 2π to stay within π of the previous point. *)
+        let delta = raw -. !previous in
+        let wraps = Float.round (delta /. (2. *. Float.pi)) in
+        raw -. (wraps *. 2. *. Float.pi)
+      end
+    in
+    previous := unwrapped;
+    out.(i) <- unwrapped *. 180. /. Float.pi
+  done;
+  out
+
+let low_frequency_gain_db sweep =
+  if Array.length sweep = 0 then invalid_arg "Ac.low_frequency_gain_db: empty sweep";
+  (gain_db sweep).(0)
+
+let unity_gain_frequency sweep =
+  let db = gain_db sweep in
+  let n = Array.length sweep in
+  let rec scan i =
+    if i >= n then None
+    else if db.(i) <= 0. then
+      if i = 0 then Some sweep.(0).freq_hz
+      else begin
+        (* Interpolate the 0 dB crossing in (log f, dB) coordinates. *)
+        let f1 = sweep.(i - 1).freq_hz and f2 = sweep.(i).freq_hz in
+        let g1 = db.(i - 1) and g2 = db.(i) in
+        let t = if g1 = g2 then 0. else g1 /. (g1 -. g2) in
+        Some (10. ** (log10 f1 +. (t *. (log10 f2 -. log10 f1))))
+      end
+    else scan (i + 1)
+  in
+  scan 0
+
+let phase_margin_deg sweep =
+  match unity_gain_frequency sweep with
+  | None -> None
+  | Some fu ->
+      let phases = phase_deg_unwrapped sweep in
+      let n = Array.length sweep in
+      (* Interpolate the unwrapped phase at fu. *)
+      let rec locate i =
+        if i >= n then phases.(n - 1)
+        else if sweep.(i).freq_hz >= fu then
+          if i = 0 then phases.(0)
+          else begin
+            let f1 = log10 sweep.(i - 1).freq_hz and f2 = log10 sweep.(i).freq_hz in
+            let t = if f1 = f2 then 0. else (log10 fu -. f1) /. (f2 -. f1) in
+            phases.(i - 1) +. (t *. (phases.(i) -. phases.(i - 1)))
+          end
+        else locate (i + 1)
+      in
+      let phase_at_fu = locate 0 in
+      Some (180. +. (phase_at_fu -. phases.(0)))

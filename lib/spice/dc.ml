@@ -1,0 +1,186 @@
+module Matrix = Caffeine_linalg.Matrix
+module Decomp = Caffeine_linalg.Decomp
+
+type mos_bias = {
+  name : string;
+  vgs : float;
+  vds : float;
+  vbs : float;
+  op : Mos.operating_point;
+}
+
+type solution = {
+  voltages : float array;
+  branch_currents : (string * float) list;
+  iterations : int;
+  mos_biases : mos_bias list;
+}
+
+let node_voltage sol n = sol.voltages.(n)
+
+let branch_current sol name = List.assoc name sol.branch_currents
+
+let mos_bias sol name = List.find (fun b -> b.name = name) sol.mos_biases
+
+(* Unknown layout: x.(i) for i < n is the voltage of node i+1; x.(n + k) is
+   the branch current of the k-th voltage source. *)
+let stamp_system ?vsource_value ?extra_stamp circuit x =
+  let n = Circuit.num_nodes circuit in
+  let sources = Circuit.vsource_names circuit in
+  let m = List.length sources in
+  let size = n + m in
+  let g = Matrix.create (max size 1) (max size 1) in
+  let b = Array.make (max size 1) 0. in
+  let voltage node = if node = 0 then 0. else x.(node - 1) in
+  let add_g row col value =
+    if row > 0 && col > 0 then Matrix.set g (row - 1) (col - 1) (Matrix.get g (row - 1) (col - 1) +. value)
+  in
+  let add_branch_g row branch value =
+    (* [branch] indexes rows/columns past the node block; always present. *)
+    if row > 0 then begin
+      Matrix.set g (row - 1) (n + branch) (Matrix.get g (row - 1) (n + branch) +. value);
+      Matrix.set g (n + branch) (row - 1) (Matrix.get g (n + branch) (row - 1) +. value)
+    end
+  in
+  let add_b row value = if row > 0 then b.(row - 1) <- b.(row - 1) +. value in
+  let branch = ref 0 in
+  List.iter
+    (fun element ->
+      match element with
+      | Circuit.Resistor { n1; n2; ohms; _ } ->
+          let conductance = 1. /. ohms in
+          add_g n1 n1 conductance;
+          add_g n2 n2 conductance;
+          add_g n1 n2 (-.conductance);
+          add_g n2 n1 (-.conductance)
+      | Circuit.Capacitor _ -> ()
+      | Circuit.Vsource { name; pos; neg; dc; _ } ->
+          add_branch_g pos !branch 1.;
+          add_branch_g neg !branch (-1.);
+          let value =
+            match vsource_value with
+            | None -> dc
+            | Some override -> ( match override name with Some v -> v | None -> dc)
+          in
+          b.(n + !branch) <- value;
+          incr branch
+      | Circuit.Isource { from_node; to_node; amps; _ } ->
+          add_b from_node (-.amps);
+          add_b to_node amps
+      | Circuit.Vccs { out_pos; out_neg; in_pos; in_neg; gm; _ } ->
+          add_g out_pos in_pos gm;
+          add_g out_pos in_neg (-.gm);
+          add_g out_neg in_pos (-.gm);
+          add_g out_neg in_neg gm
+      | Circuit.Mosfet { drain; gate; source; bulk; params; w; l; _ } ->
+          let vgs = voltage gate -. voltage source in
+          let vds = voltage drain -. voltage source in
+          let vbs = voltage bulk -. voltage source in
+          let op = Mos.evaluate params ~w ~l ~vgs ~vds ~vbs in
+          (* Companion model: I_d(v) ≈ ids + gm Δvgs + gds Δvds + gmb Δvbs. *)
+          add_g drain gate op.gm;
+          add_g drain drain op.gds;
+          add_g drain bulk op.gmb;
+          add_g drain source (-.(op.gm +. op.gds +. op.gmb));
+          add_g source gate (-.op.gm);
+          add_g source drain (-.op.gds);
+          add_g source bulk (-.op.gmb);
+          add_g source source (op.gm +. op.gds +. op.gmb);
+          let equivalent = op.ids -. (op.gm *. vgs) -. (op.gds *. vds) -. (op.gmb *. vbs) in
+          add_b drain (-.equivalent);
+          add_b source equivalent)
+    (Circuit.elements circuit);
+  (match extra_stamp with
+  | None -> ()
+  | Some stamp -> stamp ~add_g ~add_b);
+  (g, b, size)
+
+let mos_biases_of circuit x =
+  let voltage node = if node = 0 then 0. else x.(node - 1) in
+  List.filter_map
+    (fun element ->
+      match element with
+      | Circuit.Mosfet { name; drain; gate; source; bulk; params; w; l } ->
+          let vgs = voltage gate -. voltage source in
+          let vds = voltage drain -. voltage source in
+          let vbs = voltage bulk -. voltage source in
+          Some { name; vgs; vds; vbs; op = Mos.evaluate params ~w ~l ~vgs ~vds ~vbs }
+      | Circuit.Resistor _ | Circuit.Capacitor _ | Circuit.Vsource _ | Circuit.Isource _
+      | Circuit.Vccs _ -> None)
+    (Circuit.elements circuit)
+
+(* Damping limit per Newton update.  Square-law devices have polynomial
+   currents (no exponentials), so generous steps are safe; the limit only
+   prevents wild excursions from a poor starting point. *)
+let max_step = 2.0
+
+let solve_with ?(max_iterations = 300) ?(tolerance = 1e-9) ?initial ?vsource_value ?extra_stamp
+    circuit =
+  let n = Circuit.num_nodes circuit in
+  let sources = Circuit.vsource_names circuit in
+  let m = List.length sources in
+  let size = n + m in
+  let x =
+    match initial with
+    | None -> Array.make (max size 1) 0.
+    | Some given ->
+        if Array.length given <> n + 1 then
+          invalid_arg "Dc.solve: initial must have num_nodes + 1 entries";
+        Array.init (max size 1) (fun i -> if i < n then given.(i + 1) else 0.)
+  in
+  let rec iterate iteration =
+    if iteration > max_iterations then Error (Printf.sprintf "no convergence in %d iterations" max_iterations)
+    else begin
+      let g, b, _ = stamp_system ?vsource_value ?extra_stamp circuit x in
+      match Decomp.lu_solve g b with
+      | exception Decomp.Singular -> Error "singular MNA system"
+      | fresh ->
+          (* Damp: limit each node-voltage move to [max_step]. *)
+          let worst = ref 0. in
+          for i = 0 to size - 1 do
+            let delta = fresh.(i) -. x.(i) in
+            let damped =
+              if i < n then Float.max (-.max_step) (Float.min max_step delta) else delta
+            in
+            if i < n then worst := Float.max !worst (Float.abs damped);
+            x.(i) <- x.(i) +. damped
+          done;
+          if !worst < tolerance then begin
+            let voltages = Array.init (n + 1) (fun i -> if i = 0 then 0. else x.(i - 1)) in
+            let branch_currents = List.mapi (fun k name -> (name, x.(n + k))) sources in
+            Ok { voltages; branch_currents; iterations = iteration; mos_biases = mos_biases_of circuit x }
+          end
+          else iterate (iteration + 1)
+    end
+  in
+  iterate 1
+
+let solve ?max_iterations ?tolerance ?initial circuit =
+  solve_with ?max_iterations ?tolerance ?initial circuit
+
+let sweep ?max_iterations ?tolerance ~circuit ~source ~values () =
+  if Array.length values = 0 then invalid_arg "Dc.sweep: empty value list";
+  (match Circuit.vsource_index circuit source with
+  | _ -> ()
+  | exception Not_found -> invalid_arg ("Dc.sweep: unknown voltage source " ^ source));
+  let results = Array.make (Array.length values) None in
+  let previous = ref None in
+  let failed = ref None in
+  Array.iteri
+    (fun k value ->
+      if !failed = None then begin
+        let vsource_value name = if name = source then Some value else None in
+        match solve_with ?max_iterations ?tolerance ?initial:!previous ~vsource_value circuit with
+        | Error msg -> failed := Some (Printf.sprintf "at %s = %g: %s" source value msg)
+        | Ok solution ->
+            previous := Some solution.voltages;
+            results.(k) <- Some (value, solution)
+      end)
+    values;
+  match !failed with
+  | Some msg -> Error msg
+  | None ->
+      Ok
+        (Array.map
+           (fun entry -> match entry with Some pair -> pair | None -> assert false)
+           results)

@@ -1,0 +1,72 @@
+(** Nonlinear DC operating-point analysis.
+
+    Modified nodal analysis with Newton–Raphson iteration: MOSFETs are
+    replaced by their linearized companion models each iteration, the linear
+    MNA system is solved, and the update is damped until the node voltages
+    stop moving.  Capacitors are open circuits at DC. *)
+
+type mos_bias = {
+  name : string;
+  vgs : float;
+  vds : float;
+  vbs : float;
+  op : Mos.operating_point;
+}
+
+type solution = {
+  voltages : float array;  (** node voltages; index 0 is ground (0 V) *)
+  branch_currents : (string * float) list;
+      (** per voltage source: current flowing from its [pos] node through
+          the source *)
+  iterations : int;
+  mos_biases : mos_bias list;  (** per-MOSFET operating point, element order *)
+}
+
+val node_voltage : solution -> int -> float
+
+val branch_current : solution -> string -> float
+(** Raises [Not_found] for an unknown source name. *)
+
+val mos_bias : solution -> string -> mos_bias
+(** Raises [Not_found] for an unknown device name. *)
+
+val solve :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?initial:float array ->
+  Circuit.t ->
+  (solution, string) result
+(** Newton solve from [initial] node voltages (default all zero).  Defaults:
+    [max_iterations = 300], [tolerance = 1e-9] (absolute, on the node-voltage
+    update).  Returns [Error] on non-convergence or a singular system. *)
+
+val solve_with :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?initial:float array ->
+  ?vsource_value:(string -> float option) ->
+  ?extra_stamp:(add_g:(int -> int -> float -> unit) -> add_b:(int -> float -> unit) -> unit) ->
+  Circuit.t ->
+  (solution, string) result
+(** Generalized Newton solve used by the transient engine:
+    [vsource_value name] overrides a voltage source's DC value (e.g. a
+    stimulus evaluated at the current timestep); [extra_stamp] contributes
+    additional linear stamps each iteration ([add_g row col g] accumulates
+    into the conductance matrix, [add_b row i] into the right-hand side;
+    rows/columns are node indices, ground = 0 ignored) — e.g. capacitor
+    companion models. *)
+
+val sweep :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  circuit:Circuit.t ->
+  source:string ->
+  values:float array ->
+  unit ->
+  ((float * solution) array, string) result
+(** The classic [.dc] sweep: solve the circuit for each value of the named
+    voltage source, warm-starting every solve from the previous solution
+    (continuation), which lets Newton track the curve through strongly
+    nonlinear regions.  Returns [(value, solution)] pairs in sweep order;
+    fails on the first non-converging point.  Raises [Invalid_argument] for
+    an unknown source or empty value list. *)

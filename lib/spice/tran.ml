@@ -1,0 +1,134 @@
+type integration =
+  | Backward_euler
+  | Trapezoidal
+
+type waveform = {
+  times : float array;
+  voltages : float array array;
+}
+
+let node_waveform w node = Array.map (fun row -> row.(node)) w.voltages
+
+type capacitor = { n1 : int; n2 : int; farads : float }
+
+let capacitors_of circuit =
+  List.filter_map
+    (fun element ->
+      match element with
+      | Circuit.Capacitor { n1; n2; farads; _ } -> Some { n1; n2; farads }
+      | Circuit.Resistor _ | Circuit.Vsource _ | Circuit.Isource _ | Circuit.Vccs _
+      | Circuit.Mosfet _ -> None)
+    (Circuit.elements circuit)
+
+let simulate ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~duration () =
+  if step <= 0. || duration <= 0. then invalid_arg "Tran.simulate: step and duration must be positive";
+  let vsource_value time =
+    match stimulus with
+    | None -> fun _ -> None
+    | Some f -> fun name -> f name time
+  in
+  let operating_point =
+    match initial with
+    | Some solution -> Ok solution
+    | None -> Dc.solve_with ~vsource_value:(vsource_value 0.) circuit
+  in
+  match operating_point with
+  | Error msg -> Error ("transient: no operating point: " ^ msg)
+  | Ok start ->
+      let caps = capacitors_of circuit in
+      let num_steps = int_of_float (ceil (duration /. step)) in
+      let times = Array.init (num_steps + 1) (fun k -> float_of_int k *. step) in
+      let rows = Array.make (num_steps + 1) [||] in
+      rows.(0) <- Array.copy start.Dc.voltages;
+      (* Per-capacitor branch current, needed by the trapezoidal companion;
+         zero at the operating point. *)
+      let cap_currents = Array.make (List.length caps) 0. in
+      let failed = ref None in
+      let previous = ref rows.(0) in
+      let k = ref 1 in
+      while !failed = None && !k <= num_steps do
+        let prev = !previous in
+        (* The very first step always uses backward Euler (standard SPICE
+           practice after a breakpoint): it needs no capacitor-current
+           history, which is unknown or discontinuous at t = 0. *)
+        let integration = if !k = 1 then Backward_euler else integration in
+        let companion ~add_g ~add_b =
+          List.iteri
+            (fun index { n1; n2; farads } ->
+              let v_prev = prev.(n1) -. prev.(n2) in
+              match integration with
+              | Backward_euler ->
+                  let geq = farads /. step in
+                  add_g n1 n1 geq;
+                  add_g n2 n2 geq;
+                  add_g n1 n2 (-.geq);
+                  add_g n2 n1 (-.geq);
+                  add_b n1 (geq *. v_prev);
+                  add_b n2 (-.(geq *. v_prev))
+              | Trapezoidal ->
+                  let geq = 2. *. farads /. step in
+                  let ieq = (geq *. v_prev) +. cap_currents.(index) in
+                  add_g n1 n1 geq;
+                  add_g n2 n2 geq;
+                  add_g n1 n2 (-.geq);
+                  add_g n2 n1 (-.geq);
+                  add_b n1 ieq;
+                  add_b n2 (-.ieq))
+            caps
+        in
+        let time = times.(!k) in
+        (match
+           Dc.solve_with ~initial:prev ~vsource_value:(vsource_value time) ~extra_stamp:companion
+             circuit
+         with
+        | Error msg -> failed := Some (Printf.sprintf "t = %g s: %s" time msg)
+        | Ok solution ->
+            let fresh = solution.Dc.voltages in
+            List.iteri
+              (fun index { n1; n2; farads } ->
+                let v_new = fresh.(n1) -. fresh.(n2) in
+                let v_prev = prev.(n1) -. prev.(n2) in
+                let current =
+                  match integration with
+                  | Backward_euler -> farads /. step *. (v_new -. v_prev)
+                  | Trapezoidal ->
+                      (2. *. farads /. step *. (v_new -. v_prev)) -. cap_currents.(index)
+                in
+                cap_currents.(index) <- current)
+              caps;
+            rows.(!k) <- Array.copy fresh;
+            previous := rows.(!k);
+            incr k);
+        ()
+      done;
+      (match !failed with
+      | Some msg -> Error msg
+      | None -> Ok { times; voltages = rows })
+
+let slew_rates waveform ~node =
+  let trace = node_waveform waveform node in
+  let n = Array.length trace in
+  if n < 2 then invalid_arg "Tran.slew_rates: need at least two time points";
+  let rising = ref Float.neg_infinity and falling = ref Float.infinity in
+  for k = 1 to n - 1 do
+    let dt = waveform.times.(k) -. waveform.times.(k - 1) in
+    if dt > 0. then begin
+      let rate = (trace.(k) -. trace.(k - 1)) /. dt in
+      rising := Float.max !rising rate;
+      falling := Float.min !falling rate
+    end
+  done;
+  (!rising, !falling)
+
+let settling_time waveform ~node ~target ~tolerance =
+  let trace = node_waveform waveform node in
+  let n = Array.length trace in
+  let rec last_violation k best =
+    if k < 0 then best
+    else if Float.abs (trace.(k) -. target) > tolerance then k
+    else last_violation (k - 1) best
+  in
+  let violation = last_violation (n - 1) (-1) in
+  if violation < 0 then Some waveform.times.(0)
+  else if violation = n - 1 then None
+  else Some waveform.times.(violation + 1)

@@ -1,0 +1,127 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand a seed into the four xoshiro words, and to
+   derive split streams.  Constants from Steele, Lea and Flood (2014). *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let create ?(seed = 0x5EED) () = of_seed64 (Int64.of_int seed)
+
+let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 rng =
+  let open Int64 in
+  let result = mul (rotl (mul rng.s1 5L) 7) 9L in
+  let t = shift_left rng.s1 17 in
+  rng.s2 <- logxor rng.s2 rng.s0;
+  rng.s3 <- logxor rng.s3 rng.s1;
+  rng.s1 <- logxor rng.s1 rng.s2;
+  rng.s0 <- logxor rng.s0 rng.s3;
+  rng.s2 <- logxor rng.s2 t;
+  rng.s3 <- rotl rng.s3 45;
+  result
+
+let split rng = of_seed64 (bits64 rng)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on 63 non-negative bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.mul (Int64.div Int64.max_int bound64) bound64 in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 rng) 1 in
+    if Int64.compare raw limit >= 0 then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let uniform rng =
+  (* 53 random bits mapped to [0,1). *)
+  let raw = Int64.shift_right_logical (bits64 rng) 11 in
+  Int64.to_float raw *. 0x1.0p-53
+
+let float rng bound = uniform rng *. bound
+
+let range rng lo hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo +. (uniform rng *. (hi -. lo))
+
+let bool rng = Int64.compare (Int64.logand (bits64 rng) 1L) 0L <> 0
+
+let bernoulli rng p = uniform rng < p
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) rng =
+  let rec nonzero () =
+    let u = uniform rng in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = uniform rng in
+  let radius = sqrt (-2. *. log u1) in
+  mu +. (sigma *. radius *. cos (2. *. Float.pi *. u2))
+
+let cauchy ?(scale = 1.) rng =
+  (* Inverse-CDF; keep the argument away from +/- pi/2 exactly. *)
+  let rec interior () =
+    let u = uniform rng in
+    if u > 0. && u < 1. then u else interior ()
+  in
+  scale *. tan (Float.pi *. (interior () -. 0.5))
+
+let choose rng xs =
+  if Array.length xs = 0 then invalid_arg "Rng.choose: empty array";
+  xs.(int rng (Array.length xs))
+
+let choose_list rng xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ :: _ -> List.nth xs (int rng (List.length xs))
+
+let weighted_index rng ws =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0. then invalid_arg "Rng.weighted_index: negative weight";
+      acc +. w)
+      0. ws
+  in
+  if total <= 0. then invalid_arg "Rng.weighted_index: all weights zero";
+  let target = float rng total in
+  let n = Array.length ws in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. ws.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle_in_place rng xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done
+
+let permutation rng n =
+  let xs = Array.init n (fun i -> i) in
+  shuffle_in_place rng xs;
+  xs
+
+let sample_without_replacement rng k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let perm = permutation rng n in
+  Array.sub perm 0 k

@@ -1,0 +1,64 @@
+(** Descriptive statistics and the regression error measures used throughout
+    the library.
+
+    The paper reports "normalized mean-squared error" on training data
+    (Daems' [q_wc]) and on testing data ([q_tc]).  We implement that measure
+    as the root-mean-squared residual normalized by the mean magnitude of the
+    reference values, which reproduces the paper's scale (a constant model on
+    the OTA data lands in the 10–25% band). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val sample_variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); requires [n >= 2]. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_value : float array -> float
+(** Smallest element.  Raises [Invalid_argument] on an empty array. *)
+
+val max_value : float array -> float
+(** Largest element.  Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even lengths). *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0, 1\]], linear interpolation between
+    order statistics. *)
+
+val mse : float array -> float array -> float
+(** [mse reference predicted] is the mean of squared residuals. *)
+
+val rmse : float array -> float array -> float
+(** Root of {!mse}. *)
+
+val normalized_error : float array -> float array -> float
+(** [normalized_error reference predicted] is the paper's quality-of-fit
+    measure: RMS residual divided by the mean magnitude of [reference].
+    Multiply by 100 to express as a percentage.  When the reference values are
+    all zero, the raw RMS residual is returned. *)
+
+val nmse : float array -> float array -> float
+(** Variance-normalized mean-squared error: [mse / variance reference].
+    Equals 1.0 for the best constant model.  When [reference] has zero
+    variance, the raw MSE is returned. *)
+
+val r_squared : float array -> float array -> float
+(** Coefficient of determination, [1 - nmse]. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either input is constant. *)
+
+val is_finite_array : float array -> bool
+(** [true] when every element is finite (no nan or infinity). *)
+
+val worst_relative_error : float array -> float array -> float
+(** Largest single-sample residual, normalized like {!normalized_error}
+    (by the mean magnitude of the reference values) — a worst-case
+    counterpart to the mean measure, after Daems' q_wc. *)

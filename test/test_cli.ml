@@ -1,0 +1,82 @@
+(* Smoke tests of the command-line interface: each subcommand is executed as
+   a subprocess against temporary files.  Skipped silently if the executable
+   is not found (e.g. when tests run outside the dune sandbox). *)
+
+let cli_path () =
+  (* Tests run in _build/default/test; the CLI is built next door. *)
+  let candidates =
+    [
+      Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/caffeine_cli.exe";
+      "../bin/caffeine_cli.exe";
+      "_build/default/bin/caffeine_cli.exe";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let run_cli arguments =
+  match cli_path () with
+  | None -> None
+  | Some exe ->
+      let command = Filename.quote_command exe arguments in
+      let input = Unix.open_process_in (command ^ " 2>&1") in
+      let buffer = Buffer.create 256 in
+      (try
+         while true do
+           Buffer.add_channel buffer input 1
+         done
+       with End_of_file -> ());
+      let status = Unix.close_process_in input in
+      Some (status, Buffer.contents buffer)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let expect_success msg arguments fragment =
+  match run_cli arguments with
+  | None -> () (* executable not found: skip *)
+  | Some (status, output) ->
+      Alcotest.(check bool) (msg ^ ": exits 0") true (status = Unix.WEXITED 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: output mentions %S" msg fragment)
+        true (contains output fragment)
+
+let test_cli_grammar () = expect_success "grammar" [ "grammar" ] "REPVC"
+
+let test_cli_simulate () =
+  expect_success "simulate" [ "simulate"; "--set"; "id1=1.2e-5" ] "PM"
+
+let test_cli_gen_data_and_fit () =
+  let csv = Filename.temp_file "caffeine_cli" ".csv" in
+  expect_success "gen-data" [ "gen-data"; "--dx"; "0.05"; "--out"; csv ] "243 samples";
+  if Sys.file_exists csv then begin
+    let models = Filename.temp_file "caffeine_cli" ".txt" in
+    expect_success "fit"
+      [
+        "fit"; "--train"; csv; "--target"; "PM"; "--pop"; "20"; "--gens"; "5"; "--seed"; "1";
+        "--out"; models;
+      ]
+      "saved";
+    if Sys.file_exists models then begin
+      expect_success "predict" [ "predict"; "--models"; models; "--data"; csv; "--target"; "PM" ]
+        "expression";
+      expect_success "export" [ "export"; "--models"; models; "--language"; "c" ] "math.h";
+      Sys.remove models
+    end;
+    Sys.remove csv
+  end
+
+let test_cli_unknown_flag_fails () =
+  match run_cli [ "fit"; "--no-such-flag" ] with
+  | None -> ()
+  | Some (status, _) ->
+      Alcotest.(check bool) "nonzero exit" true (status <> Unix.WEXITED 0)
+
+let suite =
+  [
+    Alcotest.test_case "cli: grammar" `Quick test_cli_grammar;
+    Alcotest.test_case "cli: simulate" `Quick test_cli_simulate;
+    Alcotest.test_case "cli: gen-data / fit / predict / export" `Slow test_cli_gen_data_and_fit;
+    Alcotest.test_case "cli: unknown flag" `Quick test_cli_unknown_flag_fails;
+  ]

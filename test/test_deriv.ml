@@ -1,0 +1,158 @@
+(* Tests for forward-mode automatic differentiation on canonical-form
+   expressions: closed-form checks per operator and agreement with finite
+   differences on random generated trees. *)
+
+module Expr = Caffeine_expr.Expr
+module Op = Caffeine_expr.Op
+module Deriv = Caffeine_expr.Deriv
+module Rng = Caffeine_util.Rng
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let dual v d = { Deriv.value = v; deriv = d }
+
+let test_dual_unary_rules () =
+  let x = dual 2. 1. in
+  let check op expected_value expected_deriv =
+    let result = Deriv.apply_unary op x in
+    check_close (Op.unary_name op ^ " value") expected_value result.Deriv.value;
+    check_close (Op.unary_name op ^ " deriv") expected_deriv result.Deriv.deriv
+  in
+  check Op.Sqrt (sqrt 2.) (1. /. (2. *. sqrt 2.));
+  check Op.Log_e (log 2.) 0.5;
+  check Op.Log_10 (log10 2.) (1. /. (2. *. log 10.));
+  check Op.Inv 0.5 (-0.25);
+  check Op.Abs 2. 1.;
+  check Op.Square 4. 4.;
+  check Op.Sin (sin 2.) (cos 2.);
+  check Op.Cos (cos 2.) (-.sin 2.);
+  check Op.Tan (tan 2.) (1. +. (tan 2. *. tan 2.));
+  check Op.Max0 2. 1.;
+  check Op.Min0 0. 0.;
+  check Op.Exp2 4. (4. *. log 2.);
+  check Op.Exp10 100. (100. *. log 10.)
+
+let test_dual_unary_negative_branch () =
+  let x = dual (-3.) 1. in
+  let abs_result = Deriv.apply_unary Op.Abs x in
+  check_close "abs deriv on negative side" (-1.) abs_result.Deriv.deriv;
+  let max0_result = Deriv.apply_unary Op.Max0 x in
+  check_close "max0 clamps derivative" 0. max0_result.Deriv.deriv;
+  let min0_result = Deriv.apply_unary Op.Min0 x in
+  check_close "min0 passes derivative" 1. min0_result.Deriv.deriv
+
+let test_dual_binary_rules () =
+  let a = dual 2. 1. and b = dual 3. 0. in
+  let division = Deriv.apply_binary Op.Div a b in
+  check_close "div value" (2. /. 3.) division.Deriv.value;
+  check_close "div deriv" (1. /. 3.) division.Deriv.deriv;
+  let power = Deriv.apply_binary Op.Pow a b in
+  check_close "pow value" 8. power.Deriv.value;
+  check_close "pow deriv (d/da a^3 = 3a^2)" 12. power.Deriv.deriv;
+  let power_exponent = Deriv.apply_binary Op.Pow b a in
+  (* d/da 3^a = 3^a ln 3 at a = 2 -> 9 ln 3. *)
+  check_close "pow deriv wrt exponent" (9. *. log 3.) power_exponent.Deriv.deriv;
+  let maximum = Deriv.apply_binary Op.Max a b in
+  check_close "max takes larger branch deriv" 0. maximum.Deriv.deriv;
+  let minimum = Deriv.apply_binary Op.Min a b in
+  check_close "min takes smaller branch deriv" 1. minimum.Deriv.deriv
+
+let test_vc_gradient () =
+  (* f = x0^2 / x1: df/dx0 = 2 x0/x1, df/dx1 = -x0^2/x1^2. *)
+  let vc = [| 2; -1 |] in
+  let point = [| 3.; 2. |] in
+  let d0 = Deriv.eval_vc vc point ~wrt:0 in
+  check_close "value" 4.5 d0.Deriv.value;
+  check_close "d/dx0" 3. d0.Deriv.deriv;
+  let d1 = Deriv.eval_vc vc point ~wrt:1 in
+  check_close "d/dx1" (-2.25) d1.Deriv.deriv
+
+let test_wsum_gradient_known () =
+  (* f = 1 + 2 x0 - 3 x0 x1; grad = (2 - 3 x1, -3 x0). *)
+  let b0 = Expr.{ vc = Some [| 1; 0 |]; factors = [] } in
+  let b01 = Expr.{ vc = Some [| 1; 1 |]; factors = [] } in
+  let ws = Expr.{ bias = 1.; terms = [ (2., b0); (-3., b01) ] } in
+  let gradient = Deriv.gradient_wsum ws [| 2.; 5. |] in
+  check_close "df/dx0" (2. -. 15.) gradient.(0);
+  check_close "df/dx1" (-6.) gradient.(1)
+
+let finite_difference f point i =
+  let h = 1e-6 *. Float.max 1. (Float.abs point.(i)) in
+  let probe delta =
+    let x = Array.copy point in
+    x.(i) <- x.(i) +. delta;
+    f x
+  in
+  (probe h -. probe (-.h)) /. (2. *. h)
+
+let test_ad_matches_finite_difference_on_random_trees () =
+  let rng = Rng.create ~seed:8 () in
+  let opset = Caffeine.Opset.no_trig (* keep tan's poles out of the tolerance check *) in
+  let successes = ref 0 in
+  let attempts = ref 0 in
+  while !successes < 80 && !attempts < 600 do
+    incr attempts;
+    let basis = Caffeine.Gen.random_basis rng opset ~dims:3 ~depth:4 ~max_vc_vars:2 in
+    let point = Array.init 3 (fun _ -> Rng.range rng 0.6 1.8) in
+    let ws = Expr.{ bias = 0.5; terms = [ (1.5, basis) ] } in
+    let value = Expr.eval_wsum ws point in
+    if Float.is_finite value then begin
+      let gradient = Deriv.gradient_wsum ws point in
+      let all_match = ref true in
+      Array.iteri
+        (fun i g ->
+          if Float.is_finite g then begin
+            let numeric = finite_difference (Expr.eval_wsum ws) point i in
+            let scale = Float.max 1. (Float.abs g) in
+            if Float.abs (numeric -. g) > 1e-3 *. scale then all_match := false
+          end)
+        gradient;
+      if !all_match then incr successes
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "AD matches finite differences (%d/%d)" !successes !attempts)
+    true (!successes >= 80)
+
+let test_ad_value_agrees_with_eval () =
+  let rng = Rng.create ~seed:9 () in
+  for _ = 1 to 100 do
+    let basis = Caffeine.Gen.random_basis rng Caffeine.Opset.default ~dims:3 ~depth:4 ~max_vc_vars:2 in
+    let point = Array.init 3 (fun _ -> Rng.range rng 0.5 2.) in
+    let direct = Expr.eval_basis basis point in
+    let dual_result = Deriv.eval_basis basis point ~wrt:0 in
+    if Float.is_finite direct then
+      check_close ~tol:1e-9 "dual value equals eval" direct dual_result.Deriv.value
+  done
+
+let test_exact_sensitivities_match_numeric () =
+  let b = Expr.{ vc = Some [| 1; -1; 0 |]; factors = [] } in
+  let model =
+    {
+      Caffeine.Model.bases = [| b |];
+      intercept = 2.;
+      weights = [| 3. |];
+      train_error = 0.;
+      complexity = 0.;
+    }
+  in
+  let at = [| 1.5; 0.8; 1. |] in
+  let numeric = Caffeine.Insight.sensitivities model ~at in
+  let exact = Caffeine.Insight.exact_sensitivities model ~at in
+  Array.iteri
+    (fun i n -> if Float.is_finite n then check_close ~tol:1e-4 "sensitivity agreement" n exact.(i))
+    numeric
+
+let suite =
+  [
+    Alcotest.test_case "dual: unary rules" `Quick test_dual_unary_rules;
+    Alcotest.test_case "dual: negative branches" `Quick test_dual_unary_negative_branch;
+    Alcotest.test_case "dual: binary rules" `Quick test_dual_binary_rules;
+    Alcotest.test_case "vc gradient" `Quick test_vc_gradient;
+    Alcotest.test_case "wsum gradient" `Quick test_wsum_gradient_known;
+    Alcotest.test_case "AD vs finite differences" `Quick test_ad_matches_finite_difference_on_random_trees;
+    Alcotest.test_case "AD value = eval" `Quick test_ad_value_agrees_with_eval;
+    Alcotest.test_case "exact sensitivities" `Quick test_exact_sensitivities_match_numeric;
+  ]

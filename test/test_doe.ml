@@ -1,0 +1,148 @@
+(* Tests for the design-of-experiments sampling plans. *)
+
+module Doe = Caffeine_doe.Doe
+module Rng = Caffeine_util.Rng
+
+let test_full_factorial_shape () =
+  let design = Doe.full_factorial ~levels:3 ~factors:4 in
+  Alcotest.(check int) "3^4 runs" 81 (Array.length design);
+  Array.iter
+    (fun run ->
+      Alcotest.(check int) "width" 4 (Array.length run);
+      Array.iter (fun l -> Alcotest.(check bool) "level range" true (l >= 0 && l < 3)) run)
+    design
+
+let test_full_factorial_distinct_rows () =
+  let design = Doe.full_factorial ~levels:2 ~factors:5 in
+  let table = Hashtbl.create 64 in
+  Array.iter (fun run -> Hashtbl.replace table (Array.to_list run) ()) design;
+  Alcotest.(check int) "all rows distinct" 32 (Hashtbl.length table)
+
+let test_full_factorial_rejects_huge () =
+  Alcotest.(check bool) "too large rejected" true
+    (match Doe.full_factorial ~levels:10 ~factors:9 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_max_oa_factors () =
+  Alcotest.(check int) "3 runs exponent 3 -> 13 columns" 13 (Doe.max_oa_factors ~runs_exponent:3);
+  Alcotest.(check int) "3^5 -> 121 columns" 121 (Doe.max_oa_factors ~runs_exponent:5)
+
+let test_smallest_runs_exponent () =
+  Alcotest.(check int) "13 factors fit in 3^3" 3 (Doe.smallest_runs_exponent ~factors:13);
+  Alcotest.(check int) "14 factors need 3^4" 4 (Doe.smallest_runs_exponent ~factors:14);
+  Alcotest.(check int) "1 factor fits in 3^1" 1 (Doe.smallest_runs_exponent ~factors:1)
+
+let count_pairs design c1 c2 =
+  let counts = Hashtbl.create 9 in
+  Array.iter
+    (fun run ->
+      let key = (run.(c1), run.(c2)) in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    design;
+  counts
+
+let test_oa_strength_two () =
+  (* Strength 2: every pair of columns shows each of the 9 level pairs
+     equally often (paper's 243-run, 13-variable plan). *)
+  let design = Doe.orthogonal_array ~runs_exponent:5 ~factors:13 in
+  Alcotest.(check int) "243 runs" 243 (Array.length design);
+  let expected = 243 / 9 in
+  List.iter
+    (fun (c1, c2) ->
+      let counts = count_pairs design c1 c2 in
+      Alcotest.(check int) "9 pairs occur" 9 (Hashtbl.length counts);
+      Hashtbl.iter
+        (fun _ count -> Alcotest.(check int) "balanced pair count" expected count)
+        counts)
+    [ (0, 1); (0, 12); (5, 7); (3, 11); (2, 9) ]
+
+let test_oa_balanced_columns () =
+  let design = Doe.orthogonal_array ~runs_exponent:4 ~factors:10 in
+  for c = 0 to 9 do
+    let counts = Array.make 3 0 in
+    Array.iter (fun run -> counts.(run.(c)) <- counts.(run.(c)) + 1) design;
+    Array.iter (fun n -> Alcotest.(check int) "level balance" (81 / 3) n) counts
+  done
+
+let test_oa_too_many_factors_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (match Doe.orthogonal_array ~runs_exponent:2 ~factors:5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_scale_levels () =
+  let design = [| [| 0; 1; 2 |] |] in
+  let scaled = Doe.scale_levels ~center:[| 10.; 10.; 10. |] ~dx:0.1 design in
+  Alcotest.(check (float 1e-9)) "low" 9. scaled.(0).(0);
+  Alcotest.(check (float 1e-9)) "mid" 10. scaled.(0).(1);
+  Alcotest.(check (float 1e-9)) "high" 11. scaled.(0).(2)
+
+let test_scale_levels_additive () =
+  let design = [| [| 0; 2 |] |] in
+  let scaled =
+    Doe.scale_levels_additive ~center:[| 5.; 5. |] ~delta:[| 1.; 2. |] design
+  in
+  Alcotest.(check (float 1e-9)) "low" 4. scaled.(0).(0);
+  Alcotest.(check (float 1e-9)) "high" 7. scaled.(0).(1)
+
+let test_scale_levels_rejects_bad_level () =
+  Alcotest.(check bool) "bad level rejected" true
+    (match Doe.scale_levels ~center:[| 1. |] ~dx:0.1 [| [| 3 |] |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_latin_hypercube_stratification () =
+  let rng = Rng.create ~seed:77 () in
+  let points = Doe.latin_hypercube rng ~samples:16 ~dims:3 in
+  Alcotest.(check int) "sample count" 16 (Array.length points);
+  (* Each dimension has exactly one point per stratum of width 1/16. *)
+  for d = 0 to 2 do
+    let strata = Array.make 16 0 in
+    Array.iter
+      (fun p ->
+        let s = int_of_float (p.(d) *. 16.) in
+        let s = min 15 (max 0 s) in
+        strata.(s) <- strata.(s) + 1)
+      points;
+    Array.iter (fun n -> Alcotest.(check int) "one per stratum" 1 n) strata
+  done
+
+let test_map_unit_to_box () =
+  let mapped = Doe.map_unit_to_box ~lo:[| 0.; 10. |] ~hi:[| 1.; 20. |] [| [| 0.5; 0.5 |] |] in
+  Alcotest.(check (float 1e-9)) "dim0" 0.5 mapped.(0).(0);
+  Alcotest.(check (float 1e-9)) "dim1" 15. mapped.(0).(1)
+
+let property_tests =
+  [
+    QCheck.Test.make ~name:"oa entries are valid levels" ~count:20
+      QCheck.(pair (int_range 2 5) (int_range 1 10))
+      (fun (k, f) ->
+        let f = min f (Doe.max_oa_factors ~runs_exponent:k) in
+        let design = Doe.orthogonal_array ~runs_exponent:k ~factors:f in
+        Array.for_all (fun run -> Array.for_all (fun l -> l >= 0 && l < 3) run) design);
+    QCheck.Test.make ~name:"latin hypercube stays in unit cube" ~count:30
+      QCheck.(pair small_int (pair (int_range 1 30) (int_range 1 6)))
+      (fun (seed, (samples, dims)) ->
+        let rng = Rng.create ~seed () in
+        let points = Doe.latin_hypercube rng ~samples ~dims in
+        Array.for_all (fun p -> Array.for_all (fun v -> v >= 0. && v < 1.) p) points);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "full factorial shape" `Quick test_full_factorial_shape;
+    Alcotest.test_case "full factorial distinct" `Quick test_full_factorial_distinct_rows;
+    Alcotest.test_case "full factorial size guard" `Quick test_full_factorial_rejects_huge;
+    Alcotest.test_case "max oa factors" `Quick test_max_oa_factors;
+    Alcotest.test_case "smallest runs exponent" `Quick test_smallest_runs_exponent;
+    Alcotest.test_case "oa strength two" `Quick test_oa_strength_two;
+    Alcotest.test_case "oa balanced columns" `Quick test_oa_balanced_columns;
+    Alcotest.test_case "oa factor limit" `Quick test_oa_too_many_factors_rejected;
+    Alcotest.test_case "scale levels" `Quick test_scale_levels;
+    Alcotest.test_case "scale levels additive" `Quick test_scale_levels_additive;
+    Alcotest.test_case "scale levels bad level" `Quick test_scale_levels_rejects_bad_level;
+    Alcotest.test_case "latin hypercube stratified" `Quick test_latin_hypercube_stratification;
+    Alcotest.test_case "unit box mapping" `Quick test_map_unit_to_box;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

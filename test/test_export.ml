@@ -1,0 +1,128 @@
+(* Tests for C / Verilog-A model export.  The C test is differential: the
+   generated function is compiled with the system compiler and its output
+   compared against the OCaml evaluator at random points. *)
+
+module Expr = Caffeine_expr.Expr
+module Rng = Caffeine_util.Rng
+module Model = Caffeine.Model
+module Export = Caffeine.Export
+
+let names = [| "id1"; "id2"; "vsg1" |]
+
+let ratio_model =
+  let b1 = Expr.{ vc = Some [| 1; -1; 0 |]; factors = [] } in
+  let b2 =
+    Expr.
+      {
+        vc = Some [| 0; 0; -2 |];
+        factors = [ Unary (Caffeine_expr.Op.Log_e, { bias = 2.; terms = [ (0.5, b1) ] }) ];
+      }
+  in
+  {
+    Model.bases = [| b1; b2 |];
+    intercept = 90.5;
+    weights = [| 186.6; -1.14 |];
+    train_error = 0.;
+    complexity = 0.;
+  }
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_c_source_structure () =
+  let source = Export.to_c ~name:"pm_model" ~var_names:names ratio_model in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains source fragment))
+    [
+      "#include <math.h>";
+      "double pm_model(const double *x)";
+      "x[0]";
+      "log(";
+      "return";
+      "x[0] = id1";
+    ]
+
+let test_verilog_a_structure () =
+  let source = Export.to_verilog_a ~name:"pm_model" ~var_names:names ratio_model in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains source fragment))
+    [ "analog function real pm_model"; "input id1"; "ln("; "endfunction" ]
+
+let compiler_available () = Sys.command "cc --version > /dev/null 2>&1" = 0
+
+let test_c_differential () =
+  if not (compiler_available ()) then ()
+  else begin
+    let rng = Rng.create ~seed:77 () in
+    (* A handful of random generated models plus the fixed one. *)
+    let random_model () =
+      let bases =
+        Array.init 2 (fun _ ->
+            Caffeine.Gen.random_basis rng Caffeine.Opset.no_trig ~dims:3 ~depth:3 ~max_vc_vars:2)
+      in
+      {
+        Model.bases;
+        intercept = Rng.range rng (-2.) 2.;
+        weights = Array.init 2 (fun _ -> Rng.range rng (-3.) 3.);
+        train_error = 0.;
+        complexity = 0.;
+      }
+    in
+    let points = Array.init 6 (fun _ -> Array.init 3 (fun _ -> Rng.range rng 0.5 2.)) in
+    let models = ratio_model :: List.init 4 (fun _ -> random_model ()) in
+    List.iteri
+      (fun index model ->
+        (* Only test models that evaluate finitely on all probe points. *)
+        let finite =
+          Array.for_all (fun x -> Float.is_finite (Model.predict_point model x)) points
+        in
+        if finite then begin
+          let dir = Filename.temp_file "caffeine_export" "" in
+          Sys.remove dir;
+          Unix.mkdir dir 0o755;
+          let c_path = Filename.concat dir "model.c" in
+          let exe_path = Filename.concat dir "model" in
+          let channel = open_out c_path in
+          output_string channel (Export.to_c ~name:"f" ~var_names:names model);
+          output_string channel "#include <stdio.h>\nint main(void) {\n";
+          Array.iter
+            (fun x ->
+              Printf.fprintf channel "  { double x[3] = {%.17g, %.17g, %.17g};\n" x.(0) x.(1) x.(2);
+              output_string channel "    printf(\"%.17g\\n\", f(x)); }\n")
+            points;
+          output_string channel "  return 0;\n}\n";
+          close_out channel;
+          let compile = Printf.sprintf "cc -O1 -o %s %s -lm 2>/dev/null" exe_path c_path in
+          Alcotest.(check int) (Printf.sprintf "model %d compiles" index) 0 (Sys.command compile);
+          let input = Unix.open_process_in exe_path in
+          let outputs =
+            Array.map
+              (fun _ -> float_of_string (String.trim (input_line input)))
+              points
+          in
+          ignore (Unix.close_process_in input);
+          Array.iteri
+            (fun k x ->
+              let expected = Model.predict_point model x in
+              let got = outputs.(k) in
+              let scale = Float.max 1. (Float.abs expected) in
+              if Float.abs (expected -. got) > 1e-9 *. scale then
+                Alcotest.failf "model %d point %d: ocaml %.17g vs C %.17g" index k expected got)
+            points;
+          Sys.remove c_path;
+          Sys.remove exe_path;
+          Unix.rmdir dir
+        end)
+      models
+  end
+
+let suite =
+  [
+    Alcotest.test_case "c source structure" `Quick test_c_source_structure;
+    Alcotest.test_case "verilog-a structure" `Quick test_verilog_a_structure;
+    Alcotest.test_case "c differential vs evaluator" `Quick test_c_differential;
+  ]

@@ -1,0 +1,323 @@
+(* Tests for canonical-form expression trees: evaluation, structural
+   measures, validation, simplification, and printing, plus qcheck
+   properties over randomly generated grammar-conforming trees. *)
+
+module Expr = Caffeine_expr.Expr
+module Op = Caffeine_expr.Op
+module Rng = Caffeine_util.Rng
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* handy constructors *)
+let vc exponents = { Expr.vc = Some exponents; factors = [] }
+let wsum ?(bias = 0.) terms = { Expr.bias; terms }
+
+(* --- int_pow --- *)
+
+let test_int_pow () =
+  check_close "x^0" 1. (Expr.int_pow 5. 0);
+  check_close "x^3" 8. (Expr.int_pow 2. 3);
+  check_close "x^-2" 0.25 (Expr.int_pow 2. (-2));
+  check_close "(-2)^3" (-8.) (Expr.int_pow (-2.) 3);
+  check_close "(-2)^2" 4. (Expr.int_pow (-2.) 2);
+  Alcotest.(check bool) "0^-1 is nan" true (Float.is_nan (Expr.int_pow 0. (-1)))
+
+(* --- ops --- *)
+
+let test_op_safety () =
+  Alcotest.(check bool) "sqrt(-1) nan" true (Float.is_nan (Op.apply_unary Op.Sqrt (-1.)));
+  Alcotest.(check bool) "ln(0) nan" true (Float.is_nan (Op.apply_unary Op.Log_e 0.));
+  Alcotest.(check bool) "log10(-3) nan" true (Float.is_nan (Op.apply_unary Op.Log_10 (-3.)));
+  Alcotest.(check bool) "1/0 nan" true (Float.is_nan (Op.apply_unary Op.Inv 0.));
+  Alcotest.(check bool) "x/0 nan" true (Float.is_nan (Op.apply_binary Op.Div 1. 0.));
+  check_close "max0" 3. (Op.apply_unary Op.Max0 3.);
+  check_close "max0 clamps" 0. (Op.apply_unary Op.Max0 (-3.));
+  check_close "min0 clamps" (-3.) (Op.apply_unary Op.Min0 (-3.));
+  check_close "min0" 0. (Op.apply_unary Op.Min0 3.);
+  check_close "exp2" 8. (Op.apply_unary Op.Exp2 3.);
+  check_close "exp10" 100. (Op.apply_unary Op.Exp10 2.);
+  check_close "pow" 9. (Op.apply_binary Op.Pow 3. 2.);
+  check_close "max" 5. (Op.apply_binary Op.Max 5. 2.);
+  check_close "min" 2. (Op.apply_binary Op.Min 5. 2.)
+
+let test_op_names_roundtrip () =
+  List.iter
+    (fun op ->
+      match Op.unary_of_name (Op.unary_name op) with
+      | Some back -> Alcotest.(check bool) "unary round-trip" true (back = op)
+      | None -> Alcotest.fail "unary name not recognized")
+    Op.all_unary;
+  List.iter
+    (fun op ->
+      match Op.binary_of_name (Op.binary_name op) with
+      | Some back -> Alcotest.(check bool) "binary round-trip" true (back = op)
+      | None -> Alcotest.fail "binary name not recognized")
+    Op.all_binary
+
+(* --- evaluation --- *)
+
+let test_eval_vc () =
+  (* x0 * x2^-2 at (3, 9, 2) = 3/4 *)
+  check_close "rational monomial" 0.75 (Expr.eval_vc [| 1; 0; -2 |] [| 3.; 9.; 2. |])
+
+let test_eval_basis_product () =
+  (* basis = x0 * ln(1 + 2*x1): at x = (2, 3): 2 * ln(7) *)
+  let b =
+    {
+      Expr.vc = Some [| 1; 0 |];
+      factors = [ Expr.Unary (Op.Log_e, wsum ~bias:1. [ (2., vc [| 0; 1 |]) ]) ];
+    }
+  in
+  check_close "product of vc and op" (2. *. log 7.) (Expr.eval_basis b [| 2.; 3. |])
+
+let test_eval_binary_div () =
+  (* div(1 + x0, x1) at (3, 8) = 0.5 *)
+  let b =
+    {
+      Expr.vc = None;
+      factors =
+        [
+          Expr.Binary
+            (Op.Div, Expr.Sum (wsum ~bias:1. [ (1., vc [| 1; 0 |]) ]), Expr.Const 8.);
+        ];
+    }
+  in
+  check_close "division" 0.5 (Expr.eval_basis b [| 3.; 0. |])
+
+let test_eval_lte_branches () =
+  let lte threshold =
+    {
+      Expr.vc = None;
+      factors =
+        [
+          Expr.Lte
+            {
+              test = wsum ~bias:0. [ (1., vc [| 1 |]) ];
+              threshold = Expr.Const threshold;
+              less = Expr.Const 10.;
+              otherwise = Expr.Const 20.;
+            };
+        ];
+    }
+  in
+  check_close "below threshold" 10. (Expr.eval_basis (lte 5.) [| 3. |]);
+  check_close "above threshold" 20. (Expr.eval_basis (lte 2.) [| 3. |])
+
+let test_eval_nan_propagates () =
+  let b = { Expr.vc = None; factors = [ Expr.Unary (Op.Log_e, wsum ~bias:(-1.) []) ] } in
+  Alcotest.(check bool) "nan result" true (Float.is_nan (Expr.eval_basis b [| 1. |]))
+
+let test_eval_wsum () =
+  let ws = wsum ~bias:2. [ (3., vc [| 1 |]); (-1., vc [| 2 |]) ] in
+  (* 2 + 3x - x^2 at x=4: 2 + 12 - 16 = -2 *)
+  check_close "weighted sum" (-2.) (Expr.eval_wsum ws [| 4. |])
+
+(* --- structure --- *)
+
+let test_nnodes_counts () =
+  Alcotest.(check int) "plain vc" 1 (Expr.nnodes_basis (vc [| 1; 0 |]));
+  let b = { Expr.vc = Some [| 1 |]; factors = [ Expr.Unary (Op.Inv, wsum ~bias:1. [ (2., vc [| 1 |]) ]) ] } in
+  (* vc(1) + op(1) + bias(1) + term weight(1) + inner vc(1) = 5 *)
+  Alcotest.(check int) "nested count" 5 (Expr.nnodes_basis b)
+
+let test_nnodes_subterm_monotone () =
+  let inner = wsum ~bias:1. [ (2., vc [| 1 |]) ] in
+  let small = { Expr.vc = None; factors = [ Expr.Unary (Op.Inv, inner) ] } in
+  let large = { Expr.vc = Some [| 1 |]; factors = [ Expr.Unary (Op.Inv, inner); Expr.Unary (Op.Abs, inner) ] } in
+  Alcotest.(check bool) "monotone" true (Expr.nnodes_basis small < Expr.nnodes_basis large)
+
+let test_depth () =
+  Alcotest.(check int) "flat" 1 (Expr.depth_basis (vc [| 1 |]));
+  let nested =
+    {
+      Expr.vc = None;
+      factors =
+        [
+          Expr.Unary
+            ( Op.Inv,
+              wsum ~bias:0.
+                [ (1., { Expr.vc = None; factors = [ Expr.Unary (Op.Abs, wsum ~bias:1. [ (1., vc [| 1 |]) ]) ] }) ] );
+        ];
+    }
+  in
+  Alcotest.(check bool) "nested deeper" true (Expr.depth_basis nested > 2)
+
+let test_vcs_of_basis () =
+  let b =
+    {
+      Expr.vc = Some [| 1; 0 |];
+      factors = [ Expr.Unary (Op.Inv, wsum ~bias:0. [ (1., vc [| 0; -1 |]) ]) ];
+    }
+  in
+  Alcotest.(check int) "two vcs" 2 (List.length (Expr.vcs_of_basis b))
+
+let test_variables_of_basis () =
+  let b =
+    {
+      Expr.vc = Some [| 1; 0; 0 |];
+      factors = [ Expr.Unary (Op.Inv, wsum ~bias:0. [ (1., vc [| 0; 0; 2 |]) ]) ];
+    }
+  in
+  Alcotest.(check (list int)) "variables 0 and 2" [ 0; 2 ] (Expr.variables_of_basis b)
+
+(* --- validation --- *)
+
+let test_check_accepts_valid () =
+  let b = vc [| 1; -2; 0 |] in
+  Alcotest.(check bool) "valid" true (Expr.check ~dims:3 b = Ok ())
+
+let test_check_rejects_bad () =
+  let all_zero = vc [| 0; 0 |] in
+  Alcotest.(check bool) "all-zero vc" true (Expr.check ~dims:2 all_zero <> Ok ());
+  let wrong_width = vc [| 1 |] in
+  Alcotest.(check bool) "wrong width" true (Expr.check ~dims:2 wrong_width <> Ok ());
+  let empty = { Expr.vc = None; factors = [] } in
+  Alcotest.(check bool) "empty basis" true (Expr.check ~dims:2 empty <> Ok ());
+  let nan_weight = { Expr.vc = None; factors = [ Expr.Unary (Op.Abs, wsum ~bias:Float.nan []) ] } in
+  Alcotest.(check bool) "nan weight" true (Expr.check ~dims:2 nan_weight <> Ok ())
+
+(* --- simplification --- *)
+
+let test_simplify_constant_factor_extracted () =
+  (* abs(-3) * x0 simplifies to scale 3, basis x0. *)
+  let b =
+    { Expr.vc = Some [| 1 |]; factors = [ Expr.Unary (Op.Abs, wsum ~bias:(-3.) []) ] }
+  in
+  let scale, simplified = Expr.simplify_basis b in
+  check_close "scale" 3. scale;
+  match simplified with
+  | Some s ->
+      Alcotest.(check bool) "no factors left" true (s.Expr.factors = []);
+      Alcotest.(check bool) "vc kept" true (s.Expr.vc = Some [| 1 |])
+  | None -> Alcotest.fail "expected a residual basis"
+
+let test_simplify_pure_constant () =
+  let b = { Expr.vc = None; factors = [ Expr.Unary (Op.Square, wsum ~bias:2. []) ] } in
+  let scale, simplified = Expr.simplify_basis b in
+  check_close "folded" 4. scale;
+  Alcotest.(check bool) "fully constant" true (simplified = None)
+
+let test_simplify_drops_zero_weight_terms () =
+  let b =
+    {
+      Expr.vc = None;
+      factors =
+        [ Expr.Unary (Op.Abs, wsum ~bias:1. [ (0., vc [| 1 |]); (2., vc [| 1 |]) ]) ];
+    }
+  in
+  let _, simplified = Expr.simplify_basis b in
+  match simplified with
+  | Some { Expr.factors = [ Expr.Unary (_, inner) ]; _ } ->
+      Alcotest.(check int) "one term kept" 1 (List.length inner.Expr.terms)
+  | Some _ | None -> Alcotest.fail "unexpected shape"
+
+let test_simplify_preserves_value () =
+  let rng = Rng.create ~seed:5 () in
+  let opset = Caffeine.Opset.default in
+  let x = [| 1.7; 0.6; 2.2 |] in
+  for _ = 1 to 200 do
+    let b = Caffeine.Gen.random_basis rng opset ~dims:3 ~depth:5 ~max_vc_vars:2 in
+    let original = Expr.eval_basis b x in
+    let scale, simplified = Expr.simplify_basis b in
+    let recovered =
+      match simplified with None -> scale | Some s -> scale *. Expr.eval_basis s x
+    in
+    if Float.is_finite original then
+      check_close ~tol:1e-6 "simplify preserves value" original recovered
+  done
+
+(* --- printing --- *)
+
+let names = [| "id1"; "id2"; "vds2" |]
+
+let test_print_rational () =
+  Alcotest.(check string) "ratio" "id2 / vds2" (Expr.basis_to_string ~var_names:names (vc [| 0; 1; -1 |]));
+  Alcotest.(check string) "pure denominator" "1 / (id1*vds2)"
+    (Expr.basis_to_string ~var_names:names (vc [| -1; 0; -1 |]));
+  Alcotest.(check string) "power" "id1^2" (Expr.basis_to_string ~var_names:names (vc [| 2; 0; 0 |]))
+
+let test_print_term_folds_weight () =
+  Alcotest.(check string) "weight over denominator" "22.2 / vds2"
+    (Expr.term_to_string ~var_names:names 22.2 (vc [| 0; 0; -1 |]));
+  Alcotest.(check string) "weight times ratio" "22.2 * id2 / vds2"
+    (Expr.term_to_string ~var_names:names 22.2 (vc [| 0; 1; -1 |]))
+
+let test_print_wsum_signs () =
+  let ws = wsum ~bias:90.5 [ (186.6, vc [| 1; 0; 0 |]); (-1.14, vc [| -1; 0; 0 |]) ] in
+  Alcotest.(check string) "paper style" "90.5 + 186.6 * id1 - 1.14 / id1"
+    (Expr.wsum_to_string ~var_names:names ws)
+
+let test_print_unary () =
+  let b =
+    { Expr.vc = None; factors = [ Expr.Unary (Op.Log_e, wsum ~bias:2. [ (1., vc [| 1; 0; 0 |]) ]) ] }
+  in
+  Alcotest.(check string) "ln rendering" "ln(2 + id1)" (Expr.basis_to_string ~var_names:names b)
+
+(* --- qcheck properties over generated trees --- *)
+
+let generated_basis =
+  let gen =
+    QCheck.Gen.map
+      (fun (seed, depth) ->
+        let rng = Rng.create ~seed () in
+        Caffeine.Gen.random_basis rng Caffeine.Opset.default ~dims:4 ~depth ~max_vc_vars:3)
+      QCheck.Gen.(pair int (int_range 1 8))
+  in
+  QCheck.make gen
+
+let property_tests =
+  [
+    QCheck.Test.make ~name:"generated bases satisfy canonical invariants" ~count:300
+      generated_basis (fun b -> Expr.check ~dims:4 b = Ok ());
+    QCheck.Test.make ~name:"generated bases respect the depth budget" ~count:300
+      (QCheck.make
+         (QCheck.Gen.map
+            (fun (seed, depth) ->
+              let rng = Rng.create ~seed () in
+              ( depth,
+                Caffeine.Gen.random_basis rng Caffeine.Opset.default ~dims:4 ~depth
+                  ~max_vc_vars:3 ))
+            QCheck.Gen.(pair int (int_range 1 8))))
+      (fun (depth, b) -> Expr.depth_basis b <= max 1 depth);
+    QCheck.Test.make ~name:"nnodes positive and >= depth" ~count:300 generated_basis (fun b ->
+        let nodes = Expr.nnodes_basis b in
+        nodes >= 1 || b.Expr.vc = None);
+    QCheck.Test.make ~name:"printing never raises and is non-empty" ~count:300 generated_basis
+      (fun b ->
+        String.length (Expr.basis_to_string ~var_names:[| "a"; "b"; "c"; "d" |] b) > 0);
+    QCheck.Test.make ~name:"eval is deterministic" ~count:200 generated_basis (fun b ->
+        let x = [| 1.3; 0.7; 2.1; 0.4 |] in
+        let v1 = Expr.eval_basis b x and v2 = Expr.eval_basis b x in
+        (Float.is_nan v1 && Float.is_nan v2) || v1 = v2);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "int_pow" `Quick test_int_pow;
+    Alcotest.test_case "op safety" `Quick test_op_safety;
+    Alcotest.test_case "op name round-trip" `Quick test_op_names_roundtrip;
+    Alcotest.test_case "eval: vc" `Quick test_eval_vc;
+    Alcotest.test_case "eval: product basis" `Quick test_eval_basis_product;
+    Alcotest.test_case "eval: binary div" `Quick test_eval_binary_div;
+    Alcotest.test_case "eval: lte branches" `Quick test_eval_lte_branches;
+    Alcotest.test_case "eval: nan propagates" `Quick test_eval_nan_propagates;
+    Alcotest.test_case "eval: weighted sum" `Quick test_eval_wsum;
+    Alcotest.test_case "nnodes: counts" `Quick test_nnodes_counts;
+    Alcotest.test_case "nnodes: monotone" `Quick test_nnodes_subterm_monotone;
+    Alcotest.test_case "depth" `Quick test_depth;
+    Alcotest.test_case "vcs_of_basis" `Quick test_vcs_of_basis;
+    Alcotest.test_case "variables_of_basis" `Quick test_variables_of_basis;
+    Alcotest.test_case "check: valid" `Quick test_check_accepts_valid;
+    Alcotest.test_case "check: invalid" `Quick test_check_rejects_bad;
+    Alcotest.test_case "simplify: constant factor" `Quick test_simplify_constant_factor_extracted;
+    Alcotest.test_case "simplify: pure constant" `Quick test_simplify_pure_constant;
+    Alcotest.test_case "simplify: zero-weight terms" `Quick test_simplify_drops_zero_weight_terms;
+    Alcotest.test_case "simplify: value-preserving" `Quick test_simplify_preserves_value;
+    Alcotest.test_case "print: rational forms" `Quick test_print_rational;
+    Alcotest.test_case "print: weight folding" `Quick test_print_term_folds_weight;
+    Alcotest.test_case "print: signed sums" `Quick test_print_wsum_signs;
+    Alcotest.test_case "print: unary" `Quick test_print_unary;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

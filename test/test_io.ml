@@ -1,0 +1,86 @@
+(* Tests for CSV dataset IO. *)
+
+module Csv = Caffeine_io.Csv
+
+let sample_table =
+  {
+    Csv.header = [| "x"; "y"; "z" |];
+    rows = [| [| 1.; 2.; 3. |]; [| 4.5; -6.; 7.25e-3 |] |];
+  }
+
+let test_write_read_roundtrip () =
+  let path = Filename.temp_file "caffeine_csv" ".csv" in
+  Csv.write ~path sample_table;
+  (match Csv.read ~path with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok table ->
+      Alcotest.(check bool) "header" true (table.Csv.header = sample_table.Csv.header);
+      Alcotest.(check int) "rows" 2 (Array.length table.Csv.rows);
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v -> Alcotest.(check (float 1e-15)) "cell" sample_table.Csv.rows.(i).(j) v)
+            row)
+        table.Csv.rows);
+  Sys.remove path
+
+let test_column_extraction () =
+  let y = Csv.column sample_table "y" in
+  Alcotest.(check (float 0.)) "y0" 2. y.(0);
+  Alcotest.(check (float 0.)) "y1" (-6.) y.(1);
+  Alcotest.(check bool) "missing column raises" true
+    (match Csv.column sample_table "missing" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_columns_except () =
+  let names, rows = Csv.columns_except sample_table [ "y" ] in
+  Alcotest.(check bool) "names" true (names = [| "x"; "z" |]);
+  Alcotest.(check (float 0.)) "kept cells" 3. rows.(0).(1)
+
+let test_read_errors () =
+  let write_text text =
+    let path = Filename.temp_file "caffeine_csv" ".csv" in
+    let channel = open_out path in
+    output_string channel text;
+    close_out channel;
+    path
+  in
+  let expect_error text =
+    let path = write_text text in
+    (match Csv.read ~path with
+    | Ok _ -> Alcotest.failf "expected error for %S" text
+    | Error _ -> ());
+    Sys.remove path
+  in
+  expect_error "";
+  expect_error "a,b\n1,2,3\n";
+  expect_error "a,b\n1,zzz\n"
+
+let test_read_skips_blank_lines () =
+  let path = Filename.temp_file "caffeine_csv" ".csv" in
+  let channel = open_out path in
+  output_string channel "a,b\n\n1,2\n\n3,4\n";
+  close_out channel;
+  (match Csv.read ~path with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok table -> Alcotest.(check int) "two rows" 2 (Array.length table.Csv.rows));
+  Sys.remove path
+
+let test_write_rejects_ragged () =
+  let path = Filename.temp_file "caffeine_csv" ".csv" in
+  Alcotest.(check bool) "ragged rejected" true
+    (match Csv.write ~path { Csv.header = [| "a"; "b" |]; rows = [| [| 1. |] |] } with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "write/read round-trip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "column extraction" `Quick test_column_extraction;
+    Alcotest.test_case "columns except" `Quick test_columns_except;
+    Alcotest.test_case "read errors" `Quick test_read_errors;
+    Alcotest.test_case "blank lines skipped" `Quick test_read_skips_blank_lines;
+    Alcotest.test_case "ragged write rejected" `Quick test_write_rejects_ragged;
+  ]

@@ -1,0 +1,317 @@
+(* Tests for dense matrices, decompositions, least squares, PRESS, and the
+   complex solver, with qcheck properties on algebraic identities. *)
+
+module Matrix = Caffeine_linalg.Matrix
+module Decomp = Caffeine_linalg.Decomp
+module Cmatrix = Caffeine_linalg.Cmatrix
+module Rng = Caffeine_util.Rng
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let random_matrix rng rows cols =
+  Matrix.init rows cols (fun _ _ -> Rng.range rng (-3.) 3.)
+
+let random_vector rng n = Array.init n (fun _ -> Rng.range rng (-3.) 3.)
+
+(* --- Matrix basics --- *)
+
+let test_matrix_construction () =
+  let m = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_close "get 0 0" 1. (Matrix.get m 0 0);
+  check_close "get 1 0" 3. (Matrix.get m 1 0);
+  Alcotest.(check int) "rows" 2 (Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Matrix.cols m)
+
+let test_matrix_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged rows") (fun () ->
+      ignore (Matrix.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_matrix_transpose_involution () =
+  let rng = Rng.create ~seed:1 () in
+  let m = random_matrix rng 4 7 in
+  Alcotest.(check bool) "(mᵀ)ᵀ = m" true (Matrix.equal m (Matrix.transpose (Matrix.transpose m)))
+
+let test_matrix_identity_multiplication () =
+  let rng = Rng.create ~seed:2 () in
+  let m = random_matrix rng 5 5 in
+  Alcotest.(check bool) "I m = m" true (Matrix.equal m (Matrix.mul (Matrix.identity 5) m));
+  Alcotest.(check bool) "m I = m" true (Matrix.equal m (Matrix.mul m (Matrix.identity 5)))
+
+let test_matrix_mul_known () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let product = Matrix.mul a b in
+  check_close "c00" 19. (Matrix.get product 0 0);
+  check_close "c01" 22. (Matrix.get product 0 1);
+  check_close "c10" 43. (Matrix.get product 1 0);
+  check_close "c11" 50. (Matrix.get product 1 1)
+
+let test_matrix_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.; 0.; 2. |]; [| -1.; 3.; 1. |] |] in
+  let v = Matrix.mul_vec a [| 3.; 1.; 2. |] in
+  check_close "row 0" 7. v.(0);
+  check_close "row 1" 2. v.(1)
+
+let test_matrix_select_columns () =
+  let m = Matrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let s = Matrix.select_columns m [| 2; 0 |] in
+  check_close "reordered" 3. (Matrix.get s 0 0);
+  check_close "reordered" 1. (Matrix.get s 0 1)
+
+let test_matrix_add_sub_scale () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |] |] in
+  let b = Matrix.of_arrays [| [| 3.; 5. |] |] in
+  let sum = Matrix.add a b in
+  check_close "add" 4. (Matrix.get sum 0 0);
+  let difference = Matrix.sub b a in
+  check_close "sub" 3. (Matrix.get difference 0 1);
+  let scaled = Matrix.scale 2. a in
+  check_close "scale" 4. (Matrix.get scaled 0 1)
+
+(* --- QR --- *)
+
+let test_qr_reconstruction () =
+  let rng = Rng.create ~seed:3 () in
+  let a = random_matrix rng 8 5 in
+  let q, r = Decomp.qr a in
+  Alcotest.(check bool) "a = q r" true (Matrix.equal ~tol:1e-8 a (Matrix.mul q r))
+
+let test_qr_orthonormal_columns () =
+  let rng = Rng.create ~seed:4 () in
+  let a = random_matrix rng 10 4 in
+  let q, _ = Decomp.qr a in
+  let qtq = Matrix.mul (Matrix.transpose q) q in
+  Alcotest.(check bool) "qᵀq = I" true (Matrix.equal ~tol:1e-8 qtq (Matrix.identity 4))
+
+let test_qr_r_upper_triangular () =
+  let rng = Rng.create ~seed:5 () in
+  let a = random_matrix rng 6 6 in
+  let _, r = Decomp.qr a in
+  let ok = ref true in
+  for i = 0 to 5 do
+    for j = 0 to i - 1 do
+      if Float.abs (Matrix.get r i j) > 1e-12 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "strictly lower part is zero" true !ok
+
+(* --- solvers --- *)
+
+let test_lu_solve_known_system () =
+  let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Decomp.lu_solve a [| 5.; 10. |] in
+  check_close "x0" 1. x.(0);
+  check_close "x1" 3. x.(1)
+
+let test_lu_solve_random_residual () =
+  let rng = Rng.create ~seed:6 () in
+  for _ = 1 to 10 do
+    let a = random_matrix rng 6 6 in
+    let b = random_vector rng 6 in
+    match Decomp.lu_solve a b with
+    | x ->
+        let residual = Matrix.mul_vec a x in
+        Array.iteri (fun i r -> check_close ~tol:1e-7 "residual" b.(i) r) residual
+    | exception Decomp.Singular -> () (* random singular matrix: fine *)
+  done
+
+let test_lu_singular_raises () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.(check bool) "singular detected" true
+    (match Decomp.lu_solve a [| 1.; 2. |] with
+    | _ -> false
+    | exception Decomp.Singular -> true)
+
+let test_cholesky_reconstruction () =
+  let rng = Rng.create ~seed:7 () in
+  let m = random_matrix rng 6 4 in
+  let spd = Matrix.gram m in
+  (* make it definitely positive definite *)
+  let spd = Matrix.add spd (Matrix.scale 0.5 (Matrix.identity 4)) in
+  let l = Decomp.cholesky spd in
+  Alcotest.(check bool) "l lᵀ = a" true
+    (Matrix.equal ~tol:1e-8 spd (Matrix.mul l (Matrix.transpose l)))
+
+let test_cholesky_rejects_indefinite () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.(check bool) "indefinite rejected" true
+    (match Decomp.cholesky a with _ -> false | exception Decomp.Singular -> true)
+
+let test_solve_spd_matches_lu () =
+  let rng = Rng.create ~seed:8 () in
+  let m = random_matrix rng 7 5 in
+  let spd = Matrix.add (Matrix.gram m) (Matrix.scale 0.1 (Matrix.identity 5)) in
+  let b = random_vector rng 5 in
+  let x1 = Decomp.solve_spd spd b in
+  let x2 = Decomp.lu_solve spd b in
+  Array.iteri (fun i v -> check_close ~tol:1e-7 "same solution" v x2.(i)) x1
+
+(* --- least squares --- *)
+
+let test_lstsq_exact_system () =
+  (* Overdetermined but consistent: recover exact coefficients. *)
+  let rng = Rng.create ~seed:9 () in
+  let a = random_matrix rng 20 3 in
+  let truth = [| 2.; -1.; 0.5 |] in
+  let b = Matrix.mul_vec a truth in
+  let x = Decomp.lstsq a b in
+  Array.iteri (fun i v -> check_close ~tol:1e-8 "coefficient" truth.(i) v) x
+
+let test_lstsq_residual_orthogonality () =
+  (* At the least-squares optimum, the residual is orthogonal to the
+     column space: aᵀ(b - ax) = 0. *)
+  let rng = Rng.create ~seed:10 () in
+  let a = random_matrix rng 15 4 in
+  let b = random_vector rng 15 in
+  let x = Decomp.lstsq a b in
+  let predicted = Matrix.mul_vec a x in
+  let residual = Array.init 15 (fun i -> b.(i) -. predicted.(i)) in
+  let gradient = Matrix.mul_vec (Matrix.transpose a) residual in
+  Array.iter (fun g -> check_close ~tol:1e-7 "gradient zero" 0. g) gradient
+
+let test_lstsq_rank_deficient_falls_back () =
+  (* Duplicate column: rank-deficient; the ridge fallback must return finite
+     coefficients that still fit well. *)
+  let rng = Rng.create ~seed:11 () in
+  let base = random_matrix rng 12 2 in
+  let a = Matrix.init 12 3 (fun i j -> if j < 2 then Matrix.get base i j else Matrix.get base i 0) in
+  let b = Matrix.mul_vec base [| 1.; 2. |] in
+  let x = Decomp.lstsq a b in
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite x);
+  let predicted = Matrix.mul_vec a x in
+  Array.iteri (fun i p -> check_close ~tol:1e-3 "fit preserved" b.(i) p) predicted
+
+(* --- hat diagonal and PRESS --- *)
+
+let test_hat_diag_range_and_trace () =
+  let rng = Rng.create ~seed:12 () in
+  let a = random_matrix rng 20 4 in
+  let h = Decomp.hat_diag a in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "leverage in [0,1]" true (v >= -1e-9 && v <= 1. +. 1e-9))
+    h;
+  (* trace(H) = rank = 4 *)
+  check_close ~tol:1e-6 "trace equals rank" 4. (Array.fold_left ( +. ) 0. h)
+
+let test_press_equals_explicit_loo () =
+  (* PRESS must equal brute-force leave-one-out residual sum of squares. *)
+  let rng = Rng.create ~seed:13 () in
+  let m = 12 and n = 3 in
+  let a = random_matrix rng m n in
+  let b = random_vector rng m in
+  let press = Decomp.press a b in
+  let explicit = ref 0. in
+  for holdout = 0 to m - 1 do
+    let rows = List.filter (fun i -> i <> holdout) (List.init m (fun i -> i)) in
+    let sub = Matrix.init (m - 1) n (fun i j -> Matrix.get a (List.nth rows i) j) in
+    let sub_b = Array.of_list (List.map (fun i -> b.(i)) rows) in
+    let x = Decomp.lstsq sub sub_b in
+    let predicted = ref 0. in
+    for j = 0 to n - 1 do
+      predicted := !predicted +. (Matrix.get a holdout j *. x.(j))
+    done;
+    let e = b.(holdout) -. !predicted in
+    explicit := !explicit +. (e *. e)
+  done;
+  check_close ~tol:1e-6 "press = explicit LOO" !explicit press
+
+(* --- complex --- *)
+
+let complex_close msg (a : Complex.t) (b : Complex.t) =
+  if Complex.norm (Complex.sub a b) > 1e-9 *. Float.max 1. (Complex.norm a) then
+    Alcotest.failf "%s: expected %g+%gi, got %g+%gi" msg a.re a.im b.re b.im
+
+let test_cmatrix_solve_real_system () =
+  let m = Cmatrix.create 2 2 in
+  Cmatrix.set m 0 0 { Complex.re = 2.; im = 0. };
+  Cmatrix.set m 0 1 { Complex.re = 1.; im = 0. };
+  Cmatrix.set m 1 0 { Complex.re = 1.; im = 0. };
+  Cmatrix.set m 1 1 { Complex.re = 3.; im = 0. };
+  let x = Cmatrix.solve m [| { Complex.re = 5.; im = 0. }; { Complex.re = 10.; im = 0. } |] in
+  complex_close "x0" { Complex.re = 1.; im = 0. } x.(0);
+  complex_close "x1" { Complex.re = 3.; im = 0. } x.(1)
+
+let test_cmatrix_solve_complex_residual () =
+  let rng = Rng.create ~seed:14 () in
+  let n = 5 in
+  let m = Cmatrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Cmatrix.set m i j { Complex.re = Rng.range rng (-2.) 2.; im = Rng.range rng (-2.) 2. }
+    done;
+    (* Diagonal dominance keeps it comfortably nonsingular. *)
+    Cmatrix.set m i i { Complex.re = 10.; im = 1. }
+  done;
+  let b =
+    Array.init n (fun _ -> { Complex.re = Rng.range rng (-2.) 2.; im = Rng.range rng (-2.) 2. })
+  in
+  let x = Cmatrix.solve m b in
+  let reconstructed = Cmatrix.mul_vec m x in
+  Array.iteri (fun i v -> complex_close "residual" b.(i) v) reconstructed
+
+let test_cmatrix_add_entry_accumulates () =
+  let m = Cmatrix.create 1 1 in
+  Cmatrix.add_entry m 0 0 { Complex.re = 1.; im = 2. };
+  Cmatrix.add_entry m 0 0 { Complex.re = 3.; im = -1. };
+  complex_close "accumulated" { Complex.re = 4.; im = 1. } (Cmatrix.get m 0 0)
+
+(* --- qcheck properties --- *)
+
+let property_tests =
+  let dims = QCheck.Gen.(pair (int_range 3 12) (int_range 1 5)) in
+  let seeded = QCheck.make QCheck.Gen.(triple int dims (return ())) in
+  [
+    QCheck.Test.make ~name:"qr reconstructs for random shapes" ~count:60 seeded
+      (fun (seed, (m, extra), ()) ->
+        let n = max 1 (m - extra) in
+        let rng = Rng.create ~seed () in
+        let a = random_matrix rng m n in
+        let q, r = Decomp.qr a in
+        Matrix.equal ~tol:1e-7 a (Matrix.mul q r));
+    QCheck.Test.make ~name:"lstsq never returns non-finite" ~count:60 seeded
+      (fun (seed, (m, extra), ()) ->
+        let n = max 1 (m - extra) in
+        let rng = Rng.create ~seed () in
+        let a = random_matrix rng m n in
+        let b = random_vector rng m in
+        Array.for_all Float.is_finite (Decomp.lstsq a b));
+    QCheck.Test.make ~name:"hat trace equals column count (full rank)" ~count:40 seeded
+      (fun (seed, (m, extra), ()) ->
+        let n = max 1 (m - extra - 1) in
+        let rng = Rng.create ~seed () in
+        let a = random_matrix rng (m + 4) n in
+        let h = Decomp.hat_diag a in
+        Float.abs (Array.fold_left ( +. ) 0. h -. float_of_int n) < 1e-5);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "matrix: construction" `Quick test_matrix_construction;
+    Alcotest.test_case "matrix: ragged rejected" `Quick test_matrix_ragged_rejected;
+    Alcotest.test_case "matrix: transpose involution" `Quick test_matrix_transpose_involution;
+    Alcotest.test_case "matrix: identity" `Quick test_matrix_identity_multiplication;
+    Alcotest.test_case "matrix: known product" `Quick test_matrix_mul_known;
+    Alcotest.test_case "matrix: mul_vec" `Quick test_matrix_mul_vec;
+    Alcotest.test_case "matrix: select columns" `Quick test_matrix_select_columns;
+    Alcotest.test_case "matrix: add/sub/scale" `Quick test_matrix_add_sub_scale;
+    Alcotest.test_case "qr: reconstruction" `Quick test_qr_reconstruction;
+    Alcotest.test_case "qr: orthonormal columns" `Quick test_qr_orthonormal_columns;
+    Alcotest.test_case "qr: upper triangular" `Quick test_qr_r_upper_triangular;
+    Alcotest.test_case "lu: known system" `Quick test_lu_solve_known_system;
+    Alcotest.test_case "lu: random residuals" `Quick test_lu_solve_random_residual;
+    Alcotest.test_case "lu: singular raises" `Quick test_lu_singular_raises;
+    Alcotest.test_case "cholesky: reconstruction" `Quick test_cholesky_reconstruction;
+    Alcotest.test_case "cholesky: indefinite rejected" `Quick test_cholesky_rejects_indefinite;
+    Alcotest.test_case "spd solve matches lu" `Quick test_solve_spd_matches_lu;
+    Alcotest.test_case "lstsq: exact recovery" `Quick test_lstsq_exact_system;
+    Alcotest.test_case "lstsq: residual orthogonality" `Quick test_lstsq_residual_orthogonality;
+    Alcotest.test_case "lstsq: rank-deficient fallback" `Quick test_lstsq_rank_deficient_falls_back;
+    Alcotest.test_case "hat diag: range and trace" `Quick test_hat_diag_range_and_trace;
+    Alcotest.test_case "press equals explicit LOO" `Quick test_press_equals_explicit_loo;
+    Alcotest.test_case "cmatrix: real system" `Quick test_cmatrix_solve_real_system;
+    Alcotest.test_case "cmatrix: complex residual" `Quick test_cmatrix_solve_complex_residual;
+    Alcotest.test_case "cmatrix: add_entry" `Quick test_cmatrix_add_entry_accumulates;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

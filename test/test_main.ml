@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "caffeine"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("doe", Test_doe.suite);
+      ("grammar", Test_grammar.suite);
+      ("expr", Test_expr.suite);
+      ("infix", Test_infix.suite);
+      ("deriv", Test_deriv.suite);
+      ("regress", Test_regress.suite);
+      ("evo", Test_evo.suite);
+      ("spice", Test_spice.suite);
+      ("netlist", Test_netlist.suite);
+      ("ota", Test_ota.suite);
+      ("posyn", Test_posyn.suite);
+      ("core", Test_core.suite);
+      ("export", Test_export.suite);
+      ("io", Test_io.suite);
+      ("cli", Test_cli.suite);
+    ]

@@ -1,0 +1,358 @@
+(* Tests for the OTA testbench: variable mapping, performance extraction,
+   physical sanity of sensitivities, and dataset generation. *)
+
+module Ota = Caffeine_ota.Ota
+
+let evaluate_exn x =
+  match Ota.evaluate x with
+  | Ok values -> values
+  | Error msg -> Alcotest.failf "evaluation failed: %s" msg
+
+let index_of p =
+  let rec find i = function
+    | [] -> Alcotest.fail "unknown performance"
+    | q :: rest -> if q = p then i else find (i + 1) rest
+  in
+  find 0 Ota.all_performances
+
+let value p values = values.(index_of p)
+
+let with_var name factor =
+  let x = Array.copy Ota.nominal in
+  let rec find i =
+    if i >= Array.length Ota.var_names then Alcotest.failf "unknown variable %s" name
+    else if Ota.var_names.(i) = name then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  x.(i) <- x.(i) *. factor;
+  x
+
+let test_metadata () =
+  Alcotest.(check int) "13 design variables" 13 Ota.dims;
+  Alcotest.(check int) "names match dims" Ota.dims (Array.length Ota.var_names);
+  Alcotest.(check int) "nominal width" Ota.dims (Array.length Ota.nominal);
+  Alcotest.(check int) "six performances" 6 (List.length Ota.all_performances);
+  Alcotest.(check (float 0.)) "5V supply" 5.0 Ota.supply_voltage;
+  Alcotest.(check (float 0.)) "10pF load" 10e-12 Ota.load_capacitance
+
+let test_performance_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Ota.performance_of_name (Ota.performance_name p) with
+      | Some q -> Alcotest.(check bool) "round-trip" true (p = q)
+      | None -> Alcotest.fail "name not recognized")
+    Ota.all_performances
+
+let test_nominal_values_realistic () =
+  let values = evaluate_exn Ota.nominal in
+  let alf = value Ota.Alf values in
+  Alcotest.(check bool) "gain 20..80 dB" true (alf > 20. && alf < 80.);
+  let fu = value Ota.Fu values in
+  Alcotest.(check bool) "fu 0.1..100 MHz" true (fu > 1e5 && fu < 1e8);
+  let pm = value Ota.Pm values in
+  Alcotest.(check bool) "PM 30..100 degrees" true (pm > 30. && pm < 100.);
+  let voffset = value Ota.Voffset values in
+  Alcotest.(check bool) "offset few mV" true (Float.abs voffset < 10e-3);
+  let srp = value Ota.Srp values in
+  Alcotest.(check bool) "SRp positive" true (srp > 1e5);
+  let srn = value Ota.Srn values in
+  Alcotest.(check bool) "SRn negative" true (srn < -1e5)
+
+let test_more_current_more_slew () =
+  let base = evaluate_exn Ota.nominal in
+  let boosted = evaluate_exn (with_var "id2" 1.2) in
+  Alcotest.(check bool) "SRp rises with id2" true
+    (value Ota.Srp boosted > value Ota.Srp base);
+  Alcotest.(check bool) "SRn magnitude rises with id2" true
+    (Float.abs (value Ota.Srn boosted) > Float.abs (value Ota.Srn base))
+
+let test_more_input_current_more_bandwidth () =
+  let base = evaluate_exn Ota.nominal in
+  let boosted = evaluate_exn (with_var "id1" 1.2) in
+  Alcotest.(check bool) "fu rises with id1 (gm1 up)" true
+    (value Ota.Fu boosted > value Ota.Fu base)
+
+let test_gain_falls_with_overdrive () =
+  (* Larger vsg1 means larger overdrive, lower gm1, lower gain. *)
+  let base = evaluate_exn Ota.nominal in
+  let weaker = evaluate_exn (with_var "vsg1" 1.1) in
+  Alcotest.(check bool) "ALF falls with vsg1" true
+    (value Ota.Alf weaker < value Ota.Alf base)
+
+let test_nuisance_variable_has_no_effect () =
+  (* ib is deliberately unused by every performance. *)
+  let base = evaluate_exn Ota.nominal in
+  let changed = evaluate_exn (with_var "ib" 1.5) in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12)) (Ota.performance_name p) (value p base) (value p changed))
+    Ota.all_performances
+
+let test_cutoff_region_rejected () =
+  (* vsg1 far below |vth| puts the input pair in cutoff. *)
+  let x = Array.copy Ota.nominal in
+  x.(3) <- 0.3 (* vsg1 *);
+  Alcotest.(check bool) "bias error reported" true
+    (match Ota.evaluate x with Ok _ -> false | Error _ -> true)
+
+let test_negative_current_rejected () =
+  let x = Array.copy Ota.nominal in
+  x.(0) <- -.x.(0);
+  Alcotest.(check bool) "negative current rejected" true
+    (match Ota.evaluate x with Ok _ -> false | Error _ -> true)
+
+let test_small_signal_circuit_structure () =
+  match Ota.small_signal_circuit Ota.nominal with
+  | Error msg -> Alcotest.failf "circuit build failed: %s" msg
+  | Ok circuit ->
+      Alcotest.(check int) "seven nodes" 7 (Caffeine_spice.Circuit.num_nodes circuit);
+      Alcotest.(check (list string)) "one source" [ "vin" ]
+        (Caffeine_spice.Circuit.vsource_names circuit)
+
+let test_doe_dataset_shape () =
+  let data = Ota.doe_dataset ~dx:0.10 in
+  Alcotest.(check bool) "most of 243 samples evaluated" true
+    (Array.length data.Ota.inputs > 200 && Array.length data.Ota.inputs <= 243);
+  Alcotest.(check int) "outputs aligned" (Array.length data.Ota.inputs)
+    (Array.length data.Ota.outputs);
+  Array.iter
+    (fun row -> Alcotest.(check int) "six outputs" 6 (Array.length row))
+    data.Ota.outputs
+
+let test_doe_dataset_narrow_spread () =
+  (* dx = 0.03 samples are interior to the dx = 0.10 hypercube: the spread
+     of every performance must be smaller. *)
+  let wide = Ota.doe_dataset ~dx:0.10 in
+  let narrow = Ota.doe_dataset ~dx:0.03 in
+  List.iter
+    (fun p ->
+      let spread data =
+        let ys = Ota.targets data p in
+        Caffeine_util.Stats.stddev ys
+      in
+      Alcotest.(check bool)
+        (Ota.performance_name p ^ " narrower")
+        true
+        (spread narrow < spread wide))
+    Ota.all_performances
+
+let test_modeling_target_fu_log () =
+  Alcotest.(check (float 1e-9)) "fu log-scaled" 6. (Ota.modeling_target Ota.Fu 1e6);
+  Alcotest.(check (float 1e-3)) "inverse" 1e6 (Ota.modeling_target_inverse Ota.Fu 6.);
+  Alcotest.(check (float 1e-9)) "others identity" 42. (Ota.modeling_target Ota.Pm 42.)
+
+let test_targets_column_extraction () =
+  let data = Ota.doe_dataset ~dx:0.03 in
+  let pm = Ota.targets data Ota.Pm in
+  Alcotest.(check int) "one value per row" (Array.length data.Ota.inputs) (Array.length pm);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "PM plausible" true (v > 0. && v < 120.))
+    pm
+
+let suite =
+  [
+    Alcotest.test_case "metadata" `Quick test_metadata;
+    Alcotest.test_case "performance names" `Quick test_performance_names_roundtrip;
+    Alcotest.test_case "nominal values realistic" `Quick test_nominal_values_realistic;
+    Alcotest.test_case "slew rises with id2" `Quick test_more_current_more_slew;
+    Alcotest.test_case "bandwidth rises with id1" `Quick test_more_input_current_more_bandwidth;
+    Alcotest.test_case "gain falls with overdrive" `Quick test_gain_falls_with_overdrive;
+    Alcotest.test_case "nuisance variable inert" `Quick test_nuisance_variable_has_no_effect;
+    Alcotest.test_case "cutoff rejected" `Quick test_cutoff_region_rejected;
+    Alcotest.test_case "negative current rejected" `Quick test_negative_current_rejected;
+    Alcotest.test_case "small-signal circuit" `Quick test_small_signal_circuit_structure;
+    Alcotest.test_case "doe dataset shape" `Quick test_doe_dataset_shape;
+    Alcotest.test_case "doe dataset spread" `Quick test_doe_dataset_narrow_spread;
+    Alcotest.test_case "fu log scaling" `Quick test_modeling_target_fu_log;
+    Alcotest.test_case "targets extraction" `Quick test_targets_column_extraction;
+  ]
+
+(* --- transistor-level testbench --- *)
+
+module Testbench = Caffeine_ota.Testbench
+
+let validate_exn x =
+  match Testbench.validate x with
+  | Ok report -> report
+  | Error msg -> Alcotest.failf "testbench validation failed: %s" msg
+
+let test_testbench_converges_at_nominal () =
+  let report = validate_exn Ota.nominal in
+  Alcotest.(check bool) "converges quickly" true (report.Testbench.iterations < 50);
+  Alcotest.(check bool) "output voltage inside the rails" true
+    (report.Testbench.output_voltage > 0.5 && report.Testbench.output_voltage < 4.5);
+  Alcotest.(check bool) "tail above common mode" true
+    (report.Testbench.tail_voltage > 2.0 && report.Testbench.tail_voltage < 5.0)
+
+let test_testbench_currents_match_design () =
+  let report = validate_exn Ota.nominal in
+  (* Channel-length modulation at the actual node voltages accounts for the
+     residual; the asserted bias must still be recognizably realized. *)
+  Alcotest.(check bool) "currents within 30% of design" true
+    (Testbench.max_current_mismatch report < 0.30);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (d.Testbench.name ^ " conducting")
+        true
+        (d.Testbench.solved_current > 0.5 *. d.Testbench.designed_current))
+    report.Testbench.devices
+
+let test_testbench_input_pair_balanced () =
+  let report = validate_exn Ota.nominal in
+  let current name =
+    let d = List.find (fun d -> d.Testbench.name = name) report.Testbench.devices in
+    d.Testbench.solved_current
+  in
+  let a = current "m1a" and b = current "m1b" in
+  Alcotest.(check bool) "pair splits the tail evenly" true
+    (Float.abs (a -. b) < 0.02 *. Float.max a b)
+
+let test_testbench_mirror_ratio () =
+  let report = validate_exn Ota.nominal in
+  let current name =
+    let d = List.find (fun d -> d.Testbench.name = name) report.Testbench.devices in
+    d.Testbench.solved_current
+  in
+  let k_designed = Ota.nominal.(1) /. Ota.nominal.(0) in
+  let k_solved = current "m2c" /. current "m2a" in
+  Alcotest.(check bool) "mirror gain near designed K" true
+    (k_solved > 0.8 *. k_designed && k_solved < 1.3 *. k_designed)
+
+let test_testbench_rejects_cutoff () =
+  let x = Array.copy Ota.nominal in
+  x.(3) <- 0.3 (* vsg1 below threshold *);
+  Alcotest.(check bool) "cutoff point rejected" true
+    (match Testbench.validate x with Ok _ -> false | Error _ -> true)
+
+let test_testbench_perturbed_points_converge () =
+  (* Every corner of a +-10% hypercube slice should still converge. *)
+  let scales = [ 0.9; 1.1 ] in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          let x = Array.copy Ota.nominal in
+          x.(0) <- x.(0) *. s1;
+          x.(1) <- x.(1) *. s2;
+          let report = validate_exn x in
+          Alcotest.(check bool) "converged" true (report.Testbench.iterations < 100))
+        scales)
+    scales
+
+let test_testbench_transient_slew_matches_analytic () =
+  (* The large-signal transient measurement and the analytic current-limit
+     estimate must agree in sign and magnitude (within a factor of 2). *)
+  match Testbench.transient_slew Ota.nominal with
+  | Error msg -> Alcotest.failf "transient slew failed: %s" msg
+  | Ok (rising, falling) -> (
+      Alcotest.(check bool) "rising positive" true (rising > 0.);
+      Alcotest.(check bool) "falling negative" true (falling < 0.);
+      match Ota.evaluate Ota.nominal with
+      | Error msg -> Alcotest.failf "analytic evaluation failed: %s" msg
+      | Ok values ->
+          let srp = value Ota.Srp values and srn = value Ota.Srn values in
+          let ratio_p = rising /. srp in
+          let ratio_n = falling /. srn in
+          Alcotest.(check bool) "SRp within 2x of analytic" true
+            (ratio_p > 0.5 && ratio_p < 2.);
+          Alcotest.(check bool) "SRn within 2x of analytic" true
+            (ratio_n > 0.5 && ratio_n < 2.))
+
+let testbench_suite =
+  [
+    Alcotest.test_case "testbench: converges" `Quick test_testbench_converges_at_nominal;
+    Alcotest.test_case "testbench: currents match" `Quick test_testbench_currents_match_design;
+    Alcotest.test_case "testbench: pair balance" `Quick test_testbench_input_pair_balanced;
+    Alcotest.test_case "testbench: mirror ratio" `Quick test_testbench_mirror_ratio;
+    Alcotest.test_case "testbench: cutoff rejected" `Quick test_testbench_rejects_cutoff;
+    Alcotest.test_case "testbench: perturbed corners" `Quick test_testbench_perturbed_points_converge;
+    Alcotest.test_case "testbench: transient slew vs analytic" `Slow
+      test_testbench_transient_slew_matches_analytic;
+  ]
+
+let suite = suite @ testbench_suite
+
+(* --- Miller two-stage op-amp testbench --- *)
+
+module Miller = Caffeine_ota.Miller
+
+let miller_eval_exn x =
+  match Miller.evaluate x with
+  | Ok values -> values
+  | Error msg -> Alcotest.failf "miller evaluation failed: %s" msg
+
+let miller_value p values =
+  let rec find i = function
+    | [] -> Alcotest.fail "unknown performance"
+    | q :: rest -> if q = p then values.(i) else find (i + 1) rest
+  in
+  find 0 Miller.all_performances
+
+let test_miller_nominal_realistic () =
+  let values = miller_eval_exn Miller.nominal in
+  let alf = miller_value Miller.Alf values in
+  Alcotest.(check bool) "two-stage gain 40..120 dB" true (alf > 40. && alf < 120.);
+  let pm = miller_value Miller.Pm values in
+  Alcotest.(check bool) "compensated PM 20..100" true (pm > 20. && pm < 100.);
+  let power = miller_value Miller.Power values in
+  Alcotest.(check (float 1e-9)) "power = vdd*(2 id1 + id2)" (5. *. ((2. *. 20e-6) +. 200e-6)) power
+
+let test_miller_compensation_tradeoff () =
+  (* Larger Cc: lower fu, higher phase margin (pole splitting). *)
+  let base = miller_eval_exn Miller.nominal in
+  let more_cc = Array.copy Miller.nominal in
+  more_cc.(6) <- more_cc.(6) *. 2.;
+  let compensated = miller_eval_exn more_cc in
+  Alcotest.(check bool) "fu falls with cc" true
+    (miller_value Miller.Fu compensated < miller_value Miller.Fu base);
+  Alcotest.(check bool) "PM rises with cc" true
+    (miller_value Miller.Pm compensated > miller_value Miller.Pm base)
+
+let test_miller_load_reduces_margin () =
+  (* Heavier load capacitance pulls the output pole in: PM drops. *)
+  let base = miller_eval_exn Miller.nominal in
+  let heavy = Array.copy Miller.nominal in
+  heavy.(7) <- heavy.(7) *. 3.;
+  let loaded = miller_eval_exn heavy in
+  Alcotest.(check bool) "PM falls with cl" true
+    (miller_value Miller.Pm loaded < miller_value Miller.Pm base)
+
+let test_miller_gain_rises_with_two_stages () =
+  (* The two-stage amp should out-gain the single-stage OTA at nominal. *)
+  let miller = miller_eval_exn Miller.nominal in
+  let ota = evaluate_exn Ota.nominal in
+  Alcotest.(check bool) "two-stage gain exceeds OTA gain" true
+    (miller_value Miller.Alf miller > value Ota.Alf ota)
+
+let test_miller_dataset () =
+  let rng = Caffeine_util.Rng.create ~seed:5 () in
+  let inputs, outputs = Miller.dataset rng ~samples:50 ~spread:0.1 in
+  Alcotest.(check bool) "most samples evaluate" true (Array.length inputs > 40);
+  Alcotest.(check int) "aligned" (Array.length inputs) (Array.length outputs);
+  Array.iter
+    (fun row -> Alcotest.(check int) "four outputs" 4 (Array.length row))
+    outputs
+
+let test_miller_rejects_bad_points () =
+  let bad_current = Array.copy Miller.nominal in
+  bad_current.(0) <- 0.;
+  Alcotest.(check bool) "zero current rejected" true
+    (match Miller.evaluate bad_current with Ok _ -> false | Error _ -> true);
+  let bad_cap = Array.copy Miller.nominal in
+  bad_cap.(6) <- -1e-12;
+  Alcotest.(check bool) "negative cap rejected" true
+    (match Miller.evaluate bad_cap with Ok _ -> false | Error _ -> true)
+
+let miller_suite =
+  [
+    Alcotest.test_case "miller: nominal realistic" `Quick test_miller_nominal_realistic;
+    Alcotest.test_case "miller: compensation tradeoff" `Quick test_miller_compensation_tradeoff;
+    Alcotest.test_case "miller: load reduces margin" `Quick test_miller_load_reduces_margin;
+    Alcotest.test_case "miller: two stages out-gain one" `Quick test_miller_gain_rises_with_two_stages;
+    Alcotest.test_case "miller: dataset" `Quick test_miller_dataset;
+    Alcotest.test_case "miller: bad points rejected" `Quick test_miller_rejects_bad_points;
+  ]
+
+let suite = suite @ miller_suite

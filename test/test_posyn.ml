@@ -1,0 +1,188 @@
+(* Tests for the posynomial baseline: NNLS correctness (including KKT
+   conditions) and template fitting. *)
+
+module Nnls = Caffeine_posyn.Nnls
+module Posyn = Caffeine_posyn.Posyn
+module Matrix = Caffeine_linalg.Matrix
+module Rng = Caffeine_util.Rng
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* --- NNLS --- *)
+
+let test_nnls_recovers_nonnegative_solution () =
+  (* Well-posed problem whose unconstrained optimum is already >= 0. *)
+  let a = Matrix.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let truth = [| 2.; 3. |] in
+  let b = Matrix.mul_vec a truth in
+  let x = Nnls.solve a b in
+  check_close "x0" 2. x.(0);
+  check_close "x1" 3. x.(1)
+
+let test_nnls_clamps_negative_component () =
+  (* b is negatively correlated with the only column: solution must be 0,
+     not negative. *)
+  let a = Matrix.of_arrays [| [| 1. |]; [| 1. |] |] in
+  let x = Nnls.solve a [| -1.; -1. |] in
+  check_close "clamped at zero" 0. x.(0)
+
+let test_nnls_never_negative () =
+  let rng = Rng.create ~seed:1 () in
+  for _ = 1 to 30 do
+    let a = Matrix.init 15 6 (fun _ _ -> Rng.range rng (-1.) 1.) in
+    let b = Array.init 15 (fun _ -> Rng.range rng (-1.) 1.) in
+    let x = Nnls.solve a b in
+    Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0.)) x
+  done
+
+let test_nnls_kkt_conditions () =
+  (* At the optimum: for active coords (x > 0) the gradient of the residual
+     is ~0; for clamped coords it is <= 0 (no descent direction into the
+     feasible region). *)
+  let rng = Rng.create ~seed:2 () in
+  for _ = 1 to 20 do
+    let a = Matrix.init 20 5 (fun _ _ -> Rng.range rng (-1.) 1.) in
+    let b = Array.init 20 (fun _ -> Rng.range rng (-1.) 1.) in
+    let x = Nnls.solve a b in
+    let ax = Matrix.mul_vec a x in
+    let residual = Array.init 20 (fun i -> b.(i) -. ax.(i)) in
+    let gradient = Matrix.mul_vec (Matrix.transpose a) residual in
+    Array.iteri
+      (fun j g ->
+        if x.(j) > 1e-10 then check_close ~tol:1e-5 "active gradient zero" 0. g
+        else Alcotest.(check bool) "clamped gradient non-positive" true (g <= 1e-6))
+      gradient
+  done
+
+let test_nnls_max_active_cap () =
+  let rng = Rng.create ~seed:3 () in
+  let a = Matrix.init 30 10 (fun _ _ -> Rng.range rng 0. 1.) in
+  let b = Array.init 30 (fun _ -> Rng.range rng 0. 5.) in
+  let x = Nnls.solve ~max_active:3 a b in
+  let active = Array.fold_left (fun acc v -> if v > 0. then acc + 1 else acc) 0 x in
+  Alcotest.(check bool) "at most 3 active" true (active <= 3)
+
+let test_nnls_dimension_mismatch () =
+  let a = Matrix.of_arrays [| [| 1. |] |] in
+  Alcotest.(check bool) "mismatch rejected" true
+    (match Nnls.solve a [| 1.; 2. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Posyn --- *)
+
+let test_candidate_exponents_structure () =
+  let candidates = Posyn.candidate_exponents ~dims:3 ~max_single_exponent:2 in
+  (* singles: 3 vars x 4 exponents = 12; pairs: 3 pairs x 4 combos = 12. *)
+  Alcotest.(check int) "candidate count" 24 (Array.length candidates);
+  Array.iter
+    (fun e ->
+      let active = Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 e in
+      Alcotest.(check bool) "order <= 2" true (active >= 1 && active <= 2))
+    candidates
+
+let test_posyn_fits_true_posynomial () =
+  (* y = 2*x0 + 3/x1 + 1: a true posynomial, must fit nearly exactly. *)
+  let rng = Rng.create ~seed:4 () in
+  let inputs = Array.init 60 (fun _ -> [| Rng.range rng 0.5 2.; Rng.range rng 0.5 2. |]) in
+  let targets = Array.map (fun x -> 1. +. (2. *. x.(0)) +. (3. /. x.(1))) inputs in
+  let model = Posyn.fit ~inputs ~targets () in
+  Alcotest.(check bool) "tiny train error" true (model.Posyn.train_error < 0.01);
+  let predictions = Posyn.predict model inputs in
+  Array.iteri (fun i p -> check_close ~tol:0.05 "prediction" targets.(i) p) predictions
+
+let test_posyn_negative_targets_sign_flip () =
+  let rng = Rng.create ~seed:5 () in
+  let inputs = Array.init 40 (fun _ -> [| Rng.range rng 0.5 2. |]) in
+  let targets = Array.map (fun x -> -.(2. +. (3. *. x.(0))) ) inputs in
+  let model = Posyn.fit ~inputs ~targets () in
+  Alcotest.(check (float 0.)) "sign flipped" (-1.) model.Posyn.sign;
+  Alcotest.(check bool) "fits" true (model.Posyn.train_error < 0.01);
+  let predictions = Posyn.predict model inputs in
+  Array.iter (fun p -> Alcotest.(check bool) "negative predictions" true (p < 0.)) predictions
+
+let test_posyn_coefficients_nonnegative () =
+  let rng = Rng.create ~seed:6 () in
+  let inputs = Array.init 50 (fun _ -> Array.init 4 (fun _ -> Rng.range rng 0.5 2.)) in
+  let targets = Array.map (fun x -> x.(0) -. (0.8 *. x.(1)) +. (x.(2) /. x.(3))) inputs in
+  let model = Posyn.fit ~inputs ~targets () in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "coefficient >= 0" true (c >= 0.))
+    model.Posyn.coefficients
+
+let test_posyn_max_terms_respected () =
+  let rng = Rng.create ~seed:7 () in
+  let inputs = Array.init 80 (fun _ -> Array.init 5 (fun _ -> Rng.range rng 0.5 2.)) in
+  let targets =
+    Array.map (fun x -> (x.(0) *. x.(1)) +. (x.(2) /. x.(3)) +. sqrt x.(4)) inputs
+  in
+  let model = Posyn.fit ~max_terms:5 ~inputs ~targets () in
+  Alcotest.(check bool) "term cap" true (Posyn.num_terms model <= 5)
+
+let test_posyn_rejects_nonpositive_inputs () =
+  Alcotest.(check bool) "zero input rejected" true
+    (match Posyn.fit ~inputs:[| [| 0.5 |]; [| 0. |] |] ~targets:[| 1.; 2. |] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_posyn_non_posynomial_underfits () =
+  (* A sign-changing target (sin) cannot be captured well by a posynomial:
+     training error should be clearly worse than for the true posynomial
+     case. *)
+  let rng = Rng.create ~seed:8 () in
+  let inputs = Array.init 80 (fun _ -> [| Rng.range rng 0.5 6. |]) in
+  let targets = Array.map (fun x -> sin (2. *. x.(0))) inputs in
+  let model = Posyn.fit ~inputs ~targets () in
+  Alcotest.(check bool) "substantial residual error" true (model.Posyn.train_error > 0.2)
+
+let test_posyn_to_string_mentions_terms () =
+  let rng = Rng.create ~seed:9 () in
+  let inputs = Array.init 30 (fun _ -> [| Rng.range rng 0.5 2.; Rng.range rng 0.5 2. |]) in
+  let targets = Array.map (fun x -> 1. +. (2. *. x.(0))) inputs in
+  let model = Posyn.fit ~inputs ~targets () in
+  let rendered = Posyn.to_string ~var_names:[| "a"; "b" |] model in
+  Alcotest.(check bool) "non-empty" true (String.length rendered > 0)
+
+let property_tests =
+  [
+    QCheck.Test.make ~name:"nnls solutions always feasible" ~count:60
+      QCheck.(triple small_int (int_range 2 20) (int_range 1 8))
+      (fun (seed, m, n) ->
+        let rng = Rng.create ~seed () in
+        let a = Matrix.init (max m n) n (fun _ _ -> Rng.range rng (-2.) 2.) in
+        let b = Array.init (max m n) (fun _ -> Rng.range rng (-2.) 2.) in
+        let x = Nnls.solve a b in
+        Array.for_all (fun v -> v >= 0. && Float.is_finite v) x);
+    QCheck.Test.make ~name:"nnls residual never exceeds |b|" ~count:60
+      QCheck.(pair small_int (int_range 2 15))
+      (fun (seed, n) ->
+        let rng = Rng.create ~seed () in
+        let a = Matrix.init (n + 5) n (fun _ _ -> Rng.range rng (-2.) 2.) in
+        let b = Array.init (n + 5) (fun _ -> Rng.range rng (-2.) 2.) in
+        let x = Nnls.solve a b in
+        let ax = Matrix.mul_vec a x in
+        let norm v = sqrt (Array.fold_left (fun acc e -> acc +. (e *. e)) 0. v) in
+        let residual = Array.init (n + 5) (fun i -> b.(i) -. ax.(i)) in
+        norm residual <= norm b +. 1e-9);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "nnls: recovers solution" `Quick test_nnls_recovers_nonnegative_solution;
+    Alcotest.test_case "nnls: clamps negatives" `Quick test_nnls_clamps_negative_component;
+    Alcotest.test_case "nnls: feasibility" `Quick test_nnls_never_negative;
+    Alcotest.test_case "nnls: KKT conditions" `Quick test_nnls_kkt_conditions;
+    Alcotest.test_case "nnls: max active cap" `Quick test_nnls_max_active_cap;
+    Alcotest.test_case "nnls: dimension mismatch" `Quick test_nnls_dimension_mismatch;
+    Alcotest.test_case "posyn: candidate template" `Quick test_candidate_exponents_structure;
+    Alcotest.test_case "posyn: fits true posynomial" `Quick test_posyn_fits_true_posynomial;
+    Alcotest.test_case "posyn: negative targets" `Quick test_posyn_negative_targets_sign_flip;
+    Alcotest.test_case "posyn: non-negative coefficients" `Quick test_posyn_coefficients_nonnegative;
+    Alcotest.test_case "posyn: max terms" `Quick test_posyn_max_terms_respected;
+    Alcotest.test_case "posyn: positive inputs required" `Quick test_posyn_rejects_nonpositive_inputs;
+    Alcotest.test_case "posyn: non-posynomial underfits" `Quick test_posyn_non_posynomial_underfits;
+    Alcotest.test_case "posyn: rendering" `Quick test_posyn_to_string_mentions_terms;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

@@ -1,0 +1,154 @@
+(* Tests for linear basis weighting, PRESS, and forward regression. *)
+
+module Linfit = Caffeine_regress.Linfit
+module Rng = Caffeine_util.Rng
+
+let check_close ?(tol = 1e-7) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_fit_constant () =
+  let fitted = Linfit.fit_constant ~targets:[| 2.; 4.; 6. |] in
+  check_close "intercept is mean" 4. fitted.Linfit.intercept;
+  Alcotest.(check int) "no weights" 0 (Array.length fitted.Linfit.weights)
+
+let test_fit_recovers_linear_combination () =
+  let rng = Rng.create ~seed:1 () in
+  let n = 50 in
+  let col1 = Array.init n (fun _ -> Rng.range rng (-2.) 2.) in
+  let col2 = Array.init n (fun _ -> Rng.range rng (-2.) 2.) in
+  let targets = Array.init n (fun i -> 1.5 +. (2. *. col1.(i)) -. (0.7 *. col2.(i))) in
+  let fitted = Linfit.fit ~basis_values:[| col1; col2 |] ~targets in
+  check_close "intercept" 1.5 fitted.Linfit.intercept;
+  check_close "w1" 2. fitted.Linfit.weights.(0);
+  check_close "w2" (-0.7) fitted.Linfit.weights.(1);
+  check_close "zero training error" 0. fitted.Linfit.train_error
+
+let test_fit_empty_basis_is_constant () =
+  let fitted = Linfit.fit ~basis_values:[||] ~targets:[| 1.; 3. |] in
+  check_close "mean model" 2. fitted.Linfit.intercept
+
+let test_fit_rejects_nonfinite_columns () =
+  Alcotest.(check bool) "nan column rejected" true
+    (match Linfit.fit ~basis_values:[| [| 1.; Float.nan |] |] ~targets:[| 1.; 2. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_predict_matches_fit () =
+  let col = [| 1.; 2.; 3.; 4. |] in
+  let targets = [| 3.; 5.; 7.; 9. |] in
+  let fitted = Linfit.fit ~basis_values:[| col |] ~targets in
+  let predictions = Linfit.predict fitted ~basis_values:[| [| 10. |] |] in
+  check_close "extrapolated" 21. predictions.(0)
+
+let test_press_positive_and_above_rss () =
+  (* PRESS is leave-one-out, so it is at least the in-sample RSS. *)
+  let rng = Rng.create ~seed:2 () in
+  let n = 30 in
+  let col = Array.init n (fun _ -> Rng.range rng (-1.) 1.) in
+  let targets = Array.init n (fun i -> col.(i) +. Rng.gaussian ~sigma:0.2 rng) in
+  let press = Linfit.press ~basis_values:[| col |] ~targets in
+  let fitted = Linfit.fit ~basis_values:[| col |] ~targets in
+  let rss =
+    Array.fold_left ( +. ) 0.
+      (Array.mapi
+         (fun i p ->
+           let e = targets.(i) -. p in
+           e *. e)
+         fitted.Linfit.predictions)
+  in
+  Alcotest.(check bool) "press >= rss" true (press >= rss -. 1e-9);
+  Alcotest.(check bool) "press positive" true (press > 0.)
+
+let test_press_intercept_only () =
+  let targets = [| 1.; 2.; 3. |] in
+  (* Leave-one-out for the mean model: prediction of sample i is the mean of
+     the others; PRESS shortcut with h = 1/n must agree. *)
+  let explicit = ref 0. in
+  for i = 0 to 2 do
+    let others = List.filteri (fun j _ -> j <> i) (Array.to_list targets) in
+    let mean = List.fold_left ( +. ) 0. others /. 2. in
+    let e = targets.(i) -. mean in
+    explicit := !explicit +. (e *. e)
+  done;
+  check_close "intercept-only press" !explicit (Linfit.press ~basis_values:[||] ~targets)
+
+let test_forward_select_picks_true_predictors () =
+  let rng = Rng.create ~seed:3 () in
+  let n = 60 in
+  let signal1 = Array.init n (fun _ -> Rng.range rng (-1.) 1.) in
+  let signal2 = Array.init n (fun _ -> Rng.range rng (-1.) 1.) in
+  let noise1 = Array.init n (fun _ -> Rng.range rng (-1.) 1.) in
+  let noise2 = Array.init n (fun _ -> Rng.range rng (-1.) 1.) in
+  let targets = Array.init n (fun i -> (3. *. signal1.(i)) -. (2. *. signal2.(i))) in
+  let chosen =
+    Linfit.forward_select ~basis_values:[| noise1; signal1; noise2; signal2 |] ~targets ()
+  in
+  let chosen = Array.to_list chosen in
+  Alcotest.(check bool) "signal 1 selected" true (List.mem 1 chosen);
+  Alcotest.(check bool) "signal 2 selected" true (List.mem 3 chosen);
+  Alcotest.(check bool) "no more than 3 columns" true (List.length chosen <= 3)
+
+let test_forward_select_respects_max_bases () =
+  let rng = Rng.create ~seed:4 () in
+  let n = 40 in
+  let columns = Array.init 6 (fun _ -> Array.init n (fun _ -> Rng.range rng (-1.) 1.)) in
+  let targets =
+    Array.init n (fun i ->
+        Array.fold_left ( +. ) 0. (Array.map (fun col -> col.(i)) columns))
+  in
+  let chosen = Linfit.forward_select ~max_bases:2 ~basis_values:columns ~targets () in
+  Alcotest.(check bool) "cap respected" true (Array.length chosen <= 2)
+
+let test_forward_select_skips_nonfinite_columns () =
+  let good = [| 1.; 2.; 3.; 4. |] in
+  let bad = [| 1.; Float.nan; 3.; 4. |] in
+  let targets = [| 2.; 4.; 6.; 8. |] in
+  let chosen = Linfit.forward_select ~basis_values:[| bad; good |] ~targets () in
+  Array.iter (fun i -> Alcotest.(check int) "only the good column" 1 i) chosen
+
+let test_forward_select_stops_on_noise () =
+  (* Pure-noise columns should mostly be rejected by the PRESS criterion. *)
+  let rng = Rng.create ~seed:5 () in
+  let n = 50 in
+  let columns = Array.init 5 (fun _ -> Array.init n (fun _ -> Rng.gaussian rng)) in
+  let targets = Array.init n (fun _ -> Rng.gaussian rng) in
+  let chosen = Linfit.forward_select ~basis_values:columns ~targets () in
+  Alcotest.(check bool) "few noise columns admitted" true (Array.length chosen <= 2)
+
+let test_design_matrix_shape () =
+  let m = Linfit.design_matrix [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check int) "rows" 2 (Caffeine_linalg.Matrix.rows m);
+  Alcotest.(check int) "cols = 1 + k" 3 (Caffeine_linalg.Matrix.cols m);
+  Alcotest.(check (float 1e-12)) "ones column" 1. (Caffeine_linalg.Matrix.get m 1 0)
+
+let property_tests =
+  [
+    QCheck.Test.make ~name:"fit residual error is within [0, constant-model error]" ~count:100
+      QCheck.(pair small_int (int_range 5 40))
+      (fun (seed, n) ->
+        let rng = Rng.create ~seed () in
+        let col = Array.init n (fun _ -> Rng.range rng (-2.) 2.) in
+        let targets = Array.init n (fun _ -> Rng.range rng 1. 3.) in
+        let fitted = Linfit.fit ~basis_values:[| col |] ~targets in
+        let constant = Linfit.fit_constant ~targets in
+        fitted.Linfit.train_error >= -1e-12
+        && fitted.Linfit.train_error <= constant.Linfit.train_error +. 1e-9);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "constant fit" `Quick test_fit_constant;
+    Alcotest.test_case "recovers linear combination" `Quick test_fit_recovers_linear_combination;
+    Alcotest.test_case "empty basis" `Quick test_fit_empty_basis_is_constant;
+    Alcotest.test_case "non-finite rejected" `Quick test_fit_rejects_nonfinite_columns;
+    Alcotest.test_case "predict on new data" `Quick test_predict_matches_fit;
+    Alcotest.test_case "press >= rss" `Quick test_press_positive_and_above_rss;
+    Alcotest.test_case "press intercept-only" `Quick test_press_intercept_only;
+    Alcotest.test_case "forward select: true predictors" `Quick test_forward_select_picks_true_predictors;
+    Alcotest.test_case "forward select: cap" `Quick test_forward_select_respects_max_bases;
+    Alcotest.test_case "forward select: non-finite" `Quick test_forward_select_skips_nonfinite_columns;
+    Alcotest.test_case "forward select: noise rejected" `Quick test_forward_select_stops_on_noise;
+    Alcotest.test_case "design matrix shape" `Quick test_design_matrix_shape;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

@@ -1,0 +1,609 @@
+(* Tests for the circuit simulator substrate: MOS model, DC Newton solve,
+   AC small-signal analysis. *)
+
+module Mos = Caffeine_spice.Mos
+module Circuit = Caffeine_spice.Circuit
+module Dc = Caffeine_spice.Dc
+module Ac = Caffeine_spice.Ac
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let nmos = Mos.default_nmos
+let pmos = Mos.default_pmos
+
+(* --- MOS model --- *)
+
+let test_mos_cutoff () =
+  let op = Mos.evaluate nmos ~w:10e-6 ~l:1e-6 ~vgs:0.2 ~vds:1.0 ~vbs:0. in
+  Alcotest.(check bool) "cutoff region" true (op.region = `Cutoff);
+  Alcotest.(check bool) "tiny leakage" true (Float.abs op.ids < 1e-9)
+
+let test_mos_saturation_square_law () =
+  let w = 20e-6 and l = 1e-6 in
+  let vov = 0.3 in
+  let vgs = nmos.Mos.vth0 +. vov in
+  let vds = 1.5 in
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs:0. in
+  Alcotest.(check bool) "saturation region" true (op.region = `Saturation);
+  let beta = nmos.Mos.kp *. w /. l in
+  let expected = beta /. 2. *. vov *. vov *. (1. +. (nmos.Mos.lambda *. vds)) in
+  check_close ~tol:1e-3 "square law current" expected op.ids
+
+let test_mos_triode_region () =
+  let vov = 0.5 in
+  let vgs = nmos.Mos.vth0 +. vov in
+  let op = Mos.evaluate nmos ~w:10e-6 ~l:1e-6 ~vgs ~vds:0.1 ~vbs:0. in
+  Alcotest.(check bool) "triode region" true (op.region = `Triode)
+
+let finite_difference f x0 =
+  let h = 1e-7 in
+  (f (x0 +. h) -. f (x0 -. h)) /. (2. *. h)
+
+let test_mos_gm_matches_finite_difference () =
+  let w = 10e-6 and l = 1e-6 in
+  let vgs = 1.2 and vds = 1.0 and vbs = -0.3 in
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs in
+  let ids_at vgs = (Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  check_close ~tol:1e-4 "gm = dids/dvgs" (finite_difference ids_at vgs) op.gm
+
+let test_mos_gds_matches_finite_difference () =
+  let w = 10e-6 and l = 1e-6 in
+  let vgs = 1.2 and vds = 1.0 and vbs = 0. in
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs in
+  let ids_at vds = (Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  check_close ~tol:1e-4 "gds = dids/dvds" (finite_difference ids_at vds) op.gds
+
+let test_mos_gmb_matches_finite_difference () =
+  let w = 10e-6 and l = 1e-6 in
+  let vgs = 1.2 and vds = 1.0 and vbs = -0.5 in
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs in
+  let ids_at vbs = (Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  check_close ~tol:1e-4 "gmb = dids/dvbs" (finite_difference ids_at vbs) op.gmb
+
+let test_mos_reverse_mode_derivatives () =
+  (* vds < 0: drain and source swap; derivatives must still be the true
+     partials. *)
+  let w = 10e-6 and l = 1e-6 in
+  let vgs = 0.5 and vds = -1.0 and vbs = -0.2 in
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs in
+  let ids_vgs vgs = (Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  let ids_vds vds = (Mos.evaluate nmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  check_close ~tol:1e-4 "reverse gm" (finite_difference ids_vgs vgs) op.gm;
+  check_close ~tol:1e-4 "reverse gds" (finite_difference ids_vds vds) op.gds;
+  Alcotest.(check bool) "reverse current negative" true (op.ids < 0.)
+
+let test_pmos_current_sign () =
+  (* PMOS in normal operation: vgs, vds negative; drain->source current is
+     negative (current flows source->drain). *)
+  let op = Mos.evaluate pmos ~w:20e-6 ~l:1e-6 ~vgs:(-1.2) ~vds:(-1.5) ~vbs:0. in
+  Alcotest.(check bool) "pmos saturation" true (op.region = `Saturation);
+  Alcotest.(check bool) "pmos ids negative" true (op.ids < 0.);
+  Alcotest.(check bool) "pmos gm positive" true (op.gm > 0.)
+
+let test_pmos_derivatives () =
+  let w = 20e-6 and l = 1e-6 in
+  let vgs = -1.2 and vds = -1.5 and vbs = 0.4 in
+  let op = Mos.evaluate pmos ~w ~l ~vgs ~vds ~vbs in
+  let ids_vgs vgs = (Mos.evaluate pmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  let ids_vds vds = (Mos.evaluate pmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  let ids_vbs vbs = (Mos.evaluate pmos ~w ~l ~vgs ~vds ~vbs).Mos.ids in
+  check_close ~tol:1e-4 "pmos gm" (finite_difference ids_vgs vgs) op.gm;
+  check_close ~tol:1e-4 "pmos gds" (finite_difference ids_vds vds) op.gds;
+  check_close ~tol:1e-4 "pmos gmb" (finite_difference ids_vbs vbs) op.gmb
+
+let test_size_for_current_roundtrip () =
+  let id = 100e-6 and vov = 0.25 and l = 1e-6 in
+  let w = Mos.size_for_current nmos ~id ~vov ~l in
+  let vgs = nmos.Mos.vth0 +. vov in
+  (* Without channel-length modulation the current would be exactly id; with
+     lambda it is id*(1+lambda*vds) at vds = vov. *)
+  let op = Mos.evaluate nmos ~w ~l ~vgs ~vds:vov ~vbs:0. in
+  check_close ~tol:1e-2 "sized current" (id *. (1. +. (nmos.Mos.lambda *. vov))) op.ids
+
+(* --- DC analysis --- *)
+
+let solve_exn circuit =
+  match Dc.solve circuit with
+  | Ok solution -> solution
+  | Error msg -> Alcotest.failf "DC solve failed: %s" msg
+
+let test_dc_voltage_divider () =
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 10.; ac = 0. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = 1000. };
+        Circuit.Resistor { name = "r2"; n1 = 2; n2 = 0; ohms = 3000. };
+      ]
+  in
+  let solution = solve_exn circuit in
+  check_close "divider midpoint" 7.5 (Dc.node_voltage solution 2);
+  check_close "source current" (-10. /. 4000.) (Dc.branch_current solution "vin")
+
+let test_dc_current_source_into_resistor () =
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Isource { name = "i1"; from_node = 0; to_node = 1; amps = 1e-3 };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 0; ohms = 2000. };
+      ]
+  in
+  let solution = solve_exn circuit in
+  check_close "ohm's law" 2.0 (Dc.node_voltage solution 1)
+
+let test_dc_vccs () =
+  (* VCCS driving a resistor: v_out = -gm * v_in * r. *)
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.5; ac = 0. };
+        Circuit.Vccs { name = "g1"; out_pos = 2; out_neg = 0; in_pos = 1; in_neg = 0; gm = 1e-3 };
+        Circuit.Resistor { name = "rl"; n1 = 2; n2 = 0; ohms = 10000. };
+      ]
+  in
+  let solution = solve_exn circuit in
+  check_close "vccs output" (-5.0) (Dc.node_voltage solution 2)
+
+let test_dc_diode_connected_nmos () =
+  (* Current source into a diode-connected NMOS: vgs settles where
+     ids = bias current. *)
+  let w = 50e-6 and l = 1e-6 in
+  let bias = 50e-6 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Isource { name = "ib"; from_node = 0; to_node = 1; amps = bias };
+        Circuit.Mosfet
+          { name = "m1"; drain = 1; gate = 1; source = 0; bulk = 0; params = nmos; w; l };
+      ]
+  in
+  let solution = solve_exn circuit in
+  let bias_point = Dc.mos_bias solution "m1" in
+  Alcotest.(check bool) "diode in saturation" true (bias_point.Dc.op.Mos.region = `Saturation);
+  check_close ~tol:1e-3 "device carries the bias current" bias bias_point.Dc.op.Mos.ids;
+  Alcotest.(check bool) "vgs above threshold" true (bias_point.Dc.vgs > nmos.Mos.vth0)
+
+let test_dc_nmos_current_mirror () =
+  (* Classic 1:2 mirror: output device has twice the width. *)
+  let l = 1e-6 and w = 20e-6 in
+  let bias = 20e-6 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Isource { name = "ib"; from_node = 0; to_node = 1; amps = bias };
+        Circuit.Mosfet
+          { name = "mdiode"; drain = 1; gate = 1; source = 0; bulk = 0; params = nmos; w; l };
+        Circuit.Mosfet
+          { name = "mout"; drain = 2; gate = 1; source = 0; bulk = 0; params = nmos; w = 2. *. w; l };
+        Circuit.Vsource { name = "vd"; pos = 2; neg = 0; dc = 2.0; ac = 0. };
+      ]
+  in
+  let solution = solve_exn circuit in
+  let output_current = -.Dc.branch_current solution "vd" in
+  (* 2x the reference, modulated by the vds mismatch through lambda. *)
+  Alcotest.(check bool) "mirror gain near 2" true
+    (output_current > 1.8 *. bias && output_current < 2.4 *. bias)
+
+let test_dc_resistive_ladder_converges_fast () =
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "v1"; pos = 1; neg = 0; dc = 1.; ac = 0. };
+        Circuit.Resistor { name = "ra"; n1 = 1; n2 = 2; ohms = 100. };
+        Circuit.Resistor { name = "rb"; n1 = 2; n2 = 3; ohms = 100. };
+        Circuit.Resistor { name = "rc"; n1 = 3; n2 = 0; ohms = 100. };
+      ]
+  in
+  let solution = solve_exn circuit in
+  Alcotest.(check bool) "few iterations for a linear circuit" true (solution.Dc.iterations <= 3);
+  check_close "ladder node" (2. /. 3.) (Dc.node_voltage solution 2)
+
+(* --- AC analysis --- *)
+
+let test_ac_rc_lowpass () =
+  let r = 1000. and c = 1e-9 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 1. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = r };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = c };
+      ]
+  in
+  let dc = solve_exn circuit in
+  let pole = 1. /. (2. *. Float.pi *. r *. c) in
+  let freqs = [| pole /. 100.; pole; pole *. 100. |] in
+  let sweep = Ac.transfer ~circuit ~dc ~input:"vin" ~output:2 ~freqs in
+  check_close ~tol:1e-3 "passband gain" 1.0 (Complex.norm sweep.(0).Ac.response);
+  check_close ~tol:1e-2 "-3dB at the pole" (1. /. sqrt 2.) (Complex.norm sweep.(1).Ac.response);
+  Alcotest.(check bool) "rolloff at 100x pole" true (Complex.norm sweep.(2).Ac.response < 0.02)
+
+let test_ac_unity_gain_interpolation () =
+  (* Single-pole amplifier modeled with VCCS + R + C: gain gm*R, pole 1/RC;
+     unity-gain frequency should be near gm*R*pole (gain-bandwidth). *)
+  let gm = 1e-3 and r = 100e3 and c = 10e-12 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 1. };
+        Circuit.Vccs { name = "g1"; out_pos = 0; out_neg = 2; in_pos = 1; in_neg = 0; gm };
+        Circuit.Resistor { name = "ro"; n1 = 2; n2 = 0; ohms = r };
+        Circuit.Capacitor { name = "cl"; n1 = 2; n2 = 0; farads = c };
+      ]
+  in
+  let dc = solve_exn circuit in
+  let freqs = Ac.log_frequencies ~start_hz:10. ~stop_hz:1e9 ~points_per_decade:20 in
+  let sweep = Ac.transfer ~circuit ~dc ~input:"vin" ~output:2 ~freqs in
+  let dc_gain_db = Ac.low_frequency_gain_db sweep in
+  check_close ~tol:1e-2 "dc gain" (20. *. log10 (gm *. r)) dc_gain_db;
+  (match Ac.unity_gain_frequency sweep with
+  | None -> Alcotest.fail "expected a unity crossing"
+  | Some fu ->
+      let gbw = gm *. r /. (2. *. Float.pi *. r *. c) in
+      Alcotest.(check bool) "fu near gain-bandwidth product" true
+        (fu > 0.9 *. gbw && fu < 1.1 *. gbw));
+  match Ac.phase_margin_deg sweep with
+  | None -> Alcotest.fail "expected a phase margin"
+  | Some pm ->
+      (* Single-pole system: phase margin just above 90 degrees. *)
+      Alcotest.(check bool) "single-pole phase margin near 90" true (pm > 85. && pm < 95.)
+
+let test_ac_two_pole_phase_margin_drops () =
+  let gm = 1e-3 and r = 100e3 and c = 10e-12 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 1. };
+        Circuit.Vccs { name = "g1"; out_pos = 0; out_neg = 2; in_pos = 1; in_neg = 0; gm };
+        Circuit.Resistor { name = "ro"; n1 = 2; n2 = 0; ohms = r };
+        Circuit.Capacitor { name = "cl"; n1 = 2; n2 = 0; farads = c };
+        (* Second stage: unity buffer with its own pole near fu. *)
+        Circuit.Vccs { name = "g2"; out_pos = 0; out_neg = 3; in_pos = 2; in_neg = 0; gm = 1e-4 };
+        Circuit.Resistor { name = "r2"; n1 = 3; n2 = 0; ohms = 10e3 };
+        Circuit.Capacitor { name = "c2"; n1 = 3; n2 = 0; farads = 1e-12 };
+      ]
+  in
+  let dc = solve_exn circuit in
+  let freqs = Ac.log_frequencies ~start_hz:10. ~stop_hz:1e10 ~points_per_decade:20 in
+  let sweep = Ac.transfer ~circuit ~dc ~input:"vin" ~output:3 ~freqs in
+  match Ac.phase_margin_deg sweep with
+  | None -> Alcotest.fail "expected a phase margin"
+  | Some pm -> Alcotest.(check bool) "second pole eats phase margin" true (pm < 85.)
+
+let test_log_frequencies_monotone () =
+  let freqs = Ac.log_frequencies ~start_hz:1. ~stop_hz:1e6 ~points_per_decade:10 in
+  Alcotest.(check int) "count" 61 (Array.length freqs);
+  let monotone = ref true in
+  for i = 1 to Array.length freqs - 1 do
+    if freqs.(i) <= freqs.(i - 1) then monotone := false
+  done;
+  Alcotest.(check bool) "monotone" true !monotone
+
+let suite =
+  [
+    Alcotest.test_case "mos: cutoff" `Quick test_mos_cutoff;
+    Alcotest.test_case "mos: saturation square law" `Quick test_mos_saturation_square_law;
+    Alcotest.test_case "mos: triode region" `Quick test_mos_triode_region;
+    Alcotest.test_case "mos: gm finite difference" `Quick test_mos_gm_matches_finite_difference;
+    Alcotest.test_case "mos: gds finite difference" `Quick test_mos_gds_matches_finite_difference;
+    Alcotest.test_case "mos: gmb finite difference" `Quick test_mos_gmb_matches_finite_difference;
+    Alcotest.test_case "mos: reverse-mode derivatives" `Quick test_mos_reverse_mode_derivatives;
+    Alcotest.test_case "mos: pmos current sign" `Quick test_pmos_current_sign;
+    Alcotest.test_case "mos: pmos derivatives" `Quick test_pmos_derivatives;
+    Alcotest.test_case "mos: sizing round-trip" `Quick test_size_for_current_roundtrip;
+    Alcotest.test_case "dc: voltage divider" `Quick test_dc_voltage_divider;
+    Alcotest.test_case "dc: current source" `Quick test_dc_current_source_into_resistor;
+    Alcotest.test_case "dc: vccs" `Quick test_dc_vccs;
+    Alcotest.test_case "dc: diode-connected nmos" `Quick test_dc_diode_connected_nmos;
+    Alcotest.test_case "dc: nmos current mirror" `Quick test_dc_nmos_current_mirror;
+    Alcotest.test_case "dc: linear circuit converges fast" `Quick test_dc_resistive_ladder_converges_fast;
+    Alcotest.test_case "ac: rc lowpass" `Quick test_ac_rc_lowpass;
+    Alcotest.test_case "ac: unity gain frequency" `Quick test_ac_unity_gain_interpolation;
+    Alcotest.test_case "ac: two-pole phase margin" `Quick test_ac_two_pole_phase_margin_drops;
+    Alcotest.test_case "ac: log frequency grid" `Quick test_log_frequencies_monotone;
+  ]
+
+(* --- transient analysis --- *)
+
+module Tran = Caffeine_spice.Tran
+
+let simulate_exn ?integration ?stimulus circuit ~step ~duration =
+  match Tran.simulate ?integration ?stimulus ~circuit ~step ~duration () with
+  | Ok waveform -> waveform
+  | Error msg -> Alcotest.failf "transient failed: %s" msg
+
+let test_tran_rc_step_charge () =
+  (* Step from 0 to 1 V through R into C: v(t) = 1 - e^(-t/RC). *)
+  let r = 1000. and c = 1e-9 in
+  let tau = r *. c in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = r };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = c };
+      ]
+  in
+  let stimulus name t = if name = "vin" && t > 0. then Some 1.0 else None in
+  let waveform = simulate_exn ~stimulus circuit ~step:(tau /. 100.) ~duration:(5. *. tau) in
+  let trace = Tran.node_waveform waveform 2 in
+  let at multiple =
+    let index = int_of_float (multiple *. 100.) in
+    trace.(index)
+  in
+  check_close ~tol:0.02 "one tau" (1. -. exp (-1.)) (at 1.);
+  check_close ~tol:0.02 "three tau" (1. -. exp (-3.)) (at 3.);
+  Alcotest.(check bool) "starts discharged" true (Float.abs trace.(0) < 1e-9)
+
+let test_tran_backward_euler_converges_too () =
+  let r = 1000. and c = 1e-9 in
+  let tau = r *. c in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = r };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = c };
+      ]
+  in
+  let stimulus name t = if name = "vin" && t > 0. then Some 1.0 else None in
+  let waveform =
+    simulate_exn ~integration:Tran.Backward_euler ~stimulus circuit ~step:(tau /. 100.)
+      ~duration:(3. *. tau)
+  in
+  let trace = Tran.node_waveform waveform 2 in
+  check_close ~tol:0.05 "one tau (first order)" (1. -. exp (-1.)) trace.(100)
+
+let test_tran_trapezoidal_more_accurate () =
+  (* Capacitor discharge from an initial condition: v(t) = e^(-t/tau).  At a
+     coarse step, second-order trapezoidal must beat backward Euler. *)
+  let r = 1000. and c = 1e-9 in
+  let tau = r *. c in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = r };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = c };
+      ]
+  in
+  let initial =
+    {
+      Dc.voltages = [| 0.; 0.; 1. |];
+      branch_currents = [ ("vin", 0.) ];
+      iterations = 0;
+      mos_biases = [];
+    }
+  in
+  let error integration =
+    let waveform =
+      match
+        Tran.simulate ~integration ~initial ~circuit ~step:(tau /. 8.) ~duration:tau ()
+      with
+      | Ok w -> w
+      | Error msg -> Alcotest.failf "transient failed: %s" msg
+    in
+    let trace = Tran.node_waveform waveform 2 in
+    let worst = ref 0. in
+    Array.iteri
+      (fun k t ->
+        (* Skip the shared backward-Euler start-up step. *)
+        if k > 1 then begin
+          let exact = exp (-.t /. tau) in
+          worst := Float.max !worst (Float.abs (trace.(k) -. exact))
+        end)
+      waveform.Tran.times;
+    !worst
+  in
+  Alcotest.(check bool) "trapezoidal beats backward euler" true
+    (error Tran.Trapezoidal < error Tran.Backward_euler)
+
+let test_tran_current_source_ramp () =
+  (* A constant current into a capacitor ramps linearly: dv/dt = I/C.  Start
+     from an explicit zero initial condition (the true DC point of this
+     circuit sits at I*R of the huge bleed resistor). *)
+  let i = 1e-6 and c = 1e-9 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Isource { name = "i1"; from_node = 0; to_node = 1; amps = i };
+        Circuit.Capacitor { name = "c1"; n1 = 1; n2 = 0; farads = c };
+        Circuit.Resistor { name = "rb"; n1 = 1; n2 = 0; ohms = 1e12 };
+      ]
+  in
+  let initial =
+    { Dc.voltages = [| 0.; 0. |]; branch_currents = []; iterations = 0; mos_biases = [] }
+  in
+  let waveform =
+    match Tran.simulate ~initial ~circuit ~step:1e-7 ~duration:1e-5 () with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "transient failed: %s" msg
+  in
+  let trace = Tran.node_waveform waveform 1 in
+  let slope = (trace.(50) -. trace.(0)) /. (waveform.Tran.times.(50) -. waveform.Tran.times.(0)) in
+  check_close ~tol:0.05 "dv/dt = I/C" (i /. c) slope;
+  let rising, falling = Tran.slew_rates waveform ~node:1 in
+  check_close ~tol:0.05 "rising slew is the ramp" (i /. c) rising;
+  Alcotest.(check bool) "no falling edge" true (falling >= 0.)
+
+let test_tran_slew_rates_helper () =
+  let waveform =
+    {
+      Tran.times = [| 0.; 1.; 2.; 3. |];
+      voltages = [| [| 0.; 0. |]; [| 0.; 2. |]; [| 0.; 1. |]; [| 0.; 1. |] |];
+    }
+  in
+  let rising, falling = Tran.slew_rates waveform ~node:1 in
+  check_close "max rise" 2. rising;
+  check_close "max fall" (-1.) falling
+
+let test_tran_settling_time () =
+  let waveform =
+    {
+      Tran.times = [| 0.; 1.; 2.; 3.; 4. |];
+      voltages = [| [| 0.; 0. |]; [| 0.; 0.8 |]; [| 0.; 1.05 |]; [| 0.; 0.99 |]; [| 0.; 1.01 |] |];
+    }
+  in
+  (match Tran.settling_time waveform ~node:1 ~target:1.0 ~tolerance:0.02 with
+  | Some t -> check_close "settles at t=3" 3. t
+  | None -> Alcotest.fail "expected settling");
+  Alcotest.(check bool) "never settles to 2.0" true
+    (Tran.settling_time waveform ~node:1 ~target:2.0 ~tolerance:0.02 = None)
+
+let test_tran_nonlinear_mos_discharge () =
+  (* NMOS switch discharging a capacitor: the decay must be monotone and
+     reach near zero — exercises Newton inside the timestep loop. *)
+  let c = 1e-12 in
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vg"; pos = 1; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = c };
+        Circuit.Isource { name = "precharge"; from_node = 0; to_node = 2; amps = 1e-6 };
+        Circuit.Resistor { name = "rl"; n1 = 2; n2 = 0; ohms = 3e6 };
+        Circuit.Mosfet
+          {
+            name = "m1";
+            drain = 2;
+            gate = 1;
+            source = 0;
+            bulk = 0;
+            params = Mos.default_nmos;
+            w = 10e-6;
+            l = 1e-6;
+          };
+      ]
+  in
+  (* With the gate at 0 the capacitor sits at 3 V; turning the gate on
+     discharges it through the transistor. *)
+  let stimulus name t = if name = "vg" && t > 0. then Some 2.5 else None in
+  let waveform = simulate_exn ~stimulus circuit ~step:2e-9 ~duration:4e-7 in
+  let trace = Tran.node_waveform waveform 2 in
+  Alcotest.(check bool) "starts precharged" true (trace.(0) > 2.);
+  let final = trace.(Array.length trace - 1) in
+  Alcotest.(check bool) "discharged" true (final < 0.2)
+
+let tran_suite =
+  [
+    Alcotest.test_case "tran: rc step response" `Quick test_tran_rc_step_charge;
+    Alcotest.test_case "tran: backward euler" `Quick test_tran_backward_euler_converges_too;
+    Alcotest.test_case "tran: trapezoidal accuracy" `Quick test_tran_trapezoidal_more_accurate;
+    Alcotest.test_case "tran: current ramp" `Quick test_tran_current_source_ramp;
+    Alcotest.test_case "tran: slew helper" `Quick test_tran_slew_rates_helper;
+    Alcotest.test_case "tran: settling time" `Quick test_tran_settling_time;
+    Alcotest.test_case "tran: nonlinear discharge" `Quick test_tran_nonlinear_mos_discharge;
+  ]
+
+let suite = suite @ tran_suite
+
+(* --- DC sweep --- *)
+
+let test_dc_sweep_mos_transfer_curve () =
+  (* Sweep the gate of a resistively loaded NMOS: the output must fall
+     monotonically as the device turns on, covering cutoff -> saturation ->
+     triode. *)
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vdd"; pos = 1; neg = 0; dc = 5.; ac = 0. };
+        Circuit.Vsource { name = "vg"; pos = 2; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Resistor { name = "rl"; n1 = 1; n2 = 3; ohms = 20e3 };
+        Circuit.Mosfet
+          { name = "m1"; drain = 3; gate = 2; source = 0; bulk = 0; params = nmos; w = 20e-6; l = 2e-6 };
+      ]
+  in
+  let values = Array.init 26 (fun k -> float_of_int k *. 0.1) in
+  match Dc.sweep ~circuit ~source:"vg" ~values () with
+  | Error msg -> Alcotest.failf "sweep failed: %s" msg
+  | Ok points ->
+      Alcotest.(check int) "all points solved" 26 (Array.length points);
+      let outputs = Array.map (fun (_, s) -> Dc.node_voltage s 3) points in
+      check_close ~tol:1e-3 "off at vg=0" 5. outputs.(0);
+      Alcotest.(check bool) "on at vg=2.5" true (outputs.(25) < 1.);
+      let monotone = ref true in
+      for k = 1 to 25 do
+        if outputs.(k) > outputs.(k - 1) +. 1e-9 then monotone := false
+      done;
+      Alcotest.(check bool) "monotone transfer curve" true !monotone
+
+let test_dc_sweep_unknown_source () =
+  let circuit =
+    Circuit.make [ Circuit.Resistor { name = "r"; n1 = 1; n2 = 0; ohms = 1. } ]
+  in
+  Alcotest.(check bool) "unknown source rejected" true
+    (match Dc.sweep ~circuit ~source:"nope" ~values:[| 0. |] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let sweep_suite =
+  [
+    Alcotest.test_case "dc sweep: mos transfer curve" `Quick test_dc_sweep_mos_transfer_curve;
+    Alcotest.test_case "dc sweep: unknown source" `Quick test_dc_sweep_unknown_source;
+  ]
+
+let suite = suite @ sweep_suite
+
+(* --- property tests: random passive networks --- *)
+
+let random_rc_ladder rng stages =
+  (* vin -> R -> node -> C to ground, chained. *)
+  let elements = ref [ Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 1.; ac = 1. } ] in
+  for s = 1 to stages do
+    let r = Caffeine_util.Rng.range rng 100. 10_000. in
+    let c = Caffeine_util.Rng.range rng 1e-12 1e-9 in
+    elements :=
+      Circuit.Capacitor { name = Printf.sprintf "c%d" s; n1 = s + 1; n2 = 0; farads = c }
+      :: Circuit.Resistor { name = Printf.sprintf "r%d" s; n1 = s; n2 = s + 1; ohms = r }
+      :: !elements
+  done;
+  Circuit.make (List.rev !elements)
+
+let passive_property_tests =
+  [
+    QCheck.Test.make ~name:"rc ladder: dc passes the source voltage" ~count:50
+      QCheck.(pair small_int (int_range 1 6))
+      (fun (seed, stages) ->
+        let rng = Caffeine_util.Rng.create ~seed () in
+        let circuit = random_rc_ladder rng stages in
+        match Dc.solve circuit with
+        | Error _ -> false
+        | Ok solution ->
+            (* No DC current flows (capacitors block), so every node sits at
+               the source voltage. *)
+            let ok = ref true in
+            for node = 1 to stages + 1 do
+              if Float.abs (Dc.node_voltage solution node -. 1.) > 1e-6 then ok := false
+            done;
+            !ok);
+    QCheck.Test.make ~name:"rc ladder: passive gain never exceeds 1" ~count:50
+      QCheck.(pair small_int (int_range 1 6))
+      (fun (seed, stages) ->
+        let rng = Caffeine_util.Rng.create ~seed () in
+        let circuit = random_rc_ladder rng stages in
+        match Dc.solve circuit with
+        | Error _ -> false
+        | Ok dc ->
+            let freqs = Ac.log_frequencies ~start_hz:10. ~stop_hz:1e9 ~points_per_decade:5 in
+            let sweep = Ac.transfer ~circuit ~dc ~input:"vin" ~output:(stages + 1) ~freqs in
+            Array.for_all (fun p -> Complex.norm p.Ac.response <= 1. +. 1e-9) sweep);
+    QCheck.Test.make ~name:"rc ladder: gain is monotone decreasing in frequency" ~count:50
+      QCheck.(pair small_int (int_range 1 4))
+      (fun (seed, stages) ->
+        let rng = Caffeine_util.Rng.create ~seed () in
+        let circuit = random_rc_ladder rng stages in
+        match Dc.solve circuit with
+        | Error _ -> false
+        | Ok dc ->
+            let freqs = Ac.log_frequencies ~start_hz:10. ~stop_hz:1e9 ~points_per_decade:5 in
+            let sweep = Ac.transfer ~circuit ~dc ~input:"vin" ~output:(stages + 1) ~freqs in
+            let magnitudes = Array.map (fun p -> Complex.norm p.Ac.response) sweep in
+            let ok = ref true in
+            for k = 1 to Array.length magnitudes - 1 do
+              if magnitudes.(k) > magnitudes.(k - 1) +. 1e-9 then ok := false
+            done;
+            !ok);
+  ]
+
+let suite = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) passive_property_tests
