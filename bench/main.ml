@@ -4,7 +4,8 @@
    operations.
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
-                                   ablation-grammar|ablation-sag|ablation-moo|micro]
+                                   ablation-grammar|ablation-sag|ablation-moo|
+                                   eval|micro]
                                   [--pop N] [--gens N] [--seed N]
 
    The search budget defaults to a few seconds per performance; pass
@@ -18,6 +19,13 @@ module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
+module Dataset = Caffeine_io.Dataset
+module Compiled = Caffeine_expr.Compiled
+
+(* The reference tree interpreter — only the compiled_vs_interpreted group
+   and the micro-benchmarks may touch it; everything else evaluates through
+   Compiled/Dataset. *)
+module Interp = Caffeine_expr.Expr
 
 type options = {
   experiment : string;
@@ -70,8 +78,10 @@ type run = {
 
 type context = {
   options : options;
-  train : Ota.dataset;
+  train : Ota.dataset;  (** row-major source, for the posynomial baseline *)
   test : Ota.dataset;
+  train_data : Dataset.t;  (** column-major view shared by every search/SAG pass *)
+  test_data : Dataset.t;
   config : Config.t;
   mutable runs : (Ota.performance * run) list;
 }
@@ -88,7 +98,9 @@ let make_context options =
   in
   Printf.printf "search budget: population %d, %d generations, seed %d\n" config.Config.pop_size
     config.Config.generations options.seed;
-  { options; train; test; config; runs = [] }
+  let train_data = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let test_data = Dataset.of_rows ~var_names:Ota.var_names test.Ota.inputs in
+  { options; train; test; train_data; test_data; config; runs = [] }
 
 let seed_for context p =
   context.options.seed
@@ -109,15 +121,15 @@ let run_performance context p =
       let test_targets = Array.map (Ota.modeling_target p) (Ota.targets context.test p) in
       let started = Sys.time () in
       let outcome =
-        Search.run ~seed:(seed_for context p) context.config ~inputs:context.train.Ota.inputs
+        Search.run ~seed:(seed_for context p) context.config ~data:context.train_data
           ~targets:train_targets
       in
       let wb = context.config.Config.wb and wvc = context.config.Config.wvc in
       let front =
-        Sag.process_front ~wb ~wvc outcome.Search.front ~inputs:context.train.Ota.inputs
+        Sag.process_front ~wb ~wvc outcome.Search.front ~data:context.train_data
           ~targets:train_targets
       in
-      let scored = Sag.test_tradeoff front ~inputs:context.test.Ota.inputs ~targets:test_targets in
+      let scored = Sag.test_tradeoff front ~data:context.test_data ~targets:test_targets in
       Printf.printf "  [%s: evolved %d-model front in %.1f s]\n%!" (Ota.performance_name p)
         (List.length front)
         (Sys.time () -. started);
@@ -128,7 +140,7 @@ let run_performance context p =
       run
 
 let model_test_error context run (m : Model.t) =
-  Model.error_on m ~inputs:context.test.Ota.inputs ~targets:run.test_targets
+  Model.error_on m ~data:context.test_data ~targets:run.test_targets
 
 (* --- Figure 3 ----------------------------------------------------------- *)
 
@@ -270,7 +282,7 @@ let experiment_ablation_grammar context =
     (fun (label, opset) ->
       let config = { context.config with Config.opset } in
       let outcome =
-        Search.run ~seed:(context.options.seed + 100) config ~inputs:context.train.Ota.inputs
+        Search.run ~seed:(context.options.seed + 100) config ~data:context.train_data
           ~targets:run.train_targets
       in
       match best_by_train_error outcome.Search.front with
@@ -318,7 +330,7 @@ let experiment_ablation_moo context =
      closest error-only proxy that reuses the same machinery). *)
   let config = { context.config with Config.wb = 0.; wvc = 0. } in
   let outcome =
-    Search.run ~seed:(context.options.seed + 200) config ~inputs:context.train.Ota.inputs
+    Search.run ~seed:(context.options.seed + 200) config ~data:context.train_data
       ~targets:run.train_targets
   in
   let summarize label front =
@@ -350,7 +362,7 @@ let experiment_ablation_scalar context =
       let fitness individual =
         match
           Model.fit ~wb:config.Config.wb ~wvc:config.Config.wvc individual
-            ~inputs:context.train.Ota.inputs ~targets:run.train_targets
+            ~data:context.train_data ~targets:run.train_targets
         with
         | None -> Float.infinity
         | Some m -> m.Model.train_error +. (lambda *. m.Model.complexity)
@@ -371,7 +383,7 @@ let experiment_ablation_scalar context =
       let champion = Caffeine_evo.Ga.best population in
       match
         Model.fit ~wb:config.Config.wb ~wvc:config.Config.wvc champion.Caffeine_evo.Ga.genome
-          ~inputs:context.train.Ota.inputs ~targets:run.train_targets
+          ~data:context.train_data ~targets:run.train_targets
       with
       | None -> Printf.printf "GA lambda=%-8g  (invalid champion)\n" lambda
       | Some m ->
@@ -447,12 +459,14 @@ let experiment_miller options =
       in
       let targets = Array.map transform (column p train_outputs) in
       let test_targets = Array.map transform (column p test_outputs) in
-      let outcome = Search.run ~seed:(options.seed + 7) config ~inputs:train_inputs ~targets in
+      let train_data = Dataset.of_rows ~var_names:Miller.var_names train_inputs in
+      let test_data = Dataset.of_rows ~var_names:Miller.var_names test_inputs in
+      let outcome = Search.run ~seed:(options.seed + 7) config ~data:train_data ~targets in
       let front =
         Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
-          ~inputs:train_inputs ~targets
+          ~data:train_data ~targets
       in
-      let scored = Sag.test_tradeoff front ~inputs:test_inputs ~targets:test_targets in
+      let scored = Sag.test_tradeoff front ~data:test_data ~targets:test_targets in
       match Sag.best_within scored ~train_cap:0.10 ~test_cap:0.10 with
       | None ->
           Printf.printf "%-6s: no model within 10%%/10%%\n" (Miller.performance_name p)
@@ -463,6 +477,82 @@ let experiment_miller options =
             (Model.to_string ~var_names:Miller.var_names s.Sag.model))
     Miller.all_performances
 
+(* --- compiled vs interpreted evaluation ---------------------------------- *)
+
+let time_per_run f =
+  (* Calibrate repetitions so each measurement spans at least ~50 ms of CPU
+     time, then report seconds per run. *)
+  let rec calibrate reps =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt >= 0.05 then dt /. float_of_int reps else calibrate (reps * 4)
+  in
+  calibrate 1
+
+let experiment_eval options =
+  section "compiled_vs_interpreted: tape evaluation vs tree interpretation";
+  let rng = Caffeine_util.Rng.create ~seed:options.seed () in
+  let dims = 13 and n = 243 in
+  let rows =
+    Array.init n (fun i ->
+        Array.init dims (fun j -> 0.5 +. Float.abs (sin (float_of_int ((i * dims) + j)))))
+  in
+  let data = Dataset.of_rows rows in
+  let config = Config.paper in
+  (* Draw until the single basis has real structure (a bare monomial lowers
+     to one instruction and would flatter the compiled path). *)
+  let rec draw () =
+    let b = Caffeine.Gen.random_basis rng config.Config.opset ~dims ~depth:6 ~max_vc_vars:3 in
+    if Compiled.length (Compiled.compile b) >= 8 then b else draw ()
+  in
+  let basis = draw () in
+  let front =
+    Array.concat (List.init 12 (fun _ -> Caffeine.Gen.random_individual rng config ~dims))
+  in
+  Printf.printf
+    "workload: %d samples x %d dims; single basis (%d tape instructions), front of %d bases\n" n
+    dims
+    (Compiled.length (Compiled.compile basis))
+    (Array.length front);
+  let interp_single () = Array.iter (fun row -> ignore (Interp.eval_basis basis row)) rows in
+  let compiled_single =
+    let c = Compiled.compile basis in
+    fun () -> ignore (Dataset.eval_column c data)
+  in
+  let interp_front () =
+    Array.iter (fun b -> Array.iter (fun row -> ignore (Interp.eval_basis b row)) rows) front
+  in
+  let compiled_front =
+    let cs = Array.map Compiled.compile front in
+    fun () -> Array.iter (fun c -> ignore (Dataset.eval_column c data)) cs
+  in
+  let t_is = time_per_run interp_single in
+  let t_cs = time_per_run compiled_single in
+  let t_if = time_per_run interp_front in
+  let t_cf = time_per_run compiled_front in
+  let us t = 1e6 *. t in
+  Printf.printf "%-28s  %12s  %12s  %8s\n" "case" "interp" "compiled" "speedup";
+  Printf.printf "%-28s  %9.2f us  %9.2f us  %7.2fx\n" "single basis x 243 samples" (us t_is)
+    (us t_cs) (t_is /. t_cs);
+  Printf.printf "%-28s  %9.2f us  %9.2f us  %7.2fx\n" "whole front x 243 samples" (us t_if)
+    (us t_cf) (t_if /. t_cf);
+  let oc = open_out "BENCH_eval.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"samples\": %d,\n\
+    \  \"dims\": %d,\n\
+    \  \"front_bases\": %d,\n\
+    \  \"single_basis\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f },\n\
+    \  \"whole_front\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f }\n\
+     }\n"
+    n dims (Array.length front) (us t_is) (us t_cs) (t_is /. t_cs) (us t_if) (us t_cf)
+    (t_if /. t_cf);
+  close_out oc;
+  Printf.printf "(numbers recorded in BENCH_eval.json)\n"
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -472,6 +562,7 @@ let experiment_micro () =
   let rng = Caffeine_util.Rng.create ~seed:99 () in
   let opset = Opset.default in
   let basis = Caffeine.Gen.random_basis rng opset ~dims:13 ~depth:6 ~max_vc_vars:3 in
+  let compiled = Compiled.compile basis in
   let point = Array.make 13 1.2 in
   let design =
     Caffeine_linalg.Matrix.init 243 16 (fun i j ->
@@ -484,7 +575,9 @@ let experiment_micro () =
   let tests =
     [
       Test.make ~name:"expr eval (1 basis, 1 point)"
-        (Staged.stage (fun () -> ignore (Caffeine_expr.Expr.eval_basis basis point)));
+        (Staged.stage (fun () -> ignore (Interp.eval_basis basis point)));
+      Test.make ~name:"compiled eval (1 basis, 1 point)"
+        (Staged.stage (fun () -> ignore (Compiled.eval_point compiled point)));
       Test.make ~name:"lstsq 243x16"
         (Staged.stage (fun () -> ignore (Caffeine_linalg.Decomp.lstsq design rhs)));
       Test.make ~name:"press 243x16"
@@ -535,4 +628,5 @@ let () =
   if wants "tran-slew" then with_context experiment_tran_slew;
   (* Opt-in only: not included in --experiment all. *)
   if options.experiment = "miller" then experiment_miller options;
+  if wants "eval" then experiment_eval options;
   if wants "micro" then experiment_micro ()

@@ -15,6 +15,7 @@ open Cmdliner
 
 module Ota = Caffeine_ota.Ota
 module Csv = Caffeine_io.Csv
+module Dataset = Caffeine_io.Dataset
 module Grammar = Caffeine_grammar.Grammar
 module Config = Caffeine.Config
 module Model = Caffeine.Model
@@ -119,15 +120,18 @@ let split_target table target =
         (String.concat ", " (Array.to_list table.Csv.header));
       exit 2
   | targets ->
-      (* Inputs: every column that is not one of the known performance
-         names; this lets gen-data output be used directly. *)
+      (* Design variables: every column that is not one of the known
+         performance names; this lets gen-data output be used directly.
+         Loaded straight into a column-major dataset for the compiled
+         batch-evaluation engine. *)
       let performance_names = List.map Ota.performance_name Ota.all_performances in
-      let names, inputs = Csv.columns_except table (target :: performance_names) in
-      (names, inputs, targets)
+      let data = Dataset.of_table ~exclude:(target :: performance_names) table in
+      (data, targets)
 
 let fit train_path test_path target pop gens seed log_target grammar_path max_bases no_sag out =
   let train = load_table train_path in
-  let var_names, inputs, raw_targets = split_target train target in
+  let data, raw_targets = split_target train target in
+  let var_names = Dataset.var_names data in
   let transform v = if log_target then log10 v else v in
   let targets = Array.map transform raw_targets in
   let opset =
@@ -148,11 +152,11 @@ let fit train_path test_path target pop gens seed log_target grammar_path max_ba
   in
   Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d)\n%!" target
     (Array.length targets) (Array.length var_names) pop gens seed;
-  let outcome = Search.run ~seed config ~inputs ~targets in
+  let outcome = Search.run ~seed config ~data ~targets in
   let front =
     if no_sag then outcome.Search.front
     else
-      Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~inputs
+      Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~data
         ~targets
   in
   let test_data =
@@ -160,8 +164,8 @@ let fit train_path test_path target pop gens seed log_target grammar_path max_ba
     | None -> None
     | Some path ->
         let test = load_table path in
-        let _, test_inputs, test_raw = split_target test target in
-        Some (test_inputs, Array.map transform test_raw)
+        let test_set, test_raw = split_target test target in
+        Some (test_set, Array.map transform test_raw)
   in
   Printf.printf "\n%-10s %-10s %-9s expression\n" "train err" "test err" "complexity";
   List.iter
@@ -169,8 +173,8 @@ let fit train_path test_path target pop gens seed log_target grammar_path max_ba
       let test_err =
         match test_data with
         | None -> "-"
-        | Some (test_inputs, test_targets) ->
-            Printf.sprintf "%8.2f%%" (100. *. Model.error_on m ~inputs:test_inputs ~targets:test_targets)
+        | Some (test_set, test_targets) ->
+            Printf.sprintf "%8.2f%%" (100. *. Model.error_on m ~data:test_set ~targets:test_targets)
       in
       Printf.printf "%9.2f%% %10s %9.1f %s\n"
         (100. *. m.Model.train_error)
@@ -231,13 +235,21 @@ let predict models_path data_path target log_target =
       2
   | Ok (var_names, models) ->
       let table = load_table data_path in
-      let _, inputs, raw_targets = split_target table target in
+      let data, raw_targets = split_target table target in
+      (* The models index design variables positionally: the data columns
+         must be the variables the models were fitted on, in order. *)
+      if Dataset.var_names data <> var_names then begin
+        Printf.eprintf "data columns (%s) do not match the model variables (%s)\n"
+          (String.concat ", " (Array.to_list (Dataset.var_names data)))
+          (String.concat ", " (Array.to_list var_names));
+        exit 2
+      end;
       let transform v = if log_target then log10 v else v in
       let targets = Array.map transform raw_targets in
       Printf.printf "%-10s %-9s expression\n" "error" "#bases";
       List.iter
         (fun (m : Model.t) ->
-          let err = Model.error_on m ~inputs ~targets in
+          let err = Model.error_on m ~data ~targets in
           Printf.printf "%9.2f%% %9d %s\n" (100. *. err) (Model.num_bases m)
             (Model.to_string ~var_names m))
         models;

@@ -13,6 +13,7 @@ module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Insight = Caffeine.Insight
+module Dataset = Caffeine_io.Dataset
 
 let () =
   let performance =
@@ -47,12 +48,14 @@ let () =
     (Array.length targets) (Array.length test_targets) Miller.dims;
 
   let config = Config.scaled ~pop_size:100 ~generations:120 Config.paper in
-  let outcome = Search.run ~seed:9 config ~inputs ~targets in
+  let train_data = Dataset.of_rows ~var_names:Miller.var_names inputs in
+  let test_data = Dataset.of_rows ~var_names:Miller.var_names test_inputs in
+  let outcome = Search.run ~seed:9 config ~data:train_data ~targets in
   let front =
-    Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~inputs
-      ~targets
+    Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
+      ~data:train_data ~targets
   in
-  let scored = Sag.test_tradeoff front ~inputs:test_inputs ~targets:test_targets in
+  let scored = Sag.test_tradeoff front ~data:test_data ~targets:test_targets in
   Printf.printf "\n%-10s %-10s expression\n" "train err" "test err";
   List.iter
     (fun (s : Sag.scored) ->

@@ -14,6 +14,7 @@ module Config = Caffeine.Config
 module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
+module Dataset = Caffeine_io.Dataset
 
 let parse_arguments () =
   let performance = ref Ota.Pm in
@@ -55,6 +56,8 @@ let () =
     (Array.length y_test);
 
   (* 2. Evolve the model set. *)
+  let train_data = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let test_data = Dataset.of_rows ~var_names:Ota.var_names test.Ota.inputs in
   let config = Config.scaled ~pop_size ~generations Config.paper in
   Printf.printf "evolving (population %d, %d generations)...\n%!" pop_size generations;
   let outcome =
@@ -63,15 +66,13 @@ let () =
         if gen mod 25 = 0 then
           Printf.printf "  generation %4d: best train error %.2f%%, front size %d\n%!" gen
             (100. *. best_error) front_size)
-      config ~inputs:train.Ota.inputs ~targets:y_train
+      config ~data:train_data ~targets:y_train
   in
 
   (* 3. Simplification after generation + testing-data filtering. *)
   let wb = config.Config.wb and wvc = config.Config.wvc in
-  let front =
-    Sag.process_front ~wb ~wvc outcome.Search.front ~inputs:train.Ota.inputs ~targets:y_train
-  in
-  let scored = Sag.test_tradeoff front ~inputs:test.Ota.inputs ~targets:y_test in
+  let front = Sag.process_front ~wb ~wvc outcome.Search.front ~data:train_data ~targets:y_train in
+  let scored = Sag.test_tradeoff front ~data:test_data ~targets:y_test in
 
   Printf.printf "\nmodels on the (test error, complexity) tradeoff:\n";
   Printf.printf "%-10s  %-10s  expression\n" "train err" "test err";

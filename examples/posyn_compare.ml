@@ -14,6 +14,7 @@ module Config = Caffeine.Config
 module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
+module Dataset = Caffeine_io.Dataset
 
 let () =
   let performance =
@@ -46,16 +47,18 @@ let () =
 
   (* CAFFEINE, then pick the front model whose training error matches. *)
   Printf.printf "evolving CAFFEINE models...\n%!";
+  let train_data = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let test_data = Dataset.of_rows ~var_names:Ota.var_names test.Ota.inputs in
   let config = Config.scaled ~pop_size:120 ~generations:150 Config.paper in
-  let outcome = Search.run ~seed:404 config ~inputs:train.Ota.inputs ~targets:y_train in
+  let outcome = Search.run ~seed:404 config ~data:train_data ~targets:y_train in
   let front =
     Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
-      ~inputs:train.Ota.inputs ~targets:y_train
+      ~data:train_data ~targets:y_train
   in
   let scored =
     List.map
       (fun (m : Model.t) ->
-        { Sag.model = m; test_error = Model.error_on m ~inputs:test.Ota.inputs ~targets:y_test })
+        { Sag.model = m; test_error = Model.error_on m ~data:test_data ~targets:y_test })
       front
   in
   let usable = List.filter (fun (s : Sag.scored) -> Float.is_finite s.Sag.test_error) scored in

@@ -9,6 +9,7 @@ module Rng = Caffeine_util.Rng
 module Config = Caffeine.Config
 module Model = Caffeine.Model
 module Search = Caffeine.Search
+module Dataset = Caffeine_io.Dataset
 
 let () =
   let rng = Rng.create ~seed:42 () in
@@ -21,8 +22,9 @@ let () =
     Array.map (fun x -> 3.0 +. (2.0 *. x.(0) /. x.(1)) -. (0.5 *. x.(2) *. x.(2))) inputs
   in
   print_endline "quickstart: evolving symbolic models of y = 3 - 0.5*c^2 + 2*a/b";
-  let outcome = Search.run ~seed:7 Config.default ~inputs ~targets in
   let var_names = [| "a"; "b"; "c" |] in
+  let data = Dataset.of_rows ~var_names inputs in
+  let outcome = Search.run ~seed:7 Config.default ~data ~targets in
   Printf.printf "%-10s  %-8s  expression\n" "train err" "complexity";
   List.iter
     (fun (m : Model.t) ->

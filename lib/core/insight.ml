@@ -13,7 +13,9 @@ let unused_variables ~dims model =
 
 let sensitivities (model : Model.t) ~at =
   let dims = Array.length at in
-  let base_value = Model.predict_point model at in
+  (* Compile the bases once; every probe is then a flat tape walk. *)
+  let f = Model.evaluator model in
+  let base_value = f at in
   let used = variables_used model in
   Array.init dims (fun i ->
       if not (List.mem i used) then 0.
@@ -22,7 +24,7 @@ let sensitivities (model : Model.t) ~at =
         let probe delta =
           let x = Array.copy at in
           x.(i) <- x.(i) +. delta;
-          Model.predict_point model x
+          f x
         in
         let plus = probe h and minus = probe (-.h) in
         let derivative = (plus -. minus) /. (2. *. h) in
@@ -40,7 +42,7 @@ let exact_sensitivities (model : Model.t) ~at =
         Array.to_list (Array.mapi (fun j basis -> (model.Model.weights.(j), basis)) model.Model.bases);
     }
   in
-  let base_value = Expr.eval_wsum ws at in
+  let base_value = Model.predict_point model at in
   let gradient = Caffeine_expr.Deriv.gradient_wsum ws at in
   Array.mapi
     (fun i g ->
@@ -64,13 +66,19 @@ let dominant_variables ?(top = 5) model ~at =
 let sobol_first_order ?(samples = 1024) rng (model : Model.t) ~lo ~hi =
   let dims = Array.length lo in
   if Array.length hi <> dims then invalid_arg "Insight.sobol_first_order: bound width mismatch";
+  if dims = 0 then [||]
+  else begin
   let module Rng = Caffeine_util.Rng in
   let draw_point () = Array.init dims (fun i -> Rng.range rng lo.(i) hi.(i)) in
   (* Saltelli pick-freeze: f(A), f(B), and f(AB_i) where AB_i takes column i
      from B and the rest from A. *)
   let a = Array.init samples (fun _ -> draw_point ()) in
   let b = Array.init samples (fun _ -> draw_point ()) in
-  let fa = Array.map (Model.predict_point model) a in
+  (* Batch every response through the compiled engine: one dataset per
+     sample matrix instead of a tree interpretation per point. *)
+  let batch rows = Model.predict model (Caffeine_io.Dataset.of_rows rows) in
+  let fa = batch a in
+  let fb = batch b in
   let valid = Array.map Float.is_finite fa in
   let finite_values =
     Array.of_list (List.filteri (fun k _ -> valid.(k)) (Array.to_list fa))
@@ -87,14 +95,19 @@ let sobol_first_order ?(samples = 1024) rng (model : Model.t) ~lo ~hi =
          amplification without changing the expectation. *)
       let mean = Caffeine_util.Stats.mean finite_values in
       Array.init dims (fun i ->
+          let f_mixed_all =
+            batch
+              (Array.init samples (fun k ->
+                   let mixed = Array.copy a.(k) in
+                   mixed.(i) <- b.(k).(i);
+                   mixed))
+          in
           let acc = ref 0. in
           let count = ref 0 in
           for k = 0 to samples - 1 do
             if valid.(k) then begin
-              let mixed = Array.copy a.(k) in
-              mixed.(i) <- b.(k).(i);
-              let f_mixed = Model.predict_point model mixed in
-              let f_b = Model.predict_point model b.(k) in
+              let f_mixed = f_mixed_all.(k) in
+              let f_b = fb.(k) in
               if Float.is_finite f_mixed && Float.is_finite f_b then begin
                 (* Saltelli 2010: S_i = (1/N) Σ f(B)·(f(AB_i) − f(A)) / Var. *)
                 acc := !acc +. ((f_b -. mean) *. (f_mixed -. fa.(k)));
@@ -107,6 +120,7 @@ let sobol_first_order ?(samples = 1024) rng (model : Model.t) ~lo ~hi =
             let estimate = !acc /. float_of_int !count /. total_variance in
             Float.max 0. (Float.min 1. estimate))
     end
+  end
   end
 
 let usage_along_front models =

@@ -5,7 +5,12 @@
     topology affect performance".  This module makes those examinations
     executable: which variables a model actually uses, local relative
     sensitivities at a design point, and how variable usage evolves along
-    an error/complexity tradeoff front. *)
+    an error/complexity tradeoff front.
+
+    Point probes run through {!Model.evaluator} (bases compiled once per
+    query) and the Sobol estimator batches its sample matrices through
+    {!Model.predict} over column-major datasets — no tree interpretation
+    anywhere. *)
 
 val variables_used : Model.t -> int list
 (** Sorted indices of the design variables appearing in the model (the

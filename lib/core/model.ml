@@ -1,4 +1,6 @@
 module Expr = Caffeine_expr.Expr
+module Compiled = Caffeine_expr.Compiled
+module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Stats = Caffeine_util.Stats
 
@@ -21,17 +23,12 @@ let complexity_of ~wb ~wvc bases =
       acc +. wb +. float_of_int (Expr.nnodes_basis basis) +. vc_cost)
     0. bases
 
-let basis_columns bases inputs =
-  let n = Array.length inputs in
-  let columns =
-    Array.map
-      (fun basis -> Array.init n (fun i -> Expr.eval_basis basis inputs.(i)))
-      bases
-  in
+let basis_columns bases data =
+  let columns = Array.map (Dataset.basis_column data) bases in
   if Array.for_all Stats.is_finite_array columns then Some columns else None
 
-let fit ~wb ~wvc bases ~inputs ~targets =
-  match basis_columns bases inputs with
+let fit ~wb ~wvc bases ~data ~targets =
+  match basis_columns bases data with
   | None -> None
   | Some columns -> (
       match Linfit.fit ~basis_values:columns ~targets with
@@ -52,15 +49,32 @@ let fit ~wb ~wvc bases ~inputs ~targets =
           else None
       | exception Caffeine_linalg.Decomp.Singular -> None)
 
-let predict_point model x =
-  let acc = ref model.intercept in
-  Array.iteri (fun j basis -> acc := !acc +. (model.weights.(j) *. Expr.eval_basis basis x)) model.bases;
-  !acc
+let evaluator model =
+  let compiled = Array.map Compiled.compile model.bases in
+  fun x ->
+    let acc = ref model.intercept in
+    Array.iteri
+      (fun j c -> acc := !acc +. (model.weights.(j) *. Compiled.eval_point c x))
+      compiled;
+    !acc
 
-let predict model inputs = Array.map (predict_point model) inputs
+let predict_point model x = evaluator model x
 
-let error_on model ~inputs ~targets =
-  let predictions = predict model inputs in
+let predict model data =
+  let n = Dataset.n_samples data in
+  let predictions = Array.make n model.intercept in
+  Array.iteri
+    (fun j basis ->
+      let column = Dataset.basis_column data basis in
+      let w = model.weights.(j) in
+      for i = 0 to n - 1 do
+        predictions.(i) <- predictions.(i) +. (w *. column.(i))
+      done)
+    model.bases;
+  predictions
+
+let error_on model ~data ~targets =
+  let predictions = predict model data in
   if Stats.is_finite_array predictions then Stats.normalized_error targets predictions
   else Float.infinity
 

@@ -1,8 +1,13 @@
 (** A fitted CAFFEINE model: a set of basis-function trees with
     least-squares-learned linear weights, plus its training error and the
-    complexity measure of eq. (1). *)
+    complexity measure of eq. (1).
+
+    All batch evaluation goes through the compiled engine: basis value
+    columns come from {!Caffeine_io.Dataset.basis_column} (tape-compiled,
+    memoized per dataset) rather than re-interpreting the trees. *)
 
 module Expr = Caffeine_expr.Expr
+module Dataset = Caffeine_io.Dataset
 
 type t = {
   bases : Expr.basis array;
@@ -15,21 +20,30 @@ type t = {
 val complexity_of : wb:float -> wvc:float -> Expr.basis array -> float
 (** Eq. (1): [Σ_j (w_b + nnodes(j) + Σ_k w_vc·Σ_d |vc_k(d)|)]. *)
 
-val basis_columns : Expr.basis array -> float array array -> float array array option
-(** Evaluate each basis on each input row; [None] when any value is not
-    finite (the model is invalid on this data). *)
+val basis_columns : Expr.basis array -> Dataset.t -> float array array option
+(** Evaluate each basis on each sample (memoized on the dataset); [None]
+    when any value is not finite (the model is invalid on this data).  The
+    returned columns are the dataset's cached arrays — do not mutate. *)
 
 val fit :
-  wb:float -> wvc:float -> Expr.basis array -> inputs:float array array -> targets:float array ->
+  wb:float -> wvc:float -> Expr.basis array -> data:Dataset.t -> targets:float array ->
   t option
 (** Least-squares weighting of the basis functions; [None] for invalid
     models.  An empty basis array yields the constant model. *)
 
+val evaluator : t -> float array -> float
+(** [evaluator model] compiles every basis once and returns a fast
+    point-evaluation closure — use it when probing many single points
+    (sensitivities, exported-code checks). *)
+
 val predict_point : t -> float array -> float
+(** One-shot [evaluator model x]; prefer {!evaluator} or {!predict} in
+    loops. *)
 
-val predict : t -> float array array -> float array
+val predict : t -> Dataset.t -> float array
+(** Batched response over a dataset, from cached basis columns. *)
 
-val error_on : t -> inputs:float array array -> targets:float array -> float
+val error_on : t -> data:Dataset.t -> targets:float array -> float
 (** Normalized error on a dataset; [infinity] when predictions are not
     finite. *)
 

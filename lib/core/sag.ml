@@ -1,4 +1,5 @@
 module Expr = Caffeine_expr.Expr
+module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 
 type scored = {
@@ -6,19 +7,19 @@ type scored = {
   test_error : float;
 }
 
-let simplify_model ~wb ~wvc (model : Model.t) ~inputs ~targets =
+let simplify_model ~wb ~wvc (model : Model.t) ~data ~targets =
   if Array.length model.Model.bases = 0 then model
   else
-    match Model.basis_columns model.Model.bases inputs with
+    match Model.basis_columns model.Model.bases data with
     | None -> model
     | Some columns ->
         let chosen = Linfit.forward_select ~basis_values:columns ~targets () in
         let bases = Array.map (fun i -> model.Model.bases.(i)) chosen in
-        let refit = Model.fit ~wb ~wvc bases ~inputs ~targets in
+        let refit = Model.fit ~wb ~wvc bases ~data ~targets in
         let pruned = match refit with Some m -> m | None -> model in
         let cleaned = Model.simplify ~wb ~wvc pruned in
         (* Keep the cleanup only if it did not break the fit. *)
-        (match Model.fit ~wb ~wvc cleaned.Model.bases ~inputs ~targets with
+        (match Model.fit ~wb ~wvc cleaned.Model.bases ~data ~targets with
         | Some refitted -> refitted
         | None -> pruned)
 
@@ -40,17 +41,17 @@ let dedup_by_key key models =
        (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
        [] models)
 
-let process_front ~wb ~wvc front ~inputs ~targets =
-  let simplified = List.map (fun m -> simplify_model ~wb ~wvc m ~inputs ~targets) front in
+let process_front ~wb ~wvc front ~data ~targets =
+  let simplified = List.map (fun m -> simplify_model ~wb ~wvc m ~data ~targets) front in
   let key (m : Model.t) = (m.Model.train_error, m.Model.complexity) in
   simplified
   |> nondominated_by key
   |> dedup_by_key key
   |> List.sort (fun a b -> compare a.Model.complexity b.Model.complexity)
 
-let test_tradeoff front ~inputs ~targets =
+let test_tradeoff front ~data ~targets =
   let scored =
-    List.map (fun m -> { model = m; test_error = Model.error_on m ~inputs ~targets }) front
+    List.map (fun m -> { model = m; test_error = Model.error_on m ~data ~targets }) front
   in
   let usable = List.filter (fun s -> Float.is_finite s.test_error) scored in
   let key s = (s.test_error, s.model.Model.complexity) in

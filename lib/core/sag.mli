@@ -5,7 +5,13 @@
     front is pruned by PRESS-guided forward regression — basis functions
     that harm leave-one-out predictive ability are dropped and the linear
     weights refit — then the set is evaluated on testing data and filtered
-    down to the models on the (test error, complexity) tradeoff. *)
+    down to the models on the (test error, complexity) tradeoff.
+
+    All basis evaluation reuses the dataset's memoized compiled columns:
+    passing the same {!Caffeine_io.Dataset.t} the search ran on makes SAG
+    essentially free of re-evaluation. *)
+
+module Dataset = Caffeine_io.Dataset
 
 type scored = {
   model : Model.t;
@@ -16,7 +22,7 @@ val simplify_model :
   wb:float ->
   wvc:float ->
   Model.t ->
-  inputs:float array array ->
+  data:Dataset.t ->
   targets:float array ->
   Model.t
 (** PRESS forward selection over the model's own basis functions, refit,
@@ -27,7 +33,7 @@ val process_front :
   wb:float ->
   wvc:float ->
   Model.t list ->
-  inputs:float array array ->
+  data:Dataset.t ->
   targets:float array ->
   Model.t list
 (** Apply {!simplify_model} to every front member and re-extract the
@@ -35,7 +41,7 @@ val process_front :
 
 val test_tradeoff :
   Model.t list ->
-  inputs:float array array ->
+  data:Dataset.t ->
   targets:float array ->
   scored list
 (** Score each model on testing data and keep only models on the

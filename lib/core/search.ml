@@ -1,6 +1,7 @@
 module Rng = Caffeine_util.Rng
 module Stats = Caffeine_util.Stats
 module Expr = Caffeine_expr.Expr
+module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Nsga2 = Caffeine_evo.Nsga2
 
@@ -14,26 +15,13 @@ let log_src = Logs.Src.create "caffeine.search" ~doc:"CAFFEINE evolutionary sear
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* Memoized per-basis evaluation columns.  Keys are whole basis trees;
-   structural equality and the polymorphic hash are exactly what we want
-   (weights included: a mutated weight is a different column). *)
-module Basis_cache = Hashtbl.Make (struct
-  type t = Expr.basis
+(* Per-basis evaluation columns are memoized inside the dataset, keyed by
+   the full structural hash (Compiled.Key) — weights included: a mutated
+   weight is a different column.  Bases shared between individuals (the
+   common case under set crossover) are compiled and evaluated once. *)
 
-  let equal = Expr.equal_basis
-  let hash = Hashtbl.hash
-end)
-
-let column_of cache inputs basis =
-  match Basis_cache.find_opt cache basis with
-  | Some column -> column
-  | None ->
-      let column = Array.map (fun x -> Expr.eval_basis basis x) inputs in
-      Basis_cache.add cache basis column;
-      column
-
-let fit_cached cache ~wb ~wvc bases ~inputs ~targets =
-  let columns = Array.map (column_of cache inputs) bases in
+let fit_cached ~wb ~wvc bases ~data ~targets =
+  let columns = Array.map (Dataset.basis_column data) bases in
   if not (Array.for_all Stats.is_finite_array columns) then None
   else
     match Linfit.fit ~basis_values:columns ~targets with
@@ -54,24 +42,47 @@ let fit_cached cache ~wb ~wvc bases ~inputs ~targets =
         else None
     | exception Caffeine_linalg.Decomp.Singular -> None
 
-let validate_data ~inputs ~targets =
-  let n = Array.length inputs in
+let validate_data ~data ~targets =
+  let n = Dataset.n_samples data in
   if n < 2 then invalid_arg "Search.run: need at least 2 samples";
-  if Array.length targets <> n then invalid_arg "Search.run: inputs/targets length mismatch";
-  let dims = Array.length inputs.(0) in
-  if dims = 0 then invalid_arg "Search.run: zero-width design points";
-  Array.iter
-    (fun row -> if Array.length row <> dims then invalid_arg "Search.run: ragged inputs")
-    inputs;
-  dims
+  if Array.length targets <> n then invalid_arg "Search.run: data/targets length mismatch";
+  Dataset.dims data
 
-let run ?(seed = 17) ?on_generation config ~inputs ~targets =
-  let dims = validate_data ~inputs ~targets in
+(* Exact nondominated filter over (train error, complexity), deduplicated
+   on identical objective pairs (keep the first), sorted by complexity —
+   used both for the final front of [run] and for merging fronts. *)
+let dedup_and_sort models =
+  let dominated (a : Model.t) (b : Model.t) =
+    (* b dominates a *)
+    b.Model.train_error <= a.Model.train_error
+    && b.Model.complexity <= a.Model.complexity
+    && (b.Model.train_error < a.Model.train_error || b.Model.complexity < a.Model.complexity)
+  in
+  let nondominated =
+    List.filter (fun m -> not (List.exists (fun other -> dominated m other) models)) models
+  in
+  let deduped =
+    List.fold_left
+      (fun acc (m : Model.t) ->
+        if
+          List.exists
+            (fun (kept : Model.t) ->
+              kept.Model.train_error = m.Model.train_error
+              && kept.Model.complexity = m.Model.complexity)
+            acc
+        then acc
+        else m :: acc)
+      [] nondominated
+    |> List.rev
+  in
+  List.sort (fun (a : Model.t) b -> compare a.Model.complexity b.Model.complexity) deduped
+
+let run ?(seed = 17) ?on_generation config ~data ~targets =
+  let dims = validate_data ~data ~targets in
   let rng = Rng.create ~seed () in
-  let cache = Basis_cache.create 4096 in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
-    match fit_cached cache ~wb ~wvc individual ~inputs ~targets with
+    match fit_cached ~wb ~wvc individual ~data ~targets with
     | Some model -> [| model.Model.train_error; model.Model.complexity |]
     | None -> [| Float.infinity; Model.complexity_of ~wb ~wvc individual |]
   in
@@ -104,7 +115,7 @@ let run ?(seed = 17) ?on_generation config ~inputs ~targets =
   let candidate_models =
     Array.to_list front_genomes
     |> List.filter_map (fun (ind : Vary.individual Nsga2.individual) ->
-           fit_cached cache ~wb ~wvc ind.Nsga2.genome ~inputs ~targets)
+           fit_cached ~wb ~wvc ind.Nsga2.genome ~data ~targets)
   in
   let constant =
     let fitted = Linfit.fit_constant ~targets in
@@ -116,71 +127,18 @@ let run ?(seed = 17) ?on_generation config ~inputs ~targets =
       complexity = 0.;
     }
   in
-  let dominated (a : Model.t) (b : Model.t) =
-    (* b dominates a *)
-    b.Model.train_error <= a.Model.train_error
-    && b.Model.complexity <= a.Model.complexity
-    && (b.Model.train_error < a.Model.train_error || b.Model.complexity < a.Model.complexity)
-  in
-  let all = constant :: candidate_models in
-  let nondominated =
-    List.filter (fun m -> not (List.exists (fun other -> dominated m other) all)) all
-  in
-  (* Dedup identical (error, complexity) pairs, keep the first. *)
-  let deduped =
-    List.fold_left
-      (fun acc m ->
-        if
-          List.exists
-            (fun kept ->
-              kept.Model.train_error = m.Model.train_error
-              && kept.Model.complexity = m.Model.complexity)
-            acc
-        then acc
-        else m :: acc)
-      [] nondominated
-    |> List.rev
-  in
-  let sorted =
-    List.sort (fun a b -> compare a.Model.complexity b.Model.complexity) deduped
-  in
   {
-    front = sorted;
+    front = dedup_and_sort (constant :: candidate_models);
     population_size = config.Config.pop_size;
     generations_run = config.Config.generations;
   }
 
-let dedup_and_sort models =
-  let dominated (a : Model.t) (b : Model.t) =
-    b.Model.train_error <= a.Model.train_error
-    && b.Model.complexity <= a.Model.complexity
-    && (b.Model.train_error < a.Model.train_error || b.Model.complexity < a.Model.complexity)
-  in
-  let nondominated =
-    List.filter (fun m -> not (List.exists (fun other -> dominated m other) models)) models
-  in
-  let deduped =
-    List.fold_left
-      (fun acc (m : Model.t) ->
-        if
-          List.exists
-            (fun (kept : Model.t) ->
-              kept.Model.train_error = m.Model.train_error
-              && kept.Model.complexity = m.Model.complexity)
-            acc
-        then acc
-        else m :: acc)
-      [] nondominated
-    |> List.rev
-  in
-  List.sort (fun (a : Model.t) b -> compare a.Model.complexity b.Model.complexity) deduped
-
 let merge_fronts fronts = dedup_and_sort (List.concat fronts)
 
-let run_multi ?(seed = 17) ~restarts config ~inputs ~targets =
+let run_multi ?(seed = 17) ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
   let outcomes =
-    List.init restarts (fun k -> run ~seed:(seed + k) config ~inputs ~targets)
+    List.init restarts (fun k -> run ~seed:(seed + k) config ~data ~targets)
   in
   {
     front = merge_fronts (List.map (fun o -> o.front) outcomes);

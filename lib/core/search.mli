@@ -1,11 +1,18 @@
 (** The CAFFEINE search loop: NSGA-II over (training error, complexity) with
     grammar-respecting initialization and variation.
 
-    Basis-function evaluations are memoized per structural tree, so bases
-    shared between individuals (the common case under set crossover) are
-    evaluated on the training data only once. *)
+    Basis-function evaluation goes through the compiled batch engine: each
+    distinct basis is lowered to a flat tape once and evaluated column-wise
+    over the whole dataset, and the resulting columns are memoized in the
+    dataset keyed by the full structural hash
+    ({!Caffeine_expr.Compiled.Key} — not the depth-bounded polymorphic
+    [Hashtbl.hash], which collides on deep bases sharing a prefix).  Bases
+    shared between individuals, the common case under set crossover, are
+    evaluated on the training data only once, and SAG or scoring passes
+    that reuse the same dataset reuse the same columns. *)
 
 module Expr = Caffeine_expr.Expr
+module Dataset = Caffeine_io.Dataset
 
 type outcome = {
   front : Model.t list;
@@ -19,27 +26,31 @@ val run :
   ?seed:int ->
   ?on_generation:(int -> best_error:float -> front_size:int -> unit) ->
   Config.t ->
-  inputs:float array array ->
+  data:Dataset.t ->
   targets:float array ->
   outcome
-(** Evolve symbolic models of [targets] as functions of [inputs] (row-major
-    design points).  Requires at least 2 samples and width-consistent rows.
-    The returned front always contains the constant model as its
-    zero-complexity end.  Progress is logged on the ["caffeine.search"]
-    {!Logs} source at debug level. *)
+(** Evolve symbolic models of [targets] as functions of the dataset's
+    design variables.  Requires at least 2 samples.  The returned front
+    always contains the constant model as its zero-complexity end.
+    Progress is logged on the ["caffeine.search"] {!Logs} source at debug
+    level. *)
 
 val run_multi :
   ?seed:int ->
   restarts:int ->
   Config.t ->
-  inputs:float array array ->
+  data:Dataset.t ->
   targets:float array ->
   outcome
 (** Independent restarts (seeds [seed], [seed+1], ...) merged into a single
     nondominated front — the stochastic-search hedge the paper leaves to one
-    run per goal ("the aim was proof-of-concept, not efficiency").
-    Requires [restarts >= 1]. *)
+    run per goal ("the aim was proof-of-concept, not efficiency").  The
+    restarts share the dataset's basis-column cache.  Requires
+    [restarts >= 1]. *)
+
+val dedup_and_sort : Model.t list -> Model.t list
+(** The exact nondominated subset over (train error, complexity),
+    deduplicated on identical objective pairs, sorted by complexity. *)
 
 val merge_fronts : Model.t list list -> Model.t list
-(** The nondominated, deduplicated union of several fronts, sorted by
-    complexity. *)
+(** [dedup_and_sort] of the concatenation of several fronts. *)

@@ -1,0 +1,62 @@
+(** Compiled evaluation of canonical-form basis functions.
+
+    {!Expr.eval_basis} interprets the tree recursively, one sample at a
+    time: every evaluation re-walks the same lists and closures, which
+    dominates the search's inner loop (every candidate basis is evaluated
+    on every DOE sample each generation).  This module lowers a basis into
+    a flat postfix instruction tape once, and then evaluates the tape
+    either per point (scalar stack) or — the hot path — column-wise over a
+    whole sample matrix with reused scratch buffers: one tight loop per
+    instruction, no recursion, no allocation beyond the result.
+
+    Semantics match the interpreter bit for bit, including NaN/∞
+    propagation: the conditional evaluates both branches eagerly and
+    selects per sample, which is value-equivalent to the interpreter's
+    lazy branch (expressions have no side effects), and the monomial,
+    product and weighted-sum folds run in the same order and association
+    as {!Expr.eval_basis}.
+
+    The module also provides the full structural hash used as the
+    hash-consing key for per-basis caches.  [Hashtbl.hash] only inspects a
+    bounded prefix of the tree, so deep bases sharing a prefix all collide;
+    {!hash_basis} folds over every node and weight. *)
+
+type t
+(** A compiled basis: a postfix tape with a precomputed stack bound. *)
+
+val compile : Expr.basis -> t
+
+val length : t -> int
+(** Number of instructions on the tape. *)
+
+val max_stack : t -> int
+(** Stack slots (scratch columns) needed to evaluate the tape. *)
+
+val eval_point : t -> float array -> float
+(** Evaluate at a single design point; equals [Expr.eval_basis b x] for
+    the source basis (including NaN cases). *)
+
+type scratch
+(** Reusable stack of column buffers.  One scratch can be shared by any
+    number of sequential {!eval_columns} calls; it grows to the largest
+    (stack depth × sample count) seen. *)
+
+val scratch : unit -> scratch
+
+val eval_columns :
+  t -> scratch:scratch -> columns:float array array -> n:int -> float array
+(** [eval_columns c ~scratch ~columns ~n] evaluates the tape once over all
+    [n] samples, where [columns.(v).(i)] is design variable [v] at sample
+    [i] (column-major / struct-of-arrays).  Returns a fresh length-[n]
+    result column; the scratch buffers are reused across calls. *)
+
+val hash_basis : Expr.basis -> int
+(** Structural hash over the {e entire} tree: every constructor, operator,
+    exponent and weight participates (weights included: a mutated weight is
+    a different column).  Non-negative. *)
+
+module Key : Hashtbl.HashedType with type t = Expr.basis
+(** Hash-consing key: {!Expr.equal_basis} + {!hash_basis}. *)
+
+module Tbl : Hashtbl.S with type key = Expr.basis
+(** Hash tables keyed by whole basis trees under {!Key}. *)

@@ -1,0 +1,85 @@
+module Expr = Caffeine_expr.Expr
+module Compiled = Caffeine_expr.Compiled
+
+type t = {
+  var_names : string array;
+  columns : float array array;  (* columns.(v).(i): variable v at sample i *)
+  n : int;
+  scratch : Compiled.scratch;
+  cache : float array Compiled.Tbl.t;  (* basis -> value column on this data *)
+}
+
+let default_names dims = Array.init dims (fun v -> Printf.sprintf "x%d" v)
+
+let make ?var_names columns n =
+  let dims = Array.length columns in
+  if dims = 0 then invalid_arg "Dataset: zero design variables";
+  let var_names =
+    match var_names with
+    | None -> default_names dims
+    | Some names ->
+        if Array.length names <> dims then invalid_arg "Dataset: name/column count mismatch";
+        names
+  in
+  {
+    var_names;
+    columns;
+    n;
+    scratch = Compiled.scratch ();
+    cache = Compiled.Tbl.create 256;
+  }
+
+let of_columns ?var_names columns =
+  if Array.length columns = 0 then invalid_arg "Dataset.of_columns: no columns";
+  let n = Array.length columns.(0) in
+  if n = 0 then invalid_arg "Dataset.of_columns: empty columns";
+  Array.iter
+    (fun col -> if Array.length col <> n then invalid_arg "Dataset.of_columns: ragged columns")
+    columns;
+  make ?var_names columns n
+
+let of_rows ?var_names rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Dataset.of_rows: no samples";
+  let dims = Array.length rows.(0) in
+  if dims = 0 then invalid_arg "Dataset.of_rows: zero-width design points";
+  Array.iter
+    (fun row -> if Array.length row <> dims then invalid_arg "Dataset.of_rows: ragged rows")
+    rows;
+  let columns = Array.init dims (fun v -> Array.init n (fun i -> rows.(i).(v))) in
+  make ?var_names columns n
+
+let of_table ?(exclude = []) table =
+  let names, rows = Csv.columns_except table exclude in
+  of_rows ~var_names:names rows
+
+let n_samples data = data.n
+let dims data = Array.length data.columns
+let var_names data = data.var_names
+let column data v = data.columns.(v)
+let point data i = Array.map (fun col -> col.(i)) data.columns
+
+let rows data =
+  Array.init data.n (fun i -> point data i)
+
+let split data ~at =
+  if at <= 0 || at >= data.n then invalid_arg "Dataset.split: index out of range";
+  let part offset count =
+    make ~var_names:data.var_names
+      (Array.map (fun col -> Array.sub col offset count) data.columns)
+      count
+  in
+  (part 0 at, part at (data.n - at))
+
+let eval_column compiled data =
+  Compiled.eval_columns compiled ~scratch:data.scratch ~columns:data.columns ~n:data.n
+
+let basis_column data basis =
+  match Compiled.Tbl.find_opt data.cache basis with
+  | Some col -> col
+  | None ->
+      let col = eval_column (Compiled.compile basis) data in
+      Compiled.Tbl.add data.cache basis col;
+      col
+
+let cached_columns data = Compiled.Tbl.length data.cache

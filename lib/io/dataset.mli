@@ -1,0 +1,61 @@
+(** Column-major sample datasets for batch evaluation.
+
+    The search, SAG pruning, insight queries, CLI and bench all evaluate
+    basis functions over the same sample matrices.  This type stores those
+    matrices struct-of-arrays (one contiguous column per design variable),
+    carries the variable names, and memoizes per-basis value columns keyed
+    by the full structural hash ({!Caffeine_expr.Compiled.Key}) — so a
+    basis shared between individuals, or revisited by SAG after the
+    search, is compiled and evaluated on a given dataset exactly once. *)
+
+module Expr = Caffeine_expr.Expr
+module Compiled = Caffeine_expr.Compiled
+
+type t
+
+val of_columns : ?var_names:string array -> float array array -> t
+(** [of_columns columns] with [columns.(v).(i)] = variable [v] at sample
+    [i].  Columns must be non-empty and of equal length; the arrays are
+    owned by the dataset afterwards (not copied).  Default names are
+    [x0, x1, ...].  Raises [Invalid_argument] on width/name mismatch. *)
+
+val of_rows : ?var_names:string array -> float array array -> t
+(** Transpose row-major design points (the DOE / simulator layout) into a
+    dataset.  Rows must be non-empty and width-consistent. *)
+
+val of_table : ?exclude:string list -> Csv.table -> t
+(** Every CSV column whose name is not excluded becomes a design variable,
+    in header order — the direct CSV-to-dataset path used by the CLI. *)
+
+val n_samples : t -> int
+val dims : t -> int
+val var_names : t -> string array
+
+val column : t -> int -> float array
+(** The stored column for one variable — shared, do not mutate. *)
+
+val point : t -> int -> float array
+(** A fresh row: all variables at one sample. *)
+
+val rows : t -> float array array
+(** Fresh row-major copy (for row-oriented consumers, e.g. the posynomial
+    baseline). *)
+
+val split : t -> at:int -> t * t
+(** Train/test split at a sample index: samples [0..at-1] and [at..n-1],
+    each with fresh caches.  Raises [Invalid_argument] unless
+    [0 < at < n_samples]. *)
+
+val eval_column : Compiled.t -> t -> float array
+(** Evaluate a compiled basis over every sample (fresh result column, no
+    memoization); the tape's scratch buffers are reused across calls on
+    the same dataset. *)
+
+val basis_column : t -> Expr.basis -> float array
+(** Memoized: compile the basis (first time only) and evaluate it over the
+    dataset.  Subsequent calls with a structurally equal basis return the
+    cached column — shared, do not mutate.  Agrees with
+    {!Expr.eval_basis} on every sample. *)
+
+val cached_columns : t -> int
+(** Number of distinct bases memoized so far (cache introspection). *)

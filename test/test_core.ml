@@ -13,6 +13,11 @@ module Vary = Caffeine.Vary
 module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
+module Dataset = Caffeine_io.Dataset
+
+(* Column-major view of a row-major sample matrix, for the dataset-taking
+   fit/search/SAG entry points. *)
+let data_of rows = Dataset.of_rows rows
 
 let check_close ?(tol = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > tol *. Float.max 1. (Float.abs expected) then
@@ -232,7 +237,7 @@ let test_model_fit_and_predict () =
   let b1 = Expr.{ vc = Some [| 1; 0; 0; 0; 0 |]; factors = [] } in
   let b2 = Expr.{ vc = Some [| 0; 1; 0; 0; 0 |]; factors = [] } in
   let targets = Array.map (fun x -> 2. +. (3. *. x.(0)) -. (1.5 *. x.(1))) simple_inputs in
-  match Model.fit ~wb:10. ~wvc:0.25 [| b1; b2 |] ~inputs:simple_inputs ~targets with
+  match Model.fit ~wb:10. ~wvc:0.25 [| b1; b2 |] ~data:(data_of simple_inputs) ~targets with
   | None -> Alcotest.fail "fit failed"
   | Some m ->
       check_close ~tol:1e-6 "intercept" 2. m.Model.intercept;
@@ -248,7 +253,7 @@ let test_model_fit_invalid_basis_returns_none () =
     Expr.{ vc = None; factors = [ Unary (Op.Log_e, { bias = -5.; terms = [] }) ] }
   in
   Alcotest.(check bool) "invalid model rejected" true
-    (Model.fit ~wb:10. ~wvc:0.25 [| bad |] ~inputs:simple_inputs
+    (Model.fit ~wb:10. ~wvc:0.25 [| bad |] ~data:(data_of simple_inputs)
        ~targets:(Array.map (fun _ -> 1.) simple_inputs)
     = None)
 
@@ -297,7 +302,7 @@ let test_search_recovers_ground_truth () =
   in
   let targets = Array.map (fun x -> 1. +. (2. *. x.(0) /. x.(1))) inputs in
   let config = Config.scaled ~pop_size:60 ~generations:40 Config.default in
-  let outcome = Search.run ~seed:16 config ~inputs ~targets in
+  let outcome = Search.run ~seed:16 config ~data:(data_of inputs) ~targets in
   let best =
     List.fold_left
       (fun acc (m : Model.t) -> Float.min acc m.Model.train_error)
@@ -310,7 +315,7 @@ let test_search_front_properties () =
   let inputs = Array.init 60 (fun _ -> Array.init 3 (fun _ -> Rng.range rng 0.5 2.0)) in
   let targets = Array.map (fun x -> x.(0) +. (x.(1) *. x.(2)) +. (0.3 /. x.(2))) inputs in
   let config = Config.scaled ~pop_size:40 ~generations:25 Config.default in
-  let outcome = Search.run ~seed:18 config ~inputs ~targets in
+  let outcome = Search.run ~seed:18 config ~data:(data_of inputs) ~targets in
   let front = outcome.Search.front in
   Alcotest.(check bool) "front non-empty" true (List.length front > 0);
   (* Contains the constant model at complexity 0. *)
@@ -336,7 +341,7 @@ let test_search_respects_max_bases () =
   let config =
     { (Config.scaled ~pop_size:30 ~generations:20 Config.default) with Config.max_bases = 4 }
   in
-  let outcome = Search.run ~seed:20 config ~inputs ~targets in
+  let outcome = Search.run ~seed:20 config ~data:(data_of inputs) ~targets in
   List.iter
     (fun (m : Model.t) ->
       Alcotest.(check bool) "max bases respected" true (Model.num_bases m <= 4))
@@ -347,7 +352,7 @@ let test_search_deterministic_given_seed () =
   let targets = Array.map (fun x -> 3. *. x.(0) *. x.(0)) inputs in
   let config = Config.scaled ~pop_size:20 ~generations:10 Config.default in
   let run () =
-    let outcome = Search.run ~seed:21 config ~inputs ~targets in
+    let outcome = Search.run ~seed:21 config ~data:(data_of inputs) ~targets in
     List.map (fun (m : Model.t) -> (m.Model.train_error, m.Model.complexity)) outcome.Search.front
   in
   Alcotest.(check bool) "same front twice" true (run () = run ())
@@ -360,7 +365,7 @@ let test_search_on_generation_callback () =
   let _ =
     Search.run ~seed:22
       ~on_generation:(fun _ ~best_error:_ ~front_size:_ -> incr calls)
-      config ~inputs ~targets
+      config ~data:(data_of inputs) ~targets
   in
   Alcotest.(check bool) "callback invoked per generation" true (!calls >= 5)
 
@@ -372,10 +377,11 @@ let test_sag_prunes_useless_basis () =
   let targets = Array.map (fun x -> 4. *. x.(0)) inputs in
   let useful = Expr.{ vc = Some [| 1; 0 |]; factors = [] } in
   let useless = Expr.{ vc = Some [| 0; 2 |]; factors = [] } in
-  match Model.fit ~wb:10. ~wvc:0.25 [| useful; useless |] ~inputs ~targets with
+  let data = data_of inputs in
+  match Model.fit ~wb:10. ~wvc:0.25 [| useful; useless |] ~data ~targets with
   | None -> Alcotest.fail "fit failed"
   | Some m ->
-      let simplified = Sag.simplify_model ~wb:10. ~wvc:0.25 m ~inputs ~targets in
+      let simplified = Sag.simplify_model ~wb:10. ~wvc:0.25 m ~data ~targets in
       Alcotest.(check int) "useless basis dropped" 1 (Model.num_bases simplified);
       Alcotest.(check bool) "error stays near zero" true
         (simplified.Model.train_error < 1e-6)
@@ -387,8 +393,10 @@ let test_sag_test_tradeoff_is_nondominated () =
   let test_inputs = Array.init 60 (fun _ -> Array.init 3 (fun _ -> Rng.range rng 0.7 1.8)) in
   let test_targets = Array.map (fun x -> x.(0) +. (0.5 *. x.(1) *. x.(2))) test_inputs in
   let config = Config.scaled ~pop_size:40 ~generations:25 Config.default in
-  let outcome = Search.run ~seed:25 config ~inputs ~targets in
-  let scored = Sag.test_tradeoff outcome.Search.front ~inputs:test_inputs ~targets:test_targets in
+  let outcome = Search.run ~seed:25 config ~data:(data_of inputs) ~targets in
+  let scored =
+    Sag.test_tradeoff outcome.Search.front ~data:(data_of test_inputs) ~targets:test_targets
+  in
   Alcotest.(check bool) "non-empty" true (List.length scored > 0);
   List.iter
     (fun (a : Sag.scored) ->
@@ -601,8 +609,9 @@ let test_run_multi_at_least_as_good () =
   let inputs = Array.init 40 (fun _ -> Array.init 2 (fun _ -> Rng.range rng 0.5 2.)) in
   let targets = Array.map (fun x -> (x.(0) *. x.(0)) +. (1. /. x.(1))) inputs in
   let config = Config.scaled ~pop_size:20 ~generations:10 Config.default in
-  let single = Search.run ~seed:31 config ~inputs ~targets in
-  let multi = Search.run_multi ~seed:31 ~restarts:3 config ~inputs ~targets in
+  let data = data_of inputs in
+  let single = Search.run ~seed:31 config ~data ~targets in
+  let multi = Search.run_multi ~seed:31 ~restarts:3 config ~data ~targets in
   let best outcome =
     List.fold_left (fun acc (m : Model.t) -> Float.min acc m.Model.train_error) Float.infinity
       outcome.Search.front
@@ -628,7 +637,7 @@ let test_search_discovers_transcendental_structure () =
   let inputs = Array.init 100 (fun _ -> [| Rng.range rng 0.2 5.0 |]) in
   let targets = Array.map (fun x -> 2. +. (3. *. log x.(0))) inputs in
   let config = Config.scaled ~pop_size:80 ~generations:60 Config.default in
-  let outcome = Search.run ~seed:51 config ~inputs ~targets in
+  let outcome = Search.run ~seed:51 config ~data:(data_of inputs) ~targets in
   let best =
     List.fold_left (fun acc (m : Model.t) -> Float.min acc m.Model.train_error) Float.infinity
       outcome.Search.front
@@ -642,7 +651,7 @@ let test_search_with_rational_opset_stays_rational () =
   let config =
     { (Config.scaled ~pop_size:30 ~generations:20 Config.default) with Config.opset = Opset.rational }
   in
-  let outcome = Search.run ~seed:53 config ~inputs ~targets in
+  let outcome = Search.run ~seed:53 config ~data:(data_of inputs) ~targets in
   List.iter
     (fun (m : Model.t) ->
       Array.iter
@@ -659,7 +668,7 @@ let test_search_handles_constant_target () =
   let inputs = Array.init 20 (fun i -> [| 1. +. float_of_int i |]) in
   let targets = Array.map (fun _ -> 42.) inputs in
   let config = Config.scaled ~pop_size:10 ~generations:5 Config.default in
-  let outcome = Search.run ~seed:54 config ~inputs ~targets in
+  let outcome = Search.run ~seed:54 config ~data:(data_of inputs) ~targets in
   match outcome.Search.front with
   | first :: _ ->
       check_close "constant recovered" 42. first.Model.intercept;

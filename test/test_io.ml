@@ -1,6 +1,9 @@
-(* Tests for CSV dataset IO. *)
+(* Tests for CSV dataset IO and the column-major Dataset. *)
 
 module Csv = Caffeine_io.Csv
+module Dataset = Caffeine_io.Dataset
+module Expr = Caffeine_expr.Expr
+module Compiled = Caffeine_expr.Compiled
 
 let sample_table =
   {
@@ -75,9 +78,90 @@ let test_write_rejects_ragged () =
     | exception Invalid_argument _ -> true);
   Sys.remove path
 
+(* --- Dataset ------------------------------------------------------------- *)
+
+let test_dataset_rows_columns_roundtrip () =
+  let rows = [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let data = Dataset.of_rows ~var_names:[| "a"; "b" |] rows in
+  Alcotest.(check int) "samples" 3 (Dataset.n_samples data);
+  Alcotest.(check int) "dims" 2 (Dataset.dims data);
+  Alcotest.(check bool) "names" true (Dataset.var_names data = [| "a"; "b" |]);
+  Alcotest.(check bool) "column b" true (Dataset.column data 1 = [| 2.; 4.; 6. |]);
+  Alcotest.(check bool) "point 1" true (Dataset.point data 1 = [| 3.; 4. |]);
+  Alcotest.(check bool) "rows round-trip" true (Dataset.rows data = rows)
+
+let test_dataset_of_table () =
+  let table =
+    { Csv.header = [| "x"; "y"; "target" |]; rows = [| [| 1.; 2.; 9. |]; [| 3.; 4.; 8. |] |] }
+  in
+  let data = Dataset.of_table ~exclude:[ "target" ] table in
+  Alcotest.(check int) "dims exclude target" 2 (Dataset.dims data);
+  Alcotest.(check bool) "names" true (Dataset.var_names data = [| "x"; "y" |]);
+  Alcotest.(check bool) "x column" true (Dataset.column data 0 = [| 1.; 3. |])
+
+let test_dataset_split () =
+  let rows = Array.init 10 (fun i -> [| float_of_int i |]) in
+  let data = Dataset.of_rows rows in
+  let train, test = Dataset.split data ~at:7 in
+  Alcotest.(check int) "train size" 7 (Dataset.n_samples train);
+  Alcotest.(check int) "test size" 3 (Dataset.n_samples test);
+  Alcotest.(check bool) "test values" true (Dataset.column test 0 = [| 7.; 8.; 9. |]);
+  Alcotest.(check bool) "bad split rejected" true
+    (match Dataset.split data ~at:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_dataset_validation () =
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () -> Dataset.of_rows [||]);
+  expect_invalid (fun () -> Dataset.of_rows [| [| 1. |]; [| 1.; 2. |] |]);
+  expect_invalid (fun () -> Dataset.of_rows ~var_names:[| "a"; "b" |] [| [| 1. |] |]);
+  expect_invalid (fun () -> Dataset.of_columns [| [| 1. |]; [| 1.; 2. |] |])
+
+let test_dataset_basis_column_memoizes () =
+  let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
+  let data = Dataset.of_rows rows in
+  let basis = Expr.{ vc = Some [| 2 |]; factors = [] } in
+  let column = Dataset.basis_column data basis in
+  Alcotest.(check bool) "squares" true (column = [| 4.; 9.; 16. |]);
+  Alcotest.(check int) "one cached" 1 (Dataset.cached_columns data);
+  (* A structurally equal (but physically distinct) basis hits the cache. *)
+  let again = Dataset.basis_column data Expr.{ vc = Some [| 2 |]; factors = [] } in
+  Alcotest.(check bool) "same array shared" true (column == again);
+  Alcotest.(check int) "still one cached" 1 (Dataset.cached_columns data);
+  let other = Dataset.basis_column data Expr.{ vc = Some [| 3 |]; factors = [] } in
+  Alcotest.(check bool) "cubes" true (other = [| 8.; 27.; 64. |]);
+  Alcotest.(check int) "two cached" 2 (Dataset.cached_columns data)
+
+let test_dataset_eval_column_matches_interpreter () =
+  let rows = [| [| 0.5; 2. |]; [| 1.5; 0.25 |] |] in
+  let data = Dataset.of_rows rows in
+  let basis =
+    Expr.
+      {
+        vc = Some [| 1; -1 |];
+        factors = [ Unary (Caffeine_expr.Op.Sqrt, { bias = 1.; terms = [] }) ];
+      }
+  in
+  let column = Dataset.eval_column (Compiled.compile basis) data in
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check (float 1e-12)) "agrees" (Expr.eval_basis basis row) column.(i))
+    rows
+
 let suite =
   [
     Alcotest.test_case "write/read round-trip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "dataset rows/columns round-trip" `Quick test_dataset_rows_columns_roundtrip;
+    Alcotest.test_case "dataset from CSV table" `Quick test_dataset_of_table;
+    Alcotest.test_case "dataset split" `Quick test_dataset_split;
+    Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
+    Alcotest.test_case "dataset basis-column memoization" `Quick test_dataset_basis_column_memoizes;
+    Alcotest.test_case "dataset eval matches interpreter" `Quick
+      test_dataset_eval_column_matches_interpreter;
     Alcotest.test_case "column extraction" `Quick test_column_extraction;
     Alcotest.test_case "columns except" `Quick test_columns_except;
     Alcotest.test_case "read errors" `Quick test_read_errors;

@@ -6,6 +6,7 @@ let () =
       ("doe", Test_doe.suite);
       ("grammar", Test_grammar.suite);
       ("expr", Test_expr.suite);
+      ("compiled", Test_compiled.suite);
       ("infix", Test_infix.suite);
       ("deriv", Test_deriv.suite);
       ("regress", Test_regress.suite);
