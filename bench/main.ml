@@ -5,7 +5,7 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|micro]
+                                   eval|parallel|micro]
                                   [--pop N] [--gens N] [--seed N]
 
    The search budget defaults to a few seconds per performance; pass
@@ -21,6 +21,8 @@ module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
 module Dataset = Caffeine_io.Dataset
 module Compiled = Caffeine_expr.Compiled
+module Linfit = Caffeine_regress.Linfit
+module Pool = Caffeine_par.Pool
 
 (* The reference tree interpreter — only the compiled_vs_interpreted group
    and the micro-benchmarks may touch it; everything else evaluates through
@@ -553,6 +555,125 @@ let experiment_eval options =
   close_out oc;
   Printf.printf "(numbers recorded in BENCH_eval.json)\n"
 
+(* --- parallel scaling ----------------------------------------------------- *)
+
+let experiment_parallel options =
+  section "parallel_scaling: domain-pool wall-clock speedup";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let n = Array.length train.Ota.inputs in
+  let dims = Array.length Ota.var_names in
+  let host_cores = Domain.recommended_domain_count () in
+  let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
+  (* A fresh dataset per measurement: the basis-column cache must not carry
+     warm columns from one jobs setting into the next. *)
+  let fresh_data () = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Exact (%h) rendering of every numeric field: two fronts get the same
+     signature iff they are bit-identical. *)
+  let signature (outcome : Search.outcome) =
+    String.concat ";"
+      (List.map
+         (fun (m : Model.t) ->
+           Printf.sprintf "%h|%h|%h|%s" m.Model.train_error m.Model.complexity m.Model.intercept
+             (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") m.Model.weights))))
+         outcome.Search.front)
+  in
+  let config =
+    Config.scaled
+      ~pop_size:(Stdlib.max 24 (options.pop_size / 2))
+      ~generations:(Stdlib.max 10 (options.generations / 5))
+      Config.paper
+  in
+  Printf.printf "workload: %d samples x %d dims, pop %d, gens %d; host reports %d core(s)\n" n
+    dims config.Config.pop_size config.Config.generations host_cores;
+  let search_case jobs =
+    let data = fresh_data () in
+    Pool.with_optional_pool ~jobs @@ fun pool ->
+    wall (fun () -> signature (Search.run ~seed:options.seed ?pool config ~data ~targets))
+  in
+  let islands_case jobs =
+    let config = Config.scaled ~generations:(Stdlib.max 5 (config.Config.generations / 3)) config in
+    let data = fresh_data () in
+    Pool.with_optional_pool ~jobs @@ fun pool ->
+    wall (fun () ->
+        signature (Search.run_multi ~seed:options.seed ?pool ~restarts:4 config ~data ~targets))
+  in
+  let forward_case jobs =
+    (* Same seed every call: the candidate columns are identical across jobs
+       settings, so selections must match exactly. *)
+    let rng = Caffeine_util.Rng.create ~seed:options.seed () in
+    let data = fresh_data () in
+    let columns =
+      Array.init 150 (fun _ ->
+          let basis =
+            Caffeine.Gen.random_basis rng config.Config.opset ~dims ~depth:5 ~max_vc_vars:3
+          in
+          Dataset.basis_column data basis)
+    in
+    Pool.with_optional_pool ~jobs @@ fun pool ->
+    wall (fun () ->
+        String.concat ","
+          (Array.to_list
+             (Array.map string_of_int
+                (Linfit.forward_select ?pool ~max_bases:12 ~basis_values:columns ~targets ()))))
+  in
+  let groups =
+    [ ("search", search_case); ("islands", islands_case); ("forward_select", forward_case) ]
+  in
+  let results =
+    List.map
+      (fun (name, case) ->
+        let measured = List.map (fun jobs -> (jobs, case jobs)) jobs_list in
+        let _, (reference, t1) = List.hd measured in
+        let identical =
+          List.for_all (fun (_, (r, _)) -> r = reference) measured
+        in
+        Printf.printf "\n%-15s %6s %12s %9s\n" name "jobs" "seconds" "speedup";
+        List.iter
+          (fun (jobs, (_, t)) ->
+            Printf.printf "%-15s %6d %12.3f %8.2fx\n" "" jobs t (t1 /. t))
+          measured;
+        Printf.printf "%-15s fronts identical across jobs: %b\n" "" identical;
+        (name, identical, List.map (fun (jobs, (_, t)) -> (jobs, t, t1 /. t)) measured))
+      groups
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"samples\": %d,\n" n);
+  Buffer.add_string buf (Printf.sprintf "  \"dims\": %d,\n" dims);
+  Buffer.add_string buf (Printf.sprintf "  \"host_cores\": %d,\n" host_cores);
+  Buffer.add_string buf "  \"groups\": {\n";
+  List.iteri
+    (fun i (name, identical, rows) ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" name);
+      Buffer.add_string buf (Printf.sprintf "      \"identical_results\": %b,\n" identical);
+      Buffer.add_string buf "      \"runs\": [\n";
+      List.iteri
+        (fun j (jobs, t, speedup) ->
+          Buffer.add_string buf
+            (Printf.sprintf "        { \"jobs\": %d, \"seconds\": %.4f, \"speedup\": %.3f }%s\n"
+               jobs t speedup
+               (if j = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string buf "      ]\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\n(numbers recorded in BENCH_parallel.json)\n";
+  if not (List.for_all (fun (_, identical, _) -> identical) results) then begin
+    Printf.eprintf "parallel_scaling: results differ across jobs settings\n";
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -629,4 +750,5 @@ let () =
   (* Opt-in only: not included in --experiment all. *)
   if options.experiment = "miller" then experiment_miller options;
   if wants "eval" then experiment_eval options;
+  if wants "parallel" then experiment_parallel options;
   if wants "micro" then experiment_micro ()

@@ -22,6 +22,7 @@ module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
+module Pool = Caffeine_par.Pool
 
 (* --- gen-data ---------------------------------------------------------- *)
 
@@ -128,7 +129,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed log_target grammar_path max_bases no_sag out =
+let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -147,17 +148,25 @@ let fit train_path test_path target pop gens seed log_target grammar_path max_ba
             Printf.eprintf "cannot parse grammar %s: %s\n" path msg;
             exit 2)
   in
+  let jobs = if jobs >= 1 then jobs else Pool.default_jobs () in
   let config =
-    { (Config.scaled ~pop_size:pop ~generations:gens Config.paper) with Config.opset; max_bases }
+    {
+      (Config.scaled ~pop_size:pop ~generations:gens ~jobs Config.paper) with
+      Config.opset;
+      max_bases;
+    }
   in
-  Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d)\n%!" target
-    (Array.length targets) (Array.length var_names) pop gens seed;
-  let outcome = Search.run ~seed config ~data ~targets in
+  Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d, jobs %d)\n%!"
+    target (Array.length targets) (Array.length var_names) pop gens seed jobs;
+  (* One pool serves both the evolutionary run and SAG forward selection;
+     with jobs = 1 no pool (and no extra domain) is created at all. *)
   let front =
+    Pool.with_optional_pool ~jobs @@ fun pool ->
+    let outcome = Search.run ~seed ?pool config ~data ~targets in
     if no_sag then outcome.Search.front
     else
-      Sag.process_front ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front ~data
-        ~targets
+      Sag.process_front ?pool ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
+        ~data ~targets
   in
   let test_data =
     match test_path with
@@ -204,6 +213,13 @@ let pop_arg = Arg.(value & opt int 120 & info [ "pop" ] ~docv:"N" ~doc:"Populati
 let gens_arg = Arg.(value & opt int 150 & info [ "gens" ] ~docv:"N" ~doc:"Generations.")
 let seed_arg = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel evaluation (0 = auto: \\$(b,CAFFEINE_JOBS) or all recommended \
+     cores).  Results are identical for any value."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let log_target_arg =
   Arg.(value & flag & info [ "log-target" ] ~doc:"Model log10 of the target (the paper's fu scaling).")
 
@@ -223,7 +239,7 @@ let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
   Cmd.v info
     Term.(
-      const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg
+      const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
       $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)

@@ -9,7 +9,21 @@ type t = {
   param_mutation_weight : float;
   crossover_probability : float;
   max_vc_vars : int;
+  jobs : int;
 }
+
+(* Default parallelism: the CAFFEINE_JOBS environment variable when set
+   (this is how CI runs the whole test suite multi-domain), sequential
+   otherwise.  Results are bit-identical either way; callers that want
+   all cores ask Caffeine_par.Pool.default_jobs explicitly (the CLI's
+   --jobs default). *)
+let env_jobs =
+  match Sys.getenv_opt "CAFFEINE_JOBS" with
+  | Some value -> (
+      match int_of_string_opt (String.trim value) with
+      | Some jobs when jobs >= 1 -> jobs
+      | Some _ | None -> 1)
+  | None -> 1
 
 let paper =
   {
@@ -23,13 +37,15 @@ let paper =
     param_mutation_weight = 5.;
     crossover_probability = 0.5;
     max_vc_vars = 3;
+    jobs = env_jobs;
   }
 
 let default = { paper with pop_size = 100; generations = 80 }
 
-let scaled ?pop_size ?generations t =
+let scaled ?pop_size ?generations ?jobs t =
   {
     t with
     pop_size = (match pop_size with Some p -> p | None -> t.pop_size);
     generations = (match generations with Some g -> g | None -> t.generations);
+    jobs = (match jobs with Some j -> j | None -> t.jobs);
   }

@@ -19,10 +19,16 @@ type t = {
           other operators have weight 1 *)
   crossover_probability : float;  (** probability a child mixes two parents *)
   max_vc_vars : int;  (** variables in a freshly generated VC *)
+  jobs : int;
+      (** parallelism of the search: domains used for objective evaluation,
+          islands and SAG candidate scoring when the caller does not supply
+          a pool.  Defaults to the [CAFFEINE_JOBS] environment variable
+          when set to a positive integer, else 1 (sequential).  Results
+          are bit-identical for any value. *)
 }
 
 val default : t
 val paper : t
 
-val scaled : ?pop_size:int -> ?generations:int -> t -> t
-(** Adjust only the search budget. *)
+val scaled : ?pop_size:int -> ?generations:int -> ?jobs:int -> t -> t
+(** Adjust only the search budget and parallelism. *)

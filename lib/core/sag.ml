@@ -7,13 +7,13 @@ type scored = {
   test_error : float;
 }
 
-let simplify_model ~wb ~wvc (model : Model.t) ~data ~targets =
+let simplify_model ?pool ~wb ~wvc (model : Model.t) ~data ~targets =
   if Array.length model.Model.bases = 0 then model
   else
     match Model.basis_columns model.Model.bases data with
     | None -> model
     | Some columns ->
-        let chosen = Linfit.forward_select ~basis_values:columns ~targets () in
+        let chosen = Linfit.forward_select ?pool ~basis_values:columns ~targets () in
         let bases = Array.map (fun i -> model.Model.bases.(i)) chosen in
         let refit = Model.fit ~wb ~wvc bases ~data ~targets in
         let pruned = match refit with Some m -> m | None -> model in
@@ -41,8 +41,8 @@ let dedup_by_key key models =
        (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
        [] models)
 
-let process_front ~wb ~wvc front ~data ~targets =
-  let simplified = List.map (fun m -> simplify_model ~wb ~wvc m ~data ~targets) front in
+let process_front ?pool ~wb ~wvc front ~data ~targets =
+  let simplified = List.map (fun m -> simplify_model ?pool ~wb ~wvc m ~data ~targets) front in
   let key (m : Model.t) = (m.Model.train_error, m.Model.complexity) in
   simplified
   |> nondominated_by key

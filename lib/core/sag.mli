@@ -19,6 +19,7 @@ type scored = {
 }
 
 val simplify_model :
+  ?pool:Caffeine_par.Pool.t ->
   wb:float ->
   wvc:float ->
   Model.t ->
@@ -27,9 +28,12 @@ val simplify_model :
   Model.t
 (** PRESS forward selection over the model's own basis functions, refit,
     then algebraic cleanup ({!Model.simplify}).  The result never has more
-    bases than the input model. *)
+    bases than the input model.  With [pool], candidate PRESS scores are
+    evaluated across the pool's domains; the selected set is identical to
+    the sequential path. *)
 
 val process_front :
+  ?pool:Caffeine_par.Pool.t ->
   wb:float ->
   wvc:float ->
   Model.t list ->

@@ -4,6 +4,7 @@ module Expr = Caffeine_expr.Expr
 module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Nsga2 = Caffeine_evo.Nsga2
+module Pool = Caffeine_par.Pool
 
 type outcome = {
   front : Model.t list;
@@ -18,7 +19,9 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 (* Per-basis evaluation columns are memoized inside the dataset, keyed by
    the full structural hash (Compiled.Key) — weights included: a mutated
    weight is a different column.  Bases shared between individuals (the
-   common case under set crossover) are compiled and evaluated once. *)
+   common case under set crossover) are compiled and evaluated once.  The
+   dataset cache and scratch buffers are domain-safe, so the same closure
+   serves the parallel evaluation paths unchanged. *)
 
 let fit_cached ~wb ~wvc bases ~data ~targets =
   let columns = Array.map (Dataset.basis_column data) bases in
@@ -49,8 +52,9 @@ let validate_data ~data ~targets =
   Dataset.dims data
 
 (* Exact nondominated filter over (train error, complexity), deduplicated
-   on identical objective pairs (keep the first), sorted by complexity —
-   used both for the final front of [run] and for merging fronts. *)
+   on identical objective pairs (keep the first), sorted by (complexity,
+   train error) — a total order on the deduplicated front, so merged
+   parallel-island fronts serialize identically however they arrive. *)
 let dedup_and_sort models =
   let dominated (a : Model.t) (b : Model.t) =
     (* b dominates a *)
@@ -75,11 +79,22 @@ let dedup_and_sort models =
       [] nondominated
     |> List.rev
   in
-  List.sort (fun (a : Model.t) b -> compare a.Model.complexity b.Model.complexity) deduped
+  List.sort
+    (fun (a : Model.t) b ->
+      compare
+        (a.Model.complexity, a.Model.train_error)
+        (b.Model.complexity, b.Model.train_error))
+    deduped
 
-let run ?(seed = 17) ?on_generation config ~data ~targets =
+(* Run [f (Some pool)] with the pool the caller supplied, a fresh pool of
+   [config.jobs] domains, or [f None] when both say sequential. *)
+let with_search_pool ?pool config f =
+  match pool with
+  | Some _ -> f pool
+  | None -> Pool.with_optional_pool ~jobs:config.Config.jobs f
+
+let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
   let dims = validate_data ~data ~targets in
-  let rng = Rng.create ~seed () in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
     match fit_cached ~wb ~wvc individual ~data ~targets with
@@ -100,7 +115,7 @@ let run ?(seed = 17) ?on_generation config ~data ~targets =
     | Some f -> f gen ~best_error ~front_size
   in
   let population =
-    Nsga2.run ~on_generation:notify ~rng
+    Nsga2.run ~on_generation:notify ?pool ~rng
       {
         Nsga2.pop_size = config.Config.pop_size;
         generations = config.Config.generations;
@@ -133,15 +148,37 @@ let run ?(seed = 17) ?on_generation config ~data ~targets =
     generations_run = config.Config.generations;
   }
 
+let run ?(seed = 17) ?pool ?on_generation config ~data ~targets =
+  with_search_pool ?pool config @@ fun pool ->
+  run_with_rng ~rng:(Rng.create ~seed ()) ?pool ?on_generation config ~data ~targets
+
 let merge_fronts fronts = dedup_and_sort (List.concat fronts)
 
-let run_multi ?(seed = 17) ~restarts config ~data ~targets =
+let run_multi ?(seed = 17) ?pool ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
+  (* Island RNGs are split off the master sequentially before any parallel
+     work, so island k sees the same stream whether the islands run
+     back-to-back or fanned out across domains — and a [restarts = r] run
+     shares its first r islands with any larger run of the same seed. *)
+  let master = Rng.create ~seed () in
+  let islands = Array.make restarts master in
+  for k = 0 to restarts - 1 do
+    islands.(k) <- Rng.split master
+  done;
+  with_search_pool ?pool config @@ fun pool ->
+  let run_island rng =
+    (* Each island reuses the shared pool for its inner evaluation loop;
+       when the islands themselves are fanned out below, those nested
+       calls fall back to sequential evaluation inside the island. *)
+    run_with_rng ~rng ?pool config ~data ~targets
+  in
   let outcomes =
-    List.init restarts (fun k -> run ~seed:(seed + k) config ~data ~targets)
+    match pool with
+    | Some pool when restarts > 1 -> Pool.parallel_map pool run_island islands
+    | Some _ | None -> Array.map run_island islands
   in
   {
-    front = merge_fronts (List.map (fun o -> o.front) outcomes);
+    front = merge_fronts (Array.to_list (Array.map (fun o -> o.front) outcomes));
     population_size = config.Config.pop_size;
     generations_run = config.Config.generations * restarts;
   }

@@ -9,7 +9,19 @@
     [Hashtbl.hash], which collides on deep bases sharing a prefix).  Bases
     shared between individuals, the common case under set crossover, are
     evaluated on the training data only once, and SAG or scoring passes
-    that reuse the same dataset reuse the same columns. *)
+    that reuse the same dataset reuse the same columns.
+
+    {2 Parallelism}
+
+    Both entry points optionally fan work out over a
+    {!Caffeine_par.Pool.t}: objective evaluation inside each generation,
+    and (for {!run_multi}) whole restarts as parallel islands.  Passing
+    [?pool] reuses the caller's pool; otherwise a pool of
+    [config.Config.jobs] domains is created for the call when [jobs > 1].
+    Results are {b bit-identical} for any pool size, including the
+    sequential path: all random-number consumption stays on the calling
+    domain in a fixed order, and only pure per-genome evaluation is
+    distributed. *)
 
 module Expr = Caffeine_expr.Expr
 module Dataset = Caffeine_io.Dataset
@@ -17,13 +29,14 @@ module Dataset = Caffeine_io.Dataset
 type outcome = {
   front : Model.t list;
       (** the nondominated (train error, complexity) models, sorted by
-          increasing complexity *)
+          increasing (complexity, train error) *)
   population_size : int;
   generations_run : int;
 }
 
 val run :
   ?seed:int ->
+  ?pool:Caffeine_par.Pool.t ->
   ?on_generation:(int -> best_error:float -> front_size:int -> unit) ->
   Config.t ->
   data:Dataset.t ->
@@ -37,20 +50,27 @@ val run :
 
 val run_multi :
   ?seed:int ->
+  ?pool:Caffeine_par.Pool.t ->
   restarts:int ->
   Config.t ->
   data:Dataset.t ->
   targets:float array ->
   outcome
-(** Independent restarts (seeds [seed], [seed+1], ...) merged into a single
-    nondominated front — the stochastic-search hedge the paper leaves to one
-    run per goal ("the aim was proof-of-concept, not efficiency").  The
-    restarts share the dataset's basis-column cache.  Requires
-    [restarts >= 1]. *)
+(** Independent restarts merged into a single nondominated front — the
+    stochastic-search hedge the paper leaves to one run per goal ("the aim
+    was proof-of-concept, not efficiency").  Each island's generator is
+    split off a master seeded with [seed] ({!Caffeine_util.Rng.split})
+    before any work starts, so a run with [restarts = r] executes exactly
+    the first [r] islands of any longer run with the same seed, and the
+    merged front is identical whether islands run sequentially or across
+    pool domains.  The restarts share the dataset's basis-column cache.
+    Requires [restarts >= 1]. *)
 
 val dedup_and_sort : Model.t list -> Model.t list
 (** The exact nondominated subset over (train error, complexity),
-    deduplicated on identical objective pairs, sorted by complexity. *)
+    deduplicated on identical objective pairs, sorted by
+    (complexity, train error) — a total order on the result, so equal
+    inputs in any arrival order produce the same list. *)
 
 val merge_fronts : Model.t list list -> Model.t list
 (** [dedup_and_sort] of the concatenation of several fronts. *)

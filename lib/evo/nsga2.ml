@@ -1,4 +1,5 @@
 module Rng = Caffeine_util.Rng
+module Pool = Caffeine_par.Pool
 
 type 'a individual = {
   genome : 'a;
@@ -135,11 +136,20 @@ let binary_tournament rng population =
   else if a.crowding > b.crowding then a
   else b
 
-let run ?on_generation ~rng config =
+let run ?on_generation ?pool ~rng config =
   if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
   let evaluate genome = sanitize (config.objectives genome) in
+  (* Objective evaluation is the dominant cost and is independent per
+     genome, so it fans out across the pool; initialization, tournament
+     selection and variation stay on the caller's RNG in sequential order,
+     which keeps results bit-identical to the sequential path. *)
+  let evaluate_all =
+    match pool with
+    | None -> Array.map evaluate
+    | Some pool -> Pool.parallel_map pool evaluate
+  in
   let genomes = Array.init config.pop_size (fun _ -> config.init rng) in
-  let objectives = Array.map evaluate genomes in
+  let objectives = evaluate_all genomes in
   let population = ref (environmental_selection genomes objectives config.pop_size) in
   (match on_generation with Some f -> f 0 !population | None -> ());
   for gen = 1 to config.generations do
@@ -150,7 +160,7 @@ let run ?on_generation ~rng config =
           let p2 = binary_tournament rng parents in
           config.vary rng p1.genome p2.genome)
     in
-    let child_objectives = Array.map evaluate children in
+    let child_objectives = evaluate_all children in
     let merged_genomes = Array.append (Array.map (fun ind -> ind.genome) parents) children in
     let merged_objectives =
       Array.append (Array.map (fun (ind : _ individual) -> ind.objectives) parents) child_objectives

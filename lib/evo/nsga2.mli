@@ -38,6 +38,7 @@ type 'a config = {
 
 val run :
   ?on_generation:(int -> 'a individual array -> unit) ->
+  ?pool:Caffeine_par.Pool.t ->
   rng:Caffeine_util.Rng.t ->
   'a config ->
   'a individual array
@@ -46,4 +47,10 @@ val run :
     children, and keep the best [pop_size] by non-dominated rank with
     crowding-distance truncation of the split front.  Returns the final
     population sorted by (rank, crowding desc).  [on_generation] observes
-    the population after each environmental selection. *)
+    the population after each environmental selection.
+
+    With [pool], the initial and per-generation objective evaluations fan
+    out across the pool's domains ([objectives] must then be safe to call
+    from any domain).  Initialization, selection and variation always stay
+    on the caller's [rng] in sequential order, so for a fixed seed the
+    returned population is bit-identical with and without a pool. *)

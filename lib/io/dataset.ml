@@ -1,13 +1,29 @@
 module Expr = Caffeine_expr.Expr
 module Compiled = Caffeine_expr.Compiled
 
+(* The basis-column memo table is sharded by the full structural hash, each
+   shard behind its own mutex, so concurrent evaluators (parallel NSGA-II
+   objective evaluation, parallel islands) rarely contend on the same lock.
+   Column values are pure functions of (basis, data), so a racing duplicate
+   evaluation is only wasted work, never a wrong or nondeterministic
+   result. *)
+
+let shard_count = 16 (* power of two: shard selection is a mask *)
+
+type shard = { lock : Mutex.t; table : float array Compiled.Tbl.t }
+
 type t = {
   var_names : string array;
   columns : float array array;  (* columns.(v).(i): variable v at sample i *)
   n : int;
-  scratch : Compiled.scratch;
-  cache : float array Compiled.Tbl.t;  (* basis -> value column on this data *)
+  scratch_key : Compiled.scratch Domain.DLS.key;
+      (* per-domain scratch: column evaluation reuses buffers without
+         sharing them across concurrent evaluators *)
+  shards : shard array;  (* basis -> value column on this data *)
+  mutable cache_limit : int;  (* max cached columns across all shards *)
 }
+
+let default_cache_limit = 32_768
 
 let default_names dims = Array.init dims (fun v -> Printf.sprintf "x%d" v)
 
@@ -25,8 +41,11 @@ let make ?var_names columns n =
     var_names;
     columns;
     n;
-    scratch = Compiled.scratch ();
-    cache = Compiled.Tbl.create 256;
+    scratch_key = Domain.DLS.new_key (fun () -> Compiled.scratch ());
+    shards =
+      Array.init shard_count (fun _ ->
+          { lock = Mutex.create (); table = Compiled.Tbl.create 64 });
+    cache_limit = default_cache_limit;
   }
 
 let of_columns ?var_names columns =
@@ -72,14 +91,52 @@ let split data ~at =
   (part 0 at, part at (data.n - at))
 
 let eval_column compiled data =
-  Compiled.eval_columns compiled ~scratch:data.scratch ~columns:data.columns ~n:data.n
+  let scratch = Domain.DLS.get data.scratch_key in
+  Compiled.eval_columns compiled ~scratch ~columns:data.columns ~n:data.n
+
+let shard_of data basis = data.shards.(Compiled.hash_basis basis land (shard_count - 1))
 
 let basis_column data basis =
-  match Compiled.Tbl.find_opt data.cache basis with
-  | Some col -> col
+  let shard = shard_of data basis in
+  Mutex.lock shard.lock;
+  match Compiled.Tbl.find_opt shard.table basis with
+  | Some col ->
+      Mutex.unlock shard.lock;
+      col
   | None ->
+      Mutex.unlock shard.lock;
+      (* Evaluate outside the lock: another domain may compute the same
+         column concurrently, but both results are identical. *)
       let col = eval_column (Compiled.compile basis) data in
-      Compiled.Tbl.add data.cache basis col;
+      let per_shard_limit = Stdlib.max 1 (data.cache_limit / shard_count) in
+      Mutex.lock shard.lock;
+      if Compiled.Tbl.length shard.table >= per_shard_limit then
+        (* Simple bounded policy: drop the shard wholesale once full.
+           Misses just re-evaluate; values are unaffected. *)
+        Compiled.Tbl.reset shard.table;
+      if not (Compiled.Tbl.mem shard.table basis) then Compiled.Tbl.add shard.table basis col;
+      Mutex.unlock shard.lock;
       col
 
-let cached_columns data = Compiled.Tbl.length data.cache
+let cached_columns data =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lock;
+      let count = Compiled.Tbl.length shard.table in
+      Mutex.unlock shard.lock;
+      acc + count)
+    0 data.shards
+
+let clear_cache data =
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      Compiled.Tbl.reset shard.table;
+      Mutex.unlock shard.lock)
+    data.shards
+
+let cache_limit data = data.cache_limit
+
+let set_cache_limit data limit =
+  if limit < 1 then invalid_arg "Dataset.set_cache_limit: limit must be positive";
+  data.cache_limit <- limit

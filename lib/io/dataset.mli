@@ -6,7 +6,16 @@
     carries the variable names, and memoizes per-basis value columns keyed
     by the full structural hash ({!Caffeine_expr.Compiled.Key}) — so a
     basis shared between individuals, or revisited by SAG after the
-    search, is compiled and evaluated on a given dataset exactly once. *)
+    search, is compiled and evaluated on a given dataset exactly once.
+
+    Datasets are safe to evaluate from multiple domains concurrently (the
+    parallel search evaluates NSGA-II candidates and whole islands against
+    one shared dataset): the column cache is sharded behind per-shard
+    mutexes and the evaluation scratch buffers are domain-local.  Column
+    values are pure functions of (basis, data), so concurrency never
+    changes a returned column — a racing duplicate evaluation is only
+    wasted work.  The cache is bounded ({!set_cache_limit}); overflowing
+    shards are dropped wholesale and simply re-evaluate on the next miss. *)
 
 module Expr = Caffeine_expr.Expr
 module Compiled = Caffeine_expr.Compiled
@@ -59,3 +68,17 @@ val basis_column : t -> Expr.basis -> float array
 
 val cached_columns : t -> int
 (** Number of distinct bases memoized so far (cache introspection). *)
+
+val clear_cache : t -> unit
+(** Drop every memoized column.  Useful between independent experiments on
+    one dataset (e.g. benchmark repetitions) and after a long run whose
+    cache is no longer worth its memory. *)
+
+val cache_limit : t -> int
+(** Current bound on the number of memoized columns (default 32768). *)
+
+val set_cache_limit : t -> int -> unit
+(** Cap the memo table at [limit] columns (must be positive).  The cache
+    grows per-basis across generations and restarts; with parallel islands
+    multiplying the churn this bound keeps memory flat.  Exceeding shards
+    are reset; subsequent lookups re-evaluate and re-fill. *)

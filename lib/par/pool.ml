@@ -1,0 +1,160 @@
+(* A reusable pool of worker domains.
+
+   Coordination is a single mutex + two condition variables: the submitter
+   publishes a batch (a work-stealing thunk every domain runs) under the
+   mutex and bumps an epoch counter; workers sleep until the epoch moves,
+   run the thunk, and signal completion.  The mutex hand-off doubles as the
+   memory barrier that publishes the submitter's writes (input array,
+   closure state) to the workers and the workers' result writes back to the
+   submitter, per the OCaml 5 memory model.
+
+   Work distribution inside a batch is an atomic chunk index over [0, n):
+   each domain repeatedly claims the next chunk of indices and writes
+   results to its own slots, so the result array is position-for-position
+   what the sequential map would produce. *)
+
+type t = {
+  size : int;  (* total parallelism, including the submitting domain *)
+  mutable workers : unit Domain.t array;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable epoch : int;  (* bumped once per batch *)
+  mutable batch : (unit -> unit) option;  (* never raises *)
+  mutable active : int;  (* workers still inside the current batch *)
+  mutable stopping : bool;
+  busy : bool Atomic.t;  (* a batch is in flight: nested calls go sequential *)
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "CAFFEINE_JOBS" with
+  | Some value -> (
+      match int_of_string_opt (String.trim value) with
+      | Some jobs when jobs >= 1 -> jobs
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let worker_loop pool =
+  let seen_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stopping) && pool.epoch = !seen_epoch do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen_epoch := pool.epoch;
+      let batch = Option.get pool.batch in
+      Mutex.unlock pool.mutex;
+      batch ();
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.batch_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ?jobs () =
+  let size = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+  let pool =
+    {
+      size;
+      workers = [||];
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      epoch = 0;
+      batch = None;
+      active = 0;
+      stopping = false;
+      busy = Atomic.make false;
+    }
+  in
+  if size > 1 then
+    pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.size
+
+let shutdown pool =
+  let workers = pool.workers in
+  if Array.length workers > 0 then begin
+    Mutex.lock pool.mutex;
+    pool.stopping <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    pool.workers <- [||];
+    Array.iter Domain.join workers
+  end
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let with_optional_pool ?jobs f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs <= 1 then f None else with_pool ~jobs (fun pool -> f (Some pool))
+
+(* Run [batch] on every domain of the pool (workers + caller) and wait for
+   all of them to finish.  [batch] must not raise. *)
+let run_batch pool batch =
+  Mutex.lock pool.mutex;
+  pool.batch <- Some batch;
+  pool.epoch <- pool.epoch + 1;
+  pool.active <- Array.length pool.workers;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  batch ();
+  Mutex.lock pool.mutex;
+  while pool.active > 0 do
+    Condition.wait pool.batch_done pool.mutex
+  done;
+  pool.batch <- None;
+  Mutex.unlock pool.mutex
+
+let parallel_map pool f input =
+  let n = Array.length input in
+  if n <= 1 then Array.map f input
+  else if
+    Array.length pool.workers = 0 || not (Atomic.compare_and_set pool.busy false true)
+  then
+    (* Sequential pool, nested call from inside a batch, or concurrent
+       submitter: run on the calling domain. *)
+    Array.map f input
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let chunk = Stdlib.max 1 (n / (pool.size * 8)) in
+    let batch () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failure <> None then continue := false
+        else
+          let stop = Stdlib.min n (start + chunk) in
+          let i = ref start in
+          while !i < stop && Atomic.get failure = None do
+            (match f input.(!i) with
+            | value -> results.(!i) <- Some value
+            | exception exn ->
+                let backtrace = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (exn, backtrace))));
+            incr i
+          done
+      done
+    in
+    run_batch pool batch;
+    Atomic.set pool.busy false;
+    match Atomic.get failure with
+    | Some (exn, backtrace) -> Printexc.raise_with_backtrace exn backtrace
+    | None -> Array.map (function Some value -> value | None -> assert false) results
+  end
+
+let parallel_init pool n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  parallel_map pool f (Array.init n Fun.id)

@@ -1,0 +1,60 @@
+(** Fixed-size domain pool for data-parallel array operations.
+
+    OCaml 5 domains are expensive to spawn (hundreds of microseconds plus a
+    slice of every GC), so the evolutionary search creates one pool up front
+    and reuses it across generations, restarts and SAG passes.  Work is
+    distributed by an atomic chunk index over the input array — no
+    [domainslib] dependency — and results are written to distinct slots, so
+    a [parallel_map] of a pure function returns exactly what [Array.map]
+    returns: callers that need reproducibility only have to keep the mapped
+    function deterministic per element.
+
+    Nesting and concurrent use are safe by construction: a [parallel_map]
+    issued while the pool is already running a batch (for example from
+    inside a worker, as happens when parallel islands each try to
+    parallelize their inner evaluation loop) silently degrades to a
+    sequential [Array.map] on the calling domain. *)
+
+type t
+(** A pool of worker domains (possibly zero) plus the calling domain. *)
+
+val default_jobs : unit -> int
+(** Parallelism to use when the caller does not say: the [CAFFEINE_JOBS]
+    environment variable when set to a positive integer, otherwise
+    {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
+    domain is the remaining worker).  [jobs] defaults to {!default_jobs}
+    and is clamped to at least 1; [jobs = 1] spawns nothing and makes every
+    operation purely sequential.  Pools must be released with {!shutdown}
+    (or use {!with_pool}) — live worker domains keep the process alive. *)
+
+val jobs : t -> int
+(** Total parallelism, including the submitting domain. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f input] is [Array.map f input] with the elements
+    evaluated across the pool's domains.  [f] must be safe to call from any
+    domain; element order of the result is preserved.  If any application
+    raises, the first exception observed is re-raised in the caller after
+    all workers have stopped (remaining elements may be skipped).  Inputs
+    of length [<= 1], sequential pools, and nested/concurrent calls run on
+    the calling domain. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] evaluated across the
+    pool, under the same contract as {!parallel_map}. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool degrades to a
+    sequential pool afterwards (further maps run on the calling domain). *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
+    {!shutdown}, including on exception. *)
+
+val with_optional_pool : ?jobs:int -> (t option -> 'a) -> 'a
+(** Like {!with_pool}, but runs [f None] — creating no pool and no domains
+    at all — when the (defaulted) [jobs] is 1 or less.  Convenient for
+    threading [?pool] arguments from a jobs count. *)

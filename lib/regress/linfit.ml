@@ -81,30 +81,48 @@ let press ~basis_values ~targets =
   end
   else Decomp.press (design_matrix basis_values) targets
 
-let forward_select ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
+let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
   let total = Array.length basis_values in
   let cap = match max_bases with Some m -> min m total | None -> total in
   let usable = Array.map Stats.is_finite_array basis_values in
-  let chosen = ref [] in
+  let chosen_mask = Array.make total false in
+  let chosen = ref [] in (* reverse selection order *)
+  let chosen_columns = ref [||] in (* selection order, ready for [press] *)
   let chosen_count = ref 0 in
   let current_press = ref (press ~basis_values:[||] ~targets) in
   let continue = ref true in
+  (* Candidate scores within one round are independent of each other: each
+     reads only the already-chosen columns, fixed for the round.  A
+     non-finite score (including a singular fit) marks the candidate
+     unusable this round. *)
+  let score candidate =
+    if usable.(candidate) && not chosen_mask.(candidate) then
+      let columns = Array.append !chosen_columns [| basis_values.(candidate) |] in
+      match press ~basis_values:columns ~targets with
+      | score -> score
+      | exception Caffeine_linalg.Decomp.Singular -> Float.nan
+    else Float.nan
+  in
+  let candidates = Array.init total Fun.id in
   while !continue && !chosen_count < cap do
+    let scores =
+      match pool with
+      | Some pool -> Caffeine_par.Pool.parallel_map pool score candidates
+      | None -> Array.map score candidates
+    in
     let best = ref None in
-    for candidate = 0 to total - 1 do
-      if usable.(candidate) && not (List.mem candidate !chosen) then begin
-        let columns =
-          Array.of_list (List.rev_map (fun i -> basis_values.(i)) (candidate :: !chosen))
-        in
-        let score = press ~basis_values:columns ~targets in
-        match !best with
-        | Some (_, best_score) when best_score <= score -> ()
-        | Some _ | None -> if Float.is_finite score then best := Some (candidate, score)
-      end
-    done;
+    Array.iteri
+      (fun candidate score ->
+        if Float.is_finite score then
+          match !best with
+          | Some (_, best_score) when best_score <= score -> ()
+          | Some _ | None -> best := Some (candidate, score))
+      scores;
     match !best with
     | Some (candidate, score) when score < !current_press *. (1. -. tolerance) ->
+        chosen_mask.(candidate) <- true;
         chosen := candidate :: !chosen;
+        chosen_columns := Array.append !chosen_columns [| basis_values.(candidate) |];
         incr chosen_count;
         current_press := score
     | Some _ | None -> continue := false

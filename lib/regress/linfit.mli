@@ -36,6 +36,7 @@ val press : basis_values:float array array -> targets:float array -> float
     shortcut on the linear parameters). *)
 
 val forward_select :
+  ?pool:Caffeine_par.Pool.t ->
   ?max_bases:int ->
   ?tolerance:float ->
   basis_values:float array array ->
@@ -47,4 +48,9 @@ val forward_select :
     stop when no addition improves PRESS by more than [tolerance] (relative,
     default [1e-6]) or when [max_bases] columns are selected.  Returns the
     chosen column indices in selection order.  Columns with non-finite
-    values are never selected. *)
+    values — or whose trial fit is singular — are never selected.
+
+    Candidate PRESS scores within a round are mutually independent; with
+    [pool] they are evaluated across the pool's domains.  The greedy
+    reduction always scans candidates in index order, so the selection is
+    identical with and without a pool. *)

@@ -610,7 +610,10 @@ let test_run_multi_at_least_as_good () =
   let targets = Array.map (fun x -> (x.(0) *. x.(0)) +. (1. /. x.(1))) inputs in
   let config = Config.scaled ~pop_size:20 ~generations:10 Config.default in
   let data = data_of inputs in
-  let single = Search.run ~seed:31 config ~data ~targets in
+  (* Island RNGs are split off the master in island order, so a 3-restart
+     run executes a superset of the 1-restart run's islands and its merged
+     front can only be at least as good. *)
+  let single = Search.run_multi ~seed:31 ~restarts:1 config ~data ~targets in
   let multi = Search.run_multi ~seed:31 ~restarts:3 config ~data ~targets in
   let best outcome =
     List.fold_left (fun acc (m : Model.t) -> Float.min acc m.Model.train_error) Float.infinity

@@ -16,6 +16,7 @@ let () =
       ("ota", Test_ota.suite);
       ("posyn", Test_posyn.suite);
       ("core", Test_core.suite);
+      ("par", Test_par.suite);
       ("export", Test_export.suite);
       ("io", Test_io.suite);
       ("cli", Test_cli.suite);

@@ -1,0 +1,273 @@
+(* Tests for the domain pool and the determinism contract of the parallel
+   search paths: for a fixed seed, every entry point must produce results
+   bit-identical to its sequential counterpart, whatever the pool size. *)
+
+module Pool = Caffeine_par.Pool
+module Rng = Caffeine_util.Rng
+module Expr = Caffeine_expr.Expr
+module Dataset = Caffeine_io.Dataset
+module Linfit = Caffeine_regress.Linfit
+module Config = Caffeine.Config
+module Model = Caffeine.Model
+module Search = Caffeine.Search
+module Sag = Caffeine.Sag
+
+(* --- pool mechanics --- *)
+
+let test_map_matches_sequential () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun n ->
+      let input = Array.init n (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map of %d elements" n)
+        (Array.map f input) (Pool.parallel_map pool f input))
+    [ 0; 1; 2; 3; 7; 64; 1000 ]
+
+let test_init_matches_sequential () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  let f i = float_of_int i *. 1.5 in
+  Alcotest.(check (array (float 0.))) "init 100" (Array.init 100 f) (Pool.parallel_init pool 100 f);
+  Alcotest.(check (array (float 0.))) "init 0" [||] (Pool.parallel_init pool 0 f)
+
+let test_pool_reuse () =
+  (* One pool across many batches — the whole point of keeping domains
+     alive between generations. *)
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  for round = 1 to 50 do
+    let expected = Array.init 37 (fun i -> i * round) in
+    let got = Pool.parallel_map pool (fun i -> i * round) (Array.init 37 Fun.id) in
+    Alcotest.(check (array int)) (Printf.sprintf "round %d" round) expected got
+  done
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  (match Pool.parallel_map pool (fun i -> if i = 13 then raise (Boom i) else i) (Array.init 64 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom to escape parallel_map"
+  | exception Boom 13 -> ());
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (array int)) "usable after failure" (Array.init 8 succ)
+    (Pool.parallel_map pool succ (Array.init 8 Fun.id))
+
+let test_nested_map_degrades () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let inner i = Pool.parallel_map pool (fun j -> (10 * i) + j) (Array.init 5 Fun.id) in
+  let got = Pool.parallel_map pool inner (Array.init 6 Fun.id) in
+  let expected = Array.init 6 (fun i -> Array.init 5 (fun j -> (10 * i) + j)) in
+  Alcotest.(check bool) "nested results correct" true (got = expected)
+
+let test_sequential_pool () =
+  let pool = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs clamp" 1 (Pool.jobs pool);
+  Alcotest.(check (array int)) "sequential map" [| 2; 3; 4 |]
+    (Pool.parallel_map pool succ [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_shutdown_degrades () =
+  let pool = Pool.create ~jobs:4 () in
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "map after shutdown" [| 1; 2 |]
+    (Pool.parallel_map pool succ [| 0; 1 |])
+
+let test_with_optional_pool () =
+  Pool.with_optional_pool ~jobs:1 (fun pool ->
+      Alcotest.(check bool) "jobs 1 creates no pool" true (pool = None));
+  Pool.with_optional_pool ~jobs:2 (fun pool ->
+      match pool with
+      | None -> Alcotest.fail "jobs 2 should create a pool"
+      | Some p -> Alcotest.(check int) "pool size" 2 (Pool.jobs p))
+
+(* --- dataset cache under the parallel contract --- *)
+
+let square_basis k = Expr.{ vc = Some [| k |]; factors = [] }
+
+let test_dataset_clear_cache () =
+  let data = Dataset.of_rows [| [| 2. |]; [| 3. |] |] in
+  ignore (Dataset.basis_column data (square_basis 2));
+  ignore (Dataset.basis_column data (square_basis 3));
+  Alcotest.(check int) "two cached" 2 (Dataset.cached_columns data);
+  Dataset.clear_cache data;
+  Alcotest.(check int) "cleared" 0 (Dataset.cached_columns data);
+  Alcotest.(check bool) "recomputes after clear" true
+    (Dataset.basis_column data (square_basis 2) = [| 4.; 9. |])
+
+let test_dataset_cache_limit () =
+  let data = Dataset.of_rows [| [| 2. |]; [| 3. |] |] in
+  Alcotest.(check bool) "default limit positive" true (Dataset.cache_limit data > 0);
+  Dataset.set_cache_limit data 16;
+  Alcotest.(check int) "limit recorded" 16 (Dataset.cache_limit data);
+  for k = 1 to 200 do
+    ignore (Dataset.basis_column data (square_basis (k mod 7)))
+  done;
+  Alcotest.(check bool) "cache stays bounded" true (Dataset.cached_columns data <= 16);
+  (match Dataset.set_cache_limit data 0 with
+  | () -> Alcotest.fail "limit 0 should be rejected"
+  | exception Invalid_argument _ -> ());
+  (* Values survive eviction churn: always recomputed or cached, same answer. *)
+  Alcotest.(check bool) "value unchanged" true
+    (Dataset.basis_column data (square_basis 2) = [| 4.; 9. |])
+
+let test_dataset_concurrent_reads () =
+  let rows = Array.init 64 (fun i -> [| 1.0 +. (float_of_int i /. 10.) |]) in
+  let data = Dataset.of_rows rows in
+  let expected = Array.init 6 (fun k -> Dataset.basis_column data (square_basis (k + 1))) in
+  Dataset.clear_cache data;
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let got =
+    Pool.parallel_init pool 48 (fun i -> Dataset.basis_column data (square_basis ((i mod 6) + 1)))
+  in
+  Array.iteri
+    (fun i col ->
+      Alcotest.(check bool) (Printf.sprintf "column %d" i) true (col = expected.(i mod 6)))
+    got
+
+(* --- determinism: parallel == sequential, bit for bit --- *)
+
+let front_signature var_names front =
+  List.map
+    (fun (m : Model.t) ->
+      ( m.Model.train_error,
+        m.Model.complexity,
+        m.Model.intercept,
+        Array.to_list m.Model.weights,
+        Model.to_string ~var_names m ))
+    front
+
+let toy_problem seed =
+  let rng = Rng.create ~seed () in
+  let inputs = Array.init 40 (fun _ -> Array.init 3 (fun _ -> Rng.range rng 0.5 2.)) in
+  let targets =
+    Array.map (fun x -> (x.(0) *. x.(0)) +. (1. /. x.(1)) +. (0.3 *. x.(2))) inputs
+  in
+  (inputs, targets)
+
+let test_run_deterministic () =
+  let inputs, targets = toy_problem 5 in
+  let config = Config.scaled ~pop_size:16 ~generations:8 ~jobs:1 Config.default in
+  List.iter
+    (fun seed ->
+      let sequential =
+        let data = Dataset.of_rows inputs in
+        Search.run ~seed config ~data ~targets
+      in
+      let parallel =
+        let data = Dataset.of_rows inputs in
+        Pool.with_pool ~jobs:4 @@ fun pool -> Search.run ~seed ~pool config ~data ~targets
+      in
+      let names = Dataset.var_names (Dataset.of_rows inputs) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: identical fronts" seed)
+        true
+        (front_signature names sequential.Search.front
+        = front_signature names parallel.Search.front))
+    [ 3; 17; 41 ]
+
+let test_run_multi_deterministic () =
+  let inputs, targets = toy_problem 6 in
+  let config = Config.scaled ~pop_size:14 ~generations:6 ~jobs:1 Config.default in
+  let names = Dataset.var_names (Dataset.of_rows inputs) in
+  List.iter
+    (fun seed ->
+      let sequential =
+        let data = Dataset.of_rows inputs in
+        Search.run_multi ~seed ~restarts:3 config ~data ~targets
+      in
+      let parallel =
+        let data = Dataset.of_rows inputs in
+        Pool.with_pool ~jobs:4 @@ fun pool ->
+        Search.run_multi ~seed ~pool ~restarts:3 config ~data ~targets
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: identical merged fronts" seed)
+        true
+        (front_signature names sequential.Search.front
+        = front_signature names parallel.Search.front))
+    [ 9; 23 ]
+
+let test_run_multi_prefix_property () =
+  let inputs, targets = toy_problem 7 in
+  let config = Config.scaled ~pop_size:14 ~generations:6 ~jobs:1 Config.default in
+  let names = Dataset.var_names (Dataset.of_rows inputs) in
+  let front restarts =
+    let data = Dataset.of_rows inputs in
+    (Search.run_multi ~seed:12 ~restarts config ~data ~targets).Search.front
+  in
+  let one = front_signature names (front 1) in
+  let three = front_signature names (front 3) in
+  (* Island 0 of the 3-restart run is exactly the 1-restart run, so every
+     model of the merged 3-front either appears in the 1-front or dominates
+     part of it; at minimum the merge is deterministic and reproducible. *)
+  Alcotest.(check bool) "three-restart front reproducible" true
+    (three = front_signature names (front 3));
+  Alcotest.(check bool) "one-restart front reproducible" true
+    (one = front_signature names (front 1))
+
+let test_sag_deterministic () =
+  let inputs, targets = toy_problem 8 in
+  let config = Config.scaled ~pop_size:16 ~generations:8 ~jobs:1 Config.default in
+  let wb = config.Config.wb and wvc = config.Config.wvc in
+  let names = Dataset.var_names (Dataset.of_rows inputs) in
+  let data = Dataset.of_rows inputs in
+  let outcome = Search.run ~seed:19 config ~data ~targets in
+  let sequential = Sag.process_front ~wb ~wvc outcome.Search.front ~data ~targets in
+  let parallel =
+    Pool.with_pool ~jobs:4 @@ fun pool ->
+    Sag.process_front ~pool ~wb ~wvc outcome.Search.front ~data ~targets
+  in
+  Alcotest.(check bool) "identical simplified fronts" true
+    (front_signature names sequential = front_signature names parallel)
+
+let test_forward_select_deterministic () =
+  let rng = Rng.create ~seed:44 () in
+  let n = 60 in
+  let columns = Array.init 25 (fun _ -> Array.init n (fun _ -> Rng.range rng (-1.) 1.)) in
+  (* Make a few columns degenerate/unusable on purpose. *)
+  columns.(3) <- Array.make n 0.;
+  columns.(7) <- Array.map (fun c -> c *. Float.nan) columns.(7);
+  let targets =
+    Array.init n (fun i -> (2. *. columns.(0).(i)) -. columns.(5).(i) +. (0.1 *. columns.(12).(i)))
+  in
+  let sequential = Linfit.forward_select ~max_bases:6 ~basis_values:columns ~targets () in
+  let parallel =
+    Pool.with_pool ~jobs:4 @@ fun pool ->
+    Linfit.forward_select ~pool ~max_bases:6 ~basis_values:columns ~targets ()
+  in
+  Alcotest.(check (array int)) "identical selection" sequential parallel;
+  Alcotest.(check bool) "selected something" true (Array.length sequential > 0)
+
+let test_config_jobs_path () =
+  (* config.jobs > 1 without an explicit pool must also match jobs = 1. *)
+  let inputs, targets = toy_problem 9 in
+  let names = Dataset.var_names (Dataset.of_rows inputs) in
+  let front jobs =
+    let data = Dataset.of_rows inputs in
+    let config = Config.scaled ~pop_size:12 ~generations:5 ~jobs Config.default in
+    (Search.run ~seed:27 config ~data ~targets).Search.front
+  in
+  Alcotest.(check bool) "jobs=3 == jobs=1" true
+    (front_signature names (front 1) = front_signature names (front 3))
+
+let suite =
+  [
+    Alcotest.test_case "pool: map matches sequential" `Quick test_map_matches_sequential;
+    Alcotest.test_case "pool: init matches sequential" `Quick test_init_matches_sequential;
+    Alcotest.test_case "pool: reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "pool: exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "pool: nested map degrades" `Quick test_nested_map_degrades;
+    Alcotest.test_case "pool: sequential pool" `Quick test_sequential_pool;
+    Alcotest.test_case "pool: shutdown degrades" `Quick test_shutdown_degrades;
+    Alcotest.test_case "pool: with_optional_pool" `Quick test_with_optional_pool;
+    Alcotest.test_case "dataset: clear cache" `Quick test_dataset_clear_cache;
+    Alcotest.test_case "dataset: cache limit" `Quick test_dataset_cache_limit;
+    Alcotest.test_case "dataset: concurrent reads" `Quick test_dataset_concurrent_reads;
+    Alcotest.test_case "determinism: run" `Quick test_run_deterministic;
+    Alcotest.test_case "determinism: run_multi" `Quick test_run_multi_deterministic;
+    Alcotest.test_case "determinism: run_multi prefix" `Quick test_run_multi_prefix_property;
+    Alcotest.test_case "determinism: sag" `Quick test_sag_deterministic;
+    Alcotest.test_case "determinism: forward_select" `Quick test_forward_select_deterministic;
+    Alcotest.test_case "determinism: config jobs path" `Quick test_config_jobs_path;
+  ]
