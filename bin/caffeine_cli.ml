@@ -129,7 +129,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag out =
+let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -148,7 +148,9 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
             Printf.eprintf "cannot parse grammar %s: %s\n" path msg;
             exit 2)
   in
-  let jobs = if jobs >= 1 then jobs else Pool.default_jobs () in
+  (* Clamp up front (0 = auto) so the banner reports the parallelism the
+     run actually uses, never more domains than the machine has cores. *)
+  let jobs = Pool.effective_jobs jobs in
   let config =
     {
       (Config.scaled ~pop_size:pop ~generations:gens ~jobs Config.paper) with
@@ -190,6 +192,15 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
         test_err m.Model.complexity
         (Model.to_string ~var_names m))
     front;
+  if verbose then begin
+    let s = Dataset.stats data in
+    Printf.printf "\ndataset cache statistics (training data):\n";
+    Printf.printf "  basis columns: %d cached, %d hits, %d misses, %d evictions\n"
+      s.Dataset.columns_cached s.Dataset.column_hits s.Dataset.column_misses
+      s.Dataset.column_evictions;
+    Printf.printf "  dot products:  %d cached, %d hits, %d misses, %d evictions\n"
+      s.Dataset.dots_cached s.Dataset.dot_hits s.Dataset.dot_misses s.Dataset.dot_evictions
+  end;
   (match out with
   | None -> ()
   | Some path ->
@@ -216,7 +227,7 @@ let seed_arg = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random 
 let jobs_arg =
   let doc =
     "Worker domains for parallel evaluation (0 = auto: \\$(b,CAFFEINE_JOBS) or all recommended \
-     cores).  Results are identical for any value."
+     cores; always clamped to the core count).  Results are identical for any value."
   in
   Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
@@ -232,6 +243,12 @@ let max_bases_arg =
 let no_sag_arg =
   Arg.(value & flag & info [ "no-sag" ] ~doc:"Skip PRESS-guided simplification after generation.")
 
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:"Print dataset cache statistics (basis-column and dot-product hits/misses/evictions).")
+
 let fit_out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the model front to a models file.")
 
@@ -240,7 +257,7 @@ let fit_cmd =
   Cmd.v info
     Term.(
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
-      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ fit_out_arg)
+      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)
 

@@ -14,9 +14,9 @@ type t = {
 
 (* Default parallelism: the CAFFEINE_JOBS environment variable when set
    (this is how CI runs the whole test suite multi-domain), sequential
-   otherwise.  Results are bit-identical either way; callers that want
-   all cores ask Caffeine_par.Pool.default_jobs explicitly (the CLI's
-   --jobs default). *)
+   otherwise.  Results are bit-identical either way; jobs = 0 requests
+   auto-detection, and every value is clamped to the core count by
+   Caffeine_par.Pool.effective_jobs before any domain is spawned. *)
 let env_jobs =
   match Sys.getenv_opt "CAFFEINE_JOBS" with
   | Some value -> (

@@ -22,9 +22,12 @@ type t = {
   jobs : int;
       (** parallelism of the search: domains used for objective evaluation,
           islands and SAG candidate scoring when the caller does not supply
-          a pool.  Defaults to the [CAFFEINE_JOBS] environment variable
-          when set to a positive integer, else 1 (sequential).  Results
-          are bit-identical for any value. *)
+          a pool.  [0] means auto — [CAFFEINE_JOBS] when set, else all
+          cores; any request is clamped to the machine's core count
+          ({!Caffeine_par.Pool.effective_jobs}).  Defaults to the
+          [CAFFEINE_JOBS] environment variable when set to a positive
+          integer, else 1 (sequential).  Results are bit-identical for any
+          value. *)
 }
 
 val default : t

@@ -31,7 +31,18 @@ let fit ~wb ~wvc bases ~data ~targets =
   match basis_columns bases data with
   | None -> None
   | Some columns -> (
-      match Linfit.fit ~basis_values:columns ~targets with
+      (* Per-individual fits go through the Gram fast path: every entry of
+         the bordered Gram matrix is a dot product memoized on the dataset,
+         so individuals whose bases recur across the population (the common
+         case under set crossover) reuse cached products instead of
+         refactorizing from scratch. *)
+      match
+        Linfit.fit_gram
+          ~dot:(fun i j -> Dataset.dot data bases.(i) bases.(j))
+          ~dot_y:(fun i -> Dataset.dot_target data bases.(i) ~targets)
+          ~col_sum:(fun i -> Dataset.column_sum data bases.(i))
+          ~basis_values:columns ~targets
+      with
       | fitted ->
           if
             Float.is_finite fitted.Linfit.train_error

@@ -16,34 +16,15 @@ let log_src = Logs.Src.create "caffeine.search" ~doc:"CAFFEINE evolutionary sear
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* Per-basis evaluation columns are memoized inside the dataset, keyed by
-   the full structural hash (Compiled.Key) — weights included: a mutated
-   weight is a different column.  Bases shared between individuals (the
-   common case under set crossover) are compiled and evaluated once.  The
-   dataset cache and scratch buffers are domain-safe, so the same closure
+(* Per-basis evaluation columns and their pairwise dot products are
+   memoized inside the dataset, keyed by the full structural hash
+   (Compiled.Key) — weights included: a mutated weight is a different
+   column.  Bases shared between individuals (the common case under set
+   crossover) are compiled, evaluated and Gram-assembled once.  The
+   dataset caches and scratch buffers are domain-safe, so the same closure
    serves the parallel evaluation paths unchanged. *)
 
-let fit_cached ~wb ~wvc bases ~data ~targets =
-  let columns = Array.map (Dataset.basis_column data) bases in
-  if not (Array.for_all Stats.is_finite_array columns) then None
-  else
-    match Linfit.fit ~basis_values:columns ~targets with
-    | fitted ->
-        if
-          Float.is_finite fitted.Linfit.train_error
-          && Float.is_finite fitted.Linfit.intercept
-          && Stats.is_finite_array fitted.Linfit.weights
-        then
-          Some
-            {
-              Model.bases;
-              intercept = fitted.Linfit.intercept;
-              weights = fitted.Linfit.weights;
-              train_error = fitted.Linfit.train_error;
-              complexity = Model.complexity_of ~wb ~wvc bases;
-            }
-        else None
-    | exception Caffeine_linalg.Decomp.Singular -> None
+let fit_cached ~wb ~wvc bases ~data ~targets = Model.fit ~wb ~wvc bases ~data ~targets
 
 let validate_data ~data ~targets =
   let n = Dataset.n_samples data in

@@ -6,11 +6,58 @@ module Compiled = Caffeine_expr.Compiled
    objective evaluation, parallel islands) rarely contend on the same lock.
    Column values are pure functions of (basis, data), so a racing duplicate
    evaluation is only wasted work, never a wrong or nondeterministic
-   result. *)
+   result.
+
+   The dot-product caches follow the same design one level up: the Gram
+   matrix the regression engine assembles for each individual is made of
+   ⟨col_i, col_j⟩ and ⟨col_i, y⟩ entries, and bases recur heavily across a
+   population and across generations (set crossover copies them wholesale),
+   so each pairwise product is worth computing once per dataset.  Pair keys
+   are unordered — hash = sum of the two structural hashes, equality checks
+   both orders — and target products are keyed by (basis, target id) where
+   ids come from a small physical-equality registry (the search passes the
+   same target array on every call). *)
 
 let shard_count = 16 (* power of two: shard selection is a mask *)
 
-type shard = { lock : Mutex.t; table : float array Compiled.Tbl.t }
+type shard = {
+  lock : Mutex.t;
+  table : float array Compiled.Tbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+module Pair_key = struct
+  type t = Expr.basis * Expr.basis
+
+  let equal (a1, b1) (a2, b2) =
+    (Compiled.Key.equal a1 a2 && Compiled.Key.equal b1 b2)
+    || (Compiled.Key.equal a1 b2 && Compiled.Key.equal b1 a2)
+
+  (* Commutative combination: an unordered pair hashes the same both ways. *)
+  let hash (a, b) = (Compiled.hash_basis a + Compiled.hash_basis b) land max_int
+end
+
+module Pair_tbl = Hashtbl.Make (Pair_key)
+
+module Target_key = struct
+  type t = Expr.basis * int
+
+  let equal (b1, t1) (b2, t2) = t1 = t2 && Compiled.Key.equal b1 b2
+  let hash (b, t) = (Compiled.hash_basis b + (t * 0x9e3779b1)) land max_int
+end
+
+module Target_tbl = Hashtbl.Make (Target_key)
+
+type dot_shard = {
+  dot_lock : Mutex.t;
+  pairs : float Pair_tbl.t;  (* ⟨col_i, col_j⟩, unordered key *)
+  target_dots : float Target_tbl.t;  (* ⟨col_i, y⟩ per registered target *)
+  mutable dot_hits : int;
+  mutable dot_misses : int;
+  mutable dot_evictions : int;
+}
 
 type t = {
   var_names : string array;
@@ -21,9 +68,27 @@ type t = {
          sharing them across concurrent evaluators *)
   shards : shard array;  (* basis -> value column on this data *)
   mutable cache_limit : int;  (* max cached columns across all shards *)
+  dot_shards : dot_shard array;
+  mutable dot_cache_limit : int;  (* max cached products across all shards *)
+  ones : float array;  (* registered as target id 0: ⟨col, 1⟩ = column sum *)
+  targets_lock : Mutex.t;
+  mutable registered_targets : (float array * int) list;  (* keyed by (==) *)
+  mutable next_target_id : int;
+}
+
+type cache_stats = {
+  columns_cached : int;
+  column_hits : int;
+  column_misses : int;
+  column_evictions : int;
+  dots_cached : int;
+  dot_hits : int;
+  dot_misses : int;
+  dot_evictions : int;
 }
 
 let default_cache_limit = 32_768
+let default_dot_cache_limit = 131_072
 
 let default_names dims = Array.init dims (fun v -> Printf.sprintf "x%d" v)
 
@@ -37,6 +102,7 @@ let make ?var_names columns n =
         if Array.length names <> dims then invalid_arg "Dataset: name/column count mismatch";
         names
   in
+  let ones = Array.make n 1. in
   {
     var_names;
     columns;
@@ -44,8 +110,19 @@ let make ?var_names columns n =
     scratch_key = Domain.DLS.new_key (fun () -> Compiled.scratch ());
     shards =
       Array.init shard_count (fun _ ->
-          { lock = Mutex.create (); table = Compiled.Tbl.create 64 });
+          { lock = Mutex.create (); table = Compiled.Tbl.create 64;
+            hits = 0; misses = 0; evictions = 0 });
     cache_limit = default_cache_limit;
+    dot_shards =
+      Array.init shard_count (fun _ ->
+          { dot_lock = Mutex.create (); pairs = Pair_tbl.create 64;
+            target_dots = Target_tbl.create 64;
+            dot_hits = 0; dot_misses = 0; dot_evictions = 0 });
+    dot_cache_limit = default_dot_cache_limit;
+    ones;
+    targets_lock = Mutex.create ();
+    registered_targets = [ (ones, 0) ];
+    next_target_id = 1;
   }
 
 let of_columns ?var_names columns =
@@ -101,22 +178,108 @@ let basis_column data basis =
   Mutex.lock shard.lock;
   match Compiled.Tbl.find_opt shard.table basis with
   | Some col ->
+      shard.hits <- shard.hits + 1;
       Mutex.unlock shard.lock;
       col
   | None ->
+      shard.misses <- shard.misses + 1;
       Mutex.unlock shard.lock;
       (* Evaluate outside the lock: another domain may compute the same
          column concurrently, but both results are identical. *)
       let col = eval_column (Compiled.compile basis) data in
       let per_shard_limit = Stdlib.max 1 (data.cache_limit / shard_count) in
       Mutex.lock shard.lock;
-      if Compiled.Tbl.length shard.table >= per_shard_limit then
+      if Compiled.Tbl.length shard.table >= per_shard_limit then begin
         (* Simple bounded policy: drop the shard wholesale once full.
            Misses just re-evaluate; values are unaffected. *)
-        Compiled.Tbl.reset shard.table;
+        shard.evictions <- shard.evictions + Compiled.Tbl.length shard.table;
+        Compiled.Tbl.reset shard.table
+      end;
       if not (Compiled.Tbl.mem shard.table basis) then Compiled.Tbl.add shard.table basis col;
       Mutex.unlock shard.lock;
       col
+
+(* --- dot products -------------------------------------------------------- *)
+
+let dot_product n a b =
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let dot_shard_entries shard = Pair_tbl.length shard.pairs + Target_tbl.length shard.target_dots
+
+(* Drop the whole shard once the pair + target tables together exceed the
+   per-shard budget — same wholesale policy as the column cache. *)
+let trim_dot_shard data shard =
+  let per_shard_limit = Stdlib.max 1 (data.dot_cache_limit / shard_count) in
+  if dot_shard_entries shard >= per_shard_limit then begin
+    shard.dot_evictions <- shard.dot_evictions + dot_shard_entries shard;
+    Pair_tbl.reset shard.pairs;
+    Target_tbl.reset shard.target_dots
+  end
+
+let dot data b1 b2 =
+  let key = (b1, b2) in
+  let shard = data.dot_shards.(Pair_key.hash key land (shard_count - 1)) in
+  Mutex.lock shard.dot_lock;
+  match Pair_tbl.find_opt shard.pairs key with
+  | Some value ->
+      shard.dot_hits <- shard.dot_hits + 1;
+      Mutex.unlock shard.dot_lock;
+      value
+  | None ->
+      shard.dot_misses <- shard.dot_misses + 1;
+      Mutex.unlock shard.dot_lock;
+      let value = dot_product data.n (basis_column data b1) (basis_column data b2) in
+      Mutex.lock shard.dot_lock;
+      trim_dot_shard data shard;
+      if not (Pair_tbl.mem shard.pairs key) then Pair_tbl.add shard.pairs key value;
+      Mutex.unlock shard.dot_lock;
+      value
+
+(* Target arrays are identified physically: the search and SAG pass the
+   same array on every fit of a run, so the registry stays tiny (one entry
+   per modeled performance, plus the internal ones vector). *)
+let target_id data targets =
+  Mutex.lock data.targets_lock;
+  let id =
+    match List.find_opt (fun (arr, _) -> arr == targets) data.registered_targets with
+    | Some (_, id) -> id
+    | None ->
+        let id = data.next_target_id in
+        data.next_target_id <- id + 1;
+        data.registered_targets <- (targets, id) :: data.registered_targets;
+        id
+  in
+  Mutex.unlock data.targets_lock;
+  id
+
+let dot_target data basis ~targets =
+  if Array.length targets <> data.n then invalid_arg "Dataset.dot_target: length mismatch";
+  let key = (basis, target_id data targets) in
+  let shard = data.dot_shards.(Target_key.hash key land (shard_count - 1)) in
+  Mutex.lock shard.dot_lock;
+  match Target_tbl.find_opt shard.target_dots key with
+  | Some value ->
+      shard.dot_hits <- shard.dot_hits + 1;
+      Mutex.unlock shard.dot_lock;
+      value
+  | None ->
+      shard.dot_misses <- shard.dot_misses + 1;
+      Mutex.unlock shard.dot_lock;
+      let value = dot_product data.n (basis_column data basis) targets in
+      Mutex.lock shard.dot_lock;
+      trim_dot_shard data shard;
+      if not (Target_tbl.mem shard.target_dots key) then
+        Target_tbl.add shard.target_dots key value;
+      Mutex.unlock shard.dot_lock;
+      value
+
+let column_sum data basis = dot_target data basis ~targets:data.ones
+
+(* --- cache management ----------------------------------------------------- *)
 
 let cached_columns data =
   Array.fold_left
@@ -127,16 +290,67 @@ let cached_columns data =
       acc + count)
     0 data.shards
 
+let stats data =
+  let columns_cached = ref 0
+  and column_hits = ref 0
+  and column_misses = ref 0
+  and column_evictions = ref 0 in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      columns_cached := !columns_cached + Compiled.Tbl.length shard.table;
+      column_hits := !column_hits + shard.hits;
+      column_misses := !column_misses + shard.misses;
+      column_evictions := !column_evictions + shard.evictions;
+      Mutex.unlock shard.lock)
+    data.shards;
+  let dots_cached = ref 0
+  and dot_hits = ref 0
+  and dot_misses = ref 0
+  and dot_evictions = ref 0 in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.dot_lock;
+      dots_cached := !dots_cached + dot_shard_entries shard;
+      dot_hits := !dot_hits + shard.dot_hits;
+      dot_misses := !dot_misses + shard.dot_misses;
+      dot_evictions := !dot_evictions + shard.dot_evictions;
+      Mutex.unlock shard.dot_lock)
+    data.dot_shards;
+  {
+    columns_cached = !columns_cached;
+    column_hits = !column_hits;
+    column_misses = !column_misses;
+    column_evictions = !column_evictions;
+    dots_cached = !dots_cached;
+    dot_hits = !dot_hits;
+    dot_misses = !dot_misses;
+    dot_evictions = !dot_evictions;
+  }
+
 let clear_cache data =
   Array.iter
     (fun shard ->
       Mutex.lock shard.lock;
       Compiled.Tbl.reset shard.table;
       Mutex.unlock shard.lock)
-    data.shards
+    data.shards;
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.dot_lock;
+      Pair_tbl.reset shard.pairs;
+      Target_tbl.reset shard.target_dots;
+      Mutex.unlock shard.dot_lock)
+    data.dot_shards
 
 let cache_limit data = data.cache_limit
 
 let set_cache_limit data limit =
   if limit < 1 then invalid_arg "Dataset.set_cache_limit: limit must be positive";
   data.cache_limit <- limit
+
+let dot_cache_limit data = data.dot_cache_limit
+
+let set_dot_cache_limit data limit =
+  if limit < 1 then invalid_arg "Dataset.set_dot_cache_limit: limit must be positive";
+  data.dot_cache_limit <- limit

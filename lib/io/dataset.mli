@@ -15,7 +15,15 @@
     values are pure functions of (basis, data), so concurrency never
     changes a returned column — a racing duplicate evaluation is only
     wasted work.  The cache is bounded ({!set_cache_limit}); overflowing
-    shards are dropped wholesale and simply re-evaluate on the next miss. *)
+    shards are dropped wholesale and simply re-evaluate on the next miss.
+
+    On top of the column cache sits a bounded, sharded dot-product cache
+    feeding the incremental regression engine: {!dot} memoizes
+    [⟨col_i, col_j⟩] under an unordered structural-hash pair key, and
+    {!dot_target} memoizes [⟨col_i, y⟩] per registered target array, so
+    the Gram matrix of an individual whose bases recur across the
+    population is assembled from cached entries.  Both caches expose
+    hit/miss/eviction counters through {!stats}. *)
 
 module Expr = Caffeine_expr.Expr
 module Compiled = Caffeine_expr.Compiled
@@ -66,13 +74,47 @@ val basis_column : t -> Expr.basis -> float array
     cached column — shared, do not mutate.  Agrees with
     {!Expr.eval_basis} on every sample. *)
 
+val dot : t -> Expr.basis -> Expr.basis -> float
+(** [dot data b1 b2] is the dot product of the two bases' value columns
+    over every sample, memoized under an unordered pair key:
+    [dot data a b] and [dot data b a] share one cache entry.  Agrees with
+    computing the product from {!basis_column} directly. *)
+
+val dot_target : t -> Expr.basis -> targets:float array -> float
+(** [dot_target data basis ~targets] is [⟨basis column, targets⟩],
+    memoized per (basis, target array).  Target arrays are identified
+    physically ([==]) in a small registry — pass the same array across
+    calls, as the search loop does; a fresh array per call would grow the
+    registry without reuse.  Raises [Invalid_argument] when [targets]
+    does not have one entry per sample. *)
+
+val column_sum : t -> Expr.basis -> float
+(** [Σ_i col.(i)] of the basis column — the border row of the regression
+    engine's Gram matrix ([⟨col, 1⟩], cached like any target product). *)
+
 val cached_columns : t -> int
 (** Number of distinct bases memoized so far (cache introspection). *)
 
+type cache_stats = {
+  columns_cached : int;  (** basis columns currently memoized *)
+  column_hits : int;
+  column_misses : int;
+  column_evictions : int;  (** entries dropped by shard overflow *)
+  dots_cached : int;  (** pair + target products currently memoized *)
+  dot_hits : int;
+  dot_misses : int;
+  dot_evictions : int;
+}
+
+val stats : t -> cache_stats
+(** Lifetime counters of both caches (since creation or the last process
+    start — {!clear_cache} drops entries but keeps counters), for cache
+    effectiveness reporting ([fit --verbose], perf PRs). *)
+
 val clear_cache : t -> unit
-(** Drop every memoized column.  Useful between independent experiments on
-    one dataset (e.g. benchmark repetitions) and after a long run whose
-    cache is no longer worth its memory. *)
+(** Drop every memoized column and dot product.  Useful between
+    independent experiments on one dataset (e.g. benchmark repetitions)
+    and after a long run whose cache is no longer worth its memory. *)
 
 val cache_limit : t -> int
 (** Current bound on the number of memoized columns (default 32768). *)
@@ -82,3 +124,11 @@ val set_cache_limit : t -> int -> unit
     grows per-basis across generations and restarts; with parallel islands
     multiplying the churn this bound keeps memory flat.  Exceeding shards
     are reset; subsequent lookups re-evaluate and re-fill. *)
+
+val dot_cache_limit : t -> int
+(** Current bound on the number of memoized dot products (default
+    131072 — products are single floats, far cheaper than columns). *)
+
+val set_dot_cache_limit : t -> int -> unit
+(** Cap the dot-product cache at [limit] entries (must be positive), with
+    the same wholesale per-shard eviction policy as the column cache. *)

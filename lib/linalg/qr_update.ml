@@ -1,0 +1,182 @@
+(* Updatable thin QR via modified Gram-Schmidt with one reorthogonalization
+   pass (CGS2).  Q is stored column-wise with capacity doubling; R is stored
+   column-wise as well (r.(j) has length j+1) so appending never reshapes
+   earlier columns.  Alongside Q/R we maintain Qᵀb, the residual b − QQᵀb
+   and the leverages h_ii = Σ_j q_ij², which together make PRESS an O(n)
+   read and a single-candidate probe an O(n·k) computation. *)
+
+type t = {
+  m : int;                       (* rows *)
+  b : float array;               (* target, copied at create *)
+  mutable k : int;               (* columns committed so far *)
+  mutable q : float array array; (* q.(j), j < k: orthonormal columns *)
+  mutable r : float array array; (* r.(j), j < k: length j+1 *)
+  mutable qtb : float array;     (* qtb.(j) = q_jᵀ b, j < k *)
+  resid : float array;           (* b − Q Qᵀ b *)
+  h : float array;               (* leverages *)
+  mutable max_diag : float;      (* max |r_jj| seen among committed cols *)
+}
+
+let create b =
+  let m = Array.length b in
+  if m = 0 then invalid_arg "Qr_update.create: empty target";
+  {
+    m;
+    b = Array.copy b;
+    k = 0;
+    q = [||];
+    r = [||];
+    qtb = [||];
+    resid = Array.copy b;
+    h = Array.make m 0.;
+    max_diag = 0.;
+  }
+
+let rows t = t.m
+let cols t = t.k
+
+let dot m a b =
+  let acc = ref 0. in
+  for i = 0 to m - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 m a = sqrt (dot m a a)
+
+(* Columns whose orthogonalized remainder falls at or below this fraction
+   of the column scale are treated as dependent on the current span —
+   the same 1e-10 threshold Decomp.rank_from_r applies to R diagonals. *)
+let dependence_tol = 1e-10
+
+let ensure_capacity t =
+  let cap = Array.length t.q in
+  if t.k >= cap then begin
+    let cap' = Int.max 4 (2 * cap) in
+    let grow arr = Array.init cap' (fun j -> if j < cap then arr.(j) else [||]) in
+    t.q <- grow t.q;
+    t.r <- grow t.r;
+    let qtb' = Array.make cap' 0. in
+    Array.blit t.qtb 0 qtb' 0 cap;
+    t.qtb <- qtb'
+  end
+
+(* Orthogonalize [v] (destructively) against the committed columns,
+   accumulating projection coefficients into [rj].  Two MGS passes keep
+   ‖Qᵀq_new‖ at machine-epsilon level, which the 1e-8 contract needs. *)
+let orthogonalize t v rj =
+  for _pass = 0 to 1 do
+    for j = 0 to t.k - 1 do
+      let qj = t.q.(j) in
+      let c = dot t.m v qj in
+      rj.(j) <- rj.(j) +. c;
+      for i = 0 to t.m - 1 do
+        v.(i) <- v.(i) -. (c *. qj.(i))
+      done
+    done
+  done
+
+let dependent t ~col_norm ~resid_norm =
+  resid_norm <= dependence_tol *. Float.max col_norm t.max_diag
+
+let append t col =
+  if Array.length col <> t.m then invalid_arg "Qr_update.append: length mismatch";
+  let v = Array.copy col in
+  let col_norm = norm2 t.m col in
+  let rj = Array.make (t.k + 1) 0. in
+  orthogonalize t v rj;
+  let nrm = norm2 t.m v in
+  if dependent t ~col_norm ~resid_norm:nrm then false
+  else begin
+    ensure_capacity t;
+    for i = 0 to t.m - 1 do
+      v.(i) <- v.(i) /. nrm
+    done;
+    rj.(t.k) <- nrm;
+    let c = dot t.m v t.b in
+    t.q.(t.k) <- v;
+    t.r.(t.k) <- rj;
+    t.qtb.(t.k) <- c;
+    for i = 0 to t.m - 1 do
+      t.resid.(i) <- t.resid.(i) -. (c *. v.(i));
+      t.h.(i) <- t.h.(i) +. (v.(i) *. v.(i))
+    done;
+    t.max_diag <- Float.max t.max_diag nrm;
+    t.k <- t.k + 1;
+    true
+  end
+
+let drop_last t =
+  if t.k = 0 then invalid_arg "Qr_update.drop_last: no columns";
+  let j = t.k - 1 in
+  let qj = t.q.(j) in
+  let c = t.qtb.(j) in
+  for i = 0 to t.m - 1 do
+    t.resid.(i) <- t.resid.(i) +. (c *. qj.(i));
+    t.h.(i) <- t.h.(i) -. (qj.(i) *. qj.(i))
+  done;
+  t.k <- j;
+  (* Drop the columns' storage so down-dated memory can be reclaimed and
+     recompute max_diag from the surviving R diagonals. *)
+  t.q.(j) <- [||];
+  t.r.(j) <- [||];
+  t.qtb.(j) <- 0.;
+  let md = ref 0. in
+  for i = 0 to t.k - 1 do
+    md := Float.max !md (Float.abs t.r.(i).(i))
+  done;
+  t.max_diag <- !md
+
+let coefficients t =
+  let x = Array.make t.k 0. in
+  for j = t.k - 1 downto 0 do
+    (* Row j of R lives spread across columns j..k-1: R[j][col] = r.(col).(j). *)
+    let acc = ref t.qtb.(j) in
+    for col = j + 1 to t.k - 1 do
+      acc := !acc -. (t.r.(col).(j) *. x.(col))
+    done;
+    let pivot = t.r.(j).(j) in
+    if pivot = 0. then raise Decomp.Singular;
+    x.(j) <- !acc /. pivot
+  done;
+  x
+
+let leverages t = Array.copy t.h
+let residual t = Array.copy t.resid
+
+let predictions t =
+  Array.init t.m (fun i -> t.b.(i) -. t.resid.(i))
+
+let press_of ~m ~resid ~h =
+  let acc = ref 0. in
+  for i = 0 to m - 1 do
+    let e = resid.(i) /. Float.max (1. -. h.(i)) 1e-9 in
+    acc := !acc +. (e *. e)
+  done;
+  !acc
+
+let press t = press_of ~m:t.m ~resid:t.resid ~h:t.h
+
+let press_probe t col =
+  if Array.length col <> t.m then invalid_arg "Qr_update.press_probe: length mismatch";
+  let v = Array.copy col in
+  let col_norm = norm2 t.m col in
+  let rj = Array.make (t.k + 1) 0. in
+  orthogonalize t v rj;
+  let nrm = norm2 t.m v in
+  if dependent t ~col_norm ~resid_norm:nrm then None
+  else begin
+    let c = dot t.m v t.b /. nrm in
+    (* With u = v/nrm the updated residual is resid − (c/1)·u and the
+       updated leverage is h_i + u_i²; accumulate PRESS directly instead
+       of materializing the updated vectors. *)
+    let acc = ref 0. in
+    for i = 0 to t.m - 1 do
+      let u = v.(i) /. nrm in
+      let r = t.resid.(i) -. (c *. u) in
+      let hh = t.h.(i) +. (u *. u) in
+      let e = r /. Float.max (1. -. hh) 1e-9 in
+      acc := !acc +. (e *. e)
+    done;
+    Some !acc
+  end

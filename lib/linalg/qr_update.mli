@@ -1,0 +1,74 @@
+(** Updatable thin-QR factorization for incremental least squares.
+
+    {!Decomp.qr} refactorizes from scratch: fitting "chosen ∪ candidate"
+    during PRESS-guided forward selection costs O(n·k²) per candidate even
+    though only one column changed.  This module maintains a thin
+    Gram–Schmidt factorization [A = Q R] of a growing column set together
+    with the three quantities every leave-one-out score needs — [Qᵀb], the
+    residual [b − Q Qᵀ b], and the leverages [h_ii = Σ_j q_ij²] — all
+    updated in O(n·k) on {!append} and O(n) on {!drop_last}.
+
+    Candidate scoring uses {!press_probe}, which evaluates the PRESS of the
+    current columns plus one trial column {e without mutating} the
+    factorization: probes are read-only, so one shared factorization can be
+    probed concurrently from a domain pool while the commit ({!append})
+    stays on the calling domain.
+
+    Numerical contract: on full-column-rank inputs, {!coefficients},
+    {!press} and {!leverages} agree with the scratch Householder path
+    ({!Decomp.lstsq} / {!Decomp.press} / {!Decomp.hat_diag}) to well within
+    1e-8 relative (orthogonality is kept by a second Gram–Schmidt pass).
+    Columns that are numerically dependent on the span are {e rejected} by
+    {!append}/{!press_probe}; callers fall back to the scratch ridge path,
+    mirroring {!Decomp.lstsq}'s rank-deficient behaviour. *)
+
+type t
+(** A thin-QR factorization of the columns appended so far, bound to one
+    target vector [b]. *)
+
+val create : float array -> t
+(** [create b] is the empty factorization (zero columns) for target [b].
+    The target is copied.  Raises [Invalid_argument] on an empty target. *)
+
+val rows : t -> int
+val cols : t -> int
+(** Number of columns currently in the factorization. *)
+
+val append : t -> float array -> bool
+(** [append t col] orthogonalizes [col] against the current columns
+    (modified Gram–Schmidt with one reorthogonalization pass) and commits
+    it, updating [R], [Qᵀb], the residual and the leverages in O(n·k).
+    Returns [false] — leaving the factorization unchanged — when [col] is
+    numerically dependent on the current span (norm of the orthogonalized
+    remainder at or below 1e-10 of the column scale), which is exactly
+    when the scratch path would fall back to ridge regression.  Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val drop_last : t -> unit
+(** Down-date: remove the most recently appended column, restoring the
+    residual and leverages in O(n).  Raises [Invalid_argument] when the
+    factorization has no columns. *)
+
+val coefficients : t -> float array
+(** Least-squares coefficients of the current columns: the solution of
+    [R x = Qᵀ b] by back substitution.  Raises {!Decomp.Singular} on a
+    zero pivot (unreachable when every {!append} returned [true]). *)
+
+val leverages : t -> float array
+(** Fresh copy of the hat-matrix diagonal [h_ii] of the current columns. *)
+
+val residual : t -> float array
+(** Fresh copy of [b − Q Qᵀ b], the least-squares residual. *)
+
+val predictions : t -> float array
+(** Fresh copy of the fitted values [b − residual]. *)
+
+val press : t -> float
+(** PRESS of the current columns: [Σ ((r_i) / max(1 − h_ii, 1e-9))²] —
+    the same clamped formula as {!Decomp.press}. *)
+
+val press_probe : t -> float array -> float option
+(** [press_probe t col] is the PRESS of the current columns {e plus}
+    [col], computed in O(n·k) without mutating [t]; [None] when [col] is
+    numerically dependent on the current span (same test as {!append}).
+    Safe to call concurrently from several domains. *)

@@ -26,13 +26,27 @@ type t = {
   busy : bool Atomic.t;  (* a batch is in flight: nested calls go sequential *)
 }
 
-let default_jobs () =
-  match Sys.getenv_opt "CAFFEINE_JOBS" with
-  | Some value -> (
-      match int_of_string_opt (String.trim value) with
-      | Some jobs when jobs >= 1 -> jobs
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+(* OCaml 5 domains oversubscribe badly: every domain joins every minor GC
+   synchronization, so running more domains than cores makes the whole
+   program slower, not just the pool (BENCH_parallel.json on a 1-core host
+   showed jobs=8 running 7x slower than jobs=1).  Every jobs request is
+   therefore clamped to the hardware before any domain is spawned. *)
+let effective_jobs requested =
+  let cores = Domain.recommended_domain_count () in
+  let requested =
+    if requested >= 1 then requested
+    else
+      (* 0 (or negative) = auto: CAFFEINE_JOBS when set, else all cores. *)
+      match Sys.getenv_opt "CAFFEINE_JOBS" with
+      | Some value -> (
+          match int_of_string_opt (String.trim value) with
+          | Some jobs when jobs >= 1 -> jobs
+          | Some _ | None -> cores)
+      | None -> cores
+  in
+  Stdlib.max 1 (Stdlib.min requested cores)
+
+let default_jobs () = effective_jobs 0
 
 let worker_loop pool =
   let seen_epoch = ref 0 in
@@ -59,7 +73,7 @@ let worker_loop pool =
   done
 
 let create ?jobs () =
-  let size = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+  let size = effective_jobs (match jobs with Some j -> j | None -> 0) in
   let pool =
     {
       size;
@@ -96,7 +110,7 @@ let with_pool ?jobs f =
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let with_optional_pool ?jobs f =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let jobs = effective_jobs (match jobs with Some j -> j | None -> 0) in
   if jobs <= 1 then f None else with_pool ~jobs (fun pool -> f (Some pool))
 
 (* Run [batch] on every domain of the pool (workers + caller) and wait for

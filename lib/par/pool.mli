@@ -18,17 +18,26 @@
 type t
 (** A pool of worker domains (possibly zero) plus the calling domain. *)
 
+val effective_jobs : int -> int
+(** The parallelism a jobs request actually gets: [0] (or negative) means
+    auto — the [CAFFEINE_JOBS] environment variable when set to a positive
+    integer, else all cores — and every request is clamped to
+    [\[1, Domain.recommended_domain_count ()\]].  Domains beyond the core
+    count participate in every GC synchronization while adding no
+    throughput, so a pool never spawns more than the hardware offers. *)
+
 val default_jobs : unit -> int
-(** Parallelism to use when the caller does not say: the [CAFFEINE_JOBS]
-    environment variable when set to a positive integer, otherwise
-    {!Domain.recommended_domain_count}. *)
+(** [effective_jobs 0]: the parallelism used when the caller does not
+    say. *)
 
 val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
-    domain is the remaining worker).  [jobs] defaults to {!default_jobs}
-    and is clamped to at least 1; [jobs = 1] spawns nothing and makes every
-    operation purely sequential.  Pools must be released with {!shutdown}
-    (or use {!with_pool}) — live worker domains keep the process alive. *)
+(** [create ~jobs ()] spawns [effective_jobs jobs - 1] worker domains (the
+    submitting domain is the remaining worker).  [jobs] defaults to auto
+    ({!default_jobs}); [jobs = 0] is auto explicitly; the result never
+    exceeds the machine's core count.  An effective size of 1 spawns
+    nothing and makes every operation purely sequential.  Pools must be
+    released with {!shutdown} (or use {!with_pool}) — live worker domains
+    keep the process alive. *)
 
 val jobs : t -> int
 (** Total parallelism, including the submitting domain. *)
@@ -56,5 +65,6 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 
 val with_optional_pool : ?jobs:int -> (t option -> 'a) -> 'a
 (** Like {!with_pool}, but runs [f None] — creating no pool and no domains
-    at all — when the (defaulted) [jobs] is 1 or less.  Convenient for
-    threading [?pool] arguments from a jobs count. *)
+    at all — when [effective_jobs jobs] is 1 (including any request made
+    on a single-core host).  Convenient for threading [?pool] arguments
+    from a jobs count. *)

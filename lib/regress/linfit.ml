@@ -1,5 +1,6 @@
 module Matrix = Caffeine_linalg.Matrix
 module Decomp = Caffeine_linalg.Decomp
+module Qr_update = Caffeine_linalg.Qr_update
 module Stats = Caffeine_util.Stats
 
 type t = {
@@ -37,20 +38,41 @@ let fit_constant ~targets =
     train_error = Stats.normalized_error targets predictions;
   }
 
+(* Updatable factorization of [ones | columns]; [None] when any column is
+   numerically dependent on the ones appended before it — exactly the cases
+   where the scratch path falls back to ridge regression, which the callers
+   below reproduce by refactorizing with [Decomp]. *)
+let incremental_design columns targets =
+  let n = Array.length targets in
+  let qr = Qr_update.create targets in
+  if not (Qr_update.append qr (Array.make n 1.)) then None
+  else
+    let rec add j =
+      if j >= Array.length columns then Some qr
+      else if Qr_update.append qr columns.(j) then add (j + 1)
+      else None
+    in
+    add 0
+
 let fit ~basis_values ~targets =
   if Array.length basis_values = 0 then fit_constant ~targets
   else begin
-    let design = design_matrix basis_values in
-    if Matrix.rows design <> Array.length targets then
-      invalid_arg "Linfit.fit: sample count mismatch";
-    let coeffs = Decomp.lstsq design targets in
-    let predictions = Matrix.mul_vec design coeffs in
-    {
-      intercept = coeffs.(0);
-      weights = Array.sub coeffs 1 (Array.length coeffs - 1);
-      predictions;
-      train_error = Stats.normalized_error targets predictions;
-    }
+    let n = check_columns "Linfit.fit" basis_values in
+    if n <> Array.length targets then invalid_arg "Linfit.fit: sample count mismatch";
+    let finish coeffs predictions =
+      {
+        intercept = coeffs.(0);
+        weights = Array.sub coeffs 1 (Array.length coeffs - 1);
+        predictions;
+        train_error = Stats.normalized_error targets predictions;
+      }
+    in
+    match incremental_design basis_values targets with
+    | Some qr -> finish (Qr_update.coefficients qr) (Qr_update.predictions qr)
+    | None ->
+        let design = design_matrix basis_values in
+        let coeffs = Decomp.lstsq design targets in
+        finish coeffs (Matrix.mul_vec design coeffs)
   end
 
 let predict model ~basis_values =
@@ -79,28 +101,145 @@ let press ~basis_values ~targets =
         acc +. (e *. e))
       0. targets
   end
-  else Decomp.press (design_matrix basis_values) targets
+  else begin
+    let n = check_columns "Linfit.press" basis_values in
+    if n <> Array.length targets then invalid_arg "Linfit.press: sample count mismatch";
+    match incremental_design basis_values targets with
+    | Some qr -> Qr_update.press qr
+    | None -> Decomp.press (design_matrix basis_values) targets
+  end
+
+(* Per-individual fast path: solve the normal equations from a bordered
+   Gram matrix whose entries the caller supplies (typically memoized dot
+   products shared across the population).  Normal equations square the
+   conditioning, so the path guards itself — unit-diagonal equilibration,
+   a minimum Cholesky-pivot threshold, one iterative-refinement step — and
+   falls back to the QR path ({!fit}) whenever the guards trip. *)
+let fit_gram ~dot ~dot_y ~col_sum ~basis_values ~targets =
+  let k = Array.length basis_values in
+  if k = 0 then fit_constant ~targets
+  else begin
+    let n = check_columns "Linfit.fit_gram" basis_values in
+    if n <> Array.length targets then invalid_arg "Linfit.fit_gram: sample count mismatch";
+    let dim = k + 1 in
+    let g =
+      Matrix.init dim dim (fun i j ->
+          if i = 0 && j = 0 then float_of_int n
+          else if i = 0 then col_sum (j - 1)
+          else if j = 0 then col_sum (i - 1)
+          else dot (i - 1) (j - 1))
+    in
+    let fallback () = fit ~basis_values ~targets in
+    let degenerate = ref false in
+    let d =
+      Array.init dim (fun i ->
+          let gii = Matrix.get g i i in
+          if Float.is_finite gii && gii > 0. then 1. /. sqrt gii
+          else begin
+            degenerate := true;
+            1.
+          end)
+    in
+    if !degenerate then fallback ()
+    else begin
+      let gs = Matrix.init dim dim (fun i j -> d.(i) *. Matrix.get g i j *. d.(j)) in
+      let rs =
+        Array.init dim (fun i ->
+            let raw = if i = 0 then Array.fold_left ( +. ) 0. targets else dot_y (i - 1) in
+            d.(i) *. raw)
+      in
+      match Decomp.cholesky gs with
+      | exception Decomp.Singular -> fallback ()
+      | l ->
+          let min_pivot = ref Float.infinity and max_pivot = ref 0. in
+          for i = 0 to dim - 1 do
+            let p = Matrix.get l i i in
+            if p < !min_pivot then min_pivot := p;
+            if p > !max_pivot then max_pivot := p
+          done;
+          (* Pivot ratio ~ 1/sqrt(cond): below 1e-3 the squared conditioning
+             threatens the 1e-8 agreement contract, so use QR instead. *)
+          if !min_pivot < 1e-3 *. !max_pivot then fallback ()
+          else begin
+            let lt = Matrix.transpose l in
+            let solve b = Decomp.solve_upper_triangular lt (Decomp.solve_lower_triangular l b) in
+            let x0 = solve rs in
+            let residual =
+              Array.init dim (fun i ->
+                  let acc = ref rs.(i) in
+                  for j = 0 to dim - 1 do
+                    acc := !acc -. (Matrix.get gs i j *. x0.(j))
+                  done;
+                  !acc)
+            in
+            let dx = solve residual in
+            let coeffs = Array.init dim (fun i -> (x0.(i) +. dx.(i)) *. d.(i)) in
+            let predictions =
+              Array.init n (fun i ->
+                  let acc = ref coeffs.(0) in
+                  for j = 0 to k - 1 do
+                    acc := !acc +. (coeffs.(j + 1) *. basis_values.(j).(i))
+                  done;
+                  !acc)
+            in
+            {
+              intercept = coeffs.(0);
+              weights = Array.sub coeffs 1 k;
+              predictions;
+              train_error = Stats.normalized_error targets predictions;
+            }
+          end
+    end
+  end
 
 let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
   let total = Array.length basis_values in
   let cap = match max_bases with Some m -> min m total | None -> total in
+  let n = Array.length targets in
+  if n = 0 then invalid_arg "Linfit.press: no targets";
   let usable = Array.map Stats.is_finite_array basis_values in
   let chosen_mask = Array.make total false in
   let chosen = ref [] in (* reverse selection order *)
-  let chosen_columns = ref [||] in (* selection order, ready for [press] *)
+  let chosen_store = Array.make (Stdlib.max cap 1) [||] in
+      (* selection order; one slot written per accepted round — the scratch
+         path below never reallocates a chosen∪candidate array per score *)
   let chosen_count = ref 0 in
-  let current_press = ref (press ~basis_values:[||] ~targets) in
+  (* One live factorization of [ones | chosen], committed to once per
+     accepted round.  Candidate scoring probes it without mutation, so a
+     pool can fan the probes across domains; once a selected column is
+     numerically dependent on the span the factorization is abandoned and
+     every later score takes the scratch ridge path. *)
+  let qr = Qr_update.create targets in
+  let live = ref (Qr_update.append qr (Array.make n 1.)) in
+  let scratch_press candidate =
+    let k = !chosen_count in
+    let cand = basis_values.(candidate) in
+    let design =
+      Matrix.init n
+        (k + 2)
+        (fun i j -> if j = 0 then 1. else if j <= k then chosen_store.(j - 1).(i) else cand.(i))
+    in
+    Decomp.press design targets
+  in
+  let current_press =
+    ref (if !live then Qr_update.press qr else press ~basis_values:[||] ~targets)
+  in
   let continue = ref true in
   (* Candidate scores within one round are independent of each other: each
-     reads only the already-chosen columns, fixed for the round.  A
-     non-finite score (including a singular fit) marks the candidate
-     unusable this round. *)
+     reads only the round's frozen factorization and the already-chosen
+     columns.  A non-finite score (including a singular fit) marks the
+     candidate unusable this round. *)
   let score candidate =
     if usable.(candidate) && not chosen_mask.(candidate) then
-      let columns = Array.append !chosen_columns [| basis_values.(candidate) |] in
-      match press ~basis_values:columns ~targets with
-      | score -> score
-      | exception Caffeine_linalg.Decomp.Singular -> Float.nan
+      match
+        if !live then
+          match Qr_update.press_probe qr basis_values.(candidate) with
+          | Some value -> value
+          | None -> scratch_press candidate
+        else scratch_press candidate
+      with
+      | value -> value
+      | exception Decomp.Singular -> Float.nan
     else Float.nan
   in
   let candidates = Array.init total Fun.id in
@@ -122,9 +261,10 @@ let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets (
     | Some (candidate, score) when score < !current_press *. (1. -. tolerance) ->
         chosen_mask.(candidate) <- true;
         chosen := candidate :: !chosen;
-        chosen_columns := Array.append !chosen_columns [| basis_values.(candidate) |];
+        chosen_store.(!chosen_count) <- basis_values.(candidate);
         incr chosen_count;
-        current_press := score
+        current_press := score;
+        if !live && not (Qr_update.append qr basis_values.(candidate)) then live := false
     | Some _ | None -> continue := false
   done;
   Array.of_list (List.rev !chosen)

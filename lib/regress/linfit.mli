@@ -5,7 +5,18 @@
     learned by least squares.  This module performs that fit, computes the
     paper's normalized error measure, and exposes the PRESS statistic and
     PRESS-guided forward regression used by simplification-after-generation
-    (section 5.1). *)
+    (section 5.1).
+
+    All three entry points run on the incremental regression engine
+    ({!Caffeine_linalg.Qr_update}): {!fit} and {!press} build one updatable
+    factorization column by column, and {!forward_select} keeps a live
+    factorization of the chosen set, scoring every candidate with an
+    O(n·k) single-column probe instead of a from-scratch O(n·k²)
+    refactorization.  Whenever a column set is numerically rank-deficient
+    the engine rejects it and the code falls back to the scratch
+    {!Caffeine_linalg.Decomp} path (ridge regression), so results agree
+    with the pre-engine implementation within 1e-8 relative.  {!fit_gram}
+    adds a normal-equations fast path fed by memoized dot products. *)
 
 type t = {
   intercept : float;
@@ -27,6 +38,24 @@ val fit : basis_values:float array array -> targets:float array -> t
 
 val fit_constant : targets:float array -> t
 (** The zero-complexity model: intercept = mean of targets. *)
+
+val fit_gram :
+  dot:(int -> int -> float) ->
+  dot_y:(int -> float) ->
+  col_sum:(int -> float) ->
+  basis_values:float array array ->
+  targets:float array ->
+  t
+(** Normal-equations fast path for the per-individual fit: assemble the
+    bordered [(k+1) x (k+1)] Gram matrix from the supplied products —
+    [dot i j = ⟨colᵢ, colⱼ⟩], [dot_y i = ⟨colᵢ, y⟩], [col_sum i = ⟨colᵢ, 1⟩]
+    (typically {!Caffeine_io.Dataset.dot} and friends, memoized across the
+    population) — and solve by Cholesky with unit-diagonal equilibration
+    and one iterative-refinement step.  When conditioning threatens
+    accuracy (non-positive diagonal, singular factorization, or a minimum
+    Cholesky pivot below 1e-3 of the maximum) the call transparently falls
+    back to {!fit}, so the result always matches the QR answer within the
+    engine's 1e-8 contract. *)
 
 val predict : t -> basis_values:float array array -> float array
 (** Apply fitted weights to basis values measured at other sample points. *)
@@ -50,7 +79,14 @@ val forward_select :
     chosen column indices in selection order.  Columns with non-finite
     values — or whose trial fit is singular — are never selected.
 
-    Candidate PRESS scores within a round are mutually independent; with
+    The chosen set is held as one live updatable factorization; each
+    candidate is scored by a non-mutating O(n·k) single-column PRESS probe
+    ({!Caffeine_linalg.Qr_update.press_probe}).  Candidates dependent on
+    the current span are scored by the scratch ridge path instead, exactly
+    as the pre-engine implementation did.
+
+    Candidate PRESS scores within a round are mutually independent (the
+    factorization is frozen until the round's winner is committed); with
     [pool] they are evaluated across the pool's domains.  The greedy
     reduction always scans candidates in index order, so the selection is
     identical with and without a pool. *)

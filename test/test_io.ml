@@ -152,6 +152,71 @@ let test_dataset_eval_column_matches_interpreter () =
       Alcotest.(check (float 1e-12)) "agrees" (Expr.eval_basis basis row) column.(i))
     rows
 
+let test_dataset_dot_cache () =
+  let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
+  let data = Dataset.of_rows rows in
+  let squares = Expr.{ vc = Some [| 2 |]; factors = [] } in
+  let cubes = Expr.{ vc = Some [| 3 |]; factors = [] } in
+  let manual a b = Array.fold_left ( +. ) 0. (Array.mapi (fun i x -> x *. b.(i)) a) in
+  let sq_col = Dataset.basis_column data squares in
+  let cu_col = Dataset.basis_column data cubes in
+  Alcotest.(check (float 1e-9)) "dot value" (manual sq_col cu_col) (Dataset.dot data squares cubes);
+  let stats = Dataset.stats data in
+  Alcotest.(check int) "one dot cached" 1 stats.Dataset.dots_cached;
+  Alcotest.(check int) "first dot is a miss" 1 stats.Dataset.dot_misses;
+  (* The pair key is unordered: (a, b) and (b, a) share one entry. *)
+  Alcotest.(check (float 1e-9)) "symmetric hit" (manual sq_col cu_col)
+    (Dataset.dot data cubes squares);
+  let stats = Dataset.stats data in
+  Alcotest.(check int) "still one dot cached" 1 stats.Dataset.dots_cached;
+  Alcotest.(check int) "swapped order hits" 1 stats.Dataset.dot_hits;
+  Alcotest.(check (float 1e-9)) "column sum" (Array.fold_left ( +. ) 0. sq_col)
+    (Dataset.column_sum data squares)
+
+let test_dataset_dot_target_keying () =
+  let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
+  let data = Dataset.of_rows rows in
+  let basis = Expr.{ vc = Some [| 2 |]; factors = [] } in
+  let col = Dataset.basis_column data basis in
+  let manual b = Array.fold_left ( +. ) 0. (Array.mapi (fun i x -> x *. b.(i)) col) in
+  let targets_a = [| 1.; 0.; -1. |] in
+  let targets_b = [| 2.; 2.; 2. |] in
+  (* Distinct target vectors must key distinct cache entries even for the
+     same basis. *)
+  Alcotest.(check (float 1e-9)) "target a" (manual targets_a)
+    (Dataset.dot_target data basis ~targets:targets_a);
+  Alcotest.(check (float 1e-9)) "target b" (manual targets_b)
+    (Dataset.dot_target data basis ~targets:targets_b);
+  Alcotest.(check (float 1e-9)) "target a again" (manual targets_a)
+    (Dataset.dot_target data basis ~targets:targets_a);
+  let stats = Dataset.stats data in
+  Alcotest.(check int) "repeat was a hit" 1 stats.Dataset.dot_hits;
+  Alcotest.(check bool) "length mismatch rejected" true
+    (match Dataset.dot_target data basis ~targets:[| 1. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Dataset.clear_cache data;
+  let stats = Dataset.stats data in
+  Alcotest.(check int) "dots cleared" 0 stats.Dataset.dots_cached;
+  Alcotest.(check int) "columns cleared" 0 stats.Dataset.columns_cached
+
+let test_dataset_stats_counters () =
+  let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
+  let data = Dataset.of_rows rows in
+  let basis = Expr.{ vc = Some [| 2 |]; factors = [] } in
+  ignore (Dataset.basis_column data basis);
+  ignore (Dataset.basis_column data Expr.{ vc = Some [| 2 |]; factors = [] });
+  let stats = Dataset.stats data in
+  Alcotest.(check int) "column miss then hit" 1 stats.Dataset.column_misses;
+  Alcotest.(check int) "column hit" 1 stats.Dataset.column_hits;
+  Alcotest.(check int) "one column cached" 1 stats.Dataset.columns_cached;
+  Alcotest.(check int) "no evictions yet" 0 stats.Dataset.column_evictions;
+  Alcotest.(check bool) "dot limit positive" true (Dataset.dot_cache_limit data > 0);
+  Alcotest.(check bool) "bad limit rejected" true
+    (match Dataset.set_dot_cache_limit data 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "write/read round-trip" `Quick test_write_read_roundtrip;
@@ -160,6 +225,9 @@ let suite =
     Alcotest.test_case "dataset split" `Quick test_dataset_split;
     Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
     Alcotest.test_case "dataset basis-column memoization" `Quick test_dataset_basis_column_memoizes;
+    Alcotest.test_case "dataset dot cache" `Quick test_dataset_dot_cache;
+    Alcotest.test_case "dataset dot-target keying" `Quick test_dataset_dot_target_keying;
+    Alcotest.test_case "dataset stats counters" `Quick test_dataset_stats_counters;
     Alcotest.test_case "dataset eval matches interpreter" `Quick
       test_dataset_eval_column_matches_interpreter;
     Alcotest.test_case "column extraction" `Quick test_column_extraction;

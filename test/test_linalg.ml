@@ -4,6 +4,7 @@
 module Matrix = Caffeine_linalg.Matrix
 module Decomp = Caffeine_linalg.Decomp
 module Cmatrix = Caffeine_linalg.Cmatrix
+module Qr_update = Caffeine_linalg.Qr_update
 module Rng = Caffeine_util.Rng
 
 let check_close ?(tol = 1e-9) msg expected actual =
@@ -257,12 +258,133 @@ let test_cmatrix_add_entry_accumulates () =
   Cmatrix.add_entry m 0 0 { Complex.re = 3.; im = -1. };
   complex_close "accumulated" { Complex.re = 4.; im = 1. } (Cmatrix.get m 0 0)
 
+(* --- updatable QR --- *)
+
+let columns_matrix m cols = Matrix.init m (Array.length cols) (fun i j -> cols.(j).(i))
+
+let vec_norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+let rel_vec_close tol a b =
+  Array.length a = Array.length b
+  &&
+  let d = Array.mapi (fun i x -> x -. b.(i)) a in
+  vec_norm d <= tol *. Float.max 1. (Float.max (vec_norm a) (vec_norm b))
+
+let rel_close tol a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs b)
+
+let test_qr_update_validation () =
+  (match Qr_update.create [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty target accepted");
+  let qr = Qr_update.create [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "rows" 3 (Qr_update.rows qr);
+  Alcotest.(check int) "cols" 0 (Qr_update.cols qr);
+  (match Qr_update.append qr [| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  (match Qr_update.drop_last qr with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "drop_last on empty factorization accepted")
+
+let test_qr_update_rejects_duplicate_column () =
+  let rng = Rng.create ~seed:42 () in
+  let col = random_vector rng 12 in
+  let qr = Qr_update.create (random_vector rng 12) in
+  Alcotest.(check bool) "first append" true (Qr_update.append qr col);
+  let before = Qr_update.press qr in
+  let doubled = Array.map (fun x -> 2. *. x) col in
+  Alcotest.(check bool) "scaled duplicate rejected" false (Qr_update.append qr doubled);
+  Alcotest.(check int) "cols unchanged" 1 (Qr_update.cols qr);
+  Alcotest.(check (float 0.)) "press unchanged" before (Qr_update.press qr);
+  Alcotest.(check bool) "probe rejects too" true (Qr_update.press_probe qr doubled = None)
+
 (* --- qcheck properties --- *)
 
 let property_tests =
   let dims = QCheck.Gen.(pair (int_range 3 12) (int_range 1 5)) in
   let seeded = QCheck.make QCheck.Gen.(triple int dims (return ())) in
-  [
+  let qr_seeded = QCheck.make QCheck.Gen.(triple int (int_range 8 20) (int_range 1 6)) in
+  let random_columns rng m k = Array.init k (fun _ -> random_vector rng m) in
+  let build b cols =
+    let qr = Qr_update.create b in
+    let accepted = Array.for_all (fun c -> Qr_update.append qr c) cols in
+    (qr, accepted)
+  in
+  let qr_update_tests =
+    [
+      QCheck.Test.make ~count:400 qr_seeded
+        ~name:"qr_update: append agrees with scratch lstsq/hat_diag/press" (fun (seed, m, k) ->
+          let rng = Rng.create ~seed () in
+          let cols = random_columns rng m k in
+          let b = random_vector rng m in
+          let qr, accepted = build b cols in
+          let design = columns_matrix m cols in
+          accepted
+          && rel_vec_close 1e-8 (Qr_update.coefficients qr) (Decomp.lstsq design b)
+          && rel_vec_close 1e-8 (Qr_update.leverages qr) (Decomp.hat_diag design)
+          && rel_close 1e-8 (Qr_update.press qr) (Decomp.press design b));
+      QCheck.Test.make ~count:300 qr_seeded
+        ~name:"qr_update: drop_last restores the smaller factorization" (fun (seed, m, k) ->
+          let rng = Rng.create ~seed () in
+          let cols = random_columns rng m (k + 1) in
+          let b = random_vector rng m in
+          let qr, accepted = build b cols in
+          Qr_update.drop_last qr;
+          let kept = Array.sub cols 0 k in
+          let design = columns_matrix m kept in
+          accepted
+          && Qr_update.cols qr = k
+          && rel_vec_close 1e-8 (Qr_update.coefficients qr) (Decomp.lstsq design b)
+          && rel_vec_close 1e-8 (Qr_update.leverages qr) (Decomp.hat_diag design)
+          && rel_close 1e-8 (Qr_update.press qr) (Decomp.press design b));
+      QCheck.Test.make ~count:300 qr_seeded
+        ~name:"qr_update: press_probe equals append-then-press and never mutates"
+        (fun (seed, m, k) ->
+          let rng = Rng.create ~seed () in
+          let cols = random_columns rng m k in
+          let candidate = random_vector rng m in
+          let b = random_vector rng m in
+          let qr, accepted = build b cols in
+          let before = Qr_update.press qr in
+          match Qr_update.press_probe qr candidate with
+          | None -> false
+          | Some probed ->
+              accepted
+              && Qr_update.press qr = before (* bitwise: the probe is read-only *)
+              && Qr_update.cols qr = k
+              && Qr_update.append qr candidate
+              && rel_close 1e-8 probed (Qr_update.press qr));
+      QCheck.Test.make ~count:100 qr_seeded
+        ~name:"qr_update: dependent columns rejected; scratch ridge path stays finite"
+        (fun (seed, m, k) ->
+          let rng = Rng.create ~seed () in
+          let cols = random_columns rng m k in
+          let b = random_vector rng m in
+          let qr, accepted = build b cols in
+          let weights = Array.init k (fun _ -> Rng.range rng (-2.) 2.) in
+          let dependent =
+            Array.init m (fun i ->
+                let acc = ref 0. in
+                Array.iteri (fun j w -> acc := !acc +. (w *. cols.(j).(i))) weights;
+                !acc)
+          in
+          let before = Qr_update.press qr in
+          let rejected =
+            (not (Qr_update.append qr dependent))
+            && Qr_update.press_probe qr dependent = None
+            && Qr_update.cols qr = k
+            && Qr_update.press qr = before
+          in
+          (* The caller-side fallback for rejected columns: scratch ridge
+             regression on the rank-deficient design must stay finite. *)
+          let design = columns_matrix m (Array.append cols [| dependent |]) in
+          accepted && rejected
+          && Array.for_all Float.is_finite (Decomp.lstsq design b)
+          && Float.is_finite (Decomp.press design b));
+    ]
+  in
+  qr_update_tests
+  @ [
     QCheck.Test.make ~name:"qr reconstructs for random shapes" ~count:60 seeded
       (fun (seed, (m, extra), ()) ->
         let n = max 1 (m - extra) in
@@ -310,6 +432,8 @@ let suite =
     Alcotest.test_case "lstsq: rank-deficient fallback" `Quick test_lstsq_rank_deficient_falls_back;
     Alcotest.test_case "hat diag: range and trace" `Quick test_hat_diag_range_and_trace;
     Alcotest.test_case "press equals explicit LOO" `Quick test_press_equals_explicit_loo;
+    Alcotest.test_case "qr_update: validation" `Quick test_qr_update_validation;
+    Alcotest.test_case "qr_update: duplicate rejected" `Quick test_qr_update_rejects_duplicate_column;
     Alcotest.test_case "cmatrix: real system" `Quick test_cmatrix_solve_real_system;
     Alcotest.test_case "cmatrix: complex residual" `Quick test_cmatrix_solve_complex_residual;
     Alcotest.test_case "cmatrix: add_entry" `Quick test_cmatrix_add_entry_accumulates;

@@ -76,10 +76,27 @@ let test_shutdown_degrades () =
 let test_with_optional_pool () =
   Pool.with_optional_pool ~jobs:1 (fun pool ->
       Alcotest.(check bool) "jobs 1 creates no pool" true (pool = None));
+  let cores = Domain.recommended_domain_count () in
   Pool.with_optional_pool ~jobs:2 (fun pool ->
       match pool with
-      | None -> Alcotest.fail "jobs 2 should create a pool"
-      | Some p -> Alcotest.(check int) "pool size" 2 (Pool.jobs p))
+      | None ->
+          (* On a single-core host every request clamps to sequential. *)
+          Alcotest.(check bool) "no pool only when the host has one core" true (cores <= 1)
+      | Some p -> Alcotest.(check int) "pool size" (Stdlib.min 2 cores) (Pool.jobs p))
+
+let test_jobs_clamped_to_cores () =
+  let cores = Domain.recommended_domain_count () in
+  Alcotest.(check int) "auto detects cores" cores (Pool.effective_jobs 0);
+  Alcotest.(check int) "negative means auto" cores (Pool.effective_jobs (-3));
+  Alcotest.(check int) "requests never exceed cores" cores (Pool.effective_jobs (cores + 7));
+  Alcotest.(check int) "small requests honored" 1 (Pool.effective_jobs 1);
+  (* A pool never spawns more domains than the machine has cores. *)
+  let pool = Pool.create ~jobs:(cores + 16) () in
+  Alcotest.(check int) "pool size clamped" cores (Pool.jobs pool);
+  Pool.shutdown pool;
+  let auto = Pool.create ~jobs:0 () in
+  Alcotest.(check int) "jobs 0 is auto" (Pool.effective_jobs 0) (Pool.jobs auto);
+  Pool.shutdown auto
 
 (* --- dataset cache under the parallel contract --- *)
 
@@ -261,6 +278,7 @@ let suite =
     Alcotest.test_case "pool: sequential pool" `Quick test_sequential_pool;
     Alcotest.test_case "pool: shutdown degrades" `Quick test_shutdown_degrades;
     Alcotest.test_case "pool: with_optional_pool" `Quick test_with_optional_pool;
+    Alcotest.test_case "pool: jobs clamped to cores" `Quick test_jobs_clamped_to_cores;
     Alcotest.test_case "dataset: clear cache" `Quick test_dataset_clear_cache;
     Alcotest.test_case "dataset: cache limit" `Quick test_dataset_cache_limit;
     Alcotest.test_case "dataset: concurrent reads" `Quick test_dataset_concurrent_reads;

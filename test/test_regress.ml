@@ -122,6 +122,58 @@ let test_design_matrix_shape () =
   Alcotest.(check int) "cols = 1 + k" 3 (Caffeine_linalg.Matrix.cols m);
   Alcotest.(check (float 1e-12)) "ones column" 1. (Caffeine_linalg.Matrix.get m 1 0)
 
+(* Scratch reference for the incremental engine: full Householder
+   refactorization per score, as Linfit did before the updatable QR. *)
+let reference_forward_select ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
+  let module Matrix = Caffeine_linalg.Matrix in
+  let module Decomp = Caffeine_linalg.Decomp in
+  let total = Array.length basis_values in
+  let cap = match max_bases with Some m -> Stdlib.min m total | None -> total in
+  let n = Array.length targets in
+  let usable = Array.map Caffeine_util.Stats.is_finite_array basis_values in
+  let chosen_mask = Array.make total false in
+  let chosen = ref [] in
+  let chosen_columns = ref [||] in
+  let press_of columns =
+    let k = Array.length columns in
+    let design = Matrix.init n (k + 1) (fun i j -> if j = 0 then 1. else columns.(j - 1).(i)) in
+    Decomp.press design targets
+  in
+  let current_press = ref (Linfit.press ~basis_values:[||] ~targets) in
+  let continue = ref true in
+  while !continue && List.length !chosen < cap do
+    let best = ref None in
+    Array.iteri
+      (fun candidate column ->
+        if usable.(candidate) && not chosen_mask.(candidate) then begin
+          let score =
+            match press_of (Array.append !chosen_columns [| column |]) with
+            | value -> value
+            | exception Decomp.Singular -> Float.nan
+          in
+          if Float.is_finite score then
+            match !best with
+            | Some (_, best_score) when best_score <= score -> ()
+            | Some _ | None -> best := Some (candidate, score)
+        end)
+      basis_values;
+    match !best with
+    | Some (candidate, score) when score < !current_press *. (1. -. tolerance) ->
+        chosen_mask.(candidate) <- true;
+        chosen := candidate :: !chosen;
+        chosen_columns := Array.append !chosen_columns [| basis_values.(candidate) |];
+        current_press := score
+    | Some _ | None -> continue := false
+  done;
+  Array.of_list (List.rev !chosen)
+
+let rel_vec_close tol a b =
+  let norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+  Array.length a = Array.length b
+  &&
+  let d = Array.mapi (fun i x -> x -. b.(i)) a in
+  norm d <= tol *. Float.max 1. (Float.max (norm a) (norm b))
+
 let property_tests =
   [
     QCheck.Test.make ~name:"fit residual error is within [0, constant-model error]" ~count:100
@@ -134,6 +186,52 @@ let property_tests =
         let constant = Linfit.fit_constant ~targets in
         fitted.Linfit.train_error >= -1e-12
         && fitted.Linfit.train_error <= constant.Linfit.train_error +. 1e-9);
+    QCheck.Test.make ~name:"fit agrees with scratch lstsq within 1e-8" ~count:200
+      QCheck.(triple small_int (int_range 10 40) (int_range 1 5))
+      (fun (seed, n, k) ->
+        let rng = Rng.create ~seed () in
+        let columns = Array.init k (fun _ -> Array.init n (fun _ -> Rng.range rng (-2.) 2.)) in
+        let targets = Array.init n (fun _ -> Rng.range rng (-3.) 3.) in
+        let fitted = Linfit.fit ~basis_values:columns ~targets in
+        let coeffs =
+          Caffeine_linalg.Decomp.lstsq (Linfit.design_matrix columns) targets
+        in
+        rel_vec_close 1e-8
+          (Array.append [| fitted.Linfit.intercept |] fitted.Linfit.weights)
+          coeffs);
+    QCheck.Test.make ~name:"fit_gram agrees with the QR fit" ~count:200
+      QCheck.(triple small_int (int_range 10 40) (int_range 1 5))
+      (fun (seed, n, k) ->
+        let rng = Rng.create ~seed () in
+        let columns = Array.init k (fun _ -> Array.init n (fun _ -> Rng.range rng (-2.) 2.)) in
+        let targets = Array.init n (fun _ -> Rng.range rng (-3.) 3.) in
+        let dot_cols a b = Array.fold_left ( +. ) 0. (Array.mapi (fun i x -> x *. b.(i)) a) in
+        let gram =
+          Linfit.fit_gram
+            ~dot:(fun i j -> dot_cols columns.(i) columns.(j))
+            ~dot_y:(fun i -> dot_cols columns.(i) targets)
+            ~col_sum:(fun i -> Array.fold_left ( +. ) 0. columns.(i))
+            ~basis_values:columns ~targets
+        in
+        let fitted = Linfit.fit ~basis_values:columns ~targets in
+        rel_vec_close 1e-8
+          (Array.append [| gram.Linfit.intercept |] gram.Linfit.weights)
+          (Array.append [| fitted.Linfit.intercept |] fitted.Linfit.weights)
+        && rel_vec_close 1e-8 gram.Linfit.predictions fitted.Linfit.predictions);
+    QCheck.Test.make ~name:"forward_select matches the scratch reference replay" ~count:60
+      QCheck.(pair small_int (int_range 20 40))
+      (fun (seed, n) ->
+        let rng = Rng.create ~seed () in
+        let total = 12 in
+        let columns =
+          Array.init total (fun _ -> Array.init n (fun _ -> Rng.range rng (-2.) 2.))
+        in
+        let targets =
+          Array.init n (fun i ->
+              (2. *. columns.(1).(i)) -. columns.(4).(i) +. Rng.gaussian ~sigma:0.3 rng)
+        in
+        Linfit.forward_select ~max_bases:5 ~basis_values:columns ~targets ()
+        = reference_forward_select ~max_bases:5 ~basis_values:columns ~targets ());
   ]
 
 let suite =
