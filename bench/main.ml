@@ -5,7 +5,7 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|parallel|regress|micro]
+                                   eval|parallel|regress|trace|micro]
                                   [--pop N] [--gens N] [--seed N] [--smoke]
 
    The search budget defaults to a few seconds per performance; pass
@@ -522,8 +522,10 @@ let experiment_eval options =
     if Compiled.length (Compiled.compile b) >= 8 then b else draw ()
   in
   let basis = draw () in
+  let front_individuals = if options.smoke then 4 else 12 in
   let front =
-    Array.concat (List.init 12 (fun _ -> Caffeine.Gen.random_individual rng config ~dims))
+    Array.concat
+      (List.init front_individuals (fun _ -> Caffeine.Gen.random_individual rng config ~dims))
   in
   Printf.printf
     "workload: %d samples x %d dims; single basis (%d tape instructions), front of %d bases\n" n
@@ -558,11 +560,12 @@ let experiment_eval options =
     \  \"samples\": %d,\n\
     \  \"dims\": %d,\n\
     \  \"front_bases\": %d,\n\
+    \  \"smoke\": %b,\n\
     \  \"single_basis\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f },\n\
     \  \"whole_front\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f }\n\
      }\n"
-    n dims (Array.length front) (us t_is) (us t_cs) (t_is /. t_cs) (us t_if) (us t_cf)
-    (t_if /. t_cf);
+    n dims (Array.length front) options.smoke (us t_is) (us t_cs) (t_is /. t_cs) (us t_if)
+    (us t_cf) (t_if /. t_cf);
   close_out oc;
   Printf.printf "(numbers recorded in BENCH_eval.json)\n"
 
@@ -902,6 +905,120 @@ let experiment_regress options =
     exit 1
   end
 
+(* --- telemetry overhead + trace determinism ------------------------------ *)
+
+let experiment_trace options =
+  let module Trace = Caffeine_obs.Trace in
+  section "trace: telemetry overhead and cross-jobs determinism";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let n = Array.length train.Ota.inputs in
+  let dims = Array.length Ota.var_names in
+  let host_cores = Domain.recommended_domain_count () in
+  let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
+  (* Fresh dataset per measurement: warm basis-column caches must not leak
+     from one configuration into the next. *)
+  let fresh_data () = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let config =
+    Config.scaled
+      ~pop_size:(if options.smoke then 24 else Stdlib.max 24 (options.pop_size / 2))
+      ~generations:(if options.smoke then 10 else Stdlib.max 10 (options.generations / 5))
+      Config.paper
+  in
+  let reps = if options.smoke then 3 else 5 in
+  Printf.printf "workload: %d samples x %d dims, pop %d, gens %d, min of %d runs%s\n" n dims
+    config.Config.pop_size config.Config.generations reps
+    (if options.smoke then " (smoke)" else "");
+  (* Minimum over repetitions on both sides of the ratio: scheduler noise only
+     ever adds time, so min-of-reps is the stable estimator behind a 2% gate. *)
+  let best_of f =
+    let best = ref Float.infinity in
+    for _ = 1 to reps do
+      let data = fresh_data () in
+      let t0 = Unix.gettimeofday () in
+      f data;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let seed = options.seed in
+  let t_null = best_of (fun data -> ignore (Search.run ~seed config ~data ~targets)) in
+  let t_observed =
+    best_of (fun data ->
+        ignore
+          (Search.run ~seed ~on_generation:(fun (_ : Trace.generation) -> ()) config ~data ~targets))
+  in
+  let record_count = ref 0 in
+  let t_traced =
+    best_of (fun data ->
+        let sink = Trace.memory () in
+        ignore (Search.run ~seed ~trace:sink config ~data ~targets);
+        record_count := List.length (Trace.contents sink))
+  in
+  let overhead base t = (t -. base) /. base in
+  let cap = 0.02 in
+  (* A small absolute floor keeps the relative gate meaningful on sub-second
+     smoke runs where 2% sits inside clock resolution. *)
+  let within base t = t <= (base *. (1. +. cap)) +. 0.05 in
+  Printf.printf "%-34s %10s %10s\n" "case" "seconds" "overhead";
+  Printf.printf "%-34s %8.3f s %9s\n" "null sink (production default)" t_null "-";
+  Printf.printf "%-34s %8.3f s %8.2f%%\n" "no-op on_generation callback" t_observed
+    (100. *. overhead t_null t_observed);
+  Printf.printf "%-34s %8.3f s %8.2f%% (%d records)\n" "memory sink, full trace" t_traced
+    (100. *. overhead t_null t_traced)
+    !record_count;
+  let overhead_ok = within t_null t_observed && within t_null t_traced in
+  (* --- determinism: identical count fields at any jobs setting ------------ *)
+  let capture jobs =
+    let data = fresh_data () in
+    Pool.with_optional_pool ~jobs @@ fun pool ->
+    let sink = Trace.memory () in
+    let outcome = Search.run ~seed ?pool ~trace:sink config ~data ~targets in
+    ignore
+      (Sag.process_front ?pool ~trace:sink ~wb:config.Config.wb ~wvc:config.Config.wvc
+         outcome.Search.front ~data ~targets);
+    List.filter_map Trace.deterministic (Trace.contents sink) |> List.map Trace.to_line
+  in
+  let lines_seq = capture 1 in
+  let lines_par = capture 4 in
+  let deterministic = lines_seq = lines_par in
+  Printf.printf
+    "deterministic projections identical at jobs 1 vs 4 (effective %d vs %d): %b (%d records)\n"
+    (Pool.effective_jobs 1) (Pool.effective_jobs 4) deterministic (List.length lines_seq);
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"samples\": %d,\n\
+    \  \"dims\": %d,\n\
+    \  \"pop\": %d,\n\
+    \  \"gens\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"null_sink_s\": %.4f,\n\
+    \  \"noop_callback_s\": %.4f,\n\
+    \  \"memory_sink_s\": %.4f,\n\
+    \  \"noop_callback_overhead\": %.4f,\n\
+    \  \"memory_sink_overhead\": %.4f,\n\
+    \  \"overhead_cap\": %.2f,\n\
+    \  \"overhead_ok\": %b,\n\
+    \  \"trace_records\": %d,\n\
+    \  \"deterministic_records\": %d,\n\
+    \  \"deterministic_across_jobs\": %b\n\
+     }\n"
+    n dims config.Config.pop_size config.Config.generations reps options.smoke host_cores t_null
+    t_observed t_traced (overhead t_null t_observed) (overhead t_null t_traced) cap overhead_ok
+    !record_count (List.length lines_seq) deterministic;
+  close_out oc;
+  Printf.printf "(numbers recorded in BENCH_trace.json)\n";
+  if not overhead_ok then begin
+    Printf.eprintf "trace: telemetry overhead exceeded the %.0f%% cap\n" (100. *. cap);
+    exit 1
+  end;
+  if not deterministic then begin
+    Printf.eprintf "trace: deterministic projections differ across jobs settings\n";
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -980,4 +1097,5 @@ let () =
   if wants "eval" then experiment_eval options;
   if wants "parallel" then experiment_parallel options;
   if wants "regress" then experiment_regress options;
+  if wants "trace" then experiment_trace options;
   if wants "micro" then experiment_micro ()

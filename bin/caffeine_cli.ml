@@ -9,6 +9,7 @@
      analyze    DC / AC analysis of a SPICE-format netlist
      export     render a saved model as C or Verilog-A
      insight    variable usage, sensitivities and Sobol indices of a model
+     trace      summarize / project a JSONL run trace written by fit --trace
 *)
 
 open Cmdliner
@@ -23,6 +24,8 @@ module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
 module Pool = Caffeine_par.Pool
+module Metrics = Caffeine_obs.Metrics
+module Trace = Caffeine_obs.Trace
 
 (* --- gen-data ---------------------------------------------------------- *)
 
@@ -129,7 +132,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose out =
+let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose trace_path metrics out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -160,16 +163,38 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
   in
   Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d, jobs %d)\n%!"
     target (Array.length targets) (Array.length var_names) pop gens seed jobs;
+  let trace_channel = Option.map open_out trace_path in
+  let trace = match trace_channel with Some ch -> Trace.of_channel ch | None -> Trace.null in
   (* One pool serves both the evolutionary run and SAG forward selection;
      with jobs = 1 no pool (and no extra domain) is created at all. *)
   let front =
     Pool.with_optional_pool ~jobs @@ fun pool ->
-    let outcome = Search.run ~seed ?pool config ~data ~targets in
+    let outcome = Search.run ~seed ?pool ~trace config ~data ~targets in
     if no_sag then outcome.Search.front
     else
-      Sag.process_front ?pool ~wb:config.Config.wb ~wvc:config.Config.wvc outcome.Search.front
-        ~data ~targets
+      Sag.process_front ?pool ~trace ~wb:config.Config.wb ~wvc:config.Config.wvc
+        outcome.Search.front ~data ~targets
   in
+  (match trace_channel with
+  | None -> ()
+  | Some channel ->
+      (* Cache effectiveness, last: informative but nondeterministic across
+         jobs settings, so [trace --counts] projects it away. *)
+      let s = Dataset.stats data in
+      Trace.emit trace
+        (Trace.Cache_stats
+           {
+             columns_cached = s.Dataset.columns_cached;
+             column_hits = s.Dataset.column_hits;
+             column_misses = s.Dataset.column_misses;
+             column_evictions = s.Dataset.column_evictions;
+             dots_cached = s.Dataset.dots_cached;
+             dot_hits = s.Dataset.dot_hits;
+             dot_misses = s.Dataset.dot_misses;
+             dot_evictions = s.Dataset.dot_evictions;
+           });
+      close_out channel;
+      Printf.printf "wrote run trace to %s\n" (Option.get trace_path));
   let test_data =
     match test_path with
     | None -> None
@@ -200,6 +225,11 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
       s.Dataset.column_evictions;
     Printf.printf "  dot products:  %d cached, %d hits, %d misses, %d evictions\n"
       s.Dataset.dots_cached s.Dataset.dot_hits s.Dataset.dot_misses s.Dataset.dot_evictions
+  end;
+  if metrics then begin
+    Dataset.publish_metrics data;
+    Printf.printf "\nmetrics (process-wide registry):\n";
+    print_string (Metrics.render (Metrics.snapshot Metrics.default))
   end;
   (match out with
   | None -> ()
@@ -252,12 +282,31 @@ let verbose_arg =
 let fit_out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the model front to a models file.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"JSONL"
+        ~doc:
+          "Write a structured run trace (one JSON record per line: run parameters, \
+           per-generation statistics, SAG pruning rounds, cache statistics).  Count fields are \
+           deterministic for a fixed seed at any --jobs; inspect with the trace subcommand.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the process-wide metrics registry after the run (pool utilization, regression \
+           engine counters, dataset cache gauges).")
+
 let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
   Cmd.v info
     Term.(
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
-      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ fit_out_arg)
+      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
+      $ metrics_arg $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -475,6 +524,101 @@ let analyze_cmd =
   let info = Cmd.info "analyze" ~doc:"DC (and optionally AC) analysis of a SPICE-format netlist." in
   Cmd.v info Term.(const analyze $ netlist_arg $ op_arg $ ac_input_arg $ ac_output_arg)
 
+(* --- trace -------------------------------------------------------------- *)
+
+let read_trace path =
+  let channel = open_in path in
+  let records = ref [] in
+  let line_number = ref 0 in
+  (try
+     while true do
+       let line = input_line channel in
+       incr line_number;
+       if String.trim line <> "" then
+         match Trace.of_line line with
+         | Ok record -> records := record :: !records
+         | Error msg ->
+             close_in channel;
+             Printf.eprintf "%s:%d: %s\n" path !line_number msg;
+             exit 1
+     done
+   with End_of_file -> close_in channel);
+  List.rev !records
+
+let trace_command path counts =
+  let records = read_trace path in
+  if counts then begin
+    (* The jobs-invariant projection: two traces of the same seeded run
+       diff clean here whatever --jobs each used. *)
+    List.iter
+      (fun record ->
+        match Trace.deterministic record with
+        | Some projected -> print_endline (Trace.to_line projected)
+        | None -> ())
+      records;
+    0
+  end
+  else begin
+    let run_starts = ref 0
+    and generations = ref 0
+    and sag_rounds = ref 0
+    and sag_models = ref 0
+    and cache_stats = ref 0
+    and run_ends = ref 0 in
+    let last_generation = ref None in
+    let final_front = ref None in
+    List.iter
+      (fun record ->
+        match record with
+        | Trace.Run_start _ -> incr run_starts
+        | Trace.Generation g ->
+            incr generations;
+            last_generation := Some g
+        | Trace.Sag_round _ -> incr sag_rounds
+        | Trace.Sag_model _ -> incr sag_models
+        | Trace.Cache_stats _ -> incr cache_stats
+        | Trace.Run_end r ->
+            incr run_ends;
+            final_front := Some r)
+      records;
+    Printf.printf "%s: %d records\n" path (List.length records);
+    Printf.printf "  run_start   %d\n" !run_starts;
+    Printf.printf "  generation  %d\n" !generations;
+    Printf.printf "  sag_round   %d\n" !sag_rounds;
+    Printf.printf "  sag_model   %d\n" !sag_models;
+    Printf.printf "  cache_stats %d\n" !cache_stats;
+    Printf.printf "  run_end     %d\n" !run_ends;
+    (match !last_generation with
+    | Some g ->
+        Printf.printf "last generation: gen %d, best train error %.4g, front size %d\n"
+          g.Trace.gen g.Trace.best_nmse g.Trace.front_size
+    | None -> ());
+    (match !final_front with
+    | Some r ->
+        Printf.printf "final front: %d models, total wall %.3f s\n" (List.length r.Trace.front)
+          r.Trace.total_wall_s
+    | None -> ());
+    0
+  end
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JSONL" ~doc:"Trace written by fit --trace.")
+
+let counts_arg =
+  Arg.(
+    value & flag
+    & info [ "counts" ]
+        ~doc:
+          "Print the deterministic projection of each record (wall times zeroed, cache \
+           statistics dropped) instead of a summary — byte-identical for the same seeded run at \
+           any --jobs setting.")
+
+let trace_cmd =
+  let info =
+    Cmd.info "trace" ~doc:"Summarize or project a JSONL run trace written by fit --trace."
+  in
+  Cmd.v info Term.(const trace_command $ trace_file_arg $ counts_arg)
+
 (* --- grammar ----------------------------------------------------------- *)
 
 let grammar_command check_path =
@@ -520,6 +664,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd ]
+      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd; trace_cmd ]
   in
   exit (Cmd.eval' group)

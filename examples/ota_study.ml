@@ -62,10 +62,12 @@ let () =
   Printf.printf "evolving (population %d, %d generations)...\n%!" pop_size generations;
   let outcome =
     Search.run ~seed:2005
-      ~on_generation:(fun gen ~best_error ~front_size ->
-        if gen mod 25 = 0 then
-          Printf.printf "  generation %4d: best train error %.2f%%, front size %d\n%!" gen
-            (100. *. best_error) front_size)
+      ~on_generation:(fun (g : Caffeine_obs.Trace.generation) ->
+        if g.Caffeine_obs.Trace.gen mod 25 = 0 then
+          Printf.printf "  generation %4d: best train error %.2f%%, front size %d\n%!"
+            g.Caffeine_obs.Trace.gen
+            (100. *. g.Caffeine_obs.Trace.best_nmse)
+            g.Caffeine_obs.Trace.front_size)
       config ~data:train_data ~targets:y_train
   in
 

@@ -1,27 +1,48 @@
 module Expr = Caffeine_expr.Expr
 module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
+module Trace = Caffeine_obs.Trace
 
 type scored = {
   model : Model.t;
   test_error : float;
 }
 
-let simplify_model ?pool ~wb ~wvc (model : Model.t) ~data ~targets =
+let simplify_model ?pool ?(trace = Trace.null) ?(model_index = 0) ~wb ~wvc (model : Model.t)
+    ~data ~targets =
   if Array.length model.Model.bases = 0 then model
   else
     match Model.basis_columns model.Model.bases data with
     | None -> model
     | Some columns ->
-        let chosen = Linfit.forward_select ?pool ~basis_values:columns ~targets () in
+        let on_round =
+          if Trace.is_null trace then None
+          else
+            Some
+              (fun ~round ~chosen ~press_before ~press_after ->
+                Trace.emit trace
+                  (Trace.Sag_round { model_index; round; chosen; press_before; press_after }))
+        in
+        let chosen = Linfit.forward_select ?pool ?on_round ~basis_values:columns ~targets () in
         let bases = Array.map (fun i -> model.Model.bases.(i)) chosen in
         let refit = Model.fit ~wb ~wvc bases ~data ~targets in
         let pruned = match refit with Some m -> m | None -> model in
         let cleaned = Model.simplify ~wb ~wvc pruned in
         (* Keep the cleanup only if it did not break the fit. *)
-        (match Model.fit ~wb ~wvc cleaned.Model.bases ~data ~targets with
-        | Some refitted -> refitted
-        | None -> pruned)
+        let result =
+          match Model.fit ~wb ~wvc cleaned.Model.bases ~data ~targets with
+          | Some refitted -> refitted
+          | None -> pruned
+        in
+        if not (Trace.is_null trace) then
+          Trace.emit trace
+            (Trace.Sag_model
+               {
+                 model_index;
+                 bases_before = Array.length model.Model.bases;
+                 bases_after = Array.length result.Model.bases;
+               });
+        result
 
 let nondominated_by key models =
   List.filter
@@ -41,8 +62,12 @@ let dedup_by_key key models =
        (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
        [] models)
 
-let process_front ?pool ~wb ~wvc front ~data ~targets =
-  let simplified = List.map (fun m -> simplify_model ?pool ~wb ~wvc m ~data ~targets) front in
+let process_front ?pool ?trace ~wb ~wvc front ~data ~targets =
+  let simplified =
+    List.mapi
+      (fun model_index m -> simplify_model ?pool ?trace ~model_index ~wb ~wvc m ~data ~targets)
+      front
+  in
   let key (m : Model.t) = (m.Model.train_error, m.Model.complexity) in
   simplified
   |> nondominated_by key

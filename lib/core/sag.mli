@@ -20,6 +20,8 @@ type scored = {
 
 val simplify_model :
   ?pool:Caffeine_par.Pool.t ->
+  ?trace:Caffeine_obs.Trace.sink ->
+  ?model_index:int ->
   wb:float ->
   wvc:float ->
   Model.t ->
@@ -30,18 +32,25 @@ val simplify_model :
     then algebraic cleanup ({!Model.simplify}).  The result never has more
     bases than the input model.  With [pool], candidate PRESS scores are
     evaluated across the pool's domains; the selected set is identical to
-    the sequential path. *)
+    the sequential path.  With [trace], every accepted forward-selection
+    round is emitted as a {!Caffeine_obs.Trace.Sag_round} (PRESS before and
+    after the round) and the overall pruning as a
+    {!Caffeine_obs.Trace.Sag_model}, both tagged with [model_index]
+    (default 0).  Trace content is deterministic: rounds commit on the
+    calling domain in selection order whatever the pool size. *)
 
 val process_front :
   ?pool:Caffeine_par.Pool.t ->
+  ?trace:Caffeine_obs.Trace.sink ->
   wb:float ->
   wvc:float ->
   Model.t list ->
   data:Dataset.t ->
   targets:float array ->
   Model.t list
-(** Apply {!simplify_model} to every front member and re-extract the
-    nondominated (train error, complexity) set, sorted by complexity. *)
+(** Apply {!simplify_model} to every front member (tagging records with the
+    member's position in [front]) and re-extract the nondominated
+    (train error, complexity) set, sorted by complexity. *)
 
 val test_tradeoff :
   Model.t list ->

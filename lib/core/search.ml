@@ -5,6 +5,8 @@ module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Nsga2 = Caffeine_evo.Nsga2
 module Pool = Caffeine_par.Pool
+module Metrics = Caffeine_obs.Metrics
+module Trace = Caffeine_obs.Trace
 
 type outcome = {
   front : Model.t list;
@@ -74,7 +76,7 @@ let with_search_pool ?pool config f =
   | Some _ -> f pool
   | None -> Pool.with_optional_pool ~jobs:config.Config.jobs f
 
-let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
+let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation config ~data ~targets =
   let dims = validate_data ~data ~targets in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
@@ -82,6 +84,12 @@ let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
     | Some model -> [| model.Model.train_error; model.Model.complexity |]
     | None -> [| Float.infinity; Model.complexity_of ~wb ~wvc individual |]
   in
+  (* Record construction (objective sorts, variation tallies) happens only
+     when someone listens — with the null sink and no callback a traced
+     build costs one branch per generation. *)
+  let observing = (not (Trace.is_null trace)) || Option.is_some on_generation in
+  let vary_stats = Vary.fresh_stats () in
+  let last_ns = ref (Metrics.now_ns ()) in
   let notify gen population =
     let best_error =
       Array.fold_left
@@ -91,9 +99,36 @@ let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
     let front_size = Array.length (Nsga2.pareto_front population) in
     Log.debug (fun m ->
         m "generation %d: best train error %.4f, front size %d" gen best_error front_size);
-    match on_generation with
-    | None -> ()
-    | Some f -> f gen ~best_error ~front_size
+    if observing then begin
+      let stop_ns = Metrics.now_ns () in
+      let wall_s = Int64.to_float (Int64.sub stop_ns !last_ns) /. 1e9 in
+      last_ns := stop_ns;
+      let errors =
+        Array.map (fun (ind : Vary.individual Nsga2.individual) -> ind.Nsga2.objectives.(0)) population
+      in
+      let complexities =
+        Array.map (fun (ind : Vary.individual Nsga2.individual) -> ind.Nsga2.objectives.(1)) population
+      in
+      let record =
+        {
+          Trace.gen;
+          evals = config.Config.pop_size;
+          front_size;
+          best_nmse = best_error;
+          median_nmse = Stats.median errors;
+          complexity_min = Stats.min_value complexities;
+          complexity_median = Stats.median complexities;
+          complexity_max = Stats.max_value complexities;
+          crossovers = vary_stats.Vary.crossovers;
+          op_counts = Array.copy vary_stats.Vary.op_counts;
+          depth_rejects = vary_stats.Vary.depth_rejects;
+          wall_s;
+        }
+      in
+      Vary.reset_stats vary_stats;
+      if not (Trace.is_null trace) then Trace.emit trace (Trace.Generation record);
+      match on_generation with None -> () | Some f -> f record
+    end
   in
   let population =
     Nsga2.run ~on_generation:notify ?pool ~rng
@@ -102,7 +137,7 @@ let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
         generations = config.Config.generations;
         init = (fun rng -> Gen.random_individual rng config ~dims);
         objectives;
-        vary = (fun rng p1 p2 -> Vary.vary rng config ~dims p1 p2);
+        vary = (fun rng p1 p2 -> Vary.vary ~stats:vary_stats rng config ~dims p1 p2);
       }
   in
   (* Refit the rank-0 genomes into models, always include the constant
@@ -129,14 +164,46 @@ let run_with_rng ~rng ?pool ?on_generation config ~data ~targets =
     generations_run = config.Config.generations;
   }
 
-let run ?(seed = 17) ?pool ?on_generation config ~data ~targets =
-  with_search_pool ?pool config @@ fun pool ->
-  run_with_rng ~rng:(Rng.create ~seed ()) ?pool ?on_generation config ~data ~targets
+let emit_run_start trace ~seed config ~data =
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Run_start
+         {
+           seed;
+           pop_size = config.Config.pop_size;
+           generations = config.Config.generations;
+           max_bases = config.Config.max_bases;
+           samples = Dataset.n_samples data;
+           dims = Dataset.dims data;
+         })
+
+let emit_run_end trace ~start_ns outcome =
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Run_end
+         {
+           front =
+             List.map (fun (m : Model.t) -> (m.Model.complexity, m.Model.train_error)) outcome.front;
+           total_wall_s =
+             Int64.to_float (Int64.sub (Metrics.now_ns ()) start_ns) /. 1e9;
+         })
+
+let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation config ~data ~targets =
+  emit_run_start trace ~seed config ~data;
+  let start_ns = Metrics.now_ns () in
+  let outcome =
+    with_search_pool ?pool config @@ fun pool ->
+    run_with_rng ~rng:(Rng.create ~seed ()) ?pool ~trace ?on_generation config ~data ~targets
+  in
+  emit_run_end trace ~start_ns outcome;
+  outcome
 
 let merge_fronts fronts = dedup_and_sort (List.concat fronts)
 
-let run_multi ?(seed = 17) ?pool ~restarts config ~data ~targets =
+let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
+  emit_run_start trace ~seed config ~data;
+  let start_ns = Metrics.now_ns () in
   (* Island RNGs are split off the master sequentially before any parallel
      work, so island k sees the same stream whether the islands run
      back-to-back or fanned out across domains — and a [restarts = r] run
@@ -151,15 +218,24 @@ let run_multi ?(seed = 17) ?pool ~restarts config ~data ~targets =
     (* Each island reuses the shared pool for its inner evaluation loop;
        when the islands themselves are fanned out below, those nested
        calls fall back to sequential evaluation inside the island. *)
-    run_with_rng ~rng ?pool config ~data ~targets
+    run_with_rng ~rng ?pool ~trace config ~data ~targets
   in
   let outcomes =
+    (* A live trace pins the islands to the calling domain so their
+       generation records arrive in island order — the same sequence at
+       every jobs setting (the pool still parallelizes each island's inner
+       evaluation loop).  Only the untraced path fans whole islands out. *)
     match pool with
-    | Some pool when restarts > 1 -> Pool.parallel_map pool run_island islands
+    | Some pool when restarts > 1 && Trace.is_null trace ->
+        Pool.parallel_map pool run_island islands
     | Some _ | None -> Array.map run_island islands
   in
-  {
-    front = merge_fronts (Array.to_list (Array.map (fun o -> o.front) outcomes));
-    population_size = config.Config.pop_size;
-    generations_run = config.Config.generations * restarts;
-  }
+  let outcome =
+    {
+      front = merge_fronts (Array.to_list (Array.map (fun o -> o.front) outcomes));
+      population_size = config.Config.pop_size;
+      generations_run = config.Config.generations * restarts;
+    }
+  in
+  emit_run_end trace ~start_ns outcome;
+  outcome

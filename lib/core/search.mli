@@ -37,7 +37,8 @@ type outcome = {
 val run :
   ?seed:int ->
   ?pool:Caffeine_par.Pool.t ->
-  ?on_generation:(int -> best_error:float -> front_size:int -> unit) ->
+  ?trace:Caffeine_obs.Trace.sink ->
+  ?on_generation:(Caffeine_obs.Trace.generation -> unit) ->
   Config.t ->
   data:Dataset.t ->
   targets:float array ->
@@ -46,11 +47,21 @@ val run :
     design variables.  Requires at least 2 samples.  The returned front
     always contains the constant model as its zero-complexity end.
     Progress is logged on the ["caffeine.search"] {!Logs} source at debug
-    level. *)
+    level.
+
+    [trace] receives a {!Caffeine_obs.Trace.Run_start}, one
+    {!Caffeine_obs.Trace.Generation} per environmental selection
+    (generation 0 = after initialization) and a
+    {!Caffeine_obs.Trace.Run_end}; [on_generation] observes the same
+    per-generation records directly.  Every field except [wall_s] is
+    deterministic: for a fixed seed the record sequence is identical at
+    every jobs setting.  With the default null sink and no callback,
+    record construction is skipped entirely. *)
 
 val run_multi :
   ?seed:int ->
   ?pool:Caffeine_par.Pool.t ->
+  ?trace:Caffeine_obs.Trace.sink ->
   restarts:int ->
   Config.t ->
   data:Dataset.t ->
@@ -64,7 +75,13 @@ val run_multi :
     the first [r] islands of any longer run with the same seed, and the
     merged front is identical whether islands run sequentially or across
     pool domains.  The restarts share the dataset's basis-column cache.
-    Requires [restarts >= 1]. *)
+    Requires [restarts >= 1].
+
+    With a live [trace], the islands themselves run back-to-back on the
+    calling domain (each still fans its inner evaluation loop over the
+    pool), so the generation records of island [k] precede those of island
+    [k+1] at every jobs setting — trading island-level parallelism for a
+    deterministic record sequence. *)
 
 val dedup_and_sort : Model.t list -> Model.t list
 (** The exact nondominated subset over (train error, complexity),

@@ -416,11 +416,28 @@ let randomize_subtree rng config ~dims individual =
 
 (* --- top-level child construction -------------------------------------- *)
 
-let vary rng config ~dims parent1 parent2 =
+let num_ops = 9
+
+type op_stats = {
+  mutable crossovers : int;
+  op_counts : int array;
+  mutable depth_rejects : int;
+}
+
+let fresh_stats () = { crossovers = 0; op_counts = Array.make num_ops 0; depth_rejects = 0 }
+
+let reset_stats stats =
+  stats.crossovers <- 0;
+  Array.fill stats.op_counts 0 num_ops 0;
+  stats.depth_rejects <- 0
+
+let vary ?stats rng config ~dims parent1 parent2 =
   let max_bases = config.Config.max_bases in
   let child =
-    if Rng.bernoulli rng config.Config.crossover_probability then
+    if Rng.bernoulli rng config.Config.crossover_probability then begin
+      (match stats with Some s -> s.crossovers <- s.crossovers + 1 | None -> ());
       crossover_bases rng ~max_bases parent1 parent2
+    end
     else Array.copy parent1
   in
   let weights =
@@ -437,8 +454,10 @@ let vary rng config ~dims parent1 parent2 =
     |]
   in
   let before_depth = max_depth_of child in
+  let op = Rng.weighted_index rng weights in
+  (match stats with Some s -> s.op_counts.(op) <- s.op_counts.(op) + 1 | None -> ());
   let mutated =
-    match Rng.weighted_index rng weights with
+    match op with
     | 0 -> mutate_weight rng child
     | 1 -> mutate_vc rng config.Config.opset child
     | 2 -> crossover_vc rng child parent2
@@ -455,5 +474,8 @@ let vary rng config ~dims parent1 parent2 =
   if
     max_depth_of mutated > config.Config.max_depth
     && max_depth_of mutated > before_depth
-  then child
+  then begin
+    (match stats with Some s -> s.depth_rejects <- s.depth_rejects + 1 | None -> ());
+    child
+  end
   else mutated

@@ -14,11 +14,34 @@ module Expr = Caffeine_expr.Expr
 
 type individual = Expr.basis array
 
+type op_stats = {
+  mutable crossovers : int;  (** children whose basis sets were mixed *)
+  op_counts : int array;  (** applied mutations, indexed by operator id *)
+  mutable depth_rejects : int;  (** mutations discarded by the depth bound *)
+}
+(** Per-call tallies of {!vary} decisions.  Variation always runs
+    sequentially on the caller's RNG (see {!Caffeine_evo.Nsga2.run}), so
+    plain mutable fields suffice. *)
+
+val num_ops : int
+(** Number of variation operators ([Array.length op_counts]). *)
+
+val fresh_stats : unit -> op_stats
+val reset_stats : op_stats -> unit
+
 val vary :
-  Caffeine_util.Rng.t -> Config.t -> dims:int -> individual -> individual -> individual
+  ?stats:op_stats ->
+  Caffeine_util.Rng.t ->
+  Config.t ->
+  dims:int ->
+  individual ->
+  individual ->
+  individual
 (** Produce a child from two parents: with the configured probability the
     basis-function sets are first mixed, then a randomly chosen mutation is
-    applied (parameter mutation weighted by [param_mutation_weight]). *)
+    applied (parameter mutation weighted by [param_mutation_weight]).
+    When [stats] is given, the crossover decision, the applied operator and
+    any depth-bound rejection are tallied into it. *)
 
 (** The individual pieces are exposed for unit testing. *)
 

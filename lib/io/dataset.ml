@@ -328,6 +328,30 @@ let stats data =
     dot_evictions = !dot_evictions;
   }
 
+(* Gauges, not counters: {!stats} is a point-in-time aggregate over the
+   shards, so each publication overwrites the previous snapshot. *)
+module Metrics = Caffeine_obs.Metrics
+
+let g_columns_cached = Metrics.gauge Metrics.default "dataset.columns_cached"
+let g_column_hits = Metrics.gauge Metrics.default "dataset.column_hits"
+let g_column_misses = Metrics.gauge Metrics.default "dataset.column_misses"
+let g_column_evictions = Metrics.gauge Metrics.default "dataset.column_evictions"
+let g_dots_cached = Metrics.gauge Metrics.default "dataset.dots_cached"
+let g_dot_hits = Metrics.gauge Metrics.default "dataset.dot_hits"
+let g_dot_misses = Metrics.gauge Metrics.default "dataset.dot_misses"
+let g_dot_evictions = Metrics.gauge Metrics.default "dataset.dot_evictions"
+
+let publish_metrics data =
+  let s = stats data in
+  Metrics.set_gauge g_columns_cached (float_of_int s.columns_cached);
+  Metrics.set_gauge g_column_hits (float_of_int s.column_hits);
+  Metrics.set_gauge g_column_misses (float_of_int s.column_misses);
+  Metrics.set_gauge g_column_evictions (float_of_int s.column_evictions);
+  Metrics.set_gauge g_dots_cached (float_of_int s.dots_cached);
+  Metrics.set_gauge g_dot_hits (float_of_int s.dot_hits);
+  Metrics.set_gauge g_dot_misses (float_of_int s.dot_misses);
+  Metrics.set_gauge g_dot_evictions (float_of_int s.dot_evictions)
+
 let clear_cache data =
   Array.iter
     (fun shard ->

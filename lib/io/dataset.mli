@@ -111,6 +111,15 @@ val stats : t -> cache_stats
     start — {!clear_cache} drops entries but keeps counters), for cache
     effectiveness reporting ([fit --verbose], perf PRs). *)
 
+val publish_metrics : t -> unit
+(** Snapshot {!stats} into the {!Caffeine_obs.Metrics.default} registry as
+    gauges [dataset.columns_cached], [dataset.column_hits],
+    [dataset.column_misses], [dataset.column_evictions],
+    [dataset.dots_cached], [dataset.dot_hits], [dataset.dot_misses] and
+    [dataset.dot_evictions] (each call overwrites the previous snapshot).
+    The values depend on evaluation-order races between pool domains, so
+    they are reporting data, not part of the determinism contract. *)
+
 val clear_cache : t -> unit
 (** Drop every memoized column and dot product.  Useful between
     independent experiments on one dataset (e.g. benchmark repetitions)

@@ -1,0 +1,490 @@
+type run_start = {
+  seed : int;
+  pop_size : int;
+  generations : int;
+  max_bases : int;
+  samples : int;
+  dims : int;
+}
+
+type generation = {
+  gen : int;
+  evals : int;
+  front_size : int;
+  best_nmse : float;
+  median_nmse : float;
+  complexity_min : float;
+  complexity_median : float;
+  complexity_max : float;
+  crossovers : int;
+  op_counts : int array;
+  depth_rejects : int;
+  wall_s : float;
+}
+
+type sag_round = {
+  model_index : int;
+  round : int;
+  chosen : int;
+  press_before : float;
+  press_after : float;
+}
+
+type sag_model = {
+  model_index : int;
+  bases_before : int;
+  bases_after : int;
+}
+
+type cache_stats = {
+  columns_cached : int;
+  column_hits : int;
+  column_misses : int;
+  column_evictions : int;
+  dots_cached : int;
+  dot_hits : int;
+  dot_misses : int;
+  dot_evictions : int;
+}
+
+type run_end = {
+  front : (float * float) list;
+  total_wall_s : float;
+}
+
+type record =
+  | Run_start of run_start
+  | Generation of generation
+  | Sag_round of sag_round
+  | Sag_model of sag_model
+  | Cache_stats of cache_stats
+  | Run_end of run_end
+
+(* --- encoding ----------------------------------------------------------- *)
+
+(* %.17g round-trips every finite double through float_of_string; the three
+   non-finite values are not valid JSON numbers and travel as strings. *)
+let add_float buffer v =
+  if Float.is_nan v then Buffer.add_string buffer "\"NaN\""
+  else if v = Float.infinity then Buffer.add_string buffer "\"Infinity\""
+  else if v = Float.neg_infinity then Buffer.add_string buffer "\"-Infinity\""
+  else Buffer.add_string buffer (Printf.sprintf "%.17g" v)
+
+let add_fields buffer kind fields =
+  Buffer.add_string buffer "{\"type\":\"";
+  Buffer.add_string buffer kind;
+  Buffer.add_char buffer '"';
+  List.iter
+    (fun (name, write) ->
+      Buffer.add_string buffer ",\"";
+      Buffer.add_string buffer name;
+      Buffer.add_string buffer "\":";
+      write buffer)
+    fields;
+  Buffer.add_char buffer '}'
+
+let int_field v buffer = Buffer.add_string buffer (string_of_int v)
+let float_field v buffer = add_float buffer v
+
+let int_array_field values buffer =
+  Buffer.add_char buffer '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (string_of_int v))
+    values;
+  Buffer.add_char buffer ']'
+
+let pair_list_field pairs buffer =
+  Buffer.add_char buffer '[';
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_char buffer '[';
+      add_float buffer a;
+      Buffer.add_char buffer ',';
+      add_float buffer b;
+      Buffer.add_char buffer ']')
+    pairs;
+  Buffer.add_char buffer ']'
+
+let to_line record =
+  let buffer = Buffer.create 160 in
+  (match record with
+  | Run_start r ->
+      add_fields buffer "run_start"
+        [
+          ("seed", int_field r.seed);
+          ("pop_size", int_field r.pop_size);
+          ("generations", int_field r.generations);
+          ("max_bases", int_field r.max_bases);
+          ("samples", int_field r.samples);
+          ("dims", int_field r.dims);
+        ]
+  | Generation g ->
+      add_fields buffer "generation"
+        [
+          ("gen", int_field g.gen);
+          ("evals", int_field g.evals);
+          ("front_size", int_field g.front_size);
+          ("best_nmse", float_field g.best_nmse);
+          ("median_nmse", float_field g.median_nmse);
+          ("complexity_min", float_field g.complexity_min);
+          ("complexity_median", float_field g.complexity_median);
+          ("complexity_max", float_field g.complexity_max);
+          ("crossovers", int_field g.crossovers);
+          ("op_counts", int_array_field g.op_counts);
+          ("depth_rejects", int_field g.depth_rejects);
+          ("wall_s", float_field g.wall_s);
+        ]
+  | Sag_round r ->
+      add_fields buffer "sag_round"
+        [
+          ("model_index", int_field r.model_index);
+          ("round", int_field r.round);
+          ("chosen", int_field r.chosen);
+          ("press_before", float_field r.press_before);
+          ("press_after", float_field r.press_after);
+        ]
+  | Sag_model m ->
+      add_fields buffer "sag_model"
+        [
+          ("model_index", int_field m.model_index);
+          ("bases_before", int_field m.bases_before);
+          ("bases_after", int_field m.bases_after);
+        ]
+  | Cache_stats c ->
+      add_fields buffer "cache_stats"
+        [
+          ("columns_cached", int_field c.columns_cached);
+          ("column_hits", int_field c.column_hits);
+          ("column_misses", int_field c.column_misses);
+          ("column_evictions", int_field c.column_evictions);
+          ("dots_cached", int_field c.dots_cached);
+          ("dot_hits", int_field c.dot_hits);
+          ("dot_misses", int_field c.dot_misses);
+          ("dot_evictions", int_field c.dot_evictions);
+        ]
+  | Run_end r ->
+      add_fields buffer "run_end"
+        [
+          ("front", pair_list_field r.front); ("total_wall_s", float_field r.total_wall_s);
+        ]);
+  Buffer.contents buffer
+
+(* --- decoding ----------------------------------------------------------- *)
+
+(* Minimal JSON reader for the subset the encoder emits (objects, arrays,
+   numbers kept as raw lexemes so 63-bit ints survive, strings, literals).
+   Raw lexemes are converted per field, so integer fields never go through
+   a float. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of string
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let fail message = raise (Parse_error message) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = Stdlib.incr pos in
+  let skip_ws () =
+    while !pos < len && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < len && text.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %c at offset %d" c !pos)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub text !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "bad literal at offset %d" !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match text.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= len then fail "unterminated escape"
+             else
+               match text.[!pos] with
+               | '"' -> Buffer.add_char buffer '"'; advance ()
+               | '\\' -> Buffer.add_char buffer '\\'; advance ()
+               | '/' -> Buffer.add_char buffer '/'; advance ()
+               | 'b' -> Buffer.add_char buffer '\b'; advance ()
+               | 'f' -> Buffer.add_char buffer '\012'; advance ()
+               | 'n' -> Buffer.add_char buffer '\n'; advance ()
+               | 'r' -> Buffer.add_char buffer '\r'; advance ()
+               | 't' -> Buffer.add_char buffer '\t'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > len then fail "truncated \\u escape";
+                   let code =
+                     try int_of_string ("0x" ^ String.sub text !pos 4)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   (* Encode the BMP code point as UTF-8. *)
+                   if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+                   else if code < 0x800 then begin
+                     Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            loop ()
+        | c ->
+            Buffer.add_char buffer c;
+            advance ();
+            loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < len
+      && match text.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail (Printf.sprintf "expected a value at offset %d" start);
+    J_num (String.sub text start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let name = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((name, value) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((name, value) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          J_obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elements acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (value :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (value :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          J_arr (elements [])
+        end
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> parse_number ()
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail (Printf.sprintf "trailing input at offset %d" !pos);
+  value
+
+let obj_of = function J_obj fields -> fields | _ -> raise (Parse_error "expected an object")
+
+let member fields name =
+  match List.assoc_opt name fields with
+  | Some value -> value
+  | None -> raise (Parse_error (Printf.sprintf "missing field %S" name))
+
+let to_int name = function
+  | J_num raw -> (
+      match int_of_string_opt raw with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "field %S is not an integer" name)))
+  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an integer" name))
+
+let to_float name = function
+  | J_num raw -> (
+      match float_of_string_opt raw with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "field %S is not a number" name)))
+  | J_str "NaN" -> Float.nan
+  | J_str "Infinity" -> Float.infinity
+  | J_str "-Infinity" -> Float.neg_infinity
+  | _ -> raise (Parse_error (Printf.sprintf "field %S is not a number" name))
+
+let int_of fields name = to_int name (member fields name)
+let float_of fields name = to_float name (member fields name)
+
+let int_array_of fields name =
+  match member fields name with
+  | J_arr elements -> Array.of_list (List.map (to_int name) elements)
+  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an array" name))
+
+let pair_list_of fields name =
+  match member fields name with
+  | J_arr elements ->
+      List.map
+        (function
+          | J_arr [ a; b ] -> (to_float name a, to_float name b)
+          | _ -> raise (Parse_error (Printf.sprintf "field %S is not a list of pairs" name)))
+        elements
+  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an array" name))
+
+let of_line line =
+  match parse_json line with
+  | exception Parse_error message -> Error message
+  | json -> (
+      match
+        let fields = obj_of json in
+        match member fields "type" with
+        | J_str "run_start" ->
+            Run_start
+              {
+                seed = int_of fields "seed";
+                pop_size = int_of fields "pop_size";
+                generations = int_of fields "generations";
+                max_bases = int_of fields "max_bases";
+                samples = int_of fields "samples";
+                dims = int_of fields "dims";
+              }
+        | J_str "generation" ->
+            Generation
+              {
+                gen = int_of fields "gen";
+                evals = int_of fields "evals";
+                front_size = int_of fields "front_size";
+                best_nmse = float_of fields "best_nmse";
+                median_nmse = float_of fields "median_nmse";
+                complexity_min = float_of fields "complexity_min";
+                complexity_median = float_of fields "complexity_median";
+                complexity_max = float_of fields "complexity_max";
+                crossovers = int_of fields "crossovers";
+                op_counts = int_array_of fields "op_counts";
+                depth_rejects = int_of fields "depth_rejects";
+                wall_s = float_of fields "wall_s";
+              }
+        | J_str "sag_round" ->
+            Sag_round
+              {
+                model_index = int_of fields "model_index";
+                round = int_of fields "round";
+                chosen = int_of fields "chosen";
+                press_before = float_of fields "press_before";
+                press_after = float_of fields "press_after";
+              }
+        | J_str "sag_model" ->
+            Sag_model
+              {
+                model_index = int_of fields "model_index";
+                bases_before = int_of fields "bases_before";
+                bases_after = int_of fields "bases_after";
+              }
+        | J_str "cache_stats" ->
+            Cache_stats
+              {
+                columns_cached = int_of fields "columns_cached";
+                column_hits = int_of fields "column_hits";
+                column_misses = int_of fields "column_misses";
+                column_evictions = int_of fields "column_evictions";
+                dots_cached = int_of fields "dots_cached";
+                dot_hits = int_of fields "dot_hits";
+                dot_misses = int_of fields "dot_misses";
+                dot_evictions = int_of fields "dot_evictions";
+              }
+        | J_str "run_end" ->
+            Run_end
+              { front = pair_list_of fields "front"; total_wall_s = float_of fields "total_wall_s" }
+        | J_str other -> raise (Parse_error (Printf.sprintf "unknown record type %S" other))
+        | _ -> raise (Parse_error "missing record type")
+      with
+      | record -> Ok record
+      | exception Parse_error message -> Error message)
+
+let deterministic = function
+  | Run_start _ as record -> Some record
+  | Generation g -> Some (Generation { g with wall_s = 0. })
+  | Sag_round _ as record -> Some record
+  | Sag_model _ as record -> Some record
+  | Cache_stats _ -> None
+  | Run_end r -> Some (Run_end { r with total_wall_s = 0. })
+
+(* --- sinks -------------------------------------------------------------- *)
+
+type sink =
+  | Null
+  | Channel of { channel : out_channel; mutex : Mutex.t }
+  | Memory of { mutable records : record list; mutex : Mutex.t }
+
+let null = Null
+let is_null = function Null -> true | Channel _ | Memory _ -> false
+let of_channel channel = Channel { channel; mutex = Mutex.create () }
+let memory () = Memory { records = []; mutex = Mutex.create () }
+
+let contents = function
+  | Null | Channel _ -> []
+  | Memory m ->
+      Mutex.lock m.mutex;
+      let records = List.rev m.records in
+      Mutex.unlock m.mutex;
+      records
+
+let emit sink record =
+  match sink with
+  | Null -> ()
+  | Channel c ->
+      let line = to_line record in
+      Mutex.lock c.mutex;
+      output_string c.channel line;
+      output_char c.channel '\n';
+      Mutex.unlock c.mutex
+  | Memory m ->
+      Mutex.lock m.mutex;
+      m.records <- record :: m.records;
+      Mutex.unlock m.mutex

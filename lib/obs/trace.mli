@@ -1,0 +1,120 @@
+(** Structured JSONL run traces.
+
+    A trace is a sequence of typed records, one JSON object per line,
+    written through a {!sink}.  The schema separates {e deterministic}
+    content — counts, sizes, errors, complexities, selection decisions,
+    which for a fixed seed are bit-identical whatever the parallelism —
+    from {e nondeterministic} content (wall times, cache-effectiveness
+    counters that depend on racing duplicate evaluations).  The
+    {!deterministic} projection drops the latter, so two traces of the
+    same seeded run at different [--jobs] settings project to identical
+    line sequences; CI diffs exactly that.
+
+    Every record round-trips: [of_line (to_line r)] re-reads [r]
+    (non-finite floats included — they are encoded as the JSON strings
+    ["NaN"], ["Infinity"], ["-Infinity"]). *)
+
+(** {2 Records} *)
+
+type run_start = {
+  seed : int;
+  pop_size : int;
+  generations : int;
+  max_bases : int;
+  samples : int;
+  dims : int;
+}
+
+type generation = {
+  gen : int;  (** 0 = after initialization *)
+  evals : int;  (** objective evaluations this generation *)
+  front_size : int;  (** rank-0 members of the population *)
+  best_nmse : float;  (** best (lowest) training NMSE in the population *)
+  median_nmse : float;
+  complexity_min : float;
+  complexity_median : float;
+  complexity_max : float;
+  crossovers : int;  (** children built with basis-set crossover *)
+  op_counts : int array;  (** applied variation operators, by operator id *)
+  depth_rejects : int;  (** mutations discarded by the depth bound *)
+  wall_s : float;  (** nondeterministic *)
+}
+
+type sag_round = {
+  model_index : int;  (** position of the model in the processed front *)
+  round : int;  (** forward-selection round, 0-based *)
+  chosen : int;  (** index of the accepted candidate column *)
+  press_before : float;
+  press_after : float;
+}
+
+type sag_model = {
+  model_index : int;
+  bases_before : int;
+  bases_after : int;  (** [bases_before - bases_after] bases were pruned *)
+}
+
+type cache_stats = {
+  columns_cached : int;
+  column_hits : int;
+  column_misses : int;
+  column_evictions : int;
+  dots_cached : int;
+  dot_hits : int;
+  dot_misses : int;
+  dot_evictions : int;
+}
+(** Nondeterministic across jobs settings: racing duplicate evaluations
+    shift hits/misses, so the whole record is dropped by
+    {!deterministic}. *)
+
+type run_end = {
+  front : (float * float) list;  (** (complexity, train NMSE) per model *)
+  total_wall_s : float;  (** nondeterministic *)
+}
+
+type record =
+  | Run_start of run_start
+  | Generation of generation
+  | Sag_round of sag_round
+  | Sag_model of sag_model
+  | Cache_stats of cache_stats
+  | Run_end of run_end
+
+(** {2 JSONL codec} *)
+
+val to_line : record -> string
+(** One-line JSON object (no trailing newline), fields in a fixed order. *)
+
+val of_line : string -> (record, string) result
+
+val deterministic : record -> record option
+(** The jobs-invariant projection: [None] for {!Cache_stats}; other
+    records with their nondeterministic fields ([wall_s], [total_wall_s])
+    zeroed. *)
+
+(** {2 Sinks} *)
+
+type sink
+(** Where records go.  The {!null} sink drops everything and is the
+    signal for instrumented code to skip building records at all. *)
+
+val null : sink
+
+val is_null : sink -> bool
+(** [true] only for {!null}: instrumentation guards on this so a disabled
+    trace costs one branch per potential record. *)
+
+val of_channel : out_channel -> sink
+(** Append [to_line record] lines to the channel.  Writes are serialized
+    by a mutex, so pool domains may emit concurrently; the caller keeps
+    ownership of the channel and closes it after the run. *)
+
+val memory : unit -> sink
+(** Collect records in memory (mutex-protected); read with {!contents}. *)
+
+val contents : sink -> record list
+(** Records collected so far, in emission order.  Empty for non-memory
+    sinks. *)
+
+val emit : sink -> record -> unit

@@ -13,6 +13,19 @@
    results to its own slots, so the result array is position-for-position
    what the sequential map would produce. *)
 
+module Metrics = Caffeine_obs.Metrics
+
+(* Handles into the default registry, created eagerly at module
+   initialization on the main domain ([Lazy] would be unsafe to force from
+   several domains at once).  Updates are single atomic operations on the
+   hot path. *)
+let m_batches = Metrics.counter Metrics.default "pool.batches"
+let m_tasks = Metrics.counter Metrics.default "pool.tasks"
+let m_sequential_fallbacks = Metrics.counter Metrics.default "pool.sequential_fallbacks"
+let m_tasks_abandoned = Metrics.counter Metrics.default "pool.tasks_abandoned"
+let m_task_imbalance = Metrics.gauge Metrics.default "pool.task_imbalance"
+let m_batch_timer = Metrics.timer Metrics.default "pool.batch"
+
 type t = {
   size : int;  (* total parallelism, including the submitting domain *)
   mutable workers : unit Domain.t array;
@@ -133,18 +146,25 @@ let run_batch pool batch =
 let parallel_map pool f input =
   let n = Array.length input in
   if n <= 1 then Array.map f input
-  else if
-    Array.length pool.workers = 0 || not (Atomic.compare_and_set pool.busy false true)
-  then
-    (* Sequential pool, nested call from inside a batch, or concurrent
-       submitter: run on the calling domain. *)
+  else if Array.length pool.workers = 0 then Array.map f input
+  else if not (Atomic.compare_and_set pool.busy false true) then begin
+    (* Nested call from inside a batch, or concurrent submitter: run on
+       the calling domain. *)
+    Metrics.incr m_sequential_fallbacks;
     Array.map f input
+  end
   else begin
     let results = Array.make n None in
     let failure = Atomic.make None in
     let next = Atomic.make 0 in
     let chunk = Stdlib.max 1 (n / (pool.size * 8)) in
+    (* One slot per participating domain (workers + submitter), claimed at
+       batch entry; per-slot tallies feed the imbalance gauge. *)
+    let slots = Atomic.make 0 in
+    let processed = Array.init pool.size (fun _ -> Atomic.make 0) in
     let batch () =
+      let slot = Atomic.fetch_and_add slots 1 in
+      let mine = ref 0 in
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
@@ -154,18 +174,36 @@ let parallel_map pool f input =
           let i = ref start in
           while !i < stop && Atomic.get failure = None do
             (match f input.(!i) with
-            | value -> results.(!i) <- Some value
+            | value ->
+                results.(!i) <- Some value;
+                incr mine
             | exception exn ->
                 let backtrace = Printexc.get_raw_backtrace () in
                 ignore (Atomic.compare_and_set failure None (Some (exn, backtrace))));
             incr i
           done
-      done
+      done;
+      Atomic.set processed.(slot) !mine
     in
+    let start_ns = Metrics.now_ns () in
     run_batch pool batch;
+    Metrics.record_span m_batch_timer ~start_ns ~stop_ns:(Metrics.now_ns ());
     Atomic.set pool.busy false;
+    Metrics.incr m_batches;
+    let completed = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 processed in
+    Metrics.add m_tasks completed;
+    let most = Array.fold_left (fun acc c -> Stdlib.max acc (Atomic.get c)) 0 processed in
+    let least = Array.fold_left (fun acc c -> Stdlib.min acc (Atomic.get c)) max_int processed in
+    (* 0 = every domain processed the same share; k = the spread between the
+       busiest and idlest domain was k ideal shares. *)
+    Metrics.set_gauge m_task_imbalance
+      (float_of_int (most - least) *. float_of_int pool.size /. float_of_int n);
     match Atomic.get failure with
-    | Some (exn, backtrace) -> Printexc.raise_with_backtrace exn backtrace
+    | Some (exn, backtrace) ->
+        (* Everything not completed by the time the workers drained is
+           abandoned: at least the failing element itself. *)
+        Metrics.add m_tasks_abandoned (n - completed);
+        Printexc.raise_with_backtrace exn backtrace
     | None -> Array.map (function Some value -> value | None -> assert false) results
   end
 

@@ -13,7 +13,20 @@
     issued while the pool is already running a batch (for example from
     inside a worker, as happens when parallel islands each try to
     parallelize their inner evaluation loop) silently degrades to a
-    sequential [Array.map] on the calling domain. *)
+    sequential [Array.map] on the calling domain.
+
+    {2 Metrics}
+
+    The pool reports utilization into
+    {!Caffeine_obs.Metrics.default}: counters [pool.batches],
+    [pool.tasks] (elements completed in parallel batches),
+    [pool.sequential_fallbacks] (parallel calls that degraded to the
+    calling domain because a batch was already in flight) and
+    [pool.tasks_abandoned] (elements left undone when a batch raised —
+    always at least the failing element); the timer [pool.batch]
+    (submitter wall time per batch); and the gauge [pool.task_imbalance]
+    (spread between the busiest and idlest domain of the last batch, in
+    ideal per-domain shares: 0 = perfectly balanced). *)
 
 type t
 (** A pool of worker domains (possibly zero) plus the calling domain. *)

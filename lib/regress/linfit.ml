@@ -2,6 +2,17 @@ module Matrix = Caffeine_linalg.Matrix
 module Decomp = Caffeine_linalg.Decomp
 module Qr_update = Caffeine_linalg.Qr_update
 module Stats = Caffeine_util.Stats
+module Metrics = Caffeine_obs.Metrics
+
+(* Eager handles into the default registry (module initialization runs on
+   the main domain; the updates themselves are atomic and fire from pool
+   workers).  The fallback counters are the interesting ones: they count
+   how often the fast incremental/Gram paths gave up and refactorized. *)
+let m_fits = Metrics.counter Metrics.default "linfit.fits"
+let m_qr_fallbacks = Metrics.counter Metrics.default "linfit.qr_fallbacks"
+let m_gram_fits = Metrics.counter Metrics.default "linfit.gram_fits"
+let m_gram_fallbacks = Metrics.counter Metrics.default "linfit.gram_fallbacks"
+let m_forward_rounds = Metrics.counter Metrics.default "linfit.forward_rounds"
 
 type t = {
   intercept : float;
@@ -67,9 +78,11 @@ let fit ~basis_values ~targets =
         train_error = Stats.normalized_error targets predictions;
       }
     in
+    Metrics.incr m_fits;
     match incremental_design basis_values targets with
     | Some qr -> finish (Qr_update.coefficients qr) (Qr_update.predictions qr)
     | None ->
+        Metrics.incr m_qr_fallbacks;
         let design = design_matrix basis_values in
         let coeffs = Decomp.lstsq design targets in
         finish coeffs (Matrix.mul_vec design coeffs)
@@ -106,7 +119,9 @@ let press ~basis_values ~targets =
     if n <> Array.length targets then invalid_arg "Linfit.press: sample count mismatch";
     match incremental_design basis_values targets with
     | Some qr -> Qr_update.press qr
-    | None -> Decomp.press (design_matrix basis_values) targets
+    | None ->
+        Metrics.incr m_qr_fallbacks;
+        Decomp.press (design_matrix basis_values) targets
   end
 
 (* Per-individual fast path: solve the normal equations from a bordered
@@ -129,7 +144,11 @@ let fit_gram ~dot ~dot_y ~col_sum ~basis_values ~targets =
           else if j = 0 then col_sum (i - 1)
           else dot (i - 1) (j - 1))
     in
-    let fallback () = fit ~basis_values ~targets in
+    Metrics.incr m_gram_fits;
+    let fallback () =
+      Metrics.incr m_gram_fallbacks;
+      fit ~basis_values ~targets
+    in
     let degenerate = ref false in
     let d =
       Array.init dim (fun i ->
@@ -192,7 +211,7 @@ let fit_gram ~dot ~dot_y ~col_sum ~basis_values ~targets =
     end
   end
 
-let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets () =
+let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ?on_round ~basis_values ~targets () =
   let total = Array.length basis_values in
   let cap = match max_bases with Some m -> min m total | None -> total in
   let n = Array.length targets in
@@ -259,6 +278,12 @@ let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ~basis_values ~targets (
       scores;
     match !best with
     | Some (candidate, score) when score < !current_press *. (1. -. tolerance) ->
+        Metrics.incr m_forward_rounds;
+        (match on_round with
+        | Some f ->
+            f ~round:!chosen_count ~chosen:candidate ~press_before:!current_press
+              ~press_after:score
+        | None -> ());
         chosen_mask.(candidate) <- true;
         chosen := candidate :: !chosen;
         chosen_store.(!chosen_count) <- basis_values.(candidate);

@@ -16,7 +16,13 @@
     the engine rejects it and the code falls back to the scratch
     {!Caffeine_linalg.Decomp} path (ridge regression), so results agree
     with the pre-engine implementation within 1e-8 relative.  {!fit_gram}
-    adds a normal-equations fast path fed by memoized dot products. *)
+    adds a normal-equations fast path fed by memoized dot products.
+
+    The engine reports into {!Caffeine_obs.Metrics.default}: counters
+    [linfit.fits], [linfit.qr_fallbacks] (rank-deficient sets refactorized
+    by the scratch path), [linfit.gram_fits], [linfit.gram_fallbacks]
+    (Gram solves that tripped a conditioning guard) and
+    [linfit.forward_rounds] (accepted forward-selection rounds). *)
 
 type t = {
   intercept : float;
@@ -68,6 +74,8 @@ val forward_select :
   ?pool:Caffeine_par.Pool.t ->
   ?max_bases:int ->
   ?tolerance:float ->
+  ?on_round:
+    (round:int -> chosen:int -> press_before:float -> press_after:float -> unit) ->
   basis_values:float array array ->
   targets:float array ->
   unit ->
@@ -78,6 +86,9 @@ val forward_select :
     default [1e-6]) or when [max_bases] columns are selected.  Returns the
     chosen column indices in selection order.  Columns with non-finite
     values — or whose trial fit is singular — are never selected.
+    [on_round] observes each accepted round at its commit point, on the
+    calling domain: the 0-based [round], the [chosen] column index, and the
+    PRESS value before and after the addition.
 
     The chosen set is held as one live updatable factorization; each
     candidate is scored by a non-mutating O(n·k) single-column PRESS probe

@@ -364,7 +364,7 @@ let test_search_on_generation_callback () =
   let calls = ref 0 in
   let _ =
     Search.run ~seed:22
-      ~on_generation:(fun _ ~best_error:_ ~front_size:_ -> incr calls)
+      ~on_generation:(fun (_ : Caffeine_obs.Trace.generation) -> incr calls)
       config ~data:(data_of inputs) ~targets
   in
   Alcotest.(check bool) "callback invoked per generation" true (!calls >= 5)

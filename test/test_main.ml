@@ -17,6 +17,7 @@ let () =
       ("posyn", Test_posyn.suite);
       ("core", Test_core.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("export", Test_export.suite);
       ("io", Test_io.suite);
       ("cli", Test_cli.suite);
