@@ -23,6 +23,7 @@ module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
+module Checkpoint = Caffeine.Checkpoint
 module Pool = Caffeine_par.Pool
 module Metrics = Caffeine_obs.Metrics
 module Trace = Caffeine_obs.Trace
@@ -132,7 +133,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose trace_path metrics out =
+let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -165,15 +166,94 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
     target (Array.length targets) (Array.length var_names) pop gens seed jobs;
   let trace_channel = Option.map open_out trace_path in
   let trace = match trace_channel with Some ch -> Trace.of_channel ch | None -> Trace.null in
+  (* Checkpointing: --resume keeps writing to the same snapshot file unless
+     --checkpoint names a different one. *)
+  let resume_snapshot =
+    match resume_path with
+    | None -> None
+    | Some path -> (
+        match Checkpoint.load ~path with
+        | Ok snapshot -> Some snapshot
+        | Error msg ->
+            Printf.eprintf "cannot resume from %s: %s\n" path msg;
+            exit 2)
+  in
+  let checkpoint_path =
+    match checkpoint_opt with Some _ as given -> given | None -> resume_path
+  in
+  let fingerprint =
+    if Option.is_some checkpoint_path || Option.is_some resume_snapshot then
+      Some (Checkpoint.fingerprint config ~data ~targets)
+    else None
+  in
+  (match (resume_snapshot, fingerprint) with
+  | Some snapshot, Some fp -> (
+      match Checkpoint.validate snapshot ~fingerprint:fp ~seed ~restarts:1 with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "cannot resume from %s: %s\n" (Option.get resume_path) msg;
+          exit 2)
+  | _ -> ());
+  let save_sag_snapshot ~front ~processed ~gen =
+    match (checkpoint_path, fingerprint) with
+    | Some path, Some fp ->
+        Checkpoint.save ~path
+          {
+            Checkpoint.fingerprint = fp;
+            seed;
+            restarts = 1;
+            phase = Checkpoint.Simplifying { front; processed };
+          };
+        if not (Trace.is_null trace) then
+          Trace.emit trace
+            (Trace.Checkpoint_written { path; phase = "simplifying"; island = -1; gen })
+    | _ -> ()
+  in
+  (* --kill-after: die right after generation N's record, before the next
+     snapshot — the harness then resumes from the last multiple of
+     --checkpoint-every and must reproduce the uninterrupted front. *)
+  let on_generation =
+    Option.map
+      (fun limit (record : Trace.generation) ->
+        if record.Trace.gen >= limit then begin
+          Printf.eprintf "killed after generation %d (--kill-after)\n" record.Trace.gen;
+          exit 3
+        end)
+      kill_after
+  in
   (* One pool serves both the evolutionary run and SAG forward selection;
      with jobs = 1 no pool (and no extra domain) is created at all. *)
   let front =
     Pool.with_optional_pool ~jobs @@ fun pool ->
-    let outcome = Search.run ~seed ?pool ~trace config ~data ~targets in
-    if no_sag then outcome.Search.front
-    else
-      Sag.process_front ?pool ~trace ~wb:config.Config.wb ~wvc:config.Config.wvc
-        outcome.Search.front ~data ~targets
+    let run_sag ?(already = []) front =
+      if no_sag then front
+      else begin
+        if already = [] then save_sag_snapshot ~front ~processed:[] ~gen:(-1);
+        let processed = ref (List.rev already) in
+        let on_model index model =
+          processed := model :: !processed;
+          save_sag_snapshot ~front ~processed:(List.rev !processed) ~gen:index
+        in
+        Sag.process_front ?pool ~trace ~already ~on_model ~wb:config.Config.wb
+          ~wvc:config.Config.wvc front ~data ~targets
+      end
+    in
+    match resume_snapshot with
+    | Some { Checkpoint.phase = Checkpoint.Simplifying { front; processed }; _ } ->
+        (* Evolution already finished when this snapshot was written: go
+           straight back into SAG, skipping the simplified prefix. *)
+        Metrics.incr (Metrics.counter Metrics.default "checkpoint.resumed");
+        if not (Trace.is_null trace) then
+          Trace.emit trace
+            (Trace.Run_resumed
+               { phase = "simplifying"; island = -1; gen = List.length processed });
+        run_sag ~already:processed front
+    | Some _ | None ->
+        let outcome =
+          Search.run ~seed ?pool ~trace ?on_generation ?checkpoint_path ~checkpoint_every
+            ?resume:resume_snapshot config ~data ~targets
+        in
+        run_sag outcome.Search.front
   in
   (match trace_channel with
   | None -> ()
@@ -300,13 +380,50 @@ let metrics_arg =
           "Print the process-wide metrics registry after the run (pool utilization, regression \
            engine counters, dataset cache gauges).")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a resumable snapshot of the full run state to FILE every --checkpoint-every \
+           generations, after the evolution finishes, and after each model is simplified (write \
+           to a temporary file, then atomic rename).  Resume with --resume; the resumed run's \
+           final front is identical to the uninterrupted run's, at any --jobs.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Generations between snapshot writes (default 10).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume an interrupted run from a snapshot written by --checkpoint.  The snapshot must \
+           match this run's configuration, data, target and --seed (checked by fingerprint).  \
+           Snapshot writes continue to the same file unless --checkpoint names another.")
+
+let kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after" ] ~docv:"N"
+        ~doc:
+          "Exit with status 3 right after generation N — a testing aid that simulates a mid-run \
+           kill for checkpoint/resume verification.")
+
 let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
   Cmd.v info
     Term.(
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
       $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
-      $ metrics_arg $ fit_out_arg)
+      $ metrics_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg
+      $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -564,6 +681,9 @@ let trace_command path counts =
     and sag_rounds = ref 0
     and sag_models = ref 0
     and cache_stats = ref 0
+    and checkpoints = ref 0
+    and resumes = ref 0
+    and warnings = ref 0
     and run_ends = ref 0 in
     let last_generation = ref None in
     let final_front = ref None in
@@ -577,6 +697,9 @@ let trace_command path counts =
         | Trace.Sag_round _ -> incr sag_rounds
         | Trace.Sag_model _ -> incr sag_models
         | Trace.Cache_stats _ -> incr cache_stats
+        | Trace.Checkpoint_written _ -> incr checkpoints
+        | Trace.Run_resumed _ -> incr resumes
+        | Trace.Warning _ -> incr warnings
         | Trace.Run_end r ->
             incr run_ends;
             final_front := Some r)
@@ -587,6 +710,9 @@ let trace_command path counts =
     Printf.printf "  sag_round   %d\n" !sag_rounds;
     Printf.printf "  sag_model   %d\n" !sag_models;
     Printf.printf "  cache_stats %d\n" !cache_stats;
+    Printf.printf "  checkpoint  %d\n" !checkpoints;
+    Printf.printf "  resumed     %d\n" !resumes;
+    Printf.printf "  warning     %d\n" !warnings;
     Printf.printf "  run_end     %d\n" !run_ends;
     (match !last_generation with
     | Some g ->

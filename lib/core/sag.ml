@@ -3,6 +3,10 @@ module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Trace = Caffeine_obs.Trace
 
+let log_src = Logs.Src.create "caffeine.sag" ~doc:"CAFFEINE post-run simplification"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type scored = {
   model : Model.t;
   test_error : float;
@@ -62,10 +66,20 @@ let dedup_by_key key models =
        (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
        [] models)
 
-let process_front ?pool ?trace ~wb ~wvc front ~data ~targets =
+let process_front ?pool ?trace ?(already = []) ?on_model ~wb ~wvc front ~data ~targets =
+  (* [already] is the prefix of results a resumed run restored from its
+     checkpoint: those members are not re-simplified (fronts are small, so
+     the List.nth walk is irrelevant). *)
+  let skip = List.length already in
   let simplified =
     List.mapi
-      (fun model_index m -> simplify_model ?pool ?trace ~model_index ~wb ~wvc m ~data ~targets)
+      (fun model_index m ->
+        if model_index < skip then List.nth already model_index
+        else begin
+          let result = simplify_model ?pool ?trace ~model_index ~wb ~wvc m ~data ~targets in
+          (match on_model with None -> () | Some f -> f model_index result);
+          result
+        end)
       front
   in
   let key (m : Model.t) = (m.Model.train_error, m.Model.complexity) in
@@ -74,16 +88,31 @@ let process_front ?pool ?trace ~wb ~wvc front ~data ~targets =
   |> dedup_by_key key
   |> List.sort (fun a b -> compare a.Model.complexity b.Model.complexity)
 
-let test_tradeoff front ~data ~targets =
+let test_tradeoff ?(trace = Trace.null) front ~data ~targets =
   let scored =
     List.map (fun m -> { model = m; test_error = Model.error_on m ~data ~targets }) front
   in
   let usable = List.filter (fun s -> Float.is_finite s.test_error) scored in
-  let key s = (s.test_error, s.model.Model.complexity) in
-  usable
-  |> nondominated_by key
-  |> dedup_by_key key
-  |> List.sort (fun a b -> compare a.model.Model.complexity b.model.Model.complexity)
+  match (usable, scored) with
+  | [], _ :: _ ->
+      (* Every model blew up on the testing data (out-of-range samples can
+         do this to the whole front at once).  Returning [] here silently
+         discards the entire run, so fall back to the train-error tradeoff
+         and say so. *)
+      let message =
+        "every model has non-finite test error; falling back to the train-error tradeoff"
+      in
+      Log.warn (fun m -> m "%s" message);
+      if not (Trace.is_null trace) then
+        Trace.emit trace (Trace.Warning { context = "sag.test_tradeoff"; message });
+      let key s = (s.model.Model.train_error, s.model.Model.complexity) in
+      scored |> dedup_by_key key |> List.sort (fun a b -> compare (key a) (key b))
+  | _ ->
+      let key s = (s.test_error, s.model.Model.complexity) in
+      usable
+      |> nondominated_by key
+      |> dedup_by_key key
+      |> List.sort (fun a b -> compare a.model.Model.complexity b.model.Model.complexity)
 
 let best_within scored ~train_cap ~test_cap =
   List.find_opt

@@ -42,6 +42,8 @@ val simplify_model :
 val process_front :
   ?pool:Caffeine_par.Pool.t ->
   ?trace:Caffeine_obs.Trace.sink ->
+  ?already:Model.t list ->
+  ?on_model:(int -> Model.t -> unit) ->
   wb:float ->
   wvc:float ->
   Model.t list ->
@@ -50,15 +52,30 @@ val process_front :
   Model.t list
 (** Apply {!simplify_model} to every front member (tagging records with the
     member's position in [front]) and re-extract the nondominated
-    (train error, complexity) set, sorted by complexity. *)
+    (train error, complexity) set, sorted by complexity.
+
+    [already] (default [[]]) is a prefix of previously simplified results —
+    a resumed run's checkpointed SAG progress: the first
+    [List.length already] members are taken from it verbatim instead of
+    being re-simplified.  [on_model] observes each freshly simplified
+    member (index in [front], result) as it completes; the CLI checkpoints
+    from this callback. *)
 
 val test_tradeoff :
+  ?trace:Caffeine_obs.Trace.sink ->
   Model.t list ->
   data:Dataset.t ->
   targets:float array ->
   scored list
 (** Score each model on testing data and keep only models on the
-    (test error, complexity) tradeoff, sorted by increasing complexity. *)
+    (test error, complexity) tradeoff, sorted by increasing complexity.
+
+    When {e every} model's test error is non-finite (the whole front blew
+    up on out-of-range testing samples), an empty result would silently
+    discard the run — instead the full front is returned ordered by
+    (train error, complexity), and the condition is surfaced as a
+    {!Caffeine_obs.Trace.Warning} on [trace] plus a warning on the
+    ["caffeine.sag"] {!Logs} source. *)
 
 val best_within :
   scored list -> train_cap:float -> test_cap:float -> scored option

@@ -76,7 +76,8 @@ let with_search_pool ?pool config f =
   | Some _ -> f pool
   | None -> Pool.with_optional_pool ~jobs:config.Config.jobs f
 
-let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation config ~data ~targets =
+let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation ?start ?on_checkpoint config
+    ~data ~targets =
   let dims = validate_data ~data ~targets in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
@@ -128,10 +129,17 @@ let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation config ~data ~t
       Vary.reset_stats vary_stats;
       if not (Trace.is_null trace) then Trace.emit trace (Trace.Generation record);
       match on_generation with None -> () | Some f -> f record
-    end
+    end;
+    (* Checkpoint capture runs after the generation record so a traced,
+       checkpointed run interleaves them in (Generation, Checkpoint_written)
+       order.  Capturing here — right after environmental selection, before
+       the next tournament draw — consumes no randomness, so the generator
+       state the callback snapshots is exactly what generation [gen + 1]
+       needs. *)
+    match on_checkpoint with None -> () | Some f -> f gen population
   in
   let population =
-    Nsga2.run ~on_generation:notify ?pool ~rng
+    Nsga2.run ~on_generation:notify ?pool ?start ~rng
       {
         Nsga2.pop_size = config.Config.pop_size;
         generations = config.Config.generations;
@@ -188,20 +196,182 @@ let emit_run_end trace ~start_ns outcome =
              Int64.to_float (Int64.sub (Metrics.now_ns ()) start_ns) /. 1e9;
          })
 
-let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation config ~data ~targets =
+let merge_fronts fronts = dedup_and_sort (List.concat fronts)
+
+(* {2 Checkpointing}
+
+   Both entry points drive the same island loop over a mutable
+   [Checkpoint.island array]: each slot advances Pending -> In_progress ->
+   Done, and every write serializes the whole array — so a snapshot always
+   carries the finished fronts of earlier islands alongside the live one. *)
+
+type checkpoint_ctx = {
+  ckpt_path : string;
+  ckpt_every : int;
+  ckpt_fingerprint : string;
+  ckpt_seed : int;
+}
+
+let m_resumed = Metrics.counter Metrics.default "checkpoint.resumed"
+
+let save_snapshot ~trace ctx islands ~island ~gen =
+  Checkpoint.save ~path:ctx.ckpt_path
+    {
+      Checkpoint.fingerprint = ctx.ckpt_fingerprint;
+      seed = ctx.ckpt_seed;
+      restarts = Array.length islands;
+      phase = Checkpoint.Evolving islands;
+    };
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Checkpoint_written { path = ctx.ckpt_path; phase = "evolving"; island; gen })
+
+(* Initial island states: fresh generator snapshots, or (validated against
+   this run's fingerprint, seed and island count) the snapshot's islands. *)
+let resume_islands ?resume ~trace ~fingerprint ~seed ~restarts ~entry fresh_states =
+  match resume with
+  | None -> Array.map (fun state -> Checkpoint.Pending state) fresh_states
+  | Some snapshot -> (
+      (match Checkpoint.validate snapshot ~fingerprint ~seed ~restarts with
+      | Ok () -> ()
+      | Error message -> invalid_arg (entry ^ ": cannot resume: " ^ message));
+      match snapshot.Checkpoint.phase with
+      | Checkpoint.Simplifying _ ->
+          invalid_arg
+            (entry ^ ": cannot resume: checkpoint is in the simplifying phase, not the search")
+      | Checkpoint.Evolving islands ->
+          Metrics.incr m_resumed;
+          if not (Trace.is_null trace) then begin
+            (* Report the first island with work left: its index and last
+               completed generation (-1 when it never started, and for both
+               fields when every island already finished). *)
+            let island = ref (-1) and gen = ref (-1) in
+            (try
+               Array.iteri
+                 (fun k (state : Checkpoint.island) ->
+                   match state with
+                   | Checkpoint.Done _ -> ()
+                   | Checkpoint.Pending _ ->
+                       island := k;
+                       raise Exit
+                   | Checkpoint.In_progress { gen = g; _ } ->
+                       island := k;
+                       gen := g;
+                       raise Exit)
+                 islands
+             with Exit -> ());
+            Trace.emit trace
+              (Trace.Run_resumed { phase = "evolving"; island = !island; gen = !gen })
+          end;
+          Array.copy islands)
+
+let run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets =
+  let generations = config.Config.generations in
+  let run_island k =
+    match islands.(k) with
+    | Checkpoint.Done front -> front
+    | Checkpoint.Pending _ | Checkpoint.In_progress _ ->
+        let rng, start =
+          match islands.(k) with
+          | Checkpoint.Pending state -> (Rng.of_state state, None)
+          | Checkpoint.In_progress { gen; rng; population } ->
+              (Rng.of_state rng, Some (gen, population))
+          | Checkpoint.Done _ -> assert false
+        in
+        let on_checkpoint =
+          Option.map
+            (fun ctx gen population ->
+              if gen > 0 && gen mod ctx.ckpt_every = 0 && gen < generations then begin
+                islands.(k) <-
+                  Checkpoint.In_progress { gen; rng = Rng.to_state rng; population };
+                save_snapshot ~trace ctx islands ~island:k ~gen
+              end)
+            checkpoint
+        in
+        let on_generation = Option.map (fun f record -> f ~island:k record) on_generation in
+        let outcome =
+          (* Each island reuses the shared pool for its inner evaluation
+             loop; when the islands themselves are fanned out below, those
+             nested calls fall back to sequential evaluation inside the
+             island. *)
+          run_with_rng ~rng ?pool ~trace ?on_generation ?start ?on_checkpoint config ~data
+            ~targets
+        in
+        (match checkpoint with
+        | Some ctx ->
+            islands.(k) <- Checkpoint.Done outcome.front;
+            save_snapshot ~trace ctx islands ~island:k ~gen:generations
+        | None -> ());
+        outcome.front
+  in
+  let indices = Array.init (Array.length islands) (fun k -> k) in
+  (* A live trace, a generation callback or a checkpoint file pins the
+     islands to the calling domain, so records arrive in island order and
+     snapshot writes never race — the same sequence at every jobs setting
+     (the pool still parallelizes each island's inner evaluation loop).
+     Only the unobserved path fans whole islands out. *)
+  match pool with
+  | Some pool
+    when Array.length islands > 1 && Trace.is_null trace && Option.is_none on_generation
+         && Option.is_none checkpoint ->
+      Pool.parallel_map pool run_island indices
+  | Some _ | None -> Array.map run_island indices
+
+let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry config ~data
+    ~targets =
+  if checkpoint_every < 1 then invalid_arg (entry ^ ": checkpoint_every must be at least 1");
+  let fingerprint =
+    if Option.is_some checkpoint_path || Option.is_some resume then
+      Checkpoint.fingerprint config ~data ~targets
+    else ""
+  in
+  let checkpoint =
+    Option.map
+      (fun path ->
+        {
+          ckpt_path = path;
+          ckpt_every = checkpoint_every;
+          ckpt_fingerprint = fingerprint;
+          ckpt_seed = seed;
+        })
+      checkpoint_path
+  in
+  (fingerprint, checkpoint)
+
+let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
+    ?(checkpoint_every = 10) ?resume config ~data ~targets =
+  ignore (validate_data ~data ~targets);
+  let fingerprint, checkpoint =
+    checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry:"Search.run"
+      config ~data ~targets
+  in
   emit_run_start trace ~seed config ~data;
   let start_ns = Metrics.now_ns () in
+  let fresh = [| Rng.to_state (Rng.create ~seed ()) |] in
+  let islands =
+    resume_islands ?resume ~trace ~fingerprint ~seed ~restarts:1 ~entry:"Search.run" fresh
+  in
   let outcome =
     with_search_pool ?pool config @@ fun pool ->
-    run_with_rng ~rng:(Rng.create ~seed ()) ?pool ~trace ?on_generation config ~data ~targets
+    let on_generation = Option.map (fun f ~island:_ record -> f record) on_generation in
+    let fronts = run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets in
+    {
+      front = fronts.(0);
+      population_size = config.Config.pop_size;
+      generations_run = config.Config.generations;
+    }
   in
   emit_run_end trace ~start_ns outcome;
   outcome
 
-let merge_fronts fronts = dedup_and_sort (List.concat fronts)
-
-let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ~restarts config ~data ~targets =
+let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
+    ?(checkpoint_every = 10) ?resume ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
+  ignore (validate_data ~data ~targets);
+  let fingerprint, checkpoint =
+    checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed
+      ~entry:"Search.run_multi" config ~data ~targets
+  in
   emit_run_start trace ~seed config ~data;
   let start_ns = Metrics.now_ns () in
   (* Island RNGs are split off the master sequentially before any parallel
@@ -209,30 +379,18 @@ let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ~restarts config ~data ~t
      back-to-back or fanned out across domains — and a [restarts = r] run
      shares its first r islands with any larger run of the same seed. *)
   let master = Rng.create ~seed () in
-  let islands = Array.make restarts master in
+  let fresh = Array.make restarts (Rng.to_state master) in
   for k = 0 to restarts - 1 do
-    islands.(k) <- Rng.split master
+    fresh.(k) <- Rng.to_state (Rng.split master)
   done;
+  let islands =
+    resume_islands ?resume ~trace ~fingerprint ~seed ~restarts ~entry:"Search.run_multi" fresh
+  in
   with_search_pool ?pool config @@ fun pool ->
-  let run_island rng =
-    (* Each island reuses the shared pool for its inner evaluation loop;
-       when the islands themselves are fanned out below, those nested
-       calls fall back to sequential evaluation inside the island. *)
-    run_with_rng ~rng ?pool ~trace config ~data ~targets
-  in
-  let outcomes =
-    (* A live trace pins the islands to the calling domain so their
-       generation records arrive in island order — the same sequence at
-       every jobs setting (the pool still parallelizes each island's inner
-       evaluation loop).  Only the untraced path fans whole islands out. *)
-    match pool with
-    | Some pool when restarts > 1 && Trace.is_null trace ->
-        Pool.parallel_map pool run_island islands
-    | Some _ | None -> Array.map run_island islands
-  in
+  let fronts = run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets in
   let outcome =
     {
-      front = merge_fronts (Array.to_list (Array.map (fun o -> o.front) outcomes));
+      front = merge_fronts (Array.to_list fronts);
       population_size = config.Config.pop_size;
       generations_run = config.Config.generations * restarts;
     }

@@ -39,6 +39,9 @@ val run :
   ?pool:Caffeine_par.Pool.t ->
   ?trace:Caffeine_obs.Trace.sink ->
   ?on_generation:(Caffeine_obs.Trace.generation -> unit) ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:Checkpoint.t ->
   Config.t ->
   data:Dataset.t ->
   targets:float array ->
@@ -56,12 +59,29 @@ val run :
     per-generation records directly.  Every field except [wall_s] is
     deterministic: for a fixed seed the record sequence is identical at
     every jobs setting.  With the default null sink and no callback,
-    record construction is skipped entirely. *)
+    record construction is skipped entirely.
+
+    [checkpoint_path] makes the run durable: every [checkpoint_every]
+    generations (default 10) and once when the search completes, the full
+    run state — population with objectives, generation counter, generator
+    words, fingerprint of config/data/targets — is written atomically to
+    the path ({!Checkpoint.save}), and a
+    {!Caffeine_obs.Trace.Checkpoint_written} record is emitted.  [resume]
+    continues from a previously loaded snapshot: the run restarts at the
+    checkpointed generation and produces a front {b bit-identical} to the
+    uninterrupted run's, at any jobs setting.  Raises [Invalid_argument]
+    when the snapshot does not match this run's fingerprint, seed or
+    island count, or is in the simplifying phase ({!Sag} progress is
+    resumed by the CLI layer, not here). *)
 
 val run_multi :
   ?seed:int ->
   ?pool:Caffeine_par.Pool.t ->
   ?trace:Caffeine_obs.Trace.sink ->
+  ?on_generation:(island:int -> Caffeine_obs.Trace.generation -> unit) ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:Checkpoint.t ->
   restarts:int ->
   Config.t ->
   data:Dataset.t ->
@@ -77,11 +97,17 @@ val run_multi :
     pool domains.  The restarts share the dataset's basis-column cache.
     Requires [restarts >= 1].
 
-    With a live [trace], the islands themselves run back-to-back on the
+    With a live [trace], an [on_generation] callback or a
+    [checkpoint_path], the islands themselves run back-to-back on the
     calling domain (each still fans its inner evaluation loop over the
     pool), so the generation records of island [k] precede those of island
-    [k+1] at every jobs setting — trading island-level parallelism for a
-    deterministic record sequence. *)
+    [k+1] at every jobs setting and snapshot writes never race — trading
+    island-level parallelism for a deterministic record sequence.
+
+    Checkpointing and resuming work as in {!run}; a snapshot holds one
+    entry per island (pending, in-progress or finished), so a resumed run
+    skips finished islands entirely and re-enters the interrupted one at
+    its checkpointed generation. *)
 
 val dedup_and_sort : Model.t list -> Model.t list
 (** The exact nondominated subset over (train error, complexity),

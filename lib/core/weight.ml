@@ -10,12 +10,18 @@ let raw t = t
 
 let value t = if t = 0. then 0. else Float.of_int (compare t 0.) *. (10. ** (Float.abs t -. bound))
 
+(* Raw 0 is reserved for the exact-zero weight ([value] collapses it to 0),
+   so nonzero magnitudes at or below the 1e-B boundary clamp to this
+   positive floor instead: |raw| - bound still rounds to exactly -bound,
+   so the interpreted value is +/-1e-B, sign preserved. *)
+let min_raw = 1e-300
+
 let of_value v =
   if v = 0. then 0.
   else begin
     let magnitude = Float.abs v in
     let raw = log10 magnitude +. bound in
-    let clamped = Float.max 0. (Float.min (2. *. bound) raw) in
+    let clamped = Float.max min_raw (Float.min (2. *. bound) raw) in
     if v > 0. then clamped else -.clamped
   end
 

@@ -22,7 +22,10 @@ val value : t -> float
     [sign(raw) · 10^(|raw| - B)]. *)
 
 val of_value : float -> t
-(** Inverse of {!value}, clamping magnitudes outside [\[1e-B, 1e+B\]]. *)
+(** Inverse of {!value}, clamping magnitudes outside [\[1e-B, 1e+B\]].
+    Only [v = 0] maps to raw 0: a nonzero [v] at (or clamped to) the
+    [1e-B] boundary keeps its sign and round-trips,
+    [value (of_value v) = v]. *)
 
 val random : Caffeine_util.Rng.t -> t
 (** Uniform over the raw range. *)

@@ -136,7 +136,7 @@ let binary_tournament rng population =
   else if a.crowding > b.crowding then a
   else b
 
-let run ?on_generation ?pool ~rng config =
+let run ?on_generation ?pool ?start ~rng config =
   if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
   let evaluate genome = sanitize (config.objectives genome) in
   (* Objective evaluation is the dominant cost and is independent per
@@ -148,11 +148,26 @@ let run ?on_generation ?pool ~rng config =
     | None -> Array.map evaluate
     | Some pool -> Pool.parallel_map pool evaluate
   in
-  let genomes = Array.init config.pop_size (fun _ -> config.init rng) in
-  let objectives = evaluate_all genomes in
-  let population = ref (environmental_selection genomes objectives config.pop_size) in
-  (match on_generation with Some f -> f 0 !population | None -> ());
-  for gen = 1 to config.generations do
+  (* Resuming from a checkpointed (generation, population) skips
+     initialization entirely: the caller's rng must hold the state captured
+     right after that generation's environmental selection, so the next
+     tournament draw continues the original stream. *)
+  let population, first_gen =
+    match start with
+    | Some (gen0, resumed) ->
+        if gen0 < 0 || gen0 > config.generations then
+          invalid_arg "Nsga2.run: start generation out of range";
+        if Array.length resumed <> config.pop_size then
+          invalid_arg "Nsga2.run: start population size does not match pop_size";
+        (ref resumed, gen0 + 1)
+    | None ->
+        let genomes = Array.init config.pop_size (fun _ -> config.init rng) in
+        let objectives = evaluate_all genomes in
+        let population = ref (environmental_selection genomes objectives config.pop_size) in
+        (match on_generation with Some f -> f 0 !population | None -> ());
+        (population, 1)
+  in
+  for gen = first_gen to config.generations do
     let parents = !population in
     let children =
       Array.init config.pop_size (fun _ ->

@@ -39,6 +39,7 @@ type 'a config = {
 val run :
   ?on_generation:(int -> 'a individual array -> unit) ->
   ?pool:Caffeine_par.Pool.t ->
+  ?start:int * 'a individual array ->
   rng:Caffeine_util.Rng.t ->
   'a config ->
   'a individual array
@@ -53,4 +54,13 @@ val run :
     out across the pool's domains ([objectives] must then be safe to call
     from any domain).  Initialization, selection and variation always stay
     on the caller's [rng] in sequential order, so for a fixed seed the
-    returned population is bit-identical with and without a pool. *)
+    returned population is bit-identical with and without a pool.
+
+    [start = (gen0, population)] resumes an interrupted run: [population]
+    must be the population returned by an earlier [on_generation gen0]
+    callback (rank and crowding included) and [rng] must carry the state
+    the generator had at that instant; generations [gen0 + 1] through
+    [generations] then replay the exact remaining stream of the
+    uninterrupted run.  [on_generation] fires only for the resumed
+    generations.  Raises [Invalid_argument] when [gen0] is out of range or
+    the population size does not match [pop_size]. *)

@@ -30,17 +30,22 @@ let read ~path =
         ~finally:(fun () -> close_in channel)
         (fun () ->
           let lines = ref [] in
+          let lineno = ref 0 in
           (try
              while true do
-               lines := input_line channel :: !lines
+               let line = input_line channel in
+               incr lineno;
+               lines := (!lineno, line) :: !lines
              done
            with End_of_file -> ());
-          let lines =
-            List.filteri (fun _ line -> String.trim line <> "") (List.rev !lines)
-          in
+          (* Blank lines are skipped, but every kept line remembers its
+             position in the file, so error messages point at the real line
+             even when blank lines precede it. *)
+          let lines = List.filter (fun (_, line) -> String.trim line <> "") (List.rev !lines) in
           match lines with
           | [] -> Error "empty file"
-          | header_line :: data_lines ->
+          | [ (_, _) ] -> Error "no data rows: the file contains only a header"
+          | (_, header_line) :: data_lines ->
               let header =
                 Array.of_list (List.map String.trim (String.split_on_char ',' header_line))
               in
@@ -63,14 +68,14 @@ let read ~path =
                     cells;
                   match !failed with Some msg -> Error msg | None -> Ok values
               in
-              let rec parse_all acc lineno = function
+              let rec parse_all acc = function
                 | [] -> Ok (Array.of_list (List.rev acc))
-                | line :: rest -> (
+                | (lineno, line) :: rest -> (
                     match parse_row lineno line with
-                    | Ok row -> parse_all (row :: acc) (lineno + 1) rest
+                    | Ok row -> parse_all (row :: acc) rest
                     | Error _ as e -> e)
               in
-              (match parse_all [] 2 data_lines with
+              (match parse_all [] data_lines with
               | Ok rows -> Ok { header; rows }
               | Error msg -> Error msg))
 

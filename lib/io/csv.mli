@@ -15,8 +15,10 @@ val write : path:string -> table -> unit
 
 val read : path:string -> (table, string) result
 (** Parse a file written by {!write} (or compatible).  Blank lines are
-    skipped.  Returns [Error] with a line-numbered message on malformed
-    input. *)
+    skipped; error messages still use the line's position in the file,
+    blank lines included.  A file whose only non-blank line is the header
+    is rejected ("no data rows").  Returns [Error] with a line-numbered
+    message on malformed input. *)
 
 val column : table -> string -> float array
 (** Extract a column by name.  Raises [Not_found]. *)

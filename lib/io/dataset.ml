@@ -146,6 +146,8 @@ let of_rows ?var_names rows =
   make ?var_names columns n
 
 let of_table ?(exclude = []) table =
+  if Array.length table.Csv.rows = 0 then
+    invalid_arg "Dataset.of_table: table has no data rows (header only)";
   let names, rows = Csv.columns_except table exclude in
   of_rows ~var_names:names rows
 

@@ -42,7 +42,9 @@ val of_rows : ?var_names:string array -> float array array -> t
 
 val of_table : ?exclude:string list -> Csv.table -> t
 (** Every CSV column whose name is not excluded becomes a design variable,
-    in header order — the direct CSV-to-dataset path used by the CLI. *)
+    in header order — the direct CSV-to-dataset path used by the CLI.
+    Raises [Invalid_argument] on a table with no data rows (header
+    only). *)
 
 val n_samples : t -> int
 val dims : t -> int

@@ -52,6 +52,24 @@ type run_end = {
   total_wall_s : float;
 }
 
+type checkpoint_written = {
+  path : string;
+  phase : string;
+  island : int;
+  gen : int;
+}
+
+type run_resumed = {
+  phase : string;
+  island : int;
+  gen : int;
+}
+
+type warning = {
+  context : string;
+  message : string;
+}
+
 type record =
   | Run_start of run_start
   | Generation of generation
@@ -59,16 +77,11 @@ type record =
   | Sag_model of sag_model
   | Cache_stats of cache_stats
   | Run_end of run_end
+  | Checkpoint_written of checkpoint_written
+  | Run_resumed of run_resumed
+  | Warning of warning
 
 (* --- encoding ----------------------------------------------------------- *)
-
-(* %.17g round-trips every finite double through float_of_string; the three
-   non-finite values are not valid JSON numbers and travel as strings. *)
-let add_float buffer v =
-  if Float.is_nan v then Buffer.add_string buffer "\"NaN\""
-  else if v = Float.infinity then Buffer.add_string buffer "\"Infinity\""
-  else if v = Float.neg_infinity then Buffer.add_string buffer "\"-Infinity\""
-  else Buffer.add_string buffer (Printf.sprintf "%.17g" v)
 
 let add_fields buffer kind fields =
   Buffer.add_string buffer "{\"type\":\"";
@@ -84,7 +97,8 @@ let add_fields buffer kind fields =
   Buffer.add_char buffer '}'
 
 let int_field v buffer = Buffer.add_string buffer (string_of_int v)
-let float_field v buffer = add_float buffer v
+let float_field v buffer = Json.add_float buffer v
+let string_field v buffer = Json.add_string buffer v
 
 let int_array_field values buffer =
   Buffer.add_char buffer '[';
@@ -101,9 +115,9 @@ let pair_list_field pairs buffer =
     (fun i (a, b) ->
       if i > 0 then Buffer.add_char buffer ',';
       Buffer.add_char buffer '[';
-      add_float buffer a;
+      Json.add_float buffer a;
       Buffer.add_char buffer ',';
-      add_float buffer b;
+      Json.add_float buffer b;
       Buffer.add_char buffer ']')
     pairs;
   Buffer.add_char buffer ']'
@@ -169,283 +183,124 @@ let to_line record =
       add_fields buffer "run_end"
         [
           ("front", pair_list_field r.front); ("total_wall_s", float_field r.total_wall_s);
-        ]);
+        ]
+  | Checkpoint_written c ->
+      add_fields buffer "checkpoint_written"
+        [
+          ("path", string_field c.path);
+          ("phase", string_field c.phase);
+          ("island", int_field c.island);
+          ("gen", int_field c.gen);
+        ]
+  | Run_resumed r ->
+      add_fields buffer "run_resumed"
+        [
+          ("phase", string_field r.phase); ("island", int_field r.island); ("gen", int_field r.gen);
+        ]
+  | Warning w ->
+      add_fields buffer "warning"
+        [ ("context", string_field w.context); ("message", string_field w.message) ]);
   Buffer.contents buffer
 
 (* --- decoding ----------------------------------------------------------- *)
 
-(* Minimal JSON reader for the subset the encoder emits (objects, arrays,
-   numbers kept as raw lexemes so 63-bit ints survive, strings, literals).
-   Raw lexemes are converted per field, so integer fields never go through
-   a float. *)
-
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of string
-  | J_str of string
-  | J_arr of json list
-  | J_obj of (string * json) list
-
-exception Parse_error of string
-
-let parse_json text =
-  let pos = ref 0 in
-  let len = String.length text in
-  let fail message = raise (Parse_error message) in
-  let peek () = if !pos < len then Some text.[!pos] else None in
-  let advance () = Stdlib.incr pos in
-  let skip_ws () =
-    while !pos < len && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c =
-    if !pos < len && text.[!pos] = c then advance ()
-    else fail (Printf.sprintf "expected %c at offset %d" c !pos)
-  in
-  let literal word value =
-    if !pos + String.length word <= len && String.sub text !pos (String.length word) = word then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail (Printf.sprintf "bad literal at offset %d" !pos)
-  in
-  let parse_string () =
-    expect '"';
-    let buffer = Buffer.create 16 in
-    let rec loop () =
-      if !pos >= len then fail "unterminated string"
-      else
-        match text.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (if !pos >= len then fail "unterminated escape"
-             else
-               match text.[!pos] with
-               | '"' -> Buffer.add_char buffer '"'; advance ()
-               | '\\' -> Buffer.add_char buffer '\\'; advance ()
-               | '/' -> Buffer.add_char buffer '/'; advance ()
-               | 'b' -> Buffer.add_char buffer '\b'; advance ()
-               | 'f' -> Buffer.add_char buffer '\012'; advance ()
-               | 'n' -> Buffer.add_char buffer '\n'; advance ()
-               | 'r' -> Buffer.add_char buffer '\r'; advance ()
-               | 't' -> Buffer.add_char buffer '\t'; advance ()
-               | 'u' ->
-                   advance ();
-                   if !pos + 4 > len then fail "truncated \\u escape";
-                   let code =
-                     try int_of_string ("0x" ^ String.sub text !pos 4)
-                     with _ -> fail "bad \\u escape"
-                   in
-                   pos := !pos + 4;
-                   (* Encode the BMP code point as UTF-8. *)
-                   if code < 0x80 then Buffer.add_char buffer (Char.chr code)
-                   else if code < 0x800 then begin
-                     Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
-                     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
-                   end
-                   else begin
-                     Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
-                     Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                     Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
-                   end
-               | c -> fail (Printf.sprintf "bad escape \\%c" c));
-            loop ()
-        | c ->
-            Buffer.add_char buffer c;
-            advance ();
-            loop ()
-    in
-    loop ();
-    Buffer.contents buffer
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < len
-      && match text.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    do
-      advance ()
-    done;
-    if !pos = start then fail (Printf.sprintf "expected a value at offset %d" start);
-    J_num (String.sub text start (!pos - start))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> J_str (parse_string ())
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          J_obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let name = parse_string () in
-            skip_ws ();
-            expect ':';
-            let value = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((name, value) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((name, value) :: acc)
-            | _ -> fail "expected , or } in object"
-          in
-          J_obj (members [])
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          J_arr []
-        end
-        else begin
-          let rec elements acc =
-            let value = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (value :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (value :: acc)
-            | _ -> fail "expected , or ] in array"
-          in
-          J_arr (elements [])
-        end
-    | Some 't' -> literal "true" (J_bool true)
-    | Some 'f' -> literal "false" (J_bool false)
-    | Some 'n' -> literal "null" J_null
-    | Some _ -> parse_number ()
-  in
-  let value = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail (Printf.sprintf "trailing input at offset %d" !pos);
-  value
-
-let obj_of = function J_obj fields -> fields | _ -> raise (Parse_error "expected an object")
-
-let member fields name =
-  match List.assoc_opt name fields with
-  | Some value -> value
-  | None -> raise (Parse_error (Printf.sprintf "missing field %S" name))
-
-let to_int name = function
-  | J_num raw -> (
-      match int_of_string_opt raw with
-      | Some v -> v
-      | None -> raise (Parse_error (Printf.sprintf "field %S is not an integer" name)))
-  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an integer" name))
-
-let to_float name = function
-  | J_num raw -> (
-      match float_of_string_opt raw with
-      | Some v -> v
-      | None -> raise (Parse_error (Printf.sprintf "field %S is not a number" name)))
-  | J_str "NaN" -> Float.nan
-  | J_str "Infinity" -> Float.infinity
-  | J_str "-Infinity" -> Float.neg_infinity
-  | _ -> raise (Parse_error (Printf.sprintf "field %S is not a number" name))
-
-let int_of fields name = to_int name (member fields name)
-let float_of fields name = to_float name (member fields name)
-
-let int_array_of fields name =
-  match member fields name with
-  | J_arr elements -> Array.of_list (List.map (to_int name) elements)
-  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an array" name))
-
 let pair_list_of fields name =
-  match member fields name with
-  | J_arr elements ->
-      List.map
-        (function
-          | J_arr [ a; b ] -> (to_float name a, to_float name b)
-          | _ -> raise (Parse_error (Printf.sprintf "field %S is not a list of pairs" name)))
-        elements
-  | _ -> raise (Parse_error (Printf.sprintf "field %S is not an array" name))
+  List.map
+    (function
+      | Json.Arr [ a; b ] -> (Json.to_float name a, Json.to_float name b)
+      | _ -> raise (Json.Parse_error (Printf.sprintf "field %S is not a list of pairs" name)))
+    (Json.arr_of fields name)
 
 let of_line line =
-  match parse_json line with
-  | exception Parse_error message -> Error message
+  match Json.parse_exn line with
+  | exception Json.Parse_error message -> Error message
   | json -> (
       match
-        let fields = obj_of json in
-        match member fields "type" with
-        | J_str "run_start" ->
+        let fields = Json.obj json in
+        match Json.member fields "type" with
+        | Json.Str "run_start" ->
             Run_start
               {
-                seed = int_of fields "seed";
-                pop_size = int_of fields "pop_size";
-                generations = int_of fields "generations";
-                max_bases = int_of fields "max_bases";
-                samples = int_of fields "samples";
-                dims = int_of fields "dims";
+                seed = Json.int_of fields "seed";
+                pop_size = Json.int_of fields "pop_size";
+                generations = Json.int_of fields "generations";
+                max_bases = Json.int_of fields "max_bases";
+                samples = Json.int_of fields "samples";
+                dims = Json.int_of fields "dims";
               }
-        | J_str "generation" ->
+        | Json.Str "generation" ->
             Generation
               {
-                gen = int_of fields "gen";
-                evals = int_of fields "evals";
-                front_size = int_of fields "front_size";
-                best_nmse = float_of fields "best_nmse";
-                median_nmse = float_of fields "median_nmse";
-                complexity_min = float_of fields "complexity_min";
-                complexity_median = float_of fields "complexity_median";
-                complexity_max = float_of fields "complexity_max";
-                crossovers = int_of fields "crossovers";
-                op_counts = int_array_of fields "op_counts";
-                depth_rejects = int_of fields "depth_rejects";
-                wall_s = float_of fields "wall_s";
+                gen = Json.int_of fields "gen";
+                evals = Json.int_of fields "evals";
+                front_size = Json.int_of fields "front_size";
+                best_nmse = Json.float_of fields "best_nmse";
+                median_nmse = Json.float_of fields "median_nmse";
+                complexity_min = Json.float_of fields "complexity_min";
+                complexity_median = Json.float_of fields "complexity_median";
+                complexity_max = Json.float_of fields "complexity_max";
+                crossovers = Json.int_of fields "crossovers";
+                op_counts = Json.int_array_of fields "op_counts";
+                depth_rejects = Json.int_of fields "depth_rejects";
+                wall_s = Json.float_of fields "wall_s";
               }
-        | J_str "sag_round" ->
+        | Json.Str "sag_round" ->
             Sag_round
               {
-                model_index = int_of fields "model_index";
-                round = int_of fields "round";
-                chosen = int_of fields "chosen";
-                press_before = float_of fields "press_before";
-                press_after = float_of fields "press_after";
+                model_index = Json.int_of fields "model_index";
+                round = Json.int_of fields "round";
+                chosen = Json.int_of fields "chosen";
+                press_before = Json.float_of fields "press_before";
+                press_after = Json.float_of fields "press_after";
               }
-        | J_str "sag_model" ->
+        | Json.Str "sag_model" ->
             Sag_model
               {
-                model_index = int_of fields "model_index";
-                bases_before = int_of fields "bases_before";
-                bases_after = int_of fields "bases_after";
+                model_index = Json.int_of fields "model_index";
+                bases_before = Json.int_of fields "bases_before";
+                bases_after = Json.int_of fields "bases_after";
               }
-        | J_str "cache_stats" ->
+        | Json.Str "cache_stats" ->
             Cache_stats
               {
-                columns_cached = int_of fields "columns_cached";
-                column_hits = int_of fields "column_hits";
-                column_misses = int_of fields "column_misses";
-                column_evictions = int_of fields "column_evictions";
-                dots_cached = int_of fields "dots_cached";
-                dot_hits = int_of fields "dot_hits";
-                dot_misses = int_of fields "dot_misses";
-                dot_evictions = int_of fields "dot_evictions";
+                columns_cached = Json.int_of fields "columns_cached";
+                column_hits = Json.int_of fields "column_hits";
+                column_misses = Json.int_of fields "column_misses";
+                column_evictions = Json.int_of fields "column_evictions";
+                dots_cached = Json.int_of fields "dots_cached";
+                dot_hits = Json.int_of fields "dot_hits";
+                dot_misses = Json.int_of fields "dot_misses";
+                dot_evictions = Json.int_of fields "dot_evictions";
               }
-        | J_str "run_end" ->
+        | Json.Str "run_end" ->
             Run_end
-              { front = pair_list_of fields "front"; total_wall_s = float_of fields "total_wall_s" }
-        | J_str other -> raise (Parse_error (Printf.sprintf "unknown record type %S" other))
-        | _ -> raise (Parse_error "missing record type")
+              {
+                front = pair_list_of fields "front";
+                total_wall_s = Json.float_of fields "total_wall_s";
+              }
+        | Json.Str "checkpoint_written" ->
+            Checkpoint_written
+              {
+                path = Json.str_of fields "path";
+                phase = Json.str_of fields "phase";
+                island = Json.int_of fields "island";
+                gen = Json.int_of fields "gen";
+              }
+        | Json.Str "run_resumed" ->
+            Run_resumed
+              {
+                phase = Json.str_of fields "phase";
+                island = Json.int_of fields "island";
+                gen = Json.int_of fields "gen";
+              }
+        | Json.Str "warning" ->
+            Warning
+              { context = Json.str_of fields "context"; message = Json.str_of fields "message" }
+        | Json.Str other -> raise (Json.Parse_error (Printf.sprintf "unknown record type %S" other))
+        | _ -> raise (Json.Parse_error "missing record type")
       with
       | record -> Ok record
-      | exception Parse_error message -> Error message)
+      | exception Json.Parse_error message -> Error message)
 
 let deterministic = function
   | Run_start _ as record -> Some record
@@ -454,6 +309,9 @@ let deterministic = function
   | Sag_model _ as record -> Some record
   | Cache_stats _ -> None
   | Run_end r -> Some (Run_end { r with total_wall_s = 0. })
+  | Checkpoint_written _ as record -> Some record
+  | Run_resumed _ as record -> Some record
+  | Warning _ as record -> Some record
 
 (* --- sinks -------------------------------------------------------------- *)
 

@@ -73,6 +73,28 @@ type run_end = {
   total_wall_s : float;  (** nondeterministic *)
 }
 
+type checkpoint_written = {
+  path : string;  (** snapshot file the run state was renamed into *)
+  phase : string;  (** ["evolving"] or ["simplifying"] *)
+  island : int;  (** island the write was triggered by (0 for {!Search.run}, [-1] in the SAG phase) *)
+  gen : int;
+      (** last completed generation captured; in the SAG phase the index of
+          the model just simplified ([-1] for the phase's initial snapshot) *)
+}
+
+type run_resumed = {
+  phase : string;  (** ["evolving"] or ["simplifying"] *)
+  island : int;  (** first island with unfinished work ([-1] if none, or in the SAG phase) *)
+  gen : int;
+      (** generation the island resumes after ([-1] when none ran); in the
+          SAG phase the number of models already simplified *)
+}
+
+type warning = {
+  context : string;  (** dotted source location, e.g. ["sag.test_tradeoff"] *)
+  message : string;
+}
+
 type record =
   | Run_start of run_start
   | Generation of generation
@@ -80,6 +102,9 @@ type record =
   | Sag_model of sag_model
   | Cache_stats of cache_stats
   | Run_end of run_end
+  | Checkpoint_written of checkpoint_written
+  | Run_resumed of run_resumed
+  | Warning of warning
 
 (** {2 JSONL codec} *)
 
@@ -91,7 +116,9 @@ val of_line : string -> (record, string) result
 val deterministic : record -> record option
 (** The jobs-invariant projection: [None] for {!Cache_stats}; other
     records with their nondeterministic fields ([wall_s], [total_wall_s])
-    zeroed. *)
+    zeroed.  Checkpoint, resume and warning records are kept verbatim:
+    checkpointed runs serialize their islands, so the records arrive in
+    the same order at every jobs setting. *)
 
 (** {2 Sinks} *)
 

@@ -22,6 +22,18 @@ let create ?(seed = 0x5EED) () = of_seed64 (Int64.of_int seed)
 
 let copy rng = { s0 = rng.s0; s1 = rng.s1; s2 = rng.s2; s3 = rng.s3 }
 
+type state = { w0 : int64; w1 : int64; w2 : int64; w3 : int64 }
+
+let to_state rng = { w0 = rng.s0; w1 = rng.s1; w2 = rng.s2; w3 = rng.s3 }
+
+let of_state { w0; w1; w2; w3 } =
+  (* The all-zero state is the one fixed point of xoshiro256**: it would
+     emit zeros forever, and seeding through splitmix64 can never reach
+     it, so reject it rather than resurrect a degenerate stream. *)
+  if w0 = 0L && w1 = 0L && w2 = 0L && w3 = 0L then
+    invalid_arg "Rng.of_state: all-zero state is not a valid xoshiro256** state";
+  { s0 = w0; s1 = w1; s2 = w2; s3 = w3 }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 rng =

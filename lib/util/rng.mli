@@ -14,6 +14,19 @@ val create : ?seed:int -> unit -> t
 val copy : t -> t
 (** [copy rng] is an independent generator with the same current state. *)
 
+type state = { w0 : int64; w1 : int64; w2 : int64; w3 : int64 }
+(** The four xoshiro256** state words, exposed for serialization
+    (checkpoint snapshots).  A captured state plus {!of_state} replays the
+    exact remaining stream. *)
+
+val to_state : t -> state
+(** Snapshot the current state; the generator is not advanced. *)
+
+val of_state : state -> t
+(** Rebuild a generator that continues the stream captured by
+    {!to_state}.  Raises [Invalid_argument] on the all-zero state (the
+    degenerate fixed point of xoshiro256**, unreachable from any seed). *)
+
 val split : t -> t
 (** [split rng] derives a fresh generator from [rng], advancing [rng].
     The two streams are statistically independent. *)

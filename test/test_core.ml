@@ -14,6 +14,7 @@ module Model = Caffeine.Model
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Dataset = Caffeine_io.Dataset
+module Trace = Caffeine_obs.Trace
 
 (* Column-major view of a row-major sample matrix, for the dataset-taking
    fit/search/SAG entry points. *)
@@ -43,6 +44,17 @@ let test_weight_of_value_roundtrip () =
       check_close ~tol:1e-9 ("round-trip " ^ string_of_float v) v
         (Weight.value (Weight.of_value v)))
     [ 1.; -1.; 3.7; -0.002; 1e8; -1e-8; 0. ]
+
+let test_weight_boundary_roundtrip () =
+  (* A nonzero value at (or clamped to) the 1e-B magnitude boundary must not
+     collapse to raw 0 — [value] reserves that for exact zero.  The raw
+     floor keeps the sign, and the boundary round-trips exactly. *)
+  Alcotest.(check (float 0.)) "+1e-B exact" 1e-10 (Weight.value (Weight.of_value 1e-10));
+  Alcotest.(check (float 0.)) "-1e-B exact" (-1e-10) (Weight.value (Weight.of_value (-1e-10)));
+  Alcotest.(check (float 0.)) "sub-boundary clamps, sign kept" (-1e-10)
+    (Weight.value (Weight.of_value (-1e-15)));
+  Alcotest.(check bool) "nonzero never maps to raw 0" true (Weight.raw (Weight.of_value 1e-15) <> 0.);
+  Alcotest.(check (float 0.)) "only zero maps to zero" 0. (Weight.value (Weight.of_value 0.))
 
 let test_weight_clamping () =
   check_close "huge value clamps to 1e10" 1e10 (Weight.value (Weight.of_value 1e15));
@@ -452,6 +464,39 @@ let test_sag_at_train_error_fallback () =
   | Some s -> check_close "closest fallback" 0.3 s.Sag.model.Model.train_error
   | None -> Alcotest.fail "expected fallback model"
 
+let test_sag_test_tradeoff_all_nonfinite_fallback () =
+  (* Models fitted on x > 0 but tested where a 1/x basis divides by zero:
+     every test error is infinite.  The tradeoff must fall back to the
+     train-error ordering (and say so on the trace) instead of silently
+     returning []. *)
+  let train = data_of [| [| 1. |]; [| 2. |]; [| 4. |]; [| 8. |] |] in
+  let train_targets = [| 1.; 0.5; 0.25; 0.125 |] in
+  let inverse = Expr.{ vc = Some [| -1 |]; factors = [] } in
+  let linear = Expr.{ vc = Some [| 1 |]; factors = [] } in
+  let fit bases =
+    Option.get (Model.fit ~wb:10. ~wvc:0.25 bases ~data:train ~targets:train_targets)
+  in
+  let front = [ fit [| inverse |]; fit [| inverse; linear |] ] in
+  let test_data = data_of [| [| 0. |]; [| 1. |] |] in
+  let sink = Trace.memory () in
+  let scored = Sag.test_tradeoff ~trace:sink front ~data:test_data ~targets:[| 5.; 1. |] in
+  Alcotest.(check int) "whole front kept" 2 (List.length scored);
+  List.iter
+    (fun (s : Sag.scored) ->
+      Alcotest.(check bool) "test error really non-finite" false (Float.is_finite s.Sag.test_error))
+    scored;
+  (match scored with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "ordered by train error" true
+        (a.Sag.model.Model.train_error <= b.Sag.model.Model.train_error)
+  | _ -> ());
+  Alcotest.(check bool) "warning surfaced on the trace" true
+    (List.exists
+       (function
+         | Trace.Warning w -> w.Trace.context = "sag.test_tradeoff"
+         | _ -> false)
+       (Trace.contents sink))
+
 (* --- qcheck properties --- *)
 
 let property_tests =
@@ -474,6 +519,26 @@ let property_tests =
         let v = Weight.value w in
         Float.abs (Weight.value (Weight.of_value v) -. v)
         <= 1e-9 *. Float.max 1. (Float.abs v));
+    QCheck.Test.make ~name:"interpreted weight round-trips incl. the 1e-B boundary" ~count:300
+      (QCheck.make ~print:string_of_float
+         (QCheck.Gen.frequency
+            [
+              (4, QCheck.Gen.float_range (-1e4) 1e4);
+              (2, QCheck.Gen.float_range (-1e-9) 1e-9);
+              ( 1,
+                QCheck.Gen.oneofl
+                  [ 1e-10; -1e-10; 1e10; -1e10; 0.; 1e-300; -1e-300; 4e-11; -4e-11 ] );
+            ]))
+      (fun v ->
+        let v' = Weight.value (Weight.of_value v) in
+        if v = 0. then v' = 0.
+        else
+          (* Magnitudes clamp into [1e-B, 1e+B]; within it they round-trip,
+             and the sign always survives. *)
+          let clamped = Float.min 1e10 (Float.max 1e-10 (Float.abs v)) in
+          v' <> 0.
+          && Float.sign_bit v' = Float.sign_bit v
+          && Float.abs (Float.abs v' -. clamped) <= 1e-9 *. clamped);
     QCheck.Test.make ~name:"complexity is positive and monotone in bases" ~count:100
       QCheck.small_int
       (fun seed ->
@@ -489,6 +554,7 @@ let suite =
     Alcotest.test_case "weight: zero" `Quick test_weight_transform_zero;
     Alcotest.test_case "weight: transform range" `Quick test_weight_transform_range;
     Alcotest.test_case "weight: of_value round-trip" `Quick test_weight_of_value_roundtrip;
+    Alcotest.test_case "weight: 1e-B boundary round-trip" `Quick test_weight_boundary_roundtrip;
     Alcotest.test_case "weight: clamping" `Quick test_weight_clamping;
     Alcotest.test_case "weight: random domain" `Quick test_weight_random_in_domain;
     Alcotest.test_case "weight: mutation moves" `Quick test_weight_mutation_moves;
@@ -521,6 +587,8 @@ let suite =
     Alcotest.test_case "sag: test tradeoff nondominated" `Quick test_sag_test_tradeoff_is_nondominated;
     Alcotest.test_case "sag: best_within" `Quick test_sag_best_within;
     Alcotest.test_case "sag: at_train_error fallback" `Quick test_sag_at_train_error_fallback;
+    Alcotest.test_case "sag: all-non-finite test errors fall back" `Quick
+      test_sag_test_tradeoff_all_nonfinite_fallback;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests
 

@@ -60,6 +60,47 @@ let test_read_errors () =
   expect_error "a,b\n1,2,3\n";
   expect_error "a,b\n1,zzz\n"
 
+let write_text text =
+  let path = Filename.temp_file "caffeine_csv" ".csv" in
+  let channel = open_out_bin path in
+  output_string channel text;
+  close_out channel;
+  path
+
+let expect_error_containing text fragment =
+  let path = write_text text in
+  (match Csv.read ~path with
+  | Ok _ -> Alcotest.failf "expected an error for %S" text
+  | Error msg ->
+      let len = String.length fragment in
+      let rec occurs i =
+        i + len <= String.length msg && (String.sub msg i len = fragment || occurs (i + 1))
+      in
+      if not (occurs 0) then Alcotest.failf "error %S does not mention %S" msg fragment);
+  Sys.remove path
+
+let test_read_error_line_numbers () =
+  (* Blank lines are skipped but must not shift reported positions: the bad
+     cell below sits on line 5 of the file, the ragged row on line 4. *)
+  expect_error_containing "a,b\n\n1,2\n\nx,4\n" "line 5";
+  expect_error_containing "a,b\n\n\n1,2,3\n" "line 4"
+
+let test_read_crlf () =
+  let path = write_text "a,b\r\n1,2\r\n\r\n3,4\r\n" in
+  (match Csv.read ~path with
+  | Error msg -> Alcotest.failf "CRLF read failed: %s" msg
+  | Ok table ->
+      Alcotest.(check bool) "header" true (table.Csv.header = [| "a"; "b" |]);
+      Alcotest.(check int) "rows" 2 (Array.length table.Csv.rows);
+      Alcotest.(check (float 0.)) "cell" 4. table.Csv.rows.(1).(1));
+  Sys.remove path;
+  (* A bad cell in a CRLF file still reports its original line. *)
+  expect_error_containing "a,b\r\n\r\nx,2\r\n" "line 3"
+
+let test_read_header_only () =
+  expect_error_containing "a,b\n" "only a header";
+  expect_error_containing "a,b\n\n\n" "only a header"
+
 let test_read_skips_blank_lines () =
   let path = Filename.temp_file "caffeine_csv" ".csv" in
   let channel = open_out path in
@@ -119,7 +160,9 @@ let test_dataset_validation () =
   expect_invalid (fun () -> Dataset.of_rows [||]);
   expect_invalid (fun () -> Dataset.of_rows [| [| 1. |]; [| 1.; 2. |] |]);
   expect_invalid (fun () -> Dataset.of_rows ~var_names:[| "a"; "b" |] [| [| 1. |] |]);
-  expect_invalid (fun () -> Dataset.of_columns [| [| 1. |]; [| 1.; 2. |] |])
+  expect_invalid (fun () -> Dataset.of_columns [| [| 1. |]; [| 1.; 2. |] |]);
+  (* A header-only table has no samples to evaluate on. *)
+  expect_invalid (fun () -> Dataset.of_table { Csv.header = [| "x"; "y" |]; rows = [||] })
 
 let test_dataset_basis_column_memoizes () =
   let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
@@ -234,5 +277,8 @@ let suite =
     Alcotest.test_case "columns except" `Quick test_columns_except;
     Alcotest.test_case "read errors" `Quick test_read_errors;
     Alcotest.test_case "blank lines skipped" `Quick test_read_skips_blank_lines;
+    Alcotest.test_case "error line numbers are file positions" `Quick test_read_error_line_numbers;
+    Alcotest.test_case "CRLF files" `Quick test_read_crlf;
+    Alcotest.test_case "header-only rejected" `Quick test_read_header_only;
     Alcotest.test_case "ragged write rejected" `Quick test_write_rejects_ragged;
   ]

@@ -16,6 +16,7 @@ let () =
       ("ota", Test_ota.suite);
       ("posyn", Test_posyn.suite);
       ("core", Test_core.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("export", Test_export.suite);

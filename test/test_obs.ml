@@ -166,7 +166,15 @@ let record_gen : Trace.record QCheck.Gen.t =
   let nat st =
     QCheck.Gen.frequency [ (8, QCheck.Gen.int_bound 1000); (1, QCheck.Gen.oneofl [ 0; 1; max_int ]) ] st
   in
-  match QCheck.Gen.int_bound 5 st with
+  let text st =
+    QCheck.Gen.frequency
+      [
+        (4, QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z') (QCheck.Gen.int_bound 12));
+        (1, QCheck.Gen.oneofl [ ""; "with \"quotes\" and \\slash"; "line\nbreak\ttab" ]);
+      ]
+      st
+  in
+  match QCheck.Gen.int_bound 8 st with
   | 0 ->
       Trace.Run_start
         {
@@ -216,10 +224,26 @@ let record_gen : Trace.record QCheck.Gen.t =
           dot_misses = nat st;
           dot_evictions = nat st;
         }
-  | _ ->
+  | 5 ->
       let k = QCheck.Gen.int_bound 6 st in
       Trace.Run_end
         { Trace.front = List.init k (fun _ -> (float_gen st, float_gen st)); total_wall_s = float_gen st }
+  | 6 ->
+      Trace.Checkpoint_written
+        {
+          Trace.path = text st;
+          phase = QCheck.Gen.oneofl [ "evolving"; "simplifying" ] st;
+          island = nat st - 1;
+          gen = nat st - 1;
+        }
+  | 7 ->
+      Trace.Run_resumed
+        {
+          Trace.phase = QCheck.Gen.oneofl [ "evolving"; "simplifying" ] st;
+          island = nat st - 1;
+          gen = nat st - 1;
+        }
+  | _ -> Trace.Warning { Trace.context = text st; message = text st }
 
 let record_arbitrary = QCheck.make ~print:Trace.to_line record_gen
 
@@ -281,6 +305,24 @@ let test_deterministic_zeroes_wall () =
       Alcotest.(check (float 0.)) "total_wall_s zeroed" 0. p.Trace.total_wall_s;
       Alcotest.(check int) "front kept" 1 (List.length p.Trace.front)
   | _ -> Alcotest.fail "run_end should project to a run_end"
+
+let test_deterministic_keeps_checkpoint_records () =
+  (* Checkpointed runs serialize their islands, so these records arrive in
+     the same order at every jobs setting — the projection must keep them
+     verbatim for the CI cross-jobs diff to cover them. *)
+  let records =
+    [
+      Trace.Checkpoint_written { Trace.path = "run.ckpt"; phase = "evolving"; island = 2; gen = 40 };
+      Trace.Run_resumed { Trace.phase = "simplifying"; island = -1; gen = 3 };
+      Trace.Warning { Trace.context = "sag.test_tradeoff"; message = "fallback" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Trace.deterministic r with
+      | Some r' -> Alcotest.(check bool) "kept verbatim" true (record_equal r r')
+      | None -> Alcotest.fail "checkpoint/resume/warning records must survive the projection")
+    records
 
 let test_of_line_rejects_garbage () =
   let rejected line =
@@ -418,6 +460,8 @@ let suite =
     Alcotest.test_case "metrics: concurrent counts exact" `Quick test_concurrent_counters_exact;
     Alcotest.test_case "trace: deterministic zeroes wall" `Quick test_deterministic_zeroes_wall;
     Alcotest.test_case "trace: of_line rejects garbage" `Quick test_of_line_rejects_garbage;
+    Alcotest.test_case "trace: projection keeps checkpoint records" `Quick
+      test_deterministic_keeps_checkpoint_records;
     Alcotest.test_case "trace: sinks" `Quick test_sinks;
     Alcotest.test_case "trace: channel sink" `Quick test_channel_sink;
     Alcotest.test_case "trace: jobs-invariant projection" `Quick test_trace_jobs_invariant;
