@@ -23,6 +23,7 @@ module Dataset = Caffeine_io.Dataset
 module Compiled = Caffeine_expr.Compiled
 module Linfit = Caffeine_regress.Linfit
 module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
 
 (* The reference tree interpreter — only the compiled_vs_interpreted group
    and the micro-benchmarks may touch it; everything else evaluates through
@@ -572,16 +573,17 @@ let experiment_eval options =
 (* --- parallel scaling ----------------------------------------------------- *)
 
 let experiment_parallel options =
-  section "parallel_scaling: domain-pool wall-clock speedup";
+  section "parallel_scaling: executor backends, wall-clock speedup";
   let train = Ota.doe_dataset ~dx:0.10 in
   let n = Array.length train.Ota.inputs in
   let dims = Array.length Ota.var_names in
   let host_cores = Domain.recommended_domain_count () in
   let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
   (* A fresh dataset per measurement: the basis-column cache must not carry
-     warm columns from one jobs setting into the next. *)
+     warm columns from one workers setting into the next. *)
   let fresh_data () = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
-  let jobs_list = [ 1; 2; 4; 8 ] in
+  let jobs_list = if options.smoke then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let shards_list = [ 1; 2; 4 ] in
   let wall f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -603,23 +605,35 @@ let experiment_parallel options =
       ~generations:(Stdlib.max 10 (options.generations / 5))
       Config.paper
   in
+  let islands_config =
+    Config.scaled ~generations:(Stdlib.max 5 (config.Config.generations / 3)) config
+  in
   Printf.printf "workload: %d samples x %d dims, pop %d, gens %d; host reports %d core(s)\n" n
     dims config.Config.pop_size config.Config.generations host_cores;
   let search_case jobs =
     let data = fresh_data () in
-    Pool.with_optional_pool ~jobs @@ fun pool ->
-    wall (fun () -> signature (Search.run ~seed:options.seed ?pool config ~data ~targets))
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
+    wall (fun () -> signature (Search.run ~seed:options.seed ~executor config ~data ~targets))
   in
   let islands_case jobs =
-    let config = Config.scaled ~generations:(Stdlib.max 5 (config.Config.generations / 3)) config in
     let data = fresh_data () in
-    Pool.with_optional_pool ~jobs @@ fun pool ->
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
     wall (fun () ->
-        signature (Search.run_multi ~seed:options.seed ?pool ~restarts:4 config ~data ~targets))
+        signature
+          (Search.run_multi ~seed:options.seed ~executor ~restarts:4 islands_config ~data
+             ~targets))
+  in
+  let islands_processes_case shards =
+    let data = fresh_data () in
+    Executor.with_executor ~shards Executor.Processes @@ fun executor ->
+    wall (fun () ->
+        signature
+          (Search.run_multi ~seed:options.seed ~executor ~restarts:4 islands_config ~data
+             ~targets))
   in
   let forward_case jobs =
-    (* Same seed every call: the candidate columns are identical across jobs
-       settings, so selections must match exactly. *)
+    (* Same seed every call: the candidate columns are identical across
+       workers settings, so selections must match exactly. *)
     let rng = Caffeine_util.Rng.create ~seed:options.seed () in
     let data = fresh_data () in
     let columns =
@@ -629,52 +643,113 @@ let experiment_parallel options =
           in
           Dataset.basis_column data basis)
     in
-    Pool.with_optional_pool ~jobs @@ fun pool ->
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
     wall (fun () ->
         String.concat ","
           (Array.to_list
              (Array.map string_of_int
-                (Linfit.forward_select ?pool ~max_bases:12 ~basis_values:columns ~targets ()))))
+                (Linfit.forward_select ~executor ~max_bases:12 ~basis_values:columns ~targets ()))))
   in
+  (* Each group: (name, backend, workers label, effective-workers fn, case,
+     workers list).  Domain counts are clamped to the cores; worker-process
+     counts are not (processes do not share the GC) but never exceed the 4
+     islands. *)
   let groups =
-    [ ("search", search_case); ("islands", islands_case); ("forward_select", forward_case) ]
+    [
+      ("search", "domains", Pool.effective_jobs, search_case, jobs_list);
+      ("islands", "domains", Pool.effective_jobs, islands_case, jobs_list);
+      ("islands_processes", "processes", Stdlib.min 4, islands_processes_case, shards_list);
+      ("forward_select", "domains", Pool.effective_jobs, forward_case, jobs_list);
+    ]
   in
   let results =
     List.map
-      (fun (name, case) ->
-        let measured = List.map (fun jobs -> (jobs, case jobs)) jobs_list in
+      (fun (name, backend, effective, case, workers_list) ->
+        let measured = List.map (fun workers -> (workers, case workers)) workers_list in
         let _, (reference, t1) = List.hd measured in
-        let identical =
-          List.for_all (fun (_, (r, _)) -> r = reference) measured
-        in
-        Printf.printf "\n%-15s %6s %10s %12s %9s\n" name "jobs" "effective" "seconds" "speedup";
+        let identical = List.for_all (fun (_, (r, _)) -> r = reference) measured in
+        Printf.printf "\n%-18s %8s %10s %12s %9s\n" name "workers" "effective" "seconds"
+          "speedup";
         List.iter
-          (fun (jobs, (_, t)) ->
-            Printf.printf "%-15s %6d %10d %12.3f %8.2fx\n" "" jobs (Pool.effective_jobs jobs) t
+          (fun (workers, (_, t)) ->
+            Printf.printf "%-18s %8d %10d %12.3f %8.2fx\n" "" workers (effective workers) t
               (t1 /. t))
           measured;
-        Printf.printf "%-15s fronts identical across jobs: %b\n" "" identical;
-        (name, identical, List.map (fun (jobs, (_, t)) -> (jobs, t, t1 /. t)) measured))
+        Printf.printf "%-18s results identical across workers: %b\n" "" identical;
+        ( name,
+          backend,
+          identical,
+          reference,
+          List.map (fun (workers, (_, t)) -> (workers, effective workers, t, t1 /. t)) measured
+        ))
       groups
   in
+  let find_group name =
+    List.find (fun (group, _, _, _, _) -> group = name) results
+  in
+  (* The two island groups run the identical seeded workload under
+     different backends: their fronts must be bit-identical. *)
+  let cross_backend_identical =
+    let _, _, _, domains_front, _ = find_group "islands" in
+    let _, _, _, processes_front, _ = find_group "islands_processes" in
+    domains_front = processes_front
+  in
+  Printf.printf "\nislands front identical across domains/processes backends: %b\n"
+    cross_backend_identical;
+  (* Speedup gate: on a multi-core host, every workload must have at least
+     one multi-worker configuration strictly faster than its sequential
+     baseline (for islands, either backend may deliver it).  Single-core
+     hosts skip with a loud warning — never a silent pass. *)
+  let parallel_beats_baseline rows_list =
+    match List.concat rows_list with
+    | [] -> false
+    | (_, _, t1, _) :: _ as rows ->
+        List.exists (fun (workers, _, t, _) -> workers > 1 && t < t1) rows
+  in
+  let rows_of name = (fun (_, _, _, _, rows) -> rows) (find_group name) in
+  let gated =
+    [
+      ("search", [ rows_of "search" ]);
+      ("islands", [ rows_of "islands"; rows_of "islands_processes" ]);
+      ("forward_select", [ rows_of "forward_select" ]);
+    ]
+  in
+  let gate_failures =
+    if host_cores <= 1 then []
+    else List.filter (fun (_, rows) -> not (parallel_beats_baseline rows)) gated
+  in
+  let speedup_gate =
+    if host_cores <= 1 then "skipped_single_core"
+    else if gate_failures = [] then "passed"
+    else "failed"
+  in
+  if host_cores <= 1 then
+    Printf.eprintf
+      "parallel_scaling: WARNING: host reports a single core; speedup gate SKIPPED (not \
+       passed)\n%!";
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"samples\": %d,\n" n);
   Buffer.add_string buf (Printf.sprintf "  \"dims\": %d,\n" dims);
   Buffer.add_string buf (Printf.sprintf "  \"host_cores\": %d,\n" host_cores);
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" options.smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"speedup_gate\": \"%s\",\n" speedup_gate);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cross_backend_identical\": %b,\n" cross_backend_identical);
   Buffer.add_string buf "  \"groups\": {\n";
   List.iteri
-    (fun i (name, identical, rows) ->
+    (fun i (name, backend, identical, _, rows) ->
       Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" name);
+      Buffer.add_string buf (Printf.sprintf "      \"backend\": \"%s\",\n" backend);
       Buffer.add_string buf (Printf.sprintf "      \"identical_results\": %b,\n" identical);
       Buffer.add_string buf "      \"runs\": [\n";
       List.iteri
-        (fun j (jobs, t, speedup) ->
+        (fun j (workers, effective, t, speedup) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "        { \"jobs\": %d, \"effective_jobs\": %d, \"seconds\": %.4f, \"speedup\": \
-                %.3f }%s\n"
-               jobs (Pool.effective_jobs jobs) t speedup
+               "        { \"workers\": %d, \"effective_workers\": %d, \"seconds\": %.4f, \
+                \"speedup\": %.3f }%s\n"
+               workers effective t speedup
                (if j = List.length rows - 1 then "" else ",")))
         rows;
       Buffer.add_string buf "      ]\n";
@@ -686,8 +761,22 @@ let experiment_parallel options =
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf "\n(numbers recorded in BENCH_parallel.json)\n";
-  if not (List.for_all (fun (_, identical, _) -> identical) results) then begin
-    Printf.eprintf "parallel_scaling: results differ across jobs settings\n";
+  if not (List.for_all (fun (_, _, identical, _, _) -> identical) results) then begin
+    Printf.eprintf "parallel_scaling: results differ across workers settings\n";
+    exit 1
+  end;
+  if not cross_backend_identical then begin
+    Printf.eprintf "parallel_scaling: islands fronts differ between domains and processes\n";
+    exit 1
+  end;
+  if gate_failures <> [] then begin
+    List.iter
+      (fun (name, _) ->
+        Printf.eprintf
+          "parallel_scaling: %s: no multi-worker configuration beat the sequential baseline \
+           on a %d-core host\n"
+          name host_cores)
+      gate_failures;
     exit 1
   end
 
@@ -970,11 +1059,11 @@ let experiment_trace options =
   (* --- determinism: identical count fields at any jobs setting ------------ *)
   let capture jobs =
     let data = fresh_data () in
-    Pool.with_optional_pool ~jobs @@ fun pool ->
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
     let sink = Trace.memory () in
-    let outcome = Search.run ~seed ?pool ~trace:sink config ~data ~targets in
+    let outcome = Search.run ~seed ~executor ~trace:sink config ~data ~targets in
     ignore
-      (Sag.process_front ?pool ~trace:sink ~wb:config.Config.wb ~wvc:config.Config.wvc
+      (Sag.process_front ~executor ~trace:sink ~wb:config.Config.wb ~wvc:config.Config.wvc
          outcome.Search.front ~data ~targets);
     List.filter_map Trace.deterministic (Trace.contents sink) |> List.map Trace.to_line
   in

@@ -25,6 +25,7 @@ module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
 module Checkpoint = Caffeine.Checkpoint
 module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
 module Metrics = Caffeine_obs.Metrics
 module Trace = Caffeine_obs.Trace
 
@@ -133,7 +134,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after out =
+let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -152,9 +153,12 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
             Printf.eprintf "cannot parse grammar %s: %s\n" path msg;
             exit 2)
   in
-  (* Clamp up front (0 = auto) so the banner reports the parallelism the
-     run actually uses, never more domains than the machine has cores. *)
+  (* Resolve the parallelism up front (0 = auto) so the banner reports
+     what the run actually uses: worker domains for --backend domains
+     (clamped to the core count), worker processes for --backend
+     processes (not clamped — processes do not share the GC). *)
   let jobs = Pool.effective_jobs jobs in
+  let shards = if shards >= 1 then shards else Pool.effective_jobs 0 in
   let config =
     {
       (Config.scaled ~pop_size:pop ~generations:gens ~jobs Config.paper) with
@@ -162,10 +166,21 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
       max_bases;
     }
   in
-  Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d, jobs %d)\n%!"
-    target (Array.length targets) (Array.length var_names) pop gens seed jobs;
+  Printf.printf "fitting %s from %d samples x %d variables (pop %d, gens %d, seed %d, backend %s)\n%!"
+    target (Array.length targets) (Array.length var_names) pop gens seed
+    (match backend with
+    | Executor.Seq -> "seq"
+    | Executor.Domains -> Printf.sprintf "domains, jobs %d" jobs
+    | Executor.Processes -> Printf.sprintf "processes, shards %d" shards);
   let trace_channel = Option.map open_out trace_path in
   let trace = match trace_channel with Some ch -> Trace.of_channel ch | None -> Trace.null in
+  (* An invalid CAFFEINE_JOBS already warned on stderr inside
+     [effective_jobs]; surface it in the trace too, where CI diffs see it. *)
+  (match Pool.take_env_warning () with
+  | Some message ->
+      if not (Trace.is_null trace) then
+        Trace.emit trace (Trace.Warning { context = "pool.effective_jobs"; message })
+  | None -> ());
   (* Checkpointing: --resume keeps writing to the same snapshot file unless
      --checkpoint names a different one. *)
   let resume_snapshot =
@@ -221,10 +236,11 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
         end)
       kill_after
   in
-  (* One pool serves both the evolutionary run and SAG forward selection;
-     with jobs = 1 no pool (and no extra domain) is created at all. *)
+  (* One executor serves both the evolutionary run and SAG forward
+     selection; under --backend domains with jobs = 1 no pool (and no
+     extra domain) is created at all. *)
   let front =
-    Pool.with_optional_pool ~jobs @@ fun pool ->
+    Executor.with_executor ~jobs ~shards backend @@ fun executor ->
     let run_sag ?(already = []) front =
       if no_sag then front
       else begin
@@ -234,7 +250,7 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
           processed := model :: !processed;
           save_sag_snapshot ~front ~processed:(List.rev !processed) ~gen:index
         in
-        Sag.process_front ?pool ~trace ~already ~on_model ~wb:config.Config.wb
+        Sag.process_front ~executor ~trace ~already ~on_model ~wb:config.Config.wb
           ~wvc:config.Config.wvc front ~data ~targets
       end
     in
@@ -250,7 +266,7 @@ let fit train_path test_path target pop gens seed jobs log_target grammar_path m
         run_sag ~already:processed front
     | Some _ | None ->
         let outcome =
-          Search.run ~seed ?pool ~trace ?on_generation ?checkpoint_path ~checkpoint_every
+          Search.run ~seed ~executor ~trace ?on_generation ?checkpoint_path ~checkpoint_every
             ?resume:resume_snapshot config ~data ~targets
         in
         run_sag outcome.Search.front
@@ -336,10 +352,33 @@ let seed_arg = Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Random 
 
 let jobs_arg =
   let doc =
-    "Worker domains for parallel evaluation (0 = auto: \\$(b,CAFFEINE_JOBS) or all recommended \
-     cores; always clamped to the core count).  Results are identical for any value."
+    "Worker domains for parallel evaluation under $(b,--backend domains) (0 = auto: \
+     \\$(b,CAFFEINE_JOBS) or all recommended cores; always clamped to the core count).  \
+     Results are identical for any value."
   in
   Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let backend_arg =
+  let parse s =
+    match Executor.backend_of_string s with Ok b -> Ok b | Error msg -> Error (`Msg msg)
+  in
+  let print ppf b = Format.pp_print_string ppf (Executor.backend_name b) in
+  let doc =
+    "Execution backend: $(b,seq) runs everything on the calling domain; $(b,domains) fans \
+     objective evaluation across worker domains sharing the heap (see $(b,--jobs)); \
+     $(b,processes) forks worker processes and runs whole islands in them (see \
+     $(b,--shard)), immune to the cross-domain GC coupling that makes domains lose on \
+     small populations.  The final front is bit-identical under every backend."
+  in
+  Arg.(value & opt (conv (parse, print)) Executor.Domains & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let shard_arg =
+  let doc =
+    "Worker processes for $(b,--backend processes) (0 = auto: one per core).  Never more \
+     workers than islands; unlike $(b,--jobs) the value is not clamped to the core count.  \
+     Results are identical for any value."
+  in
+  Arg.(value & opt int 0 & info [ "shard" ] ~docv:"N" ~doc)
 
 let log_target_arg =
   Arg.(value & flag & info [ "log-target" ] ~doc:"Model log10 of the target (the paper's fu scaling).")
@@ -421,7 +460,7 @@ let fit_cmd =
   Cmd.v info
     Term.(
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
-      $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
+      $ backend_arg $ shard_arg $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
       $ metrics_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg
       $ fit_out_arg)
 
@@ -684,6 +723,7 @@ let trace_command path counts =
     and checkpoints = ref 0
     and resumes = ref 0
     and warnings = ref 0
+    and migrations = ref 0
     and run_ends = ref 0 in
     let last_generation = ref None in
     let final_front = ref None in
@@ -700,6 +740,7 @@ let trace_command path counts =
         | Trace.Checkpoint_written _ -> incr checkpoints
         | Trace.Run_resumed _ -> incr resumes
         | Trace.Warning _ -> incr warnings
+        | Trace.Migration _ -> incr migrations
         | Trace.Run_end r ->
             incr run_ends;
             final_front := Some r)
@@ -713,6 +754,7 @@ let trace_command path counts =
     Printf.printf "  checkpoint  %d\n" !checkpoints;
     Printf.printf "  resumed     %d\n" !resumes;
     Printf.printf "  warning     %d\n" !warnings;
+    Printf.printf "  migration   %d\n" !migrations;
     Printf.printf "  run_end     %d\n" !run_ends;
     (match !last_generation with
     | Some g ->

@@ -12,8 +12,8 @@ type scored = {
   test_error : float;
 }
 
-let simplify_model ?pool ?(trace = Trace.null) ?(model_index = 0) ~wb ~wvc (model : Model.t)
-    ~data ~targets =
+let simplify_model ?executor ?(trace = Trace.null) ?(model_index = 0) ~wb ~wvc
+    (model : Model.t) ~data ~targets =
   if Array.length model.Model.bases = 0 then model
   else
     match Model.basis_columns model.Model.bases data with
@@ -27,7 +27,7 @@ let simplify_model ?pool ?(trace = Trace.null) ?(model_index = 0) ~wb ~wvc (mode
                 Trace.emit trace
                   (Trace.Sag_round { model_index; round; chosen; press_before; press_after }))
         in
-        let chosen = Linfit.forward_select ?pool ?on_round ~basis_values:columns ~targets () in
+        let chosen = Linfit.forward_select ?executor ?on_round ~basis_values:columns ~targets () in
         let bases = Array.map (fun i -> model.Model.bases.(i)) chosen in
         let refit = Model.fit ~wb ~wvc bases ~data ~targets in
         let pruned = match refit with Some m -> m | None -> model in
@@ -66,7 +66,7 @@ let dedup_by_key key models =
        (fun acc m -> if List.exists (fun kept -> key kept = key m) acc then acc else m :: acc)
        [] models)
 
-let process_front ?pool ?trace ?(already = []) ?on_model ~wb ~wvc front ~data ~targets =
+let process_front ?executor ?trace ?(already = []) ?on_model ~wb ~wvc front ~data ~targets =
   (* [already] is the prefix of results a resumed run restored from its
      checkpoint: those members are not re-simplified (fronts are small, so
      the List.nth walk is irrelevant). *)
@@ -76,7 +76,7 @@ let process_front ?pool ?trace ?(already = []) ?on_model ~wb ~wvc front ~data ~t
       (fun model_index m ->
         if model_index < skip then List.nth already model_index
         else begin
-          let result = simplify_model ?pool ?trace ~model_index ~wb ~wvc m ~data ~targets in
+          let result = simplify_model ?executor ?trace ~model_index ~wb ~wvc m ~data ~targets in
           (match on_model with None -> () | Some f -> f model_index result);
           result
         end)

@@ -19,7 +19,7 @@ type scored = {
 }
 
 val simplify_model :
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?trace:Caffeine_obs.Trace.sink ->
   ?model_index:int ->
   wb:float ->
@@ -30,9 +30,9 @@ val simplify_model :
   Model.t
 (** PRESS forward selection over the model's own basis functions, refit,
     then algebraic cleanup ({!Model.simplify}).  The result never has more
-    bases than the input model.  With [pool], candidate PRESS scores are
-    evaluated across the pool's domains; the selected set is identical to
-    the sequential path.  With [trace], every accepted forward-selection
+    bases than the input model.  Candidate PRESS scores are evaluated
+    through [executor] (default sequential); the selected set is identical
+    under every backend.  With [trace], every accepted forward-selection
     round is emitted as a {!Caffeine_obs.Trace.Sag_round} (PRESS before and
     after the round) and the overall pruning as a
     {!Caffeine_obs.Trace.Sag_model}, both tagged with [model_index]
@@ -40,7 +40,7 @@ val simplify_model :
     calling domain in selection order whatever the pool size. *)
 
 val process_front :
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?trace:Caffeine_obs.Trace.sink ->
   ?already:Model.t list ->
   ?on_model:(int -> Model.t -> unit) ->

@@ -4,7 +4,7 @@ module Expr = Caffeine_expr.Expr
 module Dataset = Caffeine_io.Dataset
 module Linfit = Caffeine_regress.Linfit
 module Nsga2 = Caffeine_evo.Nsga2
-module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
 module Metrics = Caffeine_obs.Metrics
 module Trace = Caffeine_obs.Trace
 
@@ -69,15 +69,16 @@ let dedup_and_sort models =
         (b.Model.complexity, b.Model.train_error))
     deduped
 
-(* Run [f (Some pool)] with the pool the caller supplied, a fresh pool of
-   [config.jobs] domains, or [f None] when both say sequential. *)
-let with_search_pool ?pool config f =
-  match pool with
-  | Some _ -> f pool
-  | None -> Pool.with_optional_pool ~jobs:config.Config.jobs f
+(* Run [f] with the executor the caller supplied, or a fresh domain-pool
+   executor of [config.jobs] domains (which degrades to sequential when
+   the effective jobs count is 1). *)
+let with_search_executor ?executor config f =
+  match executor with
+  | Some executor -> f executor
+  | None -> Executor.with_executor ~jobs:config.Config.jobs Executor.Domains f
 
-let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation ?start ?on_checkpoint config
-    ~data ~targets =
+let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?on_generation
+    ?start ?on_checkpoint config ~data ~targets =
   let dims = validate_data ~data ~targets in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
@@ -139,7 +140,7 @@ let run_with_rng ~rng ?pool ?(trace = Trace.null) ?on_generation ?start ?on_chec
     match on_checkpoint with None -> () | Some f -> f gen population
   in
   let population =
-    Nsga2.run ~on_generation:notify ?pool ?start ~rng
+    Nsga2.run ~on_generation:notify ~executor ?start ~rng
       {
         Nsga2.pop_size = config.Config.pop_size;
         generations = config.Config.generations;
@@ -214,17 +215,25 @@ type checkpoint_ctx = {
 
 let m_resumed = Metrics.counter Metrics.default "checkpoint.resumed"
 
-let save_snapshot ~trace ctx islands ~island ~gen =
+(* The file write and its trace mark are separate on purpose: the process
+   backend writes snapshots eagerly as worker progress arrives but emits
+   the marks through the island-ordered delivery queue, so the trace stays
+   deterministic while the file on disk is always current. *)
+let write_snapshot ctx islands =
   Checkpoint.save ~path:ctx.ckpt_path
     {
       Checkpoint.fingerprint = ctx.ckpt_fingerprint;
       seed = ctx.ckpt_seed;
       restarts = Array.length islands;
       phase = Checkpoint.Evolving islands;
-    };
-  if not (Trace.is_null trace) then
-    Trace.emit trace
-      (Trace.Checkpoint_written { path = ctx.ckpt_path; phase = "evolving"; island; gen })
+    }
+
+let written_mark ctx ~island ~gen =
+  Trace.Checkpoint_written { path = ctx.ckpt_path; phase = "evolving"; island; gen }
+
+let save_snapshot ~trace ctx islands ~island ~gen =
+  write_snapshot ctx islands;
+  if not (Trace.is_null trace) then Trace.emit trace (written_mark ctx ~island ~gen)
 
 (* Initial island states: fresh generator snapshots, or (validated against
    this run's fingerprint, seed and island count) the snapshot's islands. *)
@@ -265,19 +274,75 @@ let resume_islands ?resume ~trace ~fingerprint ~seed ~restarts ~entry fresh_stat
           end;
           Array.copy islands)
 
-let run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets =
+(* {3 Island state decoding, shared by every backend} *)
+
+let island_start = function
+  | Checkpoint.Pending state -> (Rng.of_state state, None)
+  | Checkpoint.In_progress { gen; rng; population } -> (Rng.of_state rng, Some (gen, population))
+  | Checkpoint.Done _ -> assert false
+
+(* {3 The multi-process island backend}
+
+   Islands fan out across forked worker processes (Shard); the
+   coordinator owns the snapshot file and the trace sink.  Workers
+   compute exactly what the in-process path computes — same generator
+   state, sequential inner execution — and stream generation records and
+   checkpoint progress back over their result pipe; Shard releases those
+   to [deliver] in island order, so the emitted trace is the sequential
+   trace (plus one Migration record per island). *)
+let run_islands_processes ~shards ~trace ?on_generation ?checkpoint islands config ~data
+    ~targets =
+  let generations = config.Config.generations in
+  let observing = (not (Trace.is_null trace)) || Option.is_some on_generation in
+  let run_island ~emit ~progress ~island:_ state =
+    (* Worker-process side.  [emit]/[progress] write to the result pipe;
+       everything else is the plain sequential search. *)
+    match state with
+    | Checkpoint.Done front -> front
+    | Checkpoint.Pending _ | Checkpoint.In_progress _ ->
+        let rng, start = island_start state in
+        let worker_trace = if observing then Trace.of_fn emit else Trace.null in
+        let on_checkpoint =
+          Option.map
+            (fun ctx gen population ->
+              if gen > 0 && gen mod ctx.ckpt_every = 0 && gen < generations then
+                progress ~gen ~rng:(Rng.to_state rng) ~population)
+            checkpoint
+        in
+        let outcome =
+          run_with_rng ~rng ~trace:worker_trace ?start ?on_checkpoint config ~data ~targets
+        in
+        outcome.front
+  in
+  let snapshot = Option.map (fun ctx () -> write_snapshot ctx islands) checkpoint in
+  let on_progress = Option.map (fun write ~island:_ ~gen:_ -> write ()) snapshot in
+  let on_done = Option.map (fun write ~island:_ -> write ()) snapshot in
+  let mark ~island ~gen =
+    match checkpoint with
+    | Some ctx -> if not (Trace.is_null trace) then Trace.emit trace (written_mark ctx ~island ~gen)
+    | None -> ()
+  in
+  let deliver ~island event =
+    match event with
+    | Shard.Record (Trace.Generation record) ->
+        if not (Trace.is_null trace) then Trace.emit trace (Trace.Generation record);
+        (match on_generation with None -> () | Some f -> f ~island record)
+    | Shard.Record record -> if not (Trace.is_null trace) then Trace.emit trace record
+    | Shard.Progress_saved gen -> mark ~island ~gen
+    | Shard.Done_saved -> mark ~island ~gen:generations
+  in
+  Shard.run_islands ~shards ?on_progress ?on_done ~deliver ~run_island islands
+
+(* {3 The in-process backends (sequential and domain pool)} *)
+
+let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands config ~data
+    ~targets =
   let generations = config.Config.generations in
   let run_island k =
     match islands.(k) with
     | Checkpoint.Done front -> front
     | Checkpoint.Pending _ | Checkpoint.In_progress _ ->
-        let rng, start =
-          match islands.(k) with
-          | Checkpoint.Pending state -> (Rng.of_state state, None)
-          | Checkpoint.In_progress { gen; rng; population } ->
-              (Rng.of_state rng, Some (gen, population))
-          | Checkpoint.Done _ -> assert false
-        in
+        let rng, start = island_start islands.(k) in
         let on_checkpoint =
           Option.map
             (fun ctx gen population ->
@@ -290,11 +355,11 @@ let run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~ta
         in
         let on_generation = Option.map (fun f record -> f ~island:k record) on_generation in
         let outcome =
-          (* Each island reuses the shared pool for its inner evaluation
-             loop; when the islands themselves are fanned out below, those
-             nested calls fall back to sequential evaluation inside the
-             island. *)
-          run_with_rng ~rng ?pool ~trace ?on_generation ?start ?on_checkpoint config ~data
+          (* Each island reuses the shared executor for its inner
+             evaluation loop; when the islands themselves are fanned out
+             below, those nested calls fall back to sequential evaluation
+             inside the island. *)
+          run_with_rng ~rng ~executor ~trace ?on_generation ?start ?on_checkpoint config ~data
             ~targets
         in
         (match checkpoint with
@@ -308,14 +373,22 @@ let run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~ta
   (* A live trace, a generation callback or a checkpoint file pins the
      islands to the calling domain, so records arrive in island order and
      snapshot writes never race — the same sequence at every jobs setting
-     (the pool still parallelizes each island's inner evaluation loop).
-     Only the unobserved path fans whole islands out. *)
-  match pool with
-  | Some pool
-    when Array.length islands > 1 && Trace.is_null trace && Option.is_none on_generation
-         && Option.is_none checkpoint ->
-      Pool.parallel_map pool run_island indices
-  | Some _ | None -> Array.map run_island indices
+     (the executor still parallelizes each island's inner evaluation
+     loop).  Only the unobserved path fans whole islands out. *)
+  if
+    Array.length islands > 1 && Trace.is_null trace && Option.is_none on_generation
+    && Option.is_none checkpoint
+  then Executor.map executor run_island indices
+  else Array.map run_island indices
+
+let run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets =
+  match Executor.backend executor with
+  | Executor.Processes ->
+      run_islands_processes ~shards:(Executor.shards executor) ~trace ?on_generation
+        ?checkpoint islands config ~data ~targets
+  | Executor.Seq | Executor.Domains ->
+      run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands config ~data
+        ~targets
 
 let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry config ~data
     ~targets =
@@ -338,7 +411,7 @@ let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry co
   in
   (fingerprint, checkpoint)
 
-let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
+let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
     ?(checkpoint_every = 10) ?resume config ~data ~targets =
   ignore (validate_data ~data ~targets);
   let fingerprint, checkpoint =
@@ -352,9 +425,11 @@ let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
     resume_islands ?resume ~trace ~fingerprint ~seed ~restarts:1 ~entry:"Search.run" fresh
   in
   let outcome =
-    with_search_pool ?pool config @@ fun pool ->
+    with_search_executor ?executor config @@ fun executor ->
     let on_generation = Option.map (fun f ~island:_ record -> f record) on_generation in
-    let fronts = run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets in
+    let fronts =
+      run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets
+    in
     {
       front = fronts.(0);
       population_size = config.Config.pop_size;
@@ -364,7 +439,7 @@ let run ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
   emit_run_end trace ~start_ns outcome;
   outcome
 
-let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoint_path
+let run_multi ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
     ?(checkpoint_every = 10) ?resume ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
   ignore (validate_data ~data ~targets);
@@ -386,8 +461,10 @@ let run_multi ?(seed = 17) ?pool ?(trace = Trace.null) ?on_generation ?checkpoin
   let islands =
     resume_islands ?resume ~trace ~fingerprint ~seed ~restarts ~entry:"Search.run_multi" fresh
   in
-  with_search_pool ?pool config @@ fun pool ->
-  let fronts = run_islands ?pool ~trace ?on_generation ?checkpoint islands config ~data ~targets in
+  with_search_executor ?executor config @@ fun executor ->
+  let fronts =
+    run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets
+  in
   let outcome =
     {
       front = merge_fronts (Array.to_list fronts);

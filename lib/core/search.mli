@@ -11,16 +11,32 @@
     evaluated on the training data only once, and SAG or scoring passes
     that reuse the same dataset reuse the same columns.
 
-    {2 Parallelism}
+    {2 Execution backends}
 
-    Both entry points optionally fan work out over a
-    {!Caffeine_par.Pool.t}: objective evaluation inside each generation,
-    and (for {!run_multi}) whole restarts as parallel islands.  Passing
-    [?pool] reuses the caller's pool; otherwise a pool of
-    [config.Config.jobs] domains is created for the call when [jobs > 1].
-    Results are {b bit-identical} for any pool size, including the
-    sequential path: all random-number consumption stays on the calling
-    domain in a fixed order, and only pure per-genome evaluation is
+    Both entry points program against {!Caffeine_par.Executor}: objective
+    evaluation inside each generation, and (for {!run_multi}) whole
+    restarts as parallel islands.  Passing [?executor] reuses the
+    caller's executor (and its pool, if any); otherwise a domain-pool
+    executor of [config.Config.jobs] domains is created for the call
+    (which degenerates to sequential when [jobs <= 1]).
+
+    With a {!Caffeine_par.Executor.Processes} executor, {!run_multi}
+    fans whole islands out across forked worker processes ({!Shard}):
+    each island runs sequentially inside its worker — immune to OCaml
+    5's cross-domain GC coupling — and streams generation records,
+    checkpoint progress and its final front back to the coordinator over
+    a pipe using the {!Checkpoint} island-line codec.  The coordinator
+    re-serializes worker output into island order, so traces, generation
+    callbacks and snapshots behave exactly as in a sequential run (plus
+    one {!Caffeine_obs.Trace.Migration} record per arrived front).
+    {!run} under the process backend runs its single island in one
+    worker.
+
+    Results are {b bit-identical} across every backend and every
+    [jobs]/[shards] setting, including the sequential path: all
+    random-number consumption stays on the coordinating side in a fixed
+    order (or is replicated exactly in a worker), and only pure
+    per-genome evaluation — or a whole island's deterministic loop — is
     distributed. *)
 
 module Expr = Caffeine_expr.Expr
@@ -36,7 +52,7 @@ type outcome = {
 
 val run :
   ?seed:int ->
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?trace:Caffeine_obs.Trace.sink ->
   ?on_generation:(Caffeine_obs.Trace.generation -> unit) ->
   ?checkpoint_path:string ->
@@ -76,7 +92,7 @@ val run :
 
 val run_multi :
   ?seed:int ->
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?trace:Caffeine_obs.Trace.sink ->
   ?on_generation:(island:int -> Caffeine_obs.Trace.generation -> unit) ->
   ?checkpoint_path:string ->
@@ -98,11 +114,15 @@ val run_multi :
     Requires [restarts >= 1].
 
     With a live [trace], an [on_generation] callback or a
-    [checkpoint_path], the islands themselves run back-to-back on the
-    calling domain (each still fans its inner evaluation loop over the
-    pool), so the generation records of island [k] precede those of island
-    [k+1] at every jobs setting and snapshot writes never race — trading
-    island-level parallelism for a deterministic record sequence.
+    [checkpoint_path], the in-process backends run the islands
+    back-to-back on the calling domain (each still fans its inner
+    evaluation loop over the pool), so the generation records of island
+    [k] precede those of island [k+1] at every jobs setting and snapshot
+    writes never race — trading island-level parallelism for a
+    deterministic record sequence.  The process backend keeps both: the
+    {!Shard} coordinator buffers worker output and releases it in island
+    order, so the observed sequence matches the sequential one while the
+    islands still run concurrently.
 
     Checkpointing and resuming work as in {!run}; a snapshot holds one
     entry per island (pending, in-progress or finished), so a resumed run

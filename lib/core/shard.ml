@@ -1,0 +1,378 @@
+module Json = Caffeine_obs.Json
+module Trace = Caffeine_obs.Trace
+module Metrics = Caffeine_obs.Metrics
+
+exception Worker_failed of string
+
+type event =
+  | Record of Trace.record
+  | Progress_saved of int
+  | Done_saved
+
+let m_workers = Metrics.counter Metrics.default "shard.workers_spawned"
+let m_migrations = Metrics.counter Metrics.default "shard.migrations"
+let m_bytes = Metrics.counter Metrics.default "shard.bytes_exchanged"
+
+(* Workers to kill when the coordinator leaves through [Stdlib.exit] from
+   inside a user callback (the CLI's --kill-after does exactly that):
+   [Fun.protect] does not run across [exit], this hook does.  Workers
+   themselves leave through [Unix._exit], which skips it. *)
+let live_children : int list ref = ref []
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        !live_children)
+
+(* --- EINTR-safe syscall wrappers ---------------------------------------- *)
+
+let rec retry_read fd bytes pos len =
+  match Unix.read fd bytes pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd bytes pos len
+
+let rec retry_select read_fds =
+  match Unix.select read_fds [] [] (-1.) with
+  | readable, _, _ -> readable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_select read_fds
+
+let rec retry_waitpid pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_waitpid pid
+
+let write_all fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    match Unix.write fd bytes !written (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Metrics.add m_bytes len
+
+(* --- wire helpers -------------------------------------------------------- *)
+
+let hello_line islands =
+  Printf.sprintf "{\"type\":\"shard_hello\",\"version\":%d,\"islands\":%d}" Checkpoint.version
+    islands
+
+let error_line message =
+  let buffer = Buffer.create 96 in
+  Buffer.add_string buffer "{\"type\":\"shard_error\",\"message\":";
+  Json.add_string buffer message;
+  Buffer.add_char buffer '}';
+  Buffer.contents buffer
+
+(* --- worker side --------------------------------------------------------- *)
+
+let worker_main ~run_island ic oc =
+  let send line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  (* Drain the assignment pipe to EOF before doing any work: the
+     coordinator writes everything up front and closes its end, so this
+     cannot deadlock, and it frees the coordinator to enter its read
+     loop. *)
+  let assignments = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Checkpoint.island_of_json (Json.parse_exn line) with
+         | assignment -> assignments := assignment :: !assignments
+         | exception Json.Parse_error _ -> () (* the hello line *)
+     done
+   with End_of_file -> ());
+  let emit record = send (Trace.to_line record) in
+  List.iter
+    (fun (index, state) ->
+      let progress ~gen ~rng ~population =
+        send (Checkpoint.island_to_line ~index (Checkpoint.In_progress { gen; rng; population }))
+      in
+      let front = run_island ~emit ~progress ~island:index state in
+      send (Checkpoint.island_to_line ~index (Checkpoint.Done front)))
+    (List.rev !assignments)
+
+let run_worker ~run_island ~close_in_child assignment_fd result_fd =
+  (* In the forked child.  Everything of the parent — stack, at_exit
+     handlers, buffered channels, even worker domains' descriptors — is a
+     live copy here, so: close every inherited pipe end that is not ours
+     (a stray duplicate of another worker's write end would mask that
+     worker's EOF from the coordinator), never print, and leave through
+     [Unix._exit] so nothing inherited gets flushed or re-run. *)
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    close_in_child;
+  let ic = Unix.in_channel_of_descr assignment_fd in
+  let oc = Unix.out_channel_of_descr result_fd in
+  let code =
+    match worker_main ~run_island ic oc with
+    | () -> 0
+    | exception exn ->
+        (try
+           output_string oc (error_line (Printexc.to_string exn));
+           output_char oc '\n';
+           flush oc
+         with _ -> ());
+        10
+  in
+  (try flush oc with _ -> ());
+  Unix._exit code
+
+(* --- coordinator side ---------------------------------------------------- *)
+
+type worker = {
+  pid : int;
+  shard : int;
+  fd : Unix.file_descr;  (* result pipe, read end *)
+  buf : Buffer.t;
+  mutable scanned : int;  (* buffer prefix known to hold no newline *)
+  mutable pending : int list;  (* assigned islands not yet done, in order *)
+  mutable eof : bool;
+  mutable error : string option;
+}
+
+let fate = function
+  | Unix.WEXITED 0 -> None
+  | Unix.WEXITED code -> Some (Printf.sprintf "exited with code %d" code)
+  | Unix.WSIGNALED signal -> Some (Printf.sprintf "killed by signal %d" signal)
+  | Unix.WSTOPPED signal -> Some (Printf.sprintf "stopped by signal %d" signal)
+
+let run_islands ~shards ?on_progress ?on_done ?(deliver = fun ~island:_ _ -> ()) ~run_island
+    islands =
+  let n = Array.length islands in
+  let results =
+    Array.map (function Checkpoint.Done front -> Some front | _ -> None) islands
+  in
+  let todo =
+    Array.to_list (Array.init n Fun.id)
+    |> List.filter (fun k -> match islands.(k) with Checkpoint.Done _ -> false | _ -> true)
+  in
+  if todo = [] then Array.map (function Some front -> front | None -> assert false) results
+  else begin
+    let shards = Stdlib.max 1 (Stdlib.min shards (List.length todo)) in
+    (* Unfinished islands are dealt round-robin: the island at position p
+       of the remaining work goes to worker [p mod shards]. *)
+    let assigned = Array.make shards [] in
+    List.iteri (fun p k -> assigned.(p mod shards) <- k :: assigned.(p mod shards)) todo;
+    let assigned = Array.map List.rev assigned in
+    (* Ordered delivery: worker output arrives in any interleaving, so
+       events queue per island and are released in island order. *)
+    let queues = Array.make n [] in
+    let finished =
+      Array.map (function Checkpoint.Done _ -> true | _ -> false) islands
+    in
+    let cursor = ref 0 in
+    let flush_queue k =
+      let events = List.rev queues.(k) in
+      queues.(k) <- [];
+      List.iter (fun ev -> deliver ~island:k ev) events
+    in
+    let rec advance () =
+      if !cursor < n then begin
+        flush_queue !cursor;
+        if finished.(!cursor) then begin
+          incr cursor;
+          advance ()
+        end
+      end
+    in
+    let enqueue k ev = if k = !cursor then deliver ~island:k ev else queues.(k) <- ev :: queues.(k) in
+    let mark_done k =
+      finished.(k) <- true;
+      if k = !cursor then advance ()
+    in
+    (* A worker that crashes before writing any pipe output must still
+       kill the run, not hang it: writes to its closed assignment pipe
+       would raise SIGPIPE and take the coordinator down before the
+       EPIPE/EOF handling gets a chance. *)
+    let previous_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    let workers = ref [] in
+    let statuses = ref [] in
+    let reaped = ref false in
+    let reap ~kill =
+      if not !reaped then begin
+        reaped := true;
+        if kill then
+          List.iter
+            (fun w -> try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+            !workers;
+        List.iter
+          (fun w -> if not w.eof then try Unix.close w.fd with Unix.Unix_error _ -> ())
+          !workers;
+        statuses := List.map (fun w -> (w, retry_waitpid w.pid)) !workers;
+        let pids = List.map (fun w -> w.pid) !workers in
+        live_children := List.filter (fun pid -> not (List.mem pid pids)) !live_children
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        reap ~kill:true;
+        Sys.set_signal Sys.sigpipe previous_sigpipe)
+    @@ fun () ->
+    (* Spawn, then feed each worker its assignments immediately: the
+       child reads to EOF before computing, so these writes drain without
+       deadlock however large a resumed population is. *)
+    for shard = 0 to shards - 1 do
+      let assignment_read, assignment_write = Unix.pipe () in
+      let result_read, result_write = Unix.pipe () in
+      let inherited = List.map (fun w -> w.fd) !workers in
+      match Unix.fork () with
+      | 0 ->
+          run_worker ~run_island
+            ~close_in_child:(assignment_write :: result_read :: inherited)
+            assignment_read result_write
+      | pid ->
+          Unix.close assignment_read;
+          Unix.close result_write;
+          live_children := pid :: !live_children;
+          Metrics.incr m_workers;
+          let worker =
+            {
+              pid;
+              shard;
+              fd = result_read;
+              buf = Buffer.create 4096;
+              scanned = 0;
+              pending = assigned.(shard);
+              eof = false;
+              error = None;
+            }
+          in
+          workers := worker :: !workers;
+          (try
+             write_all assignment_write (hello_line (List.length assigned.(shard)));
+             List.iter
+               (fun k -> write_all assignment_write (Checkpoint.island_to_line ~index:k islands.(k)))
+               assigned.(shard)
+           with Unix.Unix_error (Unix.EPIPE, _, _) ->
+             worker.error <- Some "died before receiving its assignments");
+          Unix.close assignment_write
+    done;
+    let workers = List.rev !workers in
+    let handle_island w line json =
+      let index, state = Checkpoint.island_of_json json in
+      match state with
+      | Checkpoint.Pending _ -> w.error <- Some "sent a pending island line"
+      | Checkpoint.In_progress { gen; _ } -> (
+          islands.(index) <- state;
+          match on_progress with
+          | Some f ->
+              f ~island:index ~gen;
+              enqueue index (Progress_saved gen)
+          | None -> ())
+      | Checkpoint.Done front ->
+          islands.(index) <- state;
+          results.(index) <- Some front;
+          Metrics.incr m_migrations;
+          enqueue index
+            (Record
+               (Trace.Migration
+                  {
+                    island = index;
+                    shard = w.shard;
+                    models = List.length front;
+                    bytes = String.length line;
+                  }));
+          (match on_done with
+          | Some f ->
+              f ~island:index;
+              enqueue index Done_saved
+          | None -> ());
+          w.pending <- List.filter (fun k -> k <> index) w.pending;
+          mark_done index
+    in
+    let handle_line w line =
+      if String.trim line <> "" then begin
+        Metrics.add m_bytes (String.length line);
+        match Json.parse_exn line with
+        | exception Json.Parse_error message ->
+            w.error <- Some (Printf.sprintf "sent an unparsable line: %s" message)
+        | json -> (
+            let fields = Json.obj json in
+            match Json.str_of fields "type" with
+            | "island" -> handle_island w line json
+            | "shard_error" -> w.error <- Some (Json.str_of fields "message")
+            | _ -> (
+                match Trace.of_line line with
+                | Ok record -> (
+                    match w.pending with
+                    | k :: _ -> enqueue k (Record record)
+                    | [] -> w.error <- Some "sent a trace record after finishing its islands")
+                | Error message ->
+                    w.error <- Some (Printf.sprintf "sent an unknown record: %s" message)))
+      end
+    in
+    let drain_lines w =
+      let length = Buffer.length w.buf in
+      let last_newline = ref (-1) in
+      for i = w.scanned to length - 1 do
+        if Buffer.nth w.buf i = '\n' then last_newline := i
+      done;
+      if !last_newline < 0 then w.scanned <- length
+      else begin
+        let complete = Buffer.sub w.buf 0 !last_newline in
+        let rest = Buffer.sub w.buf (!last_newline + 1) (length - !last_newline - 1) in
+        Buffer.clear w.buf;
+        Buffer.add_string w.buf rest;
+        w.scanned <- String.length rest;
+        List.iter (fun line -> handle_line w line) (String.split_on_char '\n' complete)
+      end
+    in
+    let chunk = Bytes.create 65536 in
+    let rec pump () =
+      let open_fds = List.filter_map (fun w -> if w.eof then None else Some w.fd) workers in
+      if open_fds <> [] then begin
+        let readable = retry_select open_fds in
+        List.iter
+          (fun fd ->
+            let w = List.find (fun w -> w.fd = fd) workers in
+            let count = retry_read fd chunk 0 (Bytes.length chunk) in
+            if count = 0 then begin
+              w.eof <- true;
+              Unix.close fd
+            end
+            else begin
+              Buffer.add_subbytes w.buf chunk 0 count;
+              drain_lines w
+            end)
+          readable;
+        pump ()
+      end
+    in
+    pump ();
+    reap ~kill:false;
+    let failures =
+      List.concat_map
+        (fun (w, status) ->
+          let fate_message = fate status in
+          let leftover = w.pending in
+          let problems =
+            (match w.error with Some message -> [ message ] | None -> [])
+            @ (match fate_message with Some message -> [ message ] | None -> [])
+            @
+            if leftover <> [] && w.error = None && fate_message = None then
+              [ "closed its pipe" ]
+            else []
+          in
+          if problems = [] && leftover = [] then []
+          else
+            [
+              Printf.sprintf "worker %d (pid %d) %s%s" w.shard w.pid
+                (String.concat "; " (if problems = [] then [ "misbehaved" ] else problems))
+                (if leftover = [] then ""
+                 else
+                   Printf.sprintf " with island(s) %s unfinished"
+                     (String.concat ", " (List.map string_of_int leftover)));
+            ])
+        !statuses
+    in
+    if failures <> [] then raise (Worker_failed ("shard: " ^ String.concat "; " failures));
+    advance ();
+    Array.map (function Some front -> front | None -> assert false) results
+  end

@@ -1,0 +1,107 @@
+(** Multi-process island execution: each island of a search runs in a
+    forked worker process, immune to OCaml 5's cross-domain GC coupling
+    (every domain joins every minor collection, which is what makes the
+    domain-pool backend lose on small workloads).
+
+    {2 Topology}
+
+    The coordinator forks [shards] workers (never more than there are
+    unfinished islands) and deals the unfinished islands round-robin: the
+    island at position [p] of the remaining work goes to worker
+    [p mod shards].  Each worker gets two pipes.  Down the
+    assignment pipe the coordinator writes a hello line followed by one
+    {!Checkpoint.island_to_line} per assigned island (pending or
+    in-progress — resumed populations travel to the worker), then closes
+    it.  Up the result pipe the worker writes JSONL: verbatim
+    {!Caffeine_obs.Trace} record lines interleaved with island lines —
+    [in_progress] at every checkpoint boundary and [done] carrying the
+    island's final elite front.  The coordinator demultiplexes by the
+    JSON [type] field.
+
+    {2 Determinism}
+
+    Workers compute exactly what the sequential path computes (same
+    generator state, same data inherited by fork, inner execution
+    sequential), so final fronts are bit-identical at every [shards]
+    setting.  Worker output arrives in any interleaving; the coordinator
+    therefore buffers per island and releases events in island order —
+    trace records, checkpoint marks and migration records reach the
+    caller in exactly the sequence a sequential run would produce.
+    Snapshot {e writes}, by contrast, happen eagerly on arrival (a crash
+    must not lose progress a worker already reported); only their trace
+    marks are reordered.
+
+    {2 Failure}
+
+    A worker that dies mid-island (signal, [Unix._exit], uncaught
+    exception) closes its result pipe; the coordinator sees EOF before
+    the island's [done] line, reaps every worker and raises
+    {!Worker_failed} — never a hang.  If the coordinator itself dies, the
+    closed assignment/result pipes kill the workers on their next read or
+    write ([SIGPIPE] / [EPIPE]); an [at_exit] hook additionally kills
+    live workers when the coordinator exits through [Stdlib.exit] from a
+    callback.  [SIGPIPE] is ignored in the coordinator for the duration
+    of the run (saved and restored).
+
+    {2 Telemetry}
+
+    Counters on {!Caffeine_obs.Metrics.default}: [shard.workers_spawned],
+    [shard.migrations] (fronts received) and [shard.bytes_exchanged]
+    (bytes moved through the pipes, both directions).  Every received
+    front is also delivered as a {!Caffeine_obs.Trace.Migration} record.
+    Metrics incremented {e inside} worker processes die with them — only
+    coordinator-side counters and trace records survive. *)
+
+exception Worker_failed of string
+(** A worker process exited without finishing its islands, or exited
+    abnormally.  The message lists the worker, its fate (exit code or
+    signal) and the islands left unfinished. *)
+
+(** Ordered, per-island events the coordinator releases in island order. *)
+type event =
+  | Record of Caffeine_obs.Trace.record
+      (** a record the worker emitted, or the synthesized
+          {!Caffeine_obs.Trace.Migration} for the island's arrived front *)
+  | Progress_saved of int
+      (** a snapshot carrying this island's progress through generation
+          [gen] was written (only when [on_progress] is given) *)
+  | Done_saved
+      (** a snapshot carrying this island's final front was written (only
+          when [on_done] is given) *)
+
+val run_islands :
+  shards:int ->
+  ?on_progress:(island:int -> gen:int -> unit) ->
+  ?on_done:(island:int -> unit) ->
+  ?deliver:(island:int -> event -> unit) ->
+  run_island:
+    (emit:(Caffeine_obs.Trace.record -> unit) ->
+    progress:
+      (gen:int -> rng:Caffeine_util.Rng.state -> population:Checkpoint.population -> unit) ->
+    island:int ->
+    Checkpoint.island ->
+    Model.t list) ->
+  Checkpoint.island array ->
+  Model.t list array
+(** Run every non-[Done] island of [islands] across [shards] forked
+    workers and return the final fronts in island order ([Done] islands
+    pass through untouched).  [islands] is mutated in place as progress
+    and fronts arrive, exactly as the sequential island loop mutates it,
+    so a snapshot of the array is always current.
+
+    [run_island] executes {e inside the worker process}: it must be
+    deterministic, call [emit] for every trace record to forward (or
+    never, when the run is unobserved), call [progress] at each
+    checkpoint boundary, and return the island's final front.  Do not
+    touch inherited channels or pools inside it.
+
+    [on_progress]/[on_done] execute {e eagerly} on the coordinator, after
+    [islands] has been updated — this is where the caller writes its
+    snapshot file.  [deliver] executes on the coordinator in island
+    order; exceptions it raises abort the run (workers are killed and
+    reaped) and propagate.
+
+    Must not be called while worker domains are alive in this process: a
+    fork of a multi-domain OCaml runtime leaves the child's GC waiting on
+    domains that do not exist there.  The search layer guarantees this by
+    never combining the process backend with a domain pool. *)

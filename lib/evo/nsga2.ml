@@ -1,5 +1,5 @@
 module Rng = Caffeine_util.Rng
-module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
 
 type 'a individual = {
   genome : 'a;
@@ -136,18 +136,15 @@ let binary_tournament rng population =
   else if a.crowding > b.crowding then a
   else b
 
-let run ?on_generation ?pool ?start ~rng config =
+let run ?on_generation ?(executor = Executor.sequential) ?start ~rng config =
   if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
   let evaluate genome = sanitize (config.objectives genome) in
   (* Objective evaluation is the dominant cost and is independent per
-     genome, so it fans out across the pool; initialization, tournament
-     selection and variation stay on the caller's RNG in sequential order,
-     which keeps results bit-identical to the sequential path. *)
-  let evaluate_all =
-    match pool with
-    | None -> Array.map evaluate
-    | Some pool -> Pool.parallel_map pool evaluate
-  in
+     genome, so it fans out across the executor; initialization,
+     tournament selection and variation stay on the caller's RNG in
+     sequential order, which keeps results bit-identical to the
+     sequential path. *)
+  let evaluate_all genomes = Executor.map executor evaluate genomes in
   (* Resuming from a checkpointed (generation, population) skips
      initialization entirely: the caller's rng must hold the state captured
      right after that generation's environmental selection, so the next

@@ -38,7 +38,7 @@ type 'a config = {
 
 val run :
   ?on_generation:(int -> 'a individual array -> unit) ->
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?start:int * 'a individual array ->
   rng:Caffeine_util.Rng.t ->
   'a config ->
@@ -50,11 +50,12 @@ val run :
     population sorted by (rank, crowding desc).  [on_generation] observes
     the population after each environmental selection.
 
-    With [pool], the initial and per-generation objective evaluations fan
-    out across the pool's domains ([objectives] must then be safe to call
-    from any domain).  Initialization, selection and variation always stay
-    on the caller's [rng] in sequential order, so for a fixed seed the
-    returned population is bit-identical with and without a pool.
+    The initial and per-generation objective evaluations fan out through
+    [executor] (default {!Caffeine_par.Executor.sequential}); with a
+    domain-pool executor, [objectives] must be safe to call from any
+    domain.  Initialization, selection and variation always stay on the
+    caller's [rng] in sequential order, so for a fixed seed the returned
+    population is bit-identical under every backend.
 
     [start = (gen0, population)] resumes an interrupted run: [population]
     must be the population returned by an earlier [on_generation gen0]

@@ -70,6 +70,13 @@ type warning = {
   message : string;
 }
 
+type migration = {
+  island : int;
+  shard : int;
+  models : int;
+  bytes : int;
+}
+
 type record =
   | Run_start of run_start
   | Generation of generation
@@ -80,6 +87,7 @@ type record =
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
   | Warning of warning
+  | Migration of migration
 
 (* --- encoding ----------------------------------------------------------- *)
 
@@ -199,7 +207,15 @@ let to_line record =
         ]
   | Warning w ->
       add_fields buffer "warning"
-        [ ("context", string_field w.context); ("message", string_field w.message) ]);
+        [ ("context", string_field w.context); ("message", string_field w.message) ]
+  | Migration m ->
+      add_fields buffer "migration"
+        [
+          ("island", int_field m.island);
+          ("shard", int_field m.shard);
+          ("models", int_field m.models);
+          ("bytes", int_field m.bytes);
+        ]);
   Buffer.contents buffer
 
 (* --- decoding ----------------------------------------------------------- *)
@@ -296,6 +312,14 @@ let of_line line =
         | Json.Str "warning" ->
             Warning
               { context = Json.str_of fields "context"; message = Json.str_of fields "message" }
+        | Json.Str "migration" ->
+            Migration
+              {
+                island = Json.int_of fields "island";
+                shard = Json.int_of fields "shard";
+                models = Json.int_of fields "models";
+                bytes = Json.int_of fields "bytes";
+              }
         | Json.Str other -> raise (Json.Parse_error (Printf.sprintf "unknown record type %S" other))
         | _ -> raise (Json.Parse_error "missing record type")
       with
@@ -312,6 +336,10 @@ let deterministic = function
   | Checkpoint_written _ as record -> Some record
   | Run_resumed _ as record -> Some record
   | Warning _ as record -> Some record
+  (* Which worker process served an island depends on the --shard setting,
+     so the shard field is zeroed; the migrated front (and hence its model
+     count and wire size) is shard-invariant. *)
+  | Migration m -> Some (Migration { m with shard = 0 })
 
 (* --- sinks -------------------------------------------------------------- *)
 
@@ -319,14 +347,16 @@ type sink =
   | Null
   | Channel of { channel : out_channel; mutex : Mutex.t }
   | Memory of { mutable records : record list; mutex : Mutex.t }
+  | Fn of (record -> unit)
 
 let null = Null
-let is_null = function Null -> true | Channel _ | Memory _ -> false
+let is_null = function Null -> true | Channel _ | Memory _ | Fn _ -> false
 let of_channel channel = Channel { channel; mutex = Mutex.create () }
 let memory () = Memory { records = []; mutex = Mutex.create () }
+let of_fn f = Fn f
 
 let contents = function
-  | Null | Channel _ -> []
+  | Null | Channel _ | Fn _ -> []
   | Memory m ->
       Mutex.lock m.mutex;
       let records = List.rev m.records in
@@ -346,3 +376,4 @@ let emit sink record =
       Mutex.lock m.mutex;
       m.records <- record :: m.records;
       Mutex.unlock m.mutex
+  | Fn f -> f record

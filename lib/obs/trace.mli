@@ -95,6 +95,18 @@ type warning = {
   message : string;
 }
 
+type migration = {
+  island : int;  (** island whose elite front arrived at the coordinator *)
+  shard : int;
+      (** worker process that served the island — nondeterministic across
+          [--shard] settings, zeroed by {!deterministic} *)
+  models : int;  (** models in the migrated front *)
+  bytes : int;  (** wire size of the serialized front (one snapshot line) *)
+}
+(** Emitted by the multi-process island backend ({!Caffeine.Shard}) when a
+    worker hands its finished front back to the coordinator.  Sequential
+    and domain-pool runs exchange nothing and emit none. *)
+
 type record =
   | Run_start of run_start
   | Generation of generation
@@ -105,6 +117,7 @@ type record =
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
   | Warning of warning
+  | Migration of migration
 
 (** {2 JSONL codec} *)
 
@@ -115,10 +128,11 @@ val of_line : string -> (record, string) result
 
 val deterministic : record -> record option
 (** The jobs-invariant projection: [None] for {!Cache_stats}; other
-    records with their nondeterministic fields ([wall_s], [total_wall_s])
-    zeroed.  Checkpoint, resume and warning records are kept verbatim:
-    checkpointed runs serialize their islands, so the records arrive in
-    the same order at every jobs setting. *)
+    records with their nondeterministic fields ([wall_s], [total_wall_s],
+    {!migration}'s [shard]) zeroed.  Checkpoint, resume and warning
+    records are kept verbatim: checkpointed runs serialize their islands,
+    so the records arrive in the same order at every jobs and shard
+    setting. *)
 
 (** {2 Sinks} *)
 
@@ -139,6 +153,12 @@ val of_channel : out_channel -> sink
 
 val memory : unit -> sink
 (** Collect records in memory (mutex-protected); read with {!contents}. *)
+
+val of_fn : (record -> unit) -> sink
+(** Hand every record to [f] directly, with no locking — for
+    single-domain plumbing such as a worker process forwarding records
+    over its result pipe.  Callers that emit from several domains must
+    serialize inside [f] themselves. *)
 
 val contents : sink -> record list
 (** Records collected so far, in emission order.  Empty for non-memory

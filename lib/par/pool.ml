@@ -1,12 +1,16 @@
 (* A reusable pool of worker domains.
 
-   Coordination is a single mutex + two condition variables: the submitter
-   publishes a batch (a work-stealing thunk every domain runs) under the
-   mutex and bumps an epoch counter; workers sleep until the epoch moves,
-   run the thunk, and signal completion.  The mutex hand-off doubles as the
-   memory barrier that publishes the submitter's writes (input array,
-   closure state) to the workers and the workers' result writes back to the
-   submitter, per the OCaml 5 memory model.
+   Coordination is built for back-to-back batch submission (one batch per
+   NSGA-II generation): the submitter publishes a batch (a work-stealing
+   thunk every domain runs) with a single atomic epoch bump, and workers
+   spin briefly on the epoch before falling back to a mutex + condition
+   sleep.  In the steady state — batches arriving faster than the spin
+   budget runs out — a generation costs two atomic operations per worker
+   and no syscalls; the mutex path only engages when the pool goes idle.
+   The epoch is an [Atomic], so its bump publishes the submitter's plain
+   writes (batch closure, input array) to any worker that observes it, per
+   the OCaml 5 memory model; the completion countdown publishes the
+   workers' result writes back to the submitter the same way.
 
    Work distribution inside a batch is an atomic chunk index over [0, n):
    each domain repeatedly claims the next chunk of indices and writes
@@ -25,6 +29,7 @@ let m_sequential_fallbacks = Metrics.counter Metrics.default "pool.sequential_fa
 let m_tasks_abandoned = Metrics.counter Metrics.default "pool.tasks_abandoned"
 let m_task_imbalance = Metrics.gauge Metrics.default "pool.task_imbalance"
 let m_batch_timer = Metrics.timer Metrics.default "pool.batch"
+let m_env_invalid = Metrics.counter Metrics.default "pool.env_jobs_invalid"
 
 type t = {
   size : int;  (* total parallelism, including the submitting domain *)
@@ -32,10 +37,11 @@ type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   batch_done : Condition.t;
-  mutable epoch : int;  (* bumped once per batch *)
+  epoch : int Atomic.t;  (* bumped once per batch; publishes [batch] *)
   mutable batch : (unit -> unit) option;  (* never raises *)
-  mutable active : int;  (* workers still inside the current batch *)
-  mutable stopping : bool;
+  active : int Atomic.t;  (* workers still inside the current batch *)
+  sleepers : int Atomic.t;  (* workers blocked on [work_ready] *)
+  stopping : bool Atomic.t;
   busy : bool Atomic.t;  (* a batch is in flight: nested calls go sequential *)
 }
 
@@ -44,44 +50,93 @@ type t = {
    program slower, not just the pool (BENCH_parallel.json on a 1-core host
    showed jobs=8 running 7x slower than jobs=1).  Every jobs request is
    therefore clamped to the hardware before any domain is spawned. *)
+
+(* An invalid CAFFEINE_JOBS is a misconfiguration the user should hear
+   about once, not a silent fall-through to all cores: the warning goes to
+   stderr immediately, bumps [pool.env_jobs_invalid], and is parked for a
+   caller that owns a trace sink to surface as a [Trace.Warning]
+   ({!take_env_warning}).  Deduplicated per value so a long run does not
+   repeat itself on every pool creation. *)
+let env_warned : string option Atomic.t = Atomic.make None
+let env_warning : string option Atomic.t = Atomic.make None
+
+let take_env_warning () = Atomic.exchange env_warning None
+
+let env_jobs cores =
+  match Sys.getenv_opt "CAFFEINE_JOBS" with
+  | None -> None
+  | Some value -> (
+      match int_of_string_opt (String.trim value) with
+      | Some jobs when jobs >= 1 -> Some jobs
+      | Some _ | None ->
+          if Atomic.get env_warned <> Some value then begin
+            Atomic.set env_warned (Some value);
+            let message =
+              Printf.sprintf "CAFFEINE_JOBS=%S is not a positive integer; using all %d core(s)"
+                value cores
+            in
+            Metrics.incr m_env_invalid;
+            Atomic.set env_warning (Some message);
+            Printf.eprintf "caffeine: warning: %s\n%!" message
+          end;
+          None)
+
 let effective_jobs requested =
   let cores = Domain.recommended_domain_count () in
   let requested =
     if requested >= 1 then requested
     else
       (* 0 (or negative) = auto: CAFFEINE_JOBS when set, else all cores. *)
-      match Sys.getenv_opt "CAFFEINE_JOBS" with
-      | Some value -> (
-          match int_of_string_opt (String.trim value) with
-          | Some jobs when jobs >= 1 -> jobs
-          | Some _ | None -> cores)
-      | None -> cores
+      match env_jobs cores with Some jobs -> jobs | None -> cores
   in
   Stdlib.max 1 (Stdlib.min requested cores)
 
 let default_jobs () = effective_jobs 0
 
+(* How many [Domain.cpu_relax] iterations a domain burns waiting for the
+   next batch (worker side) or for batch completion (submitter side)
+   before falling back to the mutex.  Large enough to cover the
+   inter-generation gap of the search loop, small enough that an idle pool
+   parks within microseconds. *)
+let spin_budget = 4096
+
 let worker_loop pool =
-  let seen_epoch = ref 0 in
+  let seen = ref 0 in
   let running = ref true in
   while !running do
-    Mutex.lock pool.mutex;
-    while (not pool.stopping) && pool.epoch = !seen_epoch do
-      Condition.wait pool.work_ready pool.mutex
+    (* Fast path: spin briefly for the next batch before sleeping. *)
+    let spins = ref 0 in
+    while
+      Atomic.get pool.epoch = !seen
+      && (not (Atomic.get pool.stopping))
+      && !spins < spin_budget
+    do
+      Domain.cpu_relax ();
+      incr spins
     done;
-    if pool.stopping then begin
-      Mutex.unlock pool.mutex;
-      running := false
-    end
-    else begin
-      seen_epoch := pool.epoch;
-      let batch = Option.get pool.batch in
-      Mutex.unlock pool.mutex;
-      batch ();
+    if Atomic.get pool.epoch = !seen && not (Atomic.get pool.stopping) then begin
       Mutex.lock pool.mutex;
-      pool.active <- pool.active - 1;
-      if pool.active = 0 then Condition.broadcast pool.batch_done;
+      Atomic.incr pool.sleepers;
+      while Atomic.get pool.epoch = !seen && not (Atomic.get pool.stopping) do
+        Condition.wait pool.work_ready pool.mutex
+      done;
+      Atomic.decr pool.sleepers;
       Mutex.unlock pool.mutex
+    end;
+    if Atomic.get pool.stopping then running := false
+    else begin
+      seen := Atomic.get pool.epoch;
+      let batch = Option.get pool.batch in
+      batch ();
+      if Atomic.fetch_and_add pool.active (-1) = 1 then begin
+        (* Last worker out: the submitter may already be past its spin
+           budget and blocked, so take the mutex before signalling — a
+           broadcast outside it could slip between the submitter's check
+           and its wait. *)
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.batch_done;
+        Mutex.unlock pool.mutex
+      end
     end
   done
 
@@ -94,10 +149,11 @@ let create ?jobs () =
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       batch_done = Condition.create ();
-      epoch = 0;
+      epoch = Atomic.make 0;
       batch = None;
-      active = 0;
-      stopping = false;
+      active = Atomic.make 0;
+      sleepers = Atomic.make 0;
+      stopping = Atomic.make false;
       busy = Atomic.make false;
     }
   in
@@ -110,8 +166,8 @@ let jobs pool = pool.size
 let shutdown pool =
   let workers = pool.workers in
   if Array.length workers > 0 then begin
+    Atomic.set pool.stopping true;
     Mutex.lock pool.mutex;
-    pool.stopping <- true;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.mutex;
     pool.workers <- [||];
@@ -129,19 +185,32 @@ let with_optional_pool ?jobs f =
 (* Run [batch] on every domain of the pool (workers + caller) and wait for
    all of them to finish.  [batch] must not raise. *)
 let run_batch pool batch =
-  Mutex.lock pool.mutex;
   pool.batch <- Some batch;
-  pool.epoch <- pool.epoch + 1;
-  pool.active <- Array.length pool.workers;
-  Condition.broadcast pool.work_ready;
-  Mutex.unlock pool.mutex;
+  Atomic.set pool.active (Array.length pool.workers);
+  Atomic.incr pool.epoch;
+  (* Only wake domains that actually went to sleep; spinning workers have
+     already seen the epoch move.  A worker between its spin and its
+     sleep rechecks the epoch under the mutex after bumping [sleepers],
+     so reading [sleepers = 0] here never strands it. *)
+  if Atomic.get pool.sleepers > 0 then begin
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex
+  end;
   batch ();
-  Mutex.lock pool.mutex;
-  while pool.active > 0 do
-    Condition.wait pool.batch_done pool.mutex
+  let spins = ref 0 in
+  while Atomic.get pool.active > 0 && !spins < spin_budget do
+    Domain.cpu_relax ();
+    incr spins
   done;
-  pool.batch <- None;
-  Mutex.unlock pool.mutex
+  if Atomic.get pool.active > 0 then begin
+    Mutex.lock pool.mutex;
+    while Atomic.get pool.active > 0 do
+      Condition.wait pool.batch_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+  end;
+  pool.batch <- None
 
 let parallel_map pool f input =
   let n = Array.length input in

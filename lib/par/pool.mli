@@ -9,6 +9,12 @@
     returns: callers that need reproducibility only have to keep the mapped
     function deterministic per element.
 
+    Batch hand-off is amortized for back-to-back submission (one batch per
+    search generation): workers spin briefly on an atomic epoch before
+    parking on a condition variable, and the submitter wakes only domains
+    that actually parked — in the steady state a generation boundary costs
+    a few atomic operations per domain and no syscalls.
+
     Nesting and concurrent use are safe by construction: a [parallel_map]
     issued while the pool is already running a batch (for example from
     inside a worker, as happens when parallel islands each try to
@@ -23,7 +29,8 @@
     [pool.sequential_fallbacks] (parallel calls that degraded to the
     calling domain because a batch was already in flight) and
     [pool.tasks_abandoned] (elements left undone when a batch raised —
-    always at least the failing element); the timer [pool.batch]
+    always at least the failing element) and [pool.env_jobs_invalid]
+    (rejected [CAFFEINE_JOBS] values); the timer [pool.batch]
     (submitter wall time per batch); and the gauge [pool.task_imbalance]
     (spread between the busiest and idlest domain of the last batch, in
     ideal per-domain shares: 0 = perfectly balanced). *)
@@ -37,7 +44,19 @@ val effective_jobs : int -> int
     integer, else all cores — and every request is clamped to
     [\[1, Domain.recommended_domain_count ()\]].  Domains beyond the core
     count participate in every GC synchronization while adding no
-    throughput, so a pool never spawns more than the hardware offers. *)
+    throughput, so a pool never spawns more than the hardware offers.
+
+    A [CAFFEINE_JOBS] value that is not a positive integer (["abc"],
+    ["-2"]) is a misconfiguration, not an auto request: it still falls
+    back to all cores, but warns on stderr (once per distinct value),
+    bumps the [pool.env_jobs_invalid] counter, and parks the message for
+    {!take_env_warning}. *)
+
+val take_env_warning : unit -> string option
+(** The warning text of the most recent invalid [CAFFEINE_JOBS] value, if
+    one was rejected since the last call — consumed by callers that own a
+    trace sink so the misconfiguration also lands in the run trace as a
+    [Trace.Warning] (context ["pool.effective_jobs"]).  Clears on read. *)
 
 val default_jobs : unit -> int
 (** [effective_jobs 0]: the parallelism used when the caller does not

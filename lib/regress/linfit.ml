@@ -211,7 +211,8 @@ let fit_gram ~dot ~dot_y ~col_sum ~basis_values ~targets =
     end
   end
 
-let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ?on_round ~basis_values ~targets () =
+let forward_select ?(executor = Caffeine_par.Executor.sequential) ?max_bases
+    ?(tolerance = 1e-6) ?on_round ~basis_values ~targets () =
   let total = Array.length basis_values in
   let cap = match max_bases with Some m -> min m total | None -> total in
   let n = Array.length targets in
@@ -263,11 +264,7 @@ let forward_select ?pool ?max_bases ?(tolerance = 1e-6) ?on_round ~basis_values 
   in
   let candidates = Array.init total Fun.id in
   while !continue && !chosen_count < cap do
-    let scores =
-      match pool with
-      | Some pool -> Caffeine_par.Pool.parallel_map pool score candidates
-      | None -> Array.map score candidates
-    in
+    let scores = Caffeine_par.Executor.map executor score candidates in
     let best = ref None in
     Array.iteri
       (fun candidate score ->

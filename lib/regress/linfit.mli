@@ -71,7 +71,7 @@ val press : basis_values:float array array -> targets:float array -> float
     shortcut on the linear parameters). *)
 
 val forward_select :
-  ?pool:Caffeine_par.Pool.t ->
+  ?executor:Caffeine_par.Executor.t ->
   ?max_bases:int ->
   ?tolerance:float ->
   ?on_round:
@@ -97,7 +97,8 @@ val forward_select :
     as the pre-engine implementation did.
 
     Candidate PRESS scores within a round are mutually independent (the
-    factorization is frozen until the round's winner is committed); with
-    [pool] they are evaluated across the pool's domains.  The greedy
-    reduction always scans candidates in index order, so the selection is
-    identical with and without a pool. *)
+    factorization is frozen until the round's winner is committed); they
+    are evaluated through [executor] (default sequential), fanning across
+    a domain pool when it has one.  The greedy reduction always scans
+    candidates in index order, so the selection is identical under every
+    backend. *)

@@ -251,10 +251,10 @@ let test_run_kill_resume_bit_identical () =
       let resumed = Search.run ~seed:23 ~resume:snapshot ~checkpoint_path:path toy_config ~data ~targets in
       Alcotest.(check bool) "resumed front bit-identical to the uninterrupted run" true
         (equal full.Search.front resumed.Search.front);
-      (* Resuming under a pool must not change the front either. *)
+      (* Resuming under a domain pool must not change the front either. *)
       let pooled =
-        Pool.with_pool ~jobs:4 (fun pool ->
-            Search.run ~seed:23 ~pool ~resume:snapshot toy_config ~data ~targets)
+        Caffeine_par.Executor.with_executor ~jobs:4 Caffeine_par.Executor.Domains
+          (fun executor -> Search.run ~seed:23 ~executor ~resume:snapshot toy_config ~data ~targets)
       in
       Alcotest.(check bool) "pooled resume identical" true (equal full.Search.front pooled.Search.front);
       (* The completed resume left a finished snapshot behind. *)

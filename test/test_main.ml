@@ -18,6 +18,7 @@ let () =
       ("core", Test_core.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("par", Test_par.suite);
+      ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("export", Test_export.suite);
       ("io", Test_io.suite);

@@ -6,6 +6,7 @@
 module Metrics = Caffeine_obs.Metrics
 module Trace = Caffeine_obs.Trace
 module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
 module Rng = Caffeine_util.Rng
 module Config = Caffeine.Config
 module Search = Caffeine.Search
@@ -174,7 +175,7 @@ let record_gen : Trace.record QCheck.Gen.t =
       ]
       st
   in
-  match QCheck.Gen.int_bound 8 st with
+  match QCheck.Gen.int_bound 9 st with
   | 0 ->
       Trace.Run_start
         {
@@ -243,6 +244,8 @@ let record_gen : Trace.record QCheck.Gen.t =
           island = nat st - 1;
           gen = nat st - 1;
         }
+  | 8 ->
+      Trace.Migration { Trace.island = nat st; shard = nat st; models = nat st; bytes = nat st }
   | _ -> Trace.Warning { Trace.context = text st; message = text st }
 
 let record_arbitrary = QCheck.make ~print:Trace.to_line record_gen
@@ -324,6 +327,38 @@ let test_deterministic_keeps_checkpoint_records () =
       | None -> Alcotest.fail "checkpoint/resume/warning records must survive the projection")
     records
 
+let test_migration_codec_and_projection () =
+  let m = Trace.Migration { Trace.island = 3; shard = 2; models = 7; bytes = 4096 } in
+  (match Trace.of_line (Trace.to_line m) with
+  | Ok m' -> Alcotest.(check bool) "migration round-trips" true (record_equal m m')
+  | Error e -> Alcotest.fail e);
+  (* Which worker served an island depends on --shard, so the projection
+     zeroes the shard field; the rest — which island, how many models, the
+     wire size of the front — is shard-invariant and must survive for the
+     cross-shard CI diff. *)
+  match Trace.deterministic m with
+  | Some (Trace.Migration p) ->
+      Alcotest.(check int) "shard zeroed" 0 p.Trace.shard;
+      Alcotest.(check int) "island kept" 3 p.Trace.island;
+      Alcotest.(check int) "models kept" 7 p.Trace.models;
+      Alcotest.(check int) "bytes kept" 4096 p.Trace.bytes
+  | _ -> Alcotest.fail "migration should project to a migration"
+
+let test_fn_sink () =
+  let seen = ref [] in
+  let sink = Trace.of_fn (fun r -> seen := r :: !seen) in
+  Alcotest.(check bool) "fn sink is live" false (Trace.is_null sink);
+  let records =
+    [
+      Trace.Migration { Trace.island = 0; shard = 1; models = 2; bytes = 64 };
+      Trace.Warning { Trace.context = "t"; message = "m" };
+    ]
+  in
+  List.iter (Trace.emit sink) records;
+  Alcotest.(check bool) "fn sink sees every record in order" true
+    (record_equal records (List.rev !seen));
+  Alcotest.(check int) "fn sink retains nothing itself" 0 (List.length (Trace.contents sink))
+
 let test_of_line_rejects_garbage () =
   let rejected line =
     match Trace.of_line line with Ok _ -> false | Error _ -> true
@@ -397,13 +432,14 @@ let test_trace_jobs_invariant () =
   let capture use_pool =
     let data = Dataset.of_rows inputs in
     let sink = Trace.memory () in
-    let run pool =
-      let outcome = Search.run ~seed:21 ?pool ~trace:sink config ~data ~targets in
+    let run executor =
+      let outcome = Search.run ~seed:21 ~executor ~trace:sink config ~data ~targets in
       ignore
-        (Sag.process_front ?pool ~trace:sink ~wb:config.Config.wb ~wvc:config.Config.wvc
+        (Sag.process_front ~executor ~trace:sink ~wb:config.Config.wb ~wvc:config.Config.wvc
            outcome.Search.front ~data ~targets)
     in
-    if use_pool then Pool.with_pool ~jobs:4 (fun pool -> run (Some pool)) else run None;
+    if use_pool then Executor.with_executor ~jobs:4 Executor.Domains run
+    else run Executor.sequential;
     Trace.contents sink
   in
   let sequential = capture false in
@@ -463,6 +499,9 @@ let suite =
     Alcotest.test_case "trace: projection keeps checkpoint records" `Quick
       test_deterministic_keeps_checkpoint_records;
     Alcotest.test_case "trace: sinks" `Quick test_sinks;
+    Alcotest.test_case "trace: fn sink" `Quick test_fn_sink;
+    Alcotest.test_case "trace: migration codec and projection" `Quick
+      test_migration_codec_and_projection;
     Alcotest.test_case "trace: channel sink" `Quick test_channel_sink;
     Alcotest.test_case "trace: jobs-invariant projection" `Quick test_trace_jobs_invariant;
     Alcotest.test_case "pool: abandoned tasks counted" `Quick test_pool_abandoned_counter;

@@ -1,8 +1,11 @@
-(* Tests for the domain pool and the determinism contract of the parallel
-   search paths: for a fixed seed, every entry point must produce results
-   bit-identical to its sequential counterpart, whatever the pool size. *)
+(* Tests for the domain pool, the executor seam and the determinism
+   contract of the parallel search paths: for a fixed seed, every entry
+   point must produce results bit-identical to its sequential
+   counterpart, whatever the backend or worker count. *)
 
 module Pool = Caffeine_par.Pool
+module Executor = Caffeine_par.Executor
+module Metrics = Caffeine_obs.Metrics
 module Rng = Caffeine_util.Rng
 module Expr = Caffeine_expr.Expr
 module Dataset = Caffeine_io.Dataset
@@ -98,6 +101,106 @@ let test_jobs_clamped_to_cores () =
   Alcotest.(check int) "jobs 0 is auto" (Pool.effective_jobs 0) (Pool.jobs auto);
   Pool.shutdown auto
 
+(* --- env-driven job selection --- *)
+
+let string_contains ~affix s =
+  let n = String.length affix and len = String.length s in
+  let rec scan i = i + n <= len && (String.sub s i n = affix || scan (i + 1)) in
+  n = 0 || scan 0
+
+let with_env_jobs value f =
+  (* [Unix.putenv] cannot unset, so restore to the core count: for the
+     auto paths below that is indistinguishable from an unset variable. *)
+  let restore = string_of_int (Domain.recommended_domain_count ()) in
+  Fun.protect ~finally:(fun () -> Unix.putenv "CAFFEINE_JOBS" restore) (fun () ->
+      Unix.putenv "CAFFEINE_JOBS" value;
+      f ())
+
+let test_invalid_env_jobs_warns () =
+  let cores = Domain.recommended_domain_count () in
+  let invalid = Metrics.counter Metrics.default "pool.env_jobs_invalid" in
+  ignore (Pool.take_env_warning ());
+  List.iter
+    (fun value ->
+      with_env_jobs value @@ fun () ->
+      let before = Metrics.counter_value invalid in
+      Alcotest.(check int)
+        (Printf.sprintf "%S falls back to all cores" value)
+        cores (Pool.effective_jobs 0);
+      Alcotest.(check int)
+        (Printf.sprintf "%S bumps pool.env_jobs_invalid" value)
+        (before + 1) (Metrics.counter_value invalid);
+      (match Pool.take_env_warning () with
+      | None -> Alcotest.fail (Printf.sprintf "%S left no warning to take" value)
+      | Some message ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S quoted in the warning" value)
+            true
+            (string_contains ~affix:(Printf.sprintf "%S" value) message));
+      Alcotest.(check bool)
+        "warning taken exactly once" true
+        (Pool.take_env_warning () = None);
+      (* Deduplicated per value: a second clamp of the same setting stays
+         silent. *)
+      let before = Metrics.counter_value invalid in
+      Alcotest.(check int) "same value again" cores (Pool.effective_jobs 0);
+      Alcotest.(check int) "no second bump" before (Metrics.counter_value invalid);
+      Alcotest.(check bool) "no second warning" true (Pool.take_env_warning () = None))
+    [ "abc"; "-2" ];
+  (* A valid setting is honored without any warning. *)
+  with_env_jobs "1" @@ fun () ->
+  Alcotest.(check int) "valid value honored" 1 (Pool.effective_jobs 0);
+  Alcotest.(check bool) "no warning for valid value" true (Pool.take_env_warning () = None)
+
+(* --- executor seam --- *)
+
+let test_backend_names () =
+  List.iter
+    (fun backend ->
+      match Executor.backend_of_string (Executor.backend_name backend) with
+      | Ok roundtripped ->
+          Alcotest.(check bool)
+            (Executor.backend_name backend ^ " round-trips")
+            true (backend = roundtripped)
+      | Error msg -> Alcotest.fail msg)
+    [ Executor.Seq; Executor.Domains; Executor.Processes ];
+  match Executor.backend_of_string "threads" with
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+  | Error msg -> Alcotest.(check bool) "error lists spellings" true (msg <> "")
+
+let test_executor_map_all_backends () =
+  let input = Array.init 200 Fun.id in
+  let expected = Array.map succ input in
+  Alcotest.(check (array int)) "seq map" expected (Executor.map Executor.sequential succ input);
+  Alcotest.(check (array int)) "seq init" input (Executor.init Executor.sequential 200 Fun.id);
+  Executor.with_executor ~jobs:4 Executor.Domains (fun executor ->
+      Alcotest.(check (array int)) "domains map" expected (Executor.map executor succ input));
+  (* A Processes executor maps sequentially on the calling side: its
+     parallelism lives at the island level, not in [map]. *)
+  Executor.with_executor ~shards:4 Executor.Processes (fun executor ->
+      Alcotest.(check bool) "processes carries shard count" true (Executor.shards executor >= 1);
+      Alcotest.(check bool) "processes owns no pool" true (Executor.pool executor = None);
+      Alcotest.(check (array int)) "processes map" expected (Executor.map executor succ input))
+
+let test_executor_nested_falls_back () =
+  Executor.with_executor ~jobs:4 Executor.Domains @@ fun executor ->
+  let inner i = Executor.map executor (fun j -> (10 * i) + j) (Array.init 5 Fun.id) in
+  let got = Executor.map executor inner (Array.init 6 Fun.id) in
+  let expected = Array.init 6 (fun i -> Array.init 5 (fun j -> (10 * i) + j)) in
+  Alcotest.(check bool) "nested executor maps degrade sequentially" true (got = expected)
+
+let test_executor_of_pool_borrows () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let executor = Executor.of_pool pool in
+  Alcotest.(check bool) "borrowed executor is Domains" true
+    (Executor.backend executor = Executor.Domains);
+  Alcotest.(check (array int)) "borrowed map" [| 1; 2; 3 |]
+    (Executor.map executor succ [| 0; 1; 2 |]);
+  Executor.shutdown executor;
+  (* Shutdown of a borrowed pool is a no-op: the owner keeps using it. *)
+  Alcotest.(check (array int)) "pool survives borrowed shutdown" [| 1 |]
+    (Pool.parallel_map pool succ [| 0 |])
+
 (* --- dataset cache under the parallel contract --- *)
 
 let square_basis k = Expr.{ vc = Some [| k |]; factors = [] }
@@ -173,7 +276,8 @@ let test_run_deterministic () =
       in
       let parallel =
         let data = Dataset.of_rows inputs in
-        Pool.with_pool ~jobs:4 @@ fun pool -> Search.run ~seed ~pool config ~data ~targets
+        Executor.with_executor ~jobs:4 Executor.Domains @@ fun executor ->
+        Search.run ~seed ~executor config ~data ~targets
       in
       let names = Dataset.var_names (Dataset.of_rows inputs) in
       Alcotest.(check bool)
@@ -195,8 +299,8 @@ let test_run_multi_deterministic () =
       in
       let parallel =
         let data = Dataset.of_rows inputs in
-        Pool.with_pool ~jobs:4 @@ fun pool ->
-        Search.run_multi ~seed ~pool ~restarts:3 config ~data ~targets
+        Executor.with_executor ~jobs:4 Executor.Domains @@ fun executor ->
+        Search.run_multi ~seed ~executor ~restarts:3 config ~data ~targets
       in
       Alcotest.(check bool)
         (Printf.sprintf "seed %d: identical merged fronts" seed)
@@ -232,8 +336,8 @@ let test_sag_deterministic () =
   let outcome = Search.run ~seed:19 config ~data ~targets in
   let sequential = Sag.process_front ~wb ~wvc outcome.Search.front ~data ~targets in
   let parallel =
-    Pool.with_pool ~jobs:4 @@ fun pool ->
-    Sag.process_front ~pool ~wb ~wvc outcome.Search.front ~data ~targets
+    Executor.with_executor ~jobs:4 Executor.Domains @@ fun executor ->
+    Sag.process_front ~executor ~wb ~wvc outcome.Search.front ~data ~targets
   in
   Alcotest.(check bool) "identical simplified fronts" true
     (front_signature names sequential = front_signature names parallel)
@@ -250,8 +354,8 @@ let test_forward_select_deterministic () =
   in
   let sequential = Linfit.forward_select ~max_bases:6 ~basis_values:columns ~targets () in
   let parallel =
-    Pool.with_pool ~jobs:4 @@ fun pool ->
-    Linfit.forward_select ~pool ~max_bases:6 ~basis_values:columns ~targets ()
+    Executor.with_executor ~jobs:4 Executor.Domains @@ fun executor ->
+    Linfit.forward_select ~executor ~max_bases:6 ~basis_values:columns ~targets ()
   in
   Alcotest.(check (array int)) "identical selection" sequential parallel;
   Alcotest.(check bool) "selected something" true (Array.length sequential > 0)
@@ -279,6 +383,11 @@ let suite =
     Alcotest.test_case "pool: shutdown degrades" `Quick test_shutdown_degrades;
     Alcotest.test_case "pool: with_optional_pool" `Quick test_with_optional_pool;
     Alcotest.test_case "pool: jobs clamped to cores" `Quick test_jobs_clamped_to_cores;
+    Alcotest.test_case "pool: invalid CAFFEINE_JOBS warns" `Quick test_invalid_env_jobs_warns;
+    Alcotest.test_case "executor: backend names" `Quick test_backend_names;
+    Alcotest.test_case "executor: map on every backend" `Quick test_executor_map_all_backends;
+    Alcotest.test_case "executor: nested maps fall back" `Quick test_executor_nested_falls_back;
+    Alcotest.test_case "executor: of_pool borrows" `Quick test_executor_of_pool_borrows;
     Alcotest.test_case "dataset: clear cache" `Quick test_dataset_clear_cache;
     Alcotest.test_case "dataset: cache limit" `Quick test_dataset_cache_limit;
     Alcotest.test_case "dataset: concurrent reads" `Quick test_dataset_concurrent_reads;
