@@ -5,7 +5,7 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|parallel|regress|trace|micro]
+                                   eval|parallel|regress|trace|dedup|micro]
                                   [--pop N] [--gens N] [--seed N] [--smoke]
 
    The search budget defaults to a few seconds per performance; pass
@@ -1108,6 +1108,201 @@ let experiment_trace options =
     exit 1
   end
 
+(* --- evaluation-cache dedup ---------------------------------------------- *)
+
+let experiment_dedup options =
+  let module Trace = Caffeine_obs.Trace in
+  let module Eval_cache = Caffeine.Eval_cache in
+  section "dedup: evaluation-cache effectiveness and exactness";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let n = Array.length train.Ota.inputs in
+  let dims = Array.length Ota.var_names in
+  let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
+  (* Fresh dataset per measurement: the basis-column cache must not carry
+     warm columns from one cache setting into the next. *)
+  let fresh_data () = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let config =
+    Config.scaled
+      ~pop_size:(if options.smoke then 24 else Stdlib.max 24 (options.pop_size / 2))
+      ~generations:(if options.smoke then 12 else Stdlib.max 12 (options.generations / 5))
+      Config.paper
+  in
+  let seed = options.seed in
+  let reps = if options.smoke then 3 else 5 in
+  Printf.printf "workload: OTA PM, %d samples x %d dims, pop %d, gens %d, min of %d runs%s\n" n
+    dims config.Config.pop_size config.Config.generations reps
+    (if options.smoke then " (smoke)" else "");
+  (* Exact (%h) rendering of every numeric field: two fronts get the same
+     signature iff they are bit-identical. *)
+  let signature (outcome : Search.outcome) =
+    String.concat ";"
+      (List.map
+         (fun (m : Model.t) ->
+           Printf.sprintf "%h|%h|%h|%s" m.Model.train_error m.Model.complexity m.Model.intercept
+             (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") m.Model.weights))))
+         outcome.Search.front)
+  in
+  (* --- exactness: the front must not move when the cache turns on --------- *)
+  let front_of backend ?jobs ?shards mode =
+    let data = fresh_data () in
+    Executor.with_executor ?jobs ?shards backend @@ fun executor ->
+    signature (Search.run ~seed ~executor ~eval_cache:mode config ~data ~targets)
+  in
+  let backends =
+    [
+      ("seq", fun mode -> front_of Executor.Seq mode);
+      ("domains_4", fun mode -> front_of Executor.Domains ~jobs:4 mode);
+      ("processes_3", fun mode -> front_of Executor.Processes ~shards:3 mode);
+    ]
+  in
+  let reference = (snd (List.hd backends)) Eval_cache.Off in
+  let exactness =
+    List.map
+      (fun (name, run) ->
+        let ok =
+          run Eval_cache.Off = reference
+          && run Eval_cache.Exact = reference
+          && run Eval_cache.Behavioral = reference
+        in
+        Printf.printf "front identical off/exact/behavioral at %-12s %b\n" name ok;
+        (name, ok))
+      backends
+  in
+  let fronts_identical = List.for_all snd exactness in
+  (* --- effectiveness: hit rate of one seeded sequential run --------------- *)
+  (* Process-wide counter deltas around an in-process run isolate this run's
+     cache traffic (worker processes keep their own counters, so only the
+     seq path is measured here). *)
+  let traffic mode =
+    let data = fresh_data () in
+    let before = Eval_cache.global_stats () in
+    ignore (Search.run ~seed ~eval_cache:mode config ~data ~targets);
+    let after = Eval_cache.global_stats () in
+    let hits = after.Eval_cache.total_hits - before.Eval_cache.total_hits in
+    let misses = after.Eval_cache.total_misses - before.Eval_cache.total_misses in
+    (hits, misses, float_of_int hits /. float_of_int (Stdlib.max 1 (hits + misses)))
+  in
+  let exact_hits, exact_misses, exact_rate = traffic Eval_cache.Exact in
+  let behavioral_hits, behavioral_misses, behavioral_rate = traffic Eval_cache.Behavioral in
+  Printf.printf "exact:      %5d hits / %5d lookups (%.1f%% served from cache)\n" exact_hits
+    (exact_hits + exact_misses) (100. *. exact_rate);
+  Printf.printf "behavioral: %5d hits / %5d lookups (%.1f%% served from cache)\n"
+    behavioral_hits
+    (behavioral_hits + behavioral_misses)
+    (100. *. behavioral_rate);
+  (* --- throughput: cached runs must not be slower ------------------------- *)
+  (* Minimum over repetitions on both sides: scheduler noise only ever adds
+     time, so min-of-reps is the stable estimator; a small absolute floor
+     keeps the gate meaningful on sub-second smoke runs. *)
+  let best_of mode =
+    let best = ref Float.infinity in
+    for _ = 1 to reps do
+      let data = fresh_data () in
+      let t0 = Unix.gettimeofday () in
+      ignore (Search.run ~seed ~eval_cache:mode config ~data ~targets);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t_off = best_of Eval_cache.Off in
+  let t_exact = best_of Eval_cache.Exact in
+  let t_behavioral = best_of Eval_cache.Behavioral in
+  let not_slower t = t <= t_off +. 0.05 in
+  Printf.printf "%-28s %8.3f s\n" "cache off" t_off;
+  Printf.printf "%-28s %8.3f s (%.2fx)\n" "cache exact" t_exact (t_off /. t_exact);
+  Printf.printf "%-28s %8.3f s (%.2fx)\n" "cache behavioral" t_behavioral
+    (t_off /. t_behavioral);
+  (* --- determinism: projected traces must not move either ----------------- *)
+  let capture ?(jobs = 1) mode =
+    let data = fresh_data () in
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
+    let sink = Trace.memory () in
+    ignore (Search.run ~seed ~executor ~trace:sink ~eval_cache:mode config ~data ~targets);
+    List.filter_map Trace.deterministic (Trace.contents sink) |> List.map Trace.to_line
+  in
+  (* behavioral_diversity is jobs-invariant but mode-sensitive (-1 except in
+     behavioral mode), so the cross-mode comparison neutralizes it; the
+     cross-jobs comparison within one mode keeps it. *)
+  let neutral_diversity lines =
+    List.map
+      (fun line ->
+        match Trace.of_line line with
+        | Ok (Trace.Generation g) ->
+            Trace.to_line (Trace.Generation Trace.{ g with behavioral_diversity = -1 })
+        | Ok _ | Error _ -> line)
+      lines
+  in
+  let lines_off = capture Eval_cache.Off in
+  let lines_exact = capture Eval_cache.Exact in
+  let lines_exact_par = capture ~jobs:4 Eval_cache.Exact in
+  let lines_behavioral = capture Eval_cache.Behavioral in
+  let lines_behavioral_par = capture ~jobs:4 Eval_cache.Behavioral in
+  let traces_identical =
+    lines_off = lines_exact
+    && lines_exact = lines_exact_par
+    && lines_behavioral = lines_behavioral_par
+    && neutral_diversity lines_behavioral = lines_off
+  in
+  Printf.printf "deterministic projections identical across cache modes and jobs: %b\n"
+    traces_identical;
+  (* --- record and gate ----------------------------------------------------- *)
+  let hit_rate_floor = 0.10 in
+  let hit_rate_ok = exact_rate > hit_rate_floor in
+  let throughput_ok = not_slower t_exact && not_slower t_behavioral in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"samples\": %d,\n" n);
+  Buffer.add_string buf (Printf.sprintf "  \"dims\": %d,\n" dims);
+  Buffer.add_string buf (Printf.sprintf "  \"pop\": %d,\n" config.Config.pop_size);
+  Buffer.add_string buf (Printf.sprintf "  \"gens\": %d,\n" config.Config.generations);
+  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" options.smoke);
+  Buffer.add_string buf "  \"fronts_identical\": {\n";
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %b%s\n" name ok
+           (if i = List.length exactness - 1 then "" else ",")))
+    exactness;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf (Printf.sprintf "  \"exact_hits\": %d,\n" exact_hits);
+  Buffer.add_string buf (Printf.sprintf "  \"exact_misses\": %d,\n" exact_misses);
+  Buffer.add_string buf (Printf.sprintf "  \"exact_hit_rate\": %.4f,\n" exact_rate);
+  Buffer.add_string buf (Printf.sprintf "  \"behavioral_hits\": %d,\n" behavioral_hits);
+  Buffer.add_string buf (Printf.sprintf "  \"behavioral_misses\": %d,\n" behavioral_misses);
+  Buffer.add_string buf (Printf.sprintf "  \"behavioral_hit_rate\": %.4f,\n" behavioral_rate);
+  Buffer.add_string buf (Printf.sprintf "  \"hit_rate_floor\": %.2f,\n" hit_rate_floor);
+  Buffer.add_string buf (Printf.sprintf "  \"off_s\": %.4f,\n" t_off);
+  Buffer.add_string buf (Printf.sprintf "  \"exact_s\": %.4f,\n" t_exact);
+  Buffer.add_string buf (Printf.sprintf "  \"behavioral_s\": %.4f,\n" t_behavioral);
+  Buffer.add_string buf (Printf.sprintf "  \"traces_identical\": %b,\n" traces_identical);
+  Buffer.add_string buf (Printf.sprintf "  \"hit_rate_ok\": %b,\n" hit_rate_ok);
+  Buffer.add_string buf (Printf.sprintf "  \"throughput_ok\": %b\n" throughput_ok);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_dedup.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "(numbers recorded in BENCH_dedup.json)\n";
+  if not fronts_identical then begin
+    Printf.eprintf "dedup: fronts differ between cache settings\n";
+    exit 1
+  end;
+  if not traces_identical then begin
+    Printf.eprintf "dedup: deterministic trace projections differ between cache settings\n";
+    exit 1
+  end;
+  if not hit_rate_ok then begin
+    Printf.eprintf "dedup: exact hit rate %.1f%% below the %.0f%% floor\n" (100. *. exact_rate)
+      (100. *. hit_rate_floor);
+    exit 1
+  end;
+  if not throughput_ok then begin
+    Printf.eprintf "dedup: cached run slower than the uncached baseline (off %.3fs, exact \
+                    %.3fs, behavioral %.3fs)\n"
+      t_off t_exact t_behavioral;
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -1187,4 +1382,5 @@ let () =
   if wants "parallel" then experiment_parallel options;
   if wants "regress" then experiment_regress options;
   if wants "trace" then experiment_trace options;
+  if wants "dedup" then experiment_dedup options;
   if wants "micro" then experiment_micro ()

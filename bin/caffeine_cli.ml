@@ -24,6 +24,7 @@ module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
 module Checkpoint = Caffeine.Checkpoint
+module Eval_cache = Caffeine.Eval_cache
 module Pool = Caffeine_par.Pool
 module Executor = Caffeine_par.Executor
 module Metrics = Caffeine_obs.Metrics
@@ -134,7 +135,7 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after out =
+let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after eval_cache eval_cache_limit out =
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -267,7 +268,7 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
     | Some _ | None ->
         let outcome =
           Search.run ~seed ~executor ~trace ?on_generation ?checkpoint_path ~checkpoint_every
-            ?resume:resume_snapshot config ~data ~targets
+            ?resume:resume_snapshot ~eval_cache ~eval_cache_limit config ~data ~targets
         in
         run_sag outcome.Search.front
   in
@@ -289,6 +290,15 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
              dot_misses = s.Dataset.dot_misses;
              dot_evictions = s.Dataset.dot_evictions;
            });
+      (if eval_cache <> Eval_cache.Off then
+         let g = Eval_cache.global_stats () in
+         Trace.emit trace
+           (Trace.Eval_cache_stats
+              {
+                eval_hits = g.Eval_cache.total_hits;
+                eval_misses = g.Eval_cache.total_misses;
+                eval_evictions = g.Eval_cache.total_evictions;
+              }));
       close_out channel;
       Printf.printf "wrote run trace to %s\n" (Option.get trace_path));
   let test_data =
@@ -320,7 +330,15 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
       s.Dataset.columns_cached s.Dataset.column_hits s.Dataset.column_misses
       s.Dataset.column_evictions;
     Printf.printf "  dot products:  %d cached, %d hits, %d misses, %d evictions\n"
-      s.Dataset.dots_cached s.Dataset.dot_hits s.Dataset.dot_misses s.Dataset.dot_evictions
+      s.Dataset.dots_cached s.Dataset.dot_hits s.Dataset.dot_misses s.Dataset.dot_evictions;
+    if eval_cache <> Eval_cache.Off then begin
+      (* Coordinator-side counters only: under --backend processes the
+         worker caches live and die in the forked workers. *)
+      let g = Eval_cache.global_stats () in
+      Printf.printf "  eval cache (%s): %d hits, %d misses, %d evictions\n"
+        (Eval_cache.mode_to_string eval_cache)
+        g.Eval_cache.total_hits g.Eval_cache.total_misses g.Eval_cache.total_evictions
+    end
   end;
   if metrics then begin
     Dataset.publish_metrics data;
@@ -396,7 +414,9 @@ let verbose_arg =
   Arg.(
     value & flag
     & info [ "verbose" ]
-        ~doc:"Print dataset cache statistics (basis-column and dot-product hits/misses/evictions).")
+        ~doc:
+          "Print dataset cache statistics (basis-column and dot-product \
+           hits/misses/evictions) and, with --eval-cache, the evaluation-cache counters.")
 
 let fit_out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the model front to a models file.")
@@ -408,8 +428,9 @@ let trace_out_arg =
     & info [ "trace" ] ~docv:"JSONL"
         ~doc:
           "Write a structured run trace (one JSON record per line: run parameters, \
-           per-generation statistics, SAG pruning rounds, cache statistics).  Count fields are \
-           deterministic for a fixed seed at any --jobs; inspect with the trace subcommand.")
+           per-generation statistics and operator tallies, SAG pruning rounds, cache \
+           statistics).  Count fields are deterministic for a fixed seed at any --jobs; \
+           inspect with the trace subcommand.")
 
 let metrics_arg =
   Arg.(
@@ -455,6 +476,34 @@ let kill_after_arg =
           "Exit with status 3 right after generation N — a testing aid that simulates a mid-run \
            kill for checkpoint/resume verification.")
 
+let eval_cache_arg =
+  let parse s =
+    match Eval_cache.mode_of_string s with Ok m -> Ok m | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Eval_cache.mode_to_string m) in
+  let doc =
+    "Evaluation cache in front of objective evaluation: $(b,off) (default) fits every \
+     candidate; $(b,exact) memoizes objectives by the individual's structural hash — \
+     bit-identical to recomputation, so the final front is unchanged at every backend; \
+     $(b,behavioral) additionally reuses the fitted training error across structurally \
+     different candidates whose compiled outputs match exactly on a fixed probe subsample, \
+     and reports per-generation behavioral diversity in the trace.  Each island keeps a \
+     private cache; caches never enter checkpoint snapshots."
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Eval_cache.Off
+    & info [ "eval-cache" ] ~docv:"MODE" ~doc)
+
+let eval_cache_limit_arg =
+  Arg.(
+    value
+    & opt int Eval_cache.default_limit
+    & info [ "eval-cache-limit" ] ~docv:"N"
+        ~doc:
+          "Maximum entries per cache level before shard-wise eviction (default 65536).  \
+           Evictions only cost recomputation; they never change results.")
+
 let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
   Cmd.v info
@@ -462,7 +511,7 @@ let fit_cmd =
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
       $ backend_arg $ shard_arg $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
       $ metrics_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg
-      $ fit_out_arg)
+      $ eval_cache_arg $ eval_cache_limit_arg $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -715,47 +764,40 @@ let trace_command path counts =
     0
   end
   else begin
-    let run_starts = ref 0
-    and generations = ref 0
-    and sag_rounds = ref 0
-    and sag_models = ref 0
-    and cache_stats = ref 0
-    and checkpoints = ref 0
-    and resumes = ref 0
-    and warnings = ref 0
-    and migrations = ref 0
-    and run_ends = ref 0 in
+    (* Exhaustive so a new record variant is a compile error here, printed
+       sorted by name so the summary (and diffs of it) are stable as kinds
+       come and go. *)
+    let kind = function
+      | Trace.Run_start _ -> "run_start"
+      | Trace.Generation _ -> "generation"
+      | Trace.Op_stats _ -> "op_stats"
+      | Trace.Sag_round _ -> "sag_round"
+      | Trace.Sag_model _ -> "sag_model"
+      | Trace.Cache_stats _ -> "cache_stats"
+      | Trace.Eval_cache_stats _ -> "eval_cache_stats"
+      | Trace.Checkpoint_written _ -> "checkpoint_written"
+      | Trace.Run_resumed _ -> "run_resumed"
+      | Trace.Warning _ -> "warning"
+      | Trace.Migration _ -> "migration"
+      | Trace.Run_end _ -> "run_end"
+    in
+    let tally = Hashtbl.create 16 in
     let last_generation = ref None in
     let final_front = ref None in
     List.iter
       (fun record ->
+        let name = kind record in
+        Hashtbl.replace tally name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally name));
         match record with
-        | Trace.Run_start _ -> incr run_starts
-        | Trace.Generation g ->
-            incr generations;
-            last_generation := Some g
-        | Trace.Sag_round _ -> incr sag_rounds
-        | Trace.Sag_model _ -> incr sag_models
-        | Trace.Cache_stats _ -> incr cache_stats
-        | Trace.Checkpoint_written _ -> incr checkpoints
-        | Trace.Run_resumed _ -> incr resumes
-        | Trace.Warning _ -> incr warnings
-        | Trace.Migration _ -> incr migrations
-        | Trace.Run_end r ->
-            incr run_ends;
-            final_front := Some r)
+        | Trace.Generation g -> last_generation := Some g
+        | Trace.Run_end r -> final_front := Some r
+        | _ -> ())
       records;
     Printf.printf "%s: %d records\n" path (List.length records);
-    Printf.printf "  run_start   %d\n" !run_starts;
-    Printf.printf "  generation  %d\n" !generations;
-    Printf.printf "  sag_round   %d\n" !sag_rounds;
-    Printf.printf "  sag_model   %d\n" !sag_models;
-    Printf.printf "  cache_stats %d\n" !cache_stats;
-    Printf.printf "  checkpoint  %d\n" !checkpoints;
-    Printf.printf "  resumed     %d\n" !resumes;
-    Printf.printf "  warning     %d\n" !warnings;
-    Printf.printf "  migration   %d\n" !migrations;
-    Printf.printf "  run_end     %d\n" !run_ends;
+    let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tally []) in
+    let width = List.fold_left (fun w n -> max w (String.length n)) 0 names in
+    List.iter (fun name -> Printf.printf "  %-*s %d\n" width name (Hashtbl.find tally name)) names;
     (match !last_generation with
     | Some g ->
         Printf.printf "last generation: gen %d, best train error %.4g, front size %d\n"
@@ -777,9 +819,13 @@ let counts_arg =
     value & flag
     & info [ "counts" ]
         ~doc:
-          "Print the deterministic projection of each record (wall times zeroed, cache \
-           statistics dropped) instead of a summary — byte-identical for the same seeded run at \
-           any --jobs setting.")
+          "Print the deterministic projection of each record instead of a summary — \
+           byte-identical for the same seeded run at any --jobs setting.  Wall times are \
+           zeroed; the dataset cache_stats record and the eval_cache_stats record (the final \
+           eval.cache_hits/misses/evictions counters of --eval-cache runs) are dropped, since \
+           both depend on scheduling; per-generation op_stats records are kept verbatim.  \
+           Note that a generation's behavioral_diversity field is jobs-invariant but differs \
+           across --eval-cache modes, so only compare projections of runs with the same mode.")
 
 let trace_cmd =
   let info =

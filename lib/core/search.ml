@@ -78,13 +78,28 @@ let with_search_executor ?executor config f =
   | None -> Executor.with_executor ~jobs:config.Config.jobs Executor.Domains f
 
 let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?on_generation
-    ?start ?on_checkpoint config ~data ~targets =
+    ?start ?on_checkpoint ?(eval_cache = Eval_cache.Off)
+    ?(eval_cache_limit = Eval_cache.default_limit) config ~data ~targets =
   let dims = validate_data ~data ~targets in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
     match fit_cached ~wb ~wvc individual ~data ~targets with
     | Some model -> [| model.Model.train_error; model.Model.complexity |]
     | None -> [| Float.infinity; Model.complexity_of ~wb ~wvc individual |]
+  in
+  (* One cache per run_with_rng call, so every island — and, under the
+     process backend, every forked worker — owns a private instance.  The
+     cache is rebuildable derived state: it never enters checkpoint
+     snapshots, and resumed runs simply start cold. *)
+  let eval_cache =
+    match eval_cache with
+    | Eval_cache.Off -> None
+    | mode -> Some (Eval_cache.create ~limit:eval_cache_limit ~mode ~wb ~wvc ~data ())
+  in
+  let nsga_cache =
+    Option.map
+      (fun c -> { Nsga2.lookup = Eval_cache.lookup c; store = Eval_cache.store c })
+      eval_cache
   in
   (* Record construction (objective sorts, variation tallies) happens only
      when someone listens — with the null sink and no callback a traced
@@ -124,11 +139,29 @@ let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?o
           crossovers = vary_stats.Vary.crossovers;
           op_counts = Array.copy vary_stats.Vary.op_counts;
           depth_rejects = vary_stats.Vary.depth_rejects;
+          behavioral_diversity =
+            (match eval_cache with
+            | Some cache ->
+                Eval_cache.diversity cache
+                  (Array.map
+                     (fun (ind : Vary.individual Nsga2.individual) -> ind.Nsga2.genome)
+                     population)
+            | None -> -1);
           wall_s;
         }
       in
+      let op_record : Trace.op_stats =
+        {
+          gen;
+          applied = Array.copy vary_stats.Vary.op_counts;
+          changed = Array.copy vary_stats.Vary.op_changed;
+        }
+      in
       Vary.reset_stats vary_stats;
-      if not (Trace.is_null trace) then Trace.emit trace (Trace.Generation record);
+      if not (Trace.is_null trace) then begin
+        Trace.emit trace (Trace.Generation record);
+        Trace.emit trace (Trace.Op_stats op_record)
+      end;
       match on_generation with None -> () | Some f -> f record
     end;
     (* Checkpoint capture runs after the generation record so a traced,
@@ -140,7 +173,7 @@ let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?o
     match on_checkpoint with None -> () | Some f -> f gen population
   in
   let population =
-    Nsga2.run ~on_generation:notify ~executor ?start ~rng
+    Nsga2.run ~on_generation:notify ~executor ?start ?cache:nsga_cache ~rng
       {
         Nsga2.pop_size = config.Config.pop_size;
         generations = config.Config.generations;
@@ -290,8 +323,8 @@ let island_start = function
    checkpoint progress back over their result pipe; Shard releases those
    to [deliver] in island order, so the emitted trace is the sequential
    trace (plus one Migration record per island). *)
-let run_islands_processes ~shards ~trace ?on_generation ?checkpoint islands config ~data
-    ~targets =
+let run_islands_processes ~shards ~trace ?on_generation ?checkpoint ~eval_cache
+    ~eval_cache_limit islands config ~data ~targets =
   let generations = config.Config.generations in
   let observing = (not (Trace.is_null trace)) || Option.is_some on_generation in
   let run_island ~emit ~progress ~island:_ state =
@@ -310,7 +343,8 @@ let run_islands_processes ~shards ~trace ?on_generation ?checkpoint islands conf
             checkpoint
         in
         let outcome =
-          run_with_rng ~rng ~trace:worker_trace ?start ?on_checkpoint config ~data ~targets
+          run_with_rng ~rng ~trace:worker_trace ?start ?on_checkpoint ~eval_cache
+            ~eval_cache_limit config ~data ~targets
         in
         outcome.front
   in
@@ -335,8 +369,8 @@ let run_islands_processes ~shards ~trace ?on_generation ?checkpoint islands conf
 
 (* {3 The in-process backends (sequential and domain pool)} *)
 
-let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands config ~data
-    ~targets =
+let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cache
+    ~eval_cache_limit islands config ~data ~targets =
   let generations = config.Config.generations in
   let run_island k =
     match islands.(k) with
@@ -359,8 +393,8 @@ let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands c
              evaluation loop; when the islands themselves are fanned out
              below, those nested calls fall back to sequential evaluation
              inside the island. *)
-          run_with_rng ~rng ~executor ~trace ?on_generation ?start ?on_checkpoint config ~data
-            ~targets
+          run_with_rng ~rng ~executor ~trace ?on_generation ?start ?on_checkpoint ~eval_cache
+            ~eval_cache_limit config ~data ~targets
         in
         (match checkpoint with
         | Some ctx ->
@@ -381,14 +415,15 @@ let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands c
   then Executor.map executor run_island indices
   else Array.map run_island indices
 
-let run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets =
+let run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
+    islands config ~data ~targets =
   match Executor.backend executor with
   | Executor.Processes ->
       run_islands_processes ~shards:(Executor.shards executor) ~trace ?on_generation
-        ?checkpoint islands config ~data ~targets
+        ?checkpoint ~eval_cache ~eval_cache_limit islands config ~data ~targets
   | Executor.Seq | Executor.Domains ->
-      run_islands_in_process ~executor ~trace ?on_generation ?checkpoint islands config ~data
-        ~targets
+      run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cache
+        ~eval_cache_limit islands config ~data ~targets
 
 let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry config ~data
     ~targets =
@@ -412,7 +447,8 @@ let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry co
   (fingerprint, checkpoint)
 
 let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
-    ?(checkpoint_every = 10) ?resume config ~data ~targets =
+    ?(checkpoint_every = 10) ?resume ?(eval_cache = Eval_cache.Off)
+    ?(eval_cache_limit = Eval_cache.default_limit) config ~data ~targets =
   ignore (validate_data ~data ~targets);
   let fingerprint, checkpoint =
     checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry:"Search.run"
@@ -428,7 +464,8 @@ let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_
     with_search_executor ?executor config @@ fun executor ->
     let on_generation = Option.map (fun f ~island:_ record -> f record) on_generation in
     let fronts =
-      run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets
+      run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
+        islands config ~data ~targets
     in
     {
       front = fronts.(0);
@@ -440,7 +477,8 @@ let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_
   outcome
 
 let run_multi ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
-    ?(checkpoint_every = 10) ?resume ~restarts config ~data ~targets =
+    ?(checkpoint_every = 10) ?resume ?(eval_cache = Eval_cache.Off)
+    ?(eval_cache_limit = Eval_cache.default_limit) ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
   ignore (validate_data ~data ~targets);
   let fingerprint, checkpoint =
@@ -463,7 +501,8 @@ let run_multi ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?check
   in
   with_search_executor ?executor config @@ fun executor ->
   let fronts =
-    run_islands ~executor ~trace ?on_generation ?checkpoint islands config ~data ~targets
+    run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
+      islands config ~data ~targets
   in
   let outcome =
     {

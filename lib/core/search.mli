@@ -58,6 +58,8 @@ val run :
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
   ?resume:Checkpoint.t ->
+  ?eval_cache:Eval_cache.mode ->
+  ?eval_cache_limit:int ->
   Config.t ->
   data:Dataset.t ->
   targets:float array ->
@@ -69,13 +71,28 @@ val run :
     level.
 
     [trace] receives a {!Caffeine_obs.Trace.Run_start}, one
-    {!Caffeine_obs.Trace.Generation} per environmental selection
-    (generation 0 = after initialization) and a
-    {!Caffeine_obs.Trace.Run_end}; [on_generation] observes the same
-    per-generation records directly.  Every field except [wall_s] is
-    deterministic: for a fixed seed the record sequence is identical at
-    every jobs setting.  With the default null sink and no callback,
-    record construction is skipped entirely.
+    {!Caffeine_obs.Trace.Generation} followed by one
+    {!Caffeine_obs.Trace.Op_stats} (per-operator variation success
+    tallies) per environmental selection (generation 0 = after
+    initialization) and a {!Caffeine_obs.Trace.Run_end}; [on_generation]
+    observes the same per-generation records directly.  Every field
+    except [wall_s] is deterministic: for a fixed seed the record
+    sequence is identical at every jobs setting.  With the default null
+    sink and no callback, record construction is skipped entirely.
+
+    [eval_cache] (default {!Eval_cache.Off}) puts a two-level memo in
+    front of objective evaluation ({!Eval_cache}): the exact level keys on
+    the individual's structural hash and is bit-identical to recomputation
+    by construction, so the evolved front is the same with the cache on or
+    off at every backend; the behavioral level additionally reuses results
+    across structurally different candidates whose compiled probe outputs
+    match exactly, and reports the population's distinct-fingerprint count
+    in each generation record's [behavioral_diversity] field.  Each island
+    — and, under the process backend, each forked worker — owns a private
+    cache instance bounded by [eval_cache_limit] entries
+    (default {!Eval_cache.default_limit}).  Caches are rebuildable derived
+    state: they never enter checkpoint snapshots, and resumed runs start
+    cold.
 
     [checkpoint_path] makes the run durable: every [checkpoint_every]
     generations (default 10) and once when the search completes, the full
@@ -98,6 +115,8 @@ val run_multi :
   ?checkpoint_path:string ->
   ?checkpoint_every:int ->
   ?resume:Checkpoint.t ->
+  ?eval_cache:Eval_cache.mode ->
+  ?eval_cache_limit:int ->
   restarts:int ->
   Config.t ->
   data:Dataset.t ->

@@ -421,15 +421,30 @@ let num_ops = 9
 type op_stats = {
   mutable crossovers : int;
   op_counts : int array;
+  op_changed : int array;
   mutable depth_rejects : int;
 }
 
-let fresh_stats () = { crossovers = 0; op_counts = Array.make num_ops 0; depth_rejects = 0 }
+let fresh_stats () =
+  {
+    crossovers = 0;
+    op_counts = Array.make num_ops 0;
+    op_changed = Array.make num_ops 0;
+    depth_rejects = 0;
+  }
 
 let reset_stats stats =
   stats.crossovers <- 0;
   Array.fill stats.op_counts 0 num_ops 0;
+  Array.fill stats.op_changed 0 num_ops 0;
   stats.depth_rejects <- 0
+
+let equal_individual a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i = n || (Expr.equal_basis a.(i) b.(i) && go (i + 1)) in
+  go 0
 
 let vary ?stats rng config ~dims parent1 parent2 =
   let max_bases = config.Config.max_bases in
@@ -478,4 +493,14 @@ let vary ?stats rng config ~dims parent1 parent2 =
     (match stats with Some s -> s.depth_rejects <- s.depth_rejects + 1 | None -> ());
     child
   end
-  else mutated
+  else begin
+    (* Operator success: the surviving mutation structurally changed its
+       input.  Many operator draws are silent no-ops (nothing to mutate,
+       bounds already reached), and the adaptive-operator consumer needs
+       effective application counts, not draw counts. *)
+    (match stats with
+    | Some s ->
+        if not (equal_individual mutated child) then s.op_changed.(op) <- s.op_changed.(op) + 1
+    | None -> ());
+    mutated
+  end

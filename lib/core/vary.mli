@@ -17,6 +17,11 @@ type individual = Expr.basis array
 type op_stats = {
   mutable crossovers : int;  (** children whose basis sets were mixed *)
   op_counts : int array;  (** applied mutations, indexed by operator id *)
+  op_changed : int array;
+      (** mutations that structurally changed their input and survived the
+          depth bound, by operator id — the success counts the adaptive
+          operator-selection ROADMAP item consumes.  [op_counts] minus
+          [op_changed] is the operator's silent no-op + rejection rate. *)
   mutable depth_rejects : int;  (** mutations discarded by the depth bound *)
 }
 (** Per-call tallies of {!vary} decisions.  Variation always runs
@@ -84,3 +89,8 @@ val randomize_subtree :
 val nested_bases : individual -> Expr.basis list
 (** All bases appearing anywhere in the individual (top-level and nested);
     exposed for tests. *)
+
+val equal_individual : individual -> individual -> bool
+(** Structural equality: same length and pairwise
+    {!Caffeine_expr.Expr.equal_basis} in order — the equality the
+    evaluation cache's exact level keys on. *)

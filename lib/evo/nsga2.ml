@@ -136,15 +136,46 @@ let binary_tournament rng population =
   else if a.crowding > b.crowding then a
   else b
 
-let run ?on_generation ?(executor = Executor.sequential) ?start ~rng config =
+type 'a cache = {
+  lookup : 'a -> float array option;
+  store : 'a -> float array -> unit;
+}
+
+let run ?on_generation ?(executor = Executor.sequential) ?start ?cache ~rng config =
   if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
   let evaluate genome = sanitize (config.objectives genome) in
   (* Objective evaluation is the dominant cost and is independent per
      genome, so it fans out across the executor; initialization,
      tournament selection and variation stay on the caller's RNG in
      sequential order, which keeps results bit-identical to the
-     sequential path. *)
-  let evaluate_all genomes = Executor.map executor evaluate genomes in
+     sequential path.
+
+     With a cache, lookups and stores happen sequentially on the calling
+     domain, in genome order, and only the missing genomes fan out — the
+     cache never sees concurrent access from pool workers, and the result
+     array is the same whether a value was cached or recomputed (the
+     cache contract). *)
+  let evaluate_all genomes =
+    match cache with
+    | None -> Executor.map executor evaluate genomes
+    | Some cache ->
+        let n = Array.length genomes in
+        let results = Array.make n [||] in
+        let missing = ref [] in
+        for i = n - 1 downto 0 do
+          match cache.lookup genomes.(i) with
+          | Some objectives -> results.(i) <- sanitize objectives
+          | None -> missing := i :: !missing
+        done;
+        let missing = Array.of_list !missing in
+        let computed = Executor.map executor (fun i -> evaluate genomes.(i)) missing in
+        Array.iteri
+          (fun k i ->
+            results.(i) <- computed.(k);
+            cache.store genomes.(i) computed.(k))
+          missing;
+        results
+  in
   (* Resuming from a checkpointed (generation, population) skips
      initialization entirely: the caller's rng must hold the state captured
      right after that generation's environmental selection, so the next

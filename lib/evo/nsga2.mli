@@ -36,10 +36,24 @@ type 'a config = {
           to perform crossover and/or mutation internally. *)
 }
 
+type 'a cache = {
+  lookup : 'a -> float array option;
+  store : 'a -> float array -> unit;
+}
+(** Optional memo in front of [objectives].  The contract is exactness:
+    [lookup g] must return either [None] or the same values (after NaN
+    sanitization) that [objectives g] would compute, so caching never
+    changes the evolved population.  {!run} consults and fills the cache
+    sequentially on the calling domain — lookups in genome order before
+    the parallel evaluation of the misses, stores in genome order after —
+    so implementations are never called from pool workers and see a
+    deterministic access sequence. *)
+
 val run :
   ?on_generation:(int -> 'a individual array -> unit) ->
   ?executor:Caffeine_par.Executor.t ->
   ?start:int * 'a individual array ->
+  ?cache:'a cache ->
   rng:Caffeine_util.Rng.t ->
   'a config ->
   'a individual array

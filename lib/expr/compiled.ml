@@ -237,6 +237,57 @@ let eval_columns t ~scratch ~columns ~n =
     t.code;
   Array.sub bufs.(0) 0 n
 
+(* --- probe-subsample evaluation --- *)
+
+(* Per-sample probing reuses the scalar stack evaluator: [eval_point] and
+   [eval_columns] agree bit for bit with the interpreter (module contract),
+   so probing through either path yields the same IEEE words.  Indexing
+   into the stored columns avoids materializing the design point row. *)
+
+let eval_probe t ~columns ~indices =
+  let stack = Array.make (Stdlib.max 1 t.max_stack) 0. in
+  let out = Array.make (Array.length indices) 0. in
+  Array.iteri
+    (fun j i ->
+      let sp = ref 0 in
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Iconst w ->
+              stack.(!sp) <- w;
+              incr sp
+          | Ivc (vars, exps) ->
+              let acc = ref 1. in
+              for k = 0 to Array.length vars - 1 do
+                acc := !acc *. Expr.int_pow columns.(vars.(k)).(i) exps.(k)
+              done;
+              stack.(!sp) <- !acc;
+              incr sp
+          | Iunary op -> stack.(!sp - 1) <- Op.apply_unary op stack.(!sp - 1)
+          | Ibinary op ->
+              stack.(!sp - 2) <- Op.apply_binary op stack.(!sp - 2) stack.(!sp - 1);
+              decr sp
+          | Ilte ->
+              let test = stack.(!sp - 4)
+              and threshold = stack.(!sp - 3)
+              and less = stack.(!sp - 2)
+              and otherwise = stack.(!sp - 1) in
+              stack.(!sp - 4) <-
+                (if Float.is_nan test || Float.is_nan threshold then Float.nan
+                 else if test <= threshold then less
+                 else otherwise);
+              sp := !sp - 3
+          | Imul ->
+              stack.(!sp - 2) <- stack.(!sp - 2) *. stack.(!sp - 1);
+              decr sp
+          | Ifma w ->
+              stack.(!sp - 2) <- stack.(!sp - 2) +. (w *. stack.(!sp - 1));
+              decr sp)
+        t.code;
+      out.(j) <- stack.(0))
+    indices;
+  out
+
 (* --- structural hashing --- *)
 
 (* A fold over every node: unlike [Hashtbl.hash] (which stops after a

@@ -50,6 +50,14 @@ val eval_columns :
     [i] (column-major / struct-of-arrays).  Returns a fresh length-[n]
     result column; the scratch buffers are reused across calls. *)
 
+val eval_probe : t -> columns:float array array -> indices:int array -> float array
+(** [eval_probe c ~columns ~indices] evaluates the tape at the selected
+    sample indices only — the behavioral-fingerprint probe of the
+    evaluation cache.  Entry [j] of the result equals
+    [eval_point c (point indices.(j))] bit for bit (and hence also the
+    corresponding entry of {!eval_columns}), so probe outputs are stable
+    whether or not a full column was ever materialized or cached. *)
+
 val hash_basis : Expr.basis -> int
 (** Structural hash over the {e entire} tree: every constructor, operator,
     exponent and weight participates (weights included: a mutated weight is

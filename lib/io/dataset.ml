@@ -201,6 +201,22 @@ let basis_column data basis =
       Mutex.unlock shard.lock;
       col
 
+(* Probe evaluation for behavioral fingerprints: subsample a cached column
+   when one is present, otherwise evaluate the tape at the probe indices
+   only — never filling the cache (probes touch a handful of samples, so a
+   full column is not worth materializing for them).  Both paths produce
+   the same IEEE words ([Compiled.eval_probe] matches [eval_columns] entry
+   for entry), so fingerprints are stable across cache eviction. *)
+
+let probe data basis ~indices =
+  let shard = shard_of data basis in
+  Mutex.lock shard.lock;
+  let cached = Compiled.Tbl.find_opt shard.table basis in
+  Mutex.unlock shard.lock;
+  match cached with
+  | Some col -> Array.map (fun i -> col.(i)) indices
+  | None -> Compiled.eval_probe (Compiled.compile basis) ~columns:data.columns ~indices
+
 (* --- dot products -------------------------------------------------------- *)
 
 let dot_product n a b =

@@ -76,6 +76,14 @@ val basis_column : t -> Expr.basis -> float array
     cached column — shared, do not mutate.  Agrees with
     {!Expr.eval_basis} on every sample. *)
 
+val probe : t -> Expr.basis -> indices:int array -> float array
+(** [probe data basis ~indices] is the basis value at the selected sample
+    indices — the raw material of behavioral fingerprints.  Reuses a
+    memoized column when one is present and otherwise evaluates the tape
+    at the probe points only, {e without} filling the column cache; both
+    paths return the same IEEE words, so probe outputs do not depend on
+    cache state ({!clear_cache} mid-run included). *)
+
 val dot : t -> Expr.basis -> Expr.basis -> float
 (** [dot data b1 b2] is the dot product of the two bases' value columns
     over every sample, memoized under an unordered pair key:

@@ -19,7 +19,14 @@ type generation = {
   crossovers : int;
   op_counts : int array;
   depth_rejects : int;
+  behavioral_diversity : int;
   wall_s : float;
+}
+
+type op_stats = {
+  gen : int;
+  applied : int array;
+  changed : int array;
 }
 
 type sag_round = {
@@ -45,6 +52,12 @@ type cache_stats = {
   dot_hits : int;
   dot_misses : int;
   dot_evictions : int;
+}
+
+type eval_cache_stats = {
+  eval_hits : int;
+  eval_misses : int;
+  eval_evictions : int;
 }
 
 type run_end = {
@@ -80,9 +93,11 @@ type migration = {
 type record =
   | Run_start of run_start
   | Generation of generation
+  | Op_stats of op_stats
   | Sag_round of sag_round
   | Sag_model of sag_model
   | Cache_stats of cache_stats
+  | Eval_cache_stats of eval_cache_stats
   | Run_end of run_end
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
@@ -157,7 +172,15 @@ let to_line record =
           ("crossovers", int_field g.crossovers);
           ("op_counts", int_array_field g.op_counts);
           ("depth_rejects", int_field g.depth_rejects);
+          ("behavioral_diversity", int_field g.behavioral_diversity);
           ("wall_s", float_field g.wall_s);
+        ]
+  | Op_stats s ->
+      add_fields buffer "op_stats"
+        [
+          ("gen", int_field s.gen);
+          ("applied", int_array_field s.applied);
+          ("changed", int_array_field s.changed);
         ]
   | Sag_round r ->
       add_fields buffer "sag_round"
@@ -186,6 +209,13 @@ let to_line record =
           ("dot_hits", int_field c.dot_hits);
           ("dot_misses", int_field c.dot_misses);
           ("dot_evictions", int_field c.dot_evictions);
+        ]
+  | Eval_cache_stats e ->
+      add_fields buffer "eval_cache_stats"
+        [
+          ("eval_hits", int_field e.eval_hits);
+          ("eval_misses", int_field e.eval_misses);
+          ("eval_evictions", int_field e.eval_evictions);
         ]
   | Run_end r ->
       add_fields buffer "run_end"
@@ -258,7 +288,15 @@ let of_line line =
                 crossovers = Json.int_of fields "crossovers";
                 op_counts = Json.int_array_of fields "op_counts";
                 depth_rejects = Json.int_of fields "depth_rejects";
+                behavioral_diversity = Json.int_of fields "behavioral_diversity";
                 wall_s = Json.float_of fields "wall_s";
+              }
+        | Json.Str "op_stats" ->
+            Op_stats
+              {
+                gen = Json.int_of fields "gen";
+                applied = Json.int_array_of fields "applied";
+                changed = Json.int_array_of fields "changed";
               }
         | Json.Str "sag_round" ->
             Sag_round
@@ -287,6 +325,13 @@ let of_line line =
                 dot_hits = Json.int_of fields "dot_hits";
                 dot_misses = Json.int_of fields "dot_misses";
                 dot_evictions = Json.int_of fields "dot_evictions";
+              }
+        | Json.Str "eval_cache_stats" ->
+            Eval_cache_stats
+              {
+                eval_hits = Json.int_of fields "eval_hits";
+                eval_misses = Json.int_of fields "eval_misses";
+                eval_evictions = Json.int_of fields "eval_evictions";
               }
         | Json.Str "run_end" ->
             Run_end
@@ -328,10 +373,15 @@ let of_line line =
 
 let deterministic = function
   | Run_start _ as record -> Some record
+  (* behavioral_diversity is a pure function of the population, which is
+     jobs-invariant, so it stays (it does differ across --eval-cache
+     modes — consumers diffing across modes must exclude it). *)
   | Generation g -> Some (Generation { g with wall_s = 0. })
+  | Op_stats _ as record -> Some record
   | Sag_round _ as record -> Some record
   | Sag_model _ as record -> Some record
   | Cache_stats _ -> None
+  | Eval_cache_stats _ -> None
   | Run_end r -> Some (Run_end { r with total_wall_s = 0. })
   | Checkpoint_written _ as record -> Some record
   | Run_resumed _ as record -> Some record

@@ -37,7 +37,23 @@ type generation = {
   crossovers : int;  (** children built with basis-set crossover *)
   op_counts : int array;  (** applied variation operators, by operator id *)
   depth_rejects : int;  (** mutations discarded by the depth bound *)
+  behavioral_diversity : int;
+      (** distinct behavioral fingerprints in the population, [-1] when the
+          evaluation cache is not in behavioral mode.  A pure function of
+          the (jobs-invariant) population, so the {!deterministic}
+          projection keeps it — but it differs across [--eval-cache]
+          modes, so cross-mode trace diffs must exclude it. *)
   wall_s : float;  (** nondeterministic *)
+}
+
+type op_stats = {
+  gen : int;
+  applied : int array;  (** operator draws this generation, by operator id *)
+  changed : int array;
+      (** draws that structurally changed the child and survived the depth
+          bound — per-operator success counts for adaptive operator
+          selection.  Deterministic: variation runs sequentially on the
+          coordinating domain. *)
 }
 
 type sag_round = {
@@ -67,6 +83,16 @@ type cache_stats = {
 (** Nondeterministic across jobs settings: racing duplicate evaluations
     shift hits/misses, so the whole record is dropped by
     {!deterministic}. *)
+
+type eval_cache_stats = {
+  eval_hits : int;  (** objective evaluations served from the cache *)
+  eval_misses : int;  (** evaluations that ran the full fit *)
+  eval_evictions : int;  (** cached entries dropped by shard overflow *)
+}
+(** Final [eval.cache_*] counter values of the evaluation cache
+    ({!Caffeine.Eval_cache}).  Reporting data only: under the process
+    backend worker-side counters never reach the coordinator, so the whole
+    record is dropped by {!deterministic} like {!cache_stats}. *)
 
 type run_end = {
   front : (float * float) list;  (** (complexity, train NMSE) per model *)
@@ -110,9 +136,11 @@ type migration = {
 type record =
   | Run_start of run_start
   | Generation of generation
+  | Op_stats of op_stats
   | Sag_round of sag_round
   | Sag_model of sag_model
   | Cache_stats of cache_stats
+  | Eval_cache_stats of eval_cache_stats
   | Run_end of run_end
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
@@ -127,12 +155,13 @@ val to_line : record -> string
 val of_line : string -> (record, string) result
 
 val deterministic : record -> record option
-(** The jobs-invariant projection: [None] for {!Cache_stats}; other
-    records with their nondeterministic fields ([wall_s], [total_wall_s],
-    {!migration}'s [shard]) zeroed.  Checkpoint, resume and warning
-    records are kept verbatim: checkpointed runs serialize their islands,
-    so the records arrive in the same order at every jobs and shard
-    setting. *)
+(** The jobs-invariant projection: [None] for {!Cache_stats} and
+    {!Eval_cache_stats}; other records with their nondeterministic fields
+    ([wall_s], [total_wall_s], {!migration}'s [shard]) zeroed.
+    {!Op_stats} records are kept verbatim (variation is sequential on the
+    coordinating domain).  Checkpoint, resume and warning records are kept
+    verbatim: checkpointed runs serialize their islands, so the records
+    arrive in the same order at every jobs and shard setting. *)
 
 (** {2 Sinks} *)
 

@@ -851,3 +851,158 @@ let sobol_suite =
   ]
 
 let suite = suite @ sobol_suite
+
+(* --- evaluation cache --- *)
+
+module Eval_cache = Caffeine.Eval_cache
+module Executor = Caffeine_par.Executor
+
+let front_pairs outcome =
+  List.map (fun (m : Model.t) -> (m.Model.train_error, m.Model.complexity)) outcome.Search.front
+
+let test_eval_cache_mode_strings () =
+  List.iter
+    (fun mode ->
+      match Eval_cache.mode_of_string (Eval_cache.mode_to_string mode) with
+      | Ok m -> Alcotest.(check bool) "mode round-trips" true (m = mode)
+      | Error e -> Alcotest.fail e)
+    [ Eval_cache.Off; Eval_cache.Exact; Eval_cache.Behavioral ];
+  match Eval_cache.mode_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus mode accepted"
+  | Error _ -> ()
+
+let cache_inputs seed n dims =
+  let rng = Rng.create ~seed () in
+  Array.init n (fun _ -> Array.init dims (fun _ -> Rng.range rng 0.5 2.0))
+
+let test_eval_cache_exact_lookup_store () =
+  let data = data_of (cache_inputs 60 24 2) in
+  let cache = Eval_cache.create ~mode:Eval_cache.Exact ~wb:10. ~wvc:0.25 ~data () in
+  let ind = [| Expr.{ vc = Some [| 1; 0 |]; factors = [] } |] in
+  Alcotest.(check bool) "cold lookup misses" true (Eval_cache.lookup cache ind = None);
+  Eval_cache.store cache ind [| 0.5; 3. |];
+  (match Eval_cache.lookup cache ind with
+  | Some o -> Alcotest.(check bool) "stored objectives returned" true (o = [| 0.5; 3. |])
+  | None -> Alcotest.fail "stored individual not found");
+  (* A structurally equal rebuild hits; a different individual misses. *)
+  let rebuilt = [| Expr.{ vc = Some [| 1; 0 |]; factors = [] } |] in
+  let other = [| Expr.{ vc = Some [| 0; 1 |]; factors = [] } |] in
+  Alcotest.(check bool) "structural twin hits" true (Eval_cache.lookup cache rebuilt <> None);
+  Alcotest.(check bool) "different individual misses" true (Eval_cache.lookup cache other = None);
+  let s = Eval_cache.stats cache in
+  Alcotest.(check int) "hits" 2 s.Eval_cache.hits;
+  Alcotest.(check int) "misses" 2 s.Eval_cache.misses;
+  Alcotest.(check int) "one entry" 1 s.Eval_cache.entries
+
+let test_eval_cache_off_is_inert () =
+  let data = data_of (cache_inputs 61 20 2) in
+  let cache = Eval_cache.create ~mode:Eval_cache.Off ~wb:10. ~wvc:0.25 ~data () in
+  let ind = [| Expr.{ vc = Some [| 1; 0 |]; factors = [] } |] in
+  Eval_cache.store cache ind [| 0.5; 3. |];
+  Alcotest.(check bool) "off never hits" true (Eval_cache.lookup cache ind = None);
+  Alcotest.(check int) "off stores nothing" 0 (Eval_cache.stats cache).Eval_cache.entries;
+  Alcotest.(check int) "off diversity is -1" (-1) (Eval_cache.diversity cache [| ind |])
+
+let test_eval_cache_eviction_bounded () =
+  let data = data_of (cache_inputs 62 20 2) in
+  let cache = Eval_cache.create ~limit:32 ~mode:Eval_cache.Exact ~wb:10. ~wvc:0.25 ~data () in
+  for k = 1 to 200 do
+    let ind = [| Expr.{ vc = Some [| k; 0 |]; factors = [] } |] in
+    Eval_cache.store cache ind [| float_of_int k; 1. |]
+  done;
+  let s = Eval_cache.stats cache in
+  Alcotest.(check bool) "entries bounded by the limit" true (s.Eval_cache.entries <= 32);
+  Alcotest.(check bool) "evictions counted" true (s.Eval_cache.evictions > 0);
+  Alcotest.(check int) "stores + survivors = 200" 200 (s.Eval_cache.evictions + s.Eval_cache.entries)
+
+let test_eval_cache_behavioral_reuse () =
+  (* Columns 0 and 1 are identical, so x0 and x1 are structurally different
+     individuals with bit-identical probe outputs: the behavioral level must
+     reuse the fitted training error across them while recomputing the
+     (here equal, but candidate-owned) structural complexity. *)
+  let inputs = Array.init 20 (fun i -> let v = 0.5 +. (0.1 *. float_of_int i) in [| v; v |]) in
+  let targets = Array.map (fun x -> 2. *. x.(0)) inputs in
+  let data = data_of inputs in
+  let cache = Eval_cache.create ~mode:Eval_cache.Behavioral ~wb:10. ~wvc:0.25 ~data () in
+  let a = [| Expr.{ vc = Some [| 1; 0 |]; factors = [] } |] in
+  let b = [| Expr.{ vc = Some [| 0; 1 |]; factors = [] } |] in
+  let objectives ind =
+    match Model.fit ~wb:10. ~wvc:0.25 ind ~data ~targets with
+    | Some m -> [| m.Model.train_error; m.Model.complexity |]
+    | None -> Alcotest.fail "fit failed"
+  in
+  let oa = objectives a in
+  Eval_cache.store cache a oa;
+  (match Eval_cache.lookup cache b with
+  | Some ob ->
+      Alcotest.(check (float 0.)) "train error reused bit-identically" oa.(0) ob.(0);
+      Alcotest.(check (float 0.)) "complexity recomputed for b" (objectives b).(1) ob.(1)
+  | None -> Alcotest.fail "behavioral twin missed");
+  Alcotest.(check int) "served by L2" 1 (Eval_cache.stats cache).Eval_cache.l2_hits;
+  (* The L2 hit promoted b into L1. *)
+  (match Eval_cache.lookup cache b with
+  | Some _ -> ()
+  | None -> Alcotest.fail "promoted individual missed");
+  Alcotest.(check int) "second lookup is exact" 1 (Eval_cache.stats cache).Eval_cache.l1_hits
+
+let test_eval_cache_fingerprint_stable_under_clear () =
+  let inputs = cache_inputs 63 30 2 in
+  let targets = Array.map (fun x -> x.(0) +. (0.5 /. x.(1))) inputs in
+  let data = data_of inputs in
+  let cache = Eval_cache.create ~mode:Eval_cache.Behavioral ~wb:10. ~wvc:0.25 ~data () in
+  let ind =
+    [|
+      Expr.{ vc = Some [| 1; -1 |]; factors = [] };
+      Expr.{ vc = Some [| 2; 0 |]; factors = [] };
+    |]
+  in
+  (* Warm the dataset's column cache so the first fingerprint subsamples
+     cached columns, then drop it so the second one re-evaluates through
+     the compiled probe path: the IEEE words must agree. *)
+  ignore (Model.fit ~wb:10. ~wvc:0.25 ind ~data ~targets);
+  let warm = Eval_cache.fingerprint cache ind in
+  Dataset.clear_cache data;
+  let cold = Eval_cache.fingerprint cache ind in
+  Alcotest.(check bool) "fingerprint survives clear_cache" true (warm = cold);
+  Alcotest.(check bool) "probe size clamped to dataset" true (Eval_cache.probe_size cache <= 30)
+
+(* The L1 exactness contract, end to end: for any seed, turning the cache
+   on — at any backend — leaves the evolved front bit-identical to the
+   cache-off sequential run. *)
+let eval_cache_front_invariance =
+  QCheck.Test.make ~name:"eval cache never changes the front (any backend)" ~count:3
+    QCheck.(int_bound 1000)
+    (fun salt ->
+      let seed = 700 + salt in
+      let inputs = cache_inputs seed 24 2 in
+      let targets = Array.map (fun x -> (x.(0) *. x.(0)) +. (0.7 /. x.(1))) inputs in
+      let data = data_of inputs in
+      let config = Config.scaled ~pop_size:12 ~generations:6 Config.default in
+      let run backend ?jobs ?shards mode =
+        Executor.with_executor ?jobs ?shards backend @@ fun executor ->
+        front_pairs (Search.run ~seed ~executor ~eval_cache:mode config ~data ~targets)
+      in
+      let reference = run Executor.Seq Eval_cache.Off in
+      List.for_all
+        (fun front -> front = reference)
+        [
+          run Executor.Seq Eval_cache.Exact;
+          run Executor.Seq Eval_cache.Behavioral;
+          run Executor.Domains ~jobs:4 Eval_cache.Exact;
+          run Executor.Processes ~shards:3 Eval_cache.Exact;
+          run Executor.Processes ~shards:3 Eval_cache.Behavioral;
+        ])
+
+let eval_cache_suite =
+  [
+    Alcotest.test_case "eval cache: mode strings" `Quick test_eval_cache_mode_strings;
+    Alcotest.test_case "eval cache: exact lookup/store" `Quick test_eval_cache_exact_lookup_store;
+    Alcotest.test_case "eval cache: off is inert" `Quick test_eval_cache_off_is_inert;
+    Alcotest.test_case "eval cache: bounded eviction" `Quick test_eval_cache_eviction_bounded;
+    Alcotest.test_case "eval cache: behavioral reuse" `Quick test_eval_cache_behavioral_reuse;
+    Alcotest.test_case "eval cache: fingerprint stable under clear_cache" `Quick
+      test_eval_cache_fingerprint_stable_under_clear;
+    QCheck_alcotest.to_alcotest ~long:false eval_cache_front_invariance;
+  ]
+
+let suite = suite @ eval_cache_suite

@@ -175,7 +175,7 @@ let record_gen : Trace.record QCheck.Gen.t =
       ]
       st
   in
-  match QCheck.Gen.int_bound 9 st with
+  match QCheck.Gen.int_bound 11 st with
   | 0 ->
       Trace.Run_start
         {
@@ -201,6 +201,7 @@ let record_gen : Trace.record QCheck.Gen.t =
           crossovers = nat st;
           op_counts = Array.init ops (fun _ -> nat st);
           depth_rejects = nat st;
+          behavioral_diversity = nat st - 1;
           wall_s = float_gen st;
         }
   | 2 ->
@@ -246,6 +247,17 @@ let record_gen : Trace.record QCheck.Gen.t =
         }
   | 8 ->
       Trace.Migration { Trace.island = nat st; shard = nat st; models = nat st; bytes = nat st }
+  | 9 ->
+      let ops = QCheck.Gen.int_bound 12 st in
+      Trace.Op_stats
+        {
+          Trace.gen = nat st;
+          applied = Array.init ops (fun _ -> nat st);
+          changed = Array.init ops (fun _ -> nat st);
+        }
+  | 10 ->
+      Trace.Eval_cache_stats
+        { Trace.eval_hits = nat st; eval_misses = nat st; eval_evictions = nat st }
   | _ -> Trace.Warning { Trace.context = text st; message = text st }
 
 let record_arbitrary = QCheck.make ~print:Trace.to_line record_gen
@@ -269,9 +281,10 @@ let deterministic_projection_test =
   QCheck.Test.make ~name:"deterministic projection is idempotent and round-trips" ~count:300
     record_arbitrary (fun r ->
       match Trace.deterministic r with
-      | None -> ( match r with Trace.Cache_stats _ -> true | _ -> false)
+      | None -> (
+          match r with Trace.Cache_stats _ | Trace.Eval_cache_stats _ -> true | _ -> false)
       | Some d -> (
-          (match r with Trace.Cache_stats _ -> false | _ -> true)
+          (match r with Trace.Cache_stats _ | Trace.Eval_cache_stats _ -> false | _ -> true)
           && (match Trace.deterministic d with
              | Some d' -> record_equal d d'
              | None -> false)
@@ -295,13 +308,15 @@ let test_deterministic_zeroes_wall () =
         crossovers = 17;
         op_counts = [| 1; 2; 3 |];
         depth_rejects = 2;
+        behavioral_diversity = 42;
         wall_s = 0.123;
       }
   in
   (match Trace.deterministic g with
   | Some (Trace.Generation p) ->
       Alcotest.(check (float 0.)) "wall_s zeroed" 0. p.Trace.wall_s;
-      Alcotest.(check int) "count fields kept" 17 p.Trace.crossovers
+      Alcotest.(check int) "count fields kept" 17 p.Trace.crossovers;
+      Alcotest.(check int) "behavioral diversity kept" 42 p.Trace.behavioral_diversity
   | _ -> Alcotest.fail "generation should project to a generation");
   match Trace.deterministic (Trace.Run_end { Trace.front = [ (3., 0.1) ]; total_wall_s = 9. }) with
   | Some (Trace.Run_end p) ->
