@@ -5,7 +5,7 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|parallel|regress|trace|dedup|micro]
+                                   eval|parallel|regress|trace|dedup|fuse|micro]
                                   [--pop N] [--gens N] [--seed N] [--smoke]
 
    The search budget defaults to a few seconds per performance; pass
@@ -78,6 +78,34 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let percent e = 100. *. e
+
+(* --- benchmark artifacts -------------------------------------------------- *)
+
+(* Every experiment records its numbers as BENCH_<name>.json through this
+   one writer.  The envelope opens with a "host" object (core count, OCaml
+   version, smoke flag) so artifacts collected from different CI runners
+   are self-describing; the experiment's own fields follow in order.
+   Values are preformatted JSON fragments — nested objects arrive as
+   strings, multi-line fragments keep their own indentation. *)
+let write_artifact ~options ~name fields =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host\": { \"cores\": %d, \"ocaml\": \"%s\", \"smoke\": %b },\n"
+       (Domain.recommended_domain_count ())
+       Sys.ocaml_version options.smoke);
+  let count = List.length fields in
+  List.iteri
+    (fun i (key, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\": %s%s\n" key value (if i = count - 1 then "" else ",")))
+    fields;
+  Buffer.add_string buf "}\n";
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "(numbers recorded in %s)\n" path
 
 (* --- shared data and per-performance runs ------------------------------- *)
 
@@ -555,20 +583,18 @@ let experiment_eval options =
     (us t_cs) (t_is /. t_cs);
   Printf.printf "%-28s  %9.2f us  %9.2f us  %7.2fx\n" "whole front x 243 samples" (us t_if)
     (us t_cf) (t_if /. t_cf);
-  let oc = open_out "BENCH_eval.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"samples\": %d,\n\
-    \  \"dims\": %d,\n\
-    \  \"front_bases\": %d,\n\
-    \  \"smoke\": %b,\n\
-    \  \"single_basis\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f },\n\
-    \  \"whole_front\": { \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f }\n\
-     }\n"
-    n dims (Array.length front) options.smoke (us t_is) (us t_cs) (t_is /. t_cs) (us t_if)
-    (us t_cf) (t_if /. t_cf);
-  close_out oc;
-  Printf.printf "(numbers recorded in BENCH_eval.json)\n"
+  write_artifact ~options ~name:"eval"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("front_bases", string_of_int (Array.length front));
+      ( "single_basis",
+        Printf.sprintf "{ \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f }"
+          (us t_is) (us t_cs) (t_is /. t_cs) );
+      ( "whole_front",
+        Printf.sprintf "{ \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"speedup\": %.2f }"
+          (us t_if) (us t_cf) (t_if /. t_cf) );
+    ]
 
 (* --- parallel scaling ----------------------------------------------------- *)
 
@@ -727,40 +753,41 @@ let experiment_parallel options =
     Printf.eprintf
       "parallel_scaling: WARNING: host reports a single core; speedup gate SKIPPED (not \
        passed)\n%!";
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"samples\": %d,\n" n);
-  Buffer.add_string buf (Printf.sprintf "  \"dims\": %d,\n" dims);
-  Buffer.add_string buf (Printf.sprintf "  \"host_cores\": %d,\n" host_cores);
-  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" options.smoke);
-  Buffer.add_string buf (Printf.sprintf "  \"speedup_gate\": \"%s\",\n" speedup_gate);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"cross_backend_identical\": %b,\n" cross_backend_identical);
-  Buffer.add_string buf "  \"groups\": {\n";
-  List.iteri
-    (fun i (name, backend, identical, _, rows) ->
-      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" name);
-      Buffer.add_string buf (Printf.sprintf "      \"backend\": \"%s\",\n" backend);
-      Buffer.add_string buf (Printf.sprintf "      \"identical_results\": %b,\n" identical);
-      Buffer.add_string buf "      \"runs\": [\n";
-      List.iteri
-        (fun j (workers, effective, t, speedup) ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               "        { \"workers\": %d, \"effective_workers\": %d, \"seconds\": %.4f, \
-                \"speedup\": %.3f }%s\n"
-               workers effective t speedup
-               (if j = List.length rows - 1 then "" else ",")))
-        rows;
-      Buffer.add_string buf "      ]\n";
-      Buffer.add_string buf
-        (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
-    results;
-  Buffer.add_string buf "  }\n}\n";
-  let oc = open_out "BENCH_parallel.json" in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  Printf.printf "\n(numbers recorded in BENCH_parallel.json)\n";
+  let groups =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (name, backend, identical, _, rows) ->
+        Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" name);
+        Buffer.add_string buf (Printf.sprintf "      \"backend\": \"%s\",\n" backend);
+        Buffer.add_string buf (Printf.sprintf "      \"identical_results\": %b,\n" identical);
+        Buffer.add_string buf "      \"runs\": [\n";
+        List.iteri
+          (fun j (workers, effective, t, speedup) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "        { \"workers\": %d, \"effective_workers\": %d, \"seconds\": %.4f, \
+                  \"speedup\": %.3f }%s\n"
+                 workers effective t speedup
+                 (if j = List.length rows - 1 then "" else ",")))
+          rows;
+        Buffer.add_string buf "      ]\n";
+        Buffer.add_string buf
+          (Printf.sprintf "    }%s\n" (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string buf "  }";
+    Buffer.contents buf
+  in
+  print_newline ();
+  write_artifact ~options ~name:"parallel"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("host_cores", string_of_int host_cores);
+      ("speedup_gate", Printf.sprintf "\"%s\"" speedup_gate);
+      ("cross_backend_identical", string_of_bool cross_backend_identical);
+      ("groups", groups);
+    ];
   if not (List.for_all (fun (_, _, identical, _, _) -> identical) results) then begin
     Printf.eprintf "parallel_scaling: results differ across workers settings\n";
     exit 1
@@ -963,32 +990,34 @@ let experiment_regress options =
   let stats = Dataset.stats data in
   Printf.printf "dot cache: %d entries, %d hits, %d misses, %d evictions\n" stats.Dataset.dots_cached
     stats.Dataset.dot_hits stats.Dataset.dot_misses stats.Dataset.dot_evictions;
-  let oc = open_out "BENCH_regress.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"samples\": %d,\n\
-    \  \"dims\": %d,\n\
-    \  \"candidates\": %d,\n\
-    \  \"max_bases\": %d,\n\
-    \  \"selected\": %d,\n\
-    \  \"host_cores\": %d,\n\
-    \  \"smoke\": %b,\n\
-    \  \"agreement\": { \"selection_identical\": %b, \"max_coeff_rel\": %.3e, \"max_press_rel\": \
-     %.3e, \"max_gram_rel\": %.3e, \"tolerance\": %.0e },\n\
-    \  \"forward_select\": { \"scratch_s\": %.4f, \"incremental_s\": %.4f, \"speedup\": %.2f },\n\
-    \  \"fit\": { \"scratch_us\": %.2f, \"incremental_us\": %.2f, \"gram_warm_us\": %.2f, \
-     \"speedup_incremental\": %.2f, \"speedup_gram\": %.2f },\n\
-    \  \"dot_cache\": { \"entries\": %d, \"hits\": %d, \"misses\": %d, \"evictions\": %d }\n\
-     }\n"
-    n dims candidates max_bases sel_count host_cores options.smoke selection_identical
-    !max_coeff_rel !max_press_rel !max_gram_rel tolerance t_scratch_fs t_incremental_fs fs_speedup
-    (us t_scratch_fit) (us t_incremental_fit) (us t_gram_fit)
-    (t_scratch_fit /. t_incremental_fit)
-    (t_scratch_fit /. t_gram_fit)
-    stats.Dataset.dots_cached stats.Dataset.dot_hits stats.Dataset.dot_misses
-    stats.Dataset.dot_evictions;
-  close_out oc;
-  Printf.printf "(numbers recorded in BENCH_regress.json)\n";
+  write_artifact ~options ~name:"regress"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("candidates", string_of_int candidates);
+      ("max_bases", string_of_int max_bases);
+      ("selected", string_of_int sel_count);
+      ("host_cores", string_of_int host_cores);
+      ( "agreement",
+        Printf.sprintf
+          "{ \"selection_identical\": %b, \"max_coeff_rel\": %.3e, \"max_press_rel\": %.3e, \
+           \"max_gram_rel\": %.3e, \"tolerance\": %.0e }"
+          selection_identical !max_coeff_rel !max_press_rel !max_gram_rel tolerance );
+      ( "forward_select",
+        Printf.sprintf "{ \"scratch_s\": %.4f, \"incremental_s\": %.4f, \"speedup\": %.2f }"
+          t_scratch_fs t_incremental_fs fs_speedup );
+      ( "fit",
+        Printf.sprintf
+          "{ \"scratch_us\": %.2f, \"incremental_us\": %.2f, \"gram_warm_us\": %.2f, \
+           \"speedup_incremental\": %.2f, \"speedup_gram\": %.2f }"
+          (us t_scratch_fit) (us t_incremental_fit) (us t_gram_fit)
+          (t_scratch_fit /. t_incremental_fit)
+          (t_scratch_fit /. t_gram_fit) );
+      ( "dot_cache",
+        Printf.sprintf "{ \"entries\": %d, \"hits\": %d, \"misses\": %d, \"evictions\": %d }"
+          stats.Dataset.dots_cached stats.Dataset.dot_hits stats.Dataset.dot_misses
+          stats.Dataset.dot_evictions );
+    ];
   if not agreement_ok then begin
     Printf.eprintf "regression_engine: agreement with the scratch path failed\n";
     exit 1
@@ -1073,32 +1102,25 @@ let experiment_trace options =
   Printf.printf
     "deterministic projections identical at jobs 1 vs 4 (effective %d vs %d): %b (%d records)\n"
     (Pool.effective_jobs 1) (Pool.effective_jobs 4) deterministic (List.length lines_seq);
-  let oc = open_out "BENCH_trace.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"samples\": %d,\n\
-    \  \"dims\": %d,\n\
-    \  \"pop\": %d,\n\
-    \  \"gens\": %d,\n\
-    \  \"reps\": %d,\n\
-    \  \"smoke\": %b,\n\
-    \  \"host_cores\": %d,\n\
-    \  \"null_sink_s\": %.4f,\n\
-    \  \"noop_callback_s\": %.4f,\n\
-    \  \"memory_sink_s\": %.4f,\n\
-    \  \"noop_callback_overhead\": %.4f,\n\
-    \  \"memory_sink_overhead\": %.4f,\n\
-    \  \"overhead_cap\": %.2f,\n\
-    \  \"overhead_ok\": %b,\n\
-    \  \"trace_records\": %d,\n\
-    \  \"deterministic_records\": %d,\n\
-    \  \"deterministic_across_jobs\": %b\n\
-     }\n"
-    n dims config.Config.pop_size config.Config.generations reps options.smoke host_cores t_null
-    t_observed t_traced (overhead t_null t_observed) (overhead t_null t_traced) cap overhead_ok
-    !record_count (List.length lines_seq) deterministic;
-  close_out oc;
-  Printf.printf "(numbers recorded in BENCH_trace.json)\n";
+  write_artifact ~options ~name:"trace"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("pop", string_of_int config.Config.pop_size);
+      ("gens", string_of_int config.Config.generations);
+      ("reps", string_of_int reps);
+      ("host_cores", string_of_int host_cores);
+      ("null_sink_s", Printf.sprintf "%.4f" t_null);
+      ("noop_callback_s", Printf.sprintf "%.4f" t_observed);
+      ("memory_sink_s", Printf.sprintf "%.4f" t_traced);
+      ("noop_callback_overhead", Printf.sprintf "%.4f" (overhead t_null t_observed));
+      ("memory_sink_overhead", Printf.sprintf "%.4f" (overhead t_null t_traced));
+      ("overhead_cap", Printf.sprintf "%.2f" cap);
+      ("overhead_ok", string_of_bool overhead_ok);
+      ("trace_records", string_of_int !record_count);
+      ("deterministic_records", string_of_int (List.length lines_seq));
+      ("deterministic_across_jobs", string_of_bool deterministic);
+    ];
   if not overhead_ok then begin
     Printf.eprintf "trace: telemetry overhead exceeded the %.0f%% cap\n" (100. *. cap);
     exit 1
@@ -1249,40 +1271,34 @@ let experiment_dedup options =
   let hit_rate_floor = 0.10 in
   let hit_rate_ok = exact_rate > hit_rate_floor in
   let throughput_ok = not_slower t_exact && not_slower t_behavioral in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf (Printf.sprintf "  \"samples\": %d,\n" n);
-  Buffer.add_string buf (Printf.sprintf "  \"dims\": %d,\n" dims);
-  Buffer.add_string buf (Printf.sprintf "  \"pop\": %d,\n" config.Config.pop_size);
-  Buffer.add_string buf (Printf.sprintf "  \"gens\": %d,\n" config.Config.generations);
-  Buffer.add_string buf (Printf.sprintf "  \"reps\": %d,\n" reps);
-  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" options.smoke);
-  Buffer.add_string buf "  \"fronts_identical\": {\n";
-  List.iteri
-    (fun i (name, ok) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": %b%s\n" name ok
-           (if i = List.length exactness - 1 then "" else ",")))
-    exactness;
-  Buffer.add_string buf "  },\n";
-  Buffer.add_string buf (Printf.sprintf "  \"exact_hits\": %d,\n" exact_hits);
-  Buffer.add_string buf (Printf.sprintf "  \"exact_misses\": %d,\n" exact_misses);
-  Buffer.add_string buf (Printf.sprintf "  \"exact_hit_rate\": %.4f,\n" exact_rate);
-  Buffer.add_string buf (Printf.sprintf "  \"behavioral_hits\": %d,\n" behavioral_hits);
-  Buffer.add_string buf (Printf.sprintf "  \"behavioral_misses\": %d,\n" behavioral_misses);
-  Buffer.add_string buf (Printf.sprintf "  \"behavioral_hit_rate\": %.4f,\n" behavioral_rate);
-  Buffer.add_string buf (Printf.sprintf "  \"hit_rate_floor\": %.2f,\n" hit_rate_floor);
-  Buffer.add_string buf (Printf.sprintf "  \"off_s\": %.4f,\n" t_off);
-  Buffer.add_string buf (Printf.sprintf "  \"exact_s\": %.4f,\n" t_exact);
-  Buffer.add_string buf (Printf.sprintf "  \"behavioral_s\": %.4f,\n" t_behavioral);
-  Buffer.add_string buf (Printf.sprintf "  \"traces_identical\": %b,\n" traces_identical);
-  Buffer.add_string buf (Printf.sprintf "  \"hit_rate_ok\": %b,\n" hit_rate_ok);
-  Buffer.add_string buf (Printf.sprintf "  \"throughput_ok\": %b\n" throughput_ok);
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_dedup.json" in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  Printf.printf "(numbers recorded in BENCH_dedup.json)\n";
+  let fronts_json =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (name, ok) -> Printf.sprintf "\"%s\": %b" name ok) exactness)
+    ^ " }"
+  in
+  write_artifact ~options ~name:"dedup"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("pop", string_of_int config.Config.pop_size);
+      ("gens", string_of_int config.Config.generations);
+      ("reps", string_of_int reps);
+      ("fronts_identical", fronts_json);
+      ("exact_hits", string_of_int exact_hits);
+      ("exact_misses", string_of_int exact_misses);
+      ("exact_hit_rate", Printf.sprintf "%.4f" exact_rate);
+      ("behavioral_hits", string_of_int behavioral_hits);
+      ("behavioral_misses", string_of_int behavioral_misses);
+      ("behavioral_hit_rate", Printf.sprintf "%.4f" behavioral_rate);
+      ("hit_rate_floor", Printf.sprintf "%.2f" hit_rate_floor);
+      ("off_s", Printf.sprintf "%.4f" t_off);
+      ("exact_s", Printf.sprintf "%.4f" t_exact);
+      ("behavioral_s", Printf.sprintf "%.4f" t_behavioral);
+      ("traces_identical", string_of_bool traces_identical);
+      ("hit_rate_ok", string_of_bool hit_rate_ok);
+      ("throughput_ok", string_of_bool throughput_ok);
+    ];
   if not fronts_identical then begin
     Printf.eprintf "dedup: fronts differ between cache settings\n";
     exit 1
@@ -1300,6 +1316,238 @@ let experiment_dedup options =
     Printf.eprintf "dedup: cached run slower than the uncached baseline (off %.3fs, exact \
                     %.3fs, behavioral %.3fs)\n"
       t_off t_exact t_behavioral;
+    exit 1
+  end
+
+(* --- fused multi-expression evaluation ------------------------------------ *)
+
+let experiment_fuse options =
+  let module Trace = Caffeine_obs.Trace in
+  let module Eval_cache = Caffeine.Eval_cache in
+  let module Fused = Caffeine_expr.Fused in
+  section "fuse: cross-tree CSE and tiled batch kernels";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let n = Array.length train.Ota.inputs in
+  let dims = Array.length Ota.var_names in
+  let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
+  (* Fresh dataset per measurement: warm basis columns must not leak from
+     one fuse setting into the next. *)
+  let fresh_data () = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let config =
+    Config.scaled
+      ~pop_size:(if options.smoke then 24 else Stdlib.max 24 (options.pop_size / 2))
+      ~generations:(if options.smoke then 12 else Stdlib.max 12 (options.generations / 5))
+      Config.paper
+  in
+  let seed = options.seed in
+  let reps = if options.smoke then 3 else 5 in
+  Printf.printf "workload: OTA PM, %d samples x %d dims, pop %d, gens %d, min of %d runs%s\n" n
+    dims config.Config.pop_size config.Config.generations reps
+    (if options.smoke then " (smoke)" else "");
+  (* --- the front workload: every basis instance of evolved fronts ---------- *)
+  (* Evaluating a whole Pareto front per model — what export, insight and
+     serving do — recomputes every basis the models share, and front
+     neighbors share almost all of them (they differ by a basis or two).
+     The workload is the concatenation of the front models' bases with
+     that duplication kept: fused evaluation hash-conses the repeats (and
+     any subtrees distinct bases still share) into single DAG nodes,
+     while the per-expression baseline evaluates each instance on its own
+     tape.  The workload search runs its own budget (independent of
+     --smoke); fronts accumulate across seeds until 40 distinct bases are
+     represented. *)
+  let workload_target = 40 in
+  let workload_config = Config.scaled ~pop_size:60 ~generations:60 Config.paper in
+  let front_instances, distinct_bases =
+    let seen = Compiled.Tbl.create 64 in
+    let acc = ref [] in
+    let distinct = ref 0 in
+    let next_seed = ref seed in
+    while !distinct < workload_target && !next_seed < seed + 6 do
+      let data = fresh_data () in
+      let outcome = Search.run ~seed:!next_seed workload_config ~data ~targets in
+      List.iter
+        (fun (m : Model.t) ->
+          if !distinct < workload_target then
+            Array.iter
+              (fun b ->
+                acc := b :: !acc;
+                if not (Compiled.Tbl.mem seen b) then begin
+                  Compiled.Tbl.add seen b ();
+                  incr distinct
+                end)
+              m.Model.bases)
+        outcome.Search.front;
+      incr next_seed
+    done;
+    (Array.of_list (List.rev !acc), !distinct)
+  in
+  let columns = Array.init dims (fun v -> Array.init n (fun i -> train.Ota.inputs.(i).(v))) in
+  let fused = Fused.compile front_instances in
+  let nodes_in = Fused.nodes_in fused and nodes_out = Fused.nodes_out fused in
+  let cse_ratio = float_of_int nodes_in /. float_of_int (Stdlib.max 1 nodes_out) in
+  Printf.printf
+    "front workload: %d basis instances (%d distinct), %d DAG nodes before sharing, %d after \
+     (CSE %.2fx), %d slots, tile %d\n"
+    (Array.length front_instances) distinct_bases nodes_in nodes_out cse_ratio
+    (Fused.slots fused) (Fused.tile fused);
+  (* --- exactness: fused rows must equal per-expression rows bit for bit ---- *)
+  let compiled = Array.map Compiled.compile front_instances in
+  let cscratch = Compiled.scratch () in
+  let fscratch = Fused.scratch () in
+  let fused_rows = Fused.eval_columns fused ~scratch:fscratch ~columns ~n in
+  let bits = Int64.bits_of_float in
+  let rows_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> bits x = bits y) a b
+  in
+  let rows_identical =
+    Array.for_all2
+      (fun c row -> rows_equal row (Compiled.eval_columns c ~scratch:cscratch ~columns ~n))
+      compiled fused_rows
+  in
+  let probe_indices = [| 0; 3; 3; n - 1 |] in
+  let probe_rows = Fused.eval_probe fused ~columns ~indices:probe_indices in
+  let probe_identical =
+    Array.for_all2
+      (fun c row -> rows_equal row (Compiled.eval_probe c ~columns ~indices:probe_indices))
+      compiled probe_rows
+  in
+  Printf.printf "fused rows bit-identical to per-expression rows: %b (probe: %b)\n"
+    rows_identical probe_identical;
+  (* --- throughput: the fused tape must clear the speedup floor ------------- *)
+  let per_expr_run () =
+    Array.iter (fun c -> ignore (Compiled.eval_columns c ~scratch:cscratch ~columns ~n)) compiled
+  in
+  let fused_run () = ignore (Fused.eval_columns fused ~scratch:fscratch ~columns ~n) in
+  let t_per_expr = time_per_run per_expr_run in
+  let t_fused = time_per_run fused_run in
+  let speedup = t_per_expr /. t_fused in
+  let speedup_floor = 1.3 in
+  let us t = 1e6 *. t in
+  Printf.printf "%-34s %10.1f us\n" "per-expression tapes" (us t_per_expr);
+  Printf.printf "%-34s %10.1f us  (%.2fx, floor %.1fx)\n" "fused tape" (us t_fused) speedup
+    speedup_floor;
+  let speedup_ok = speedup >= speedup_floor in
+  (* --- search exactness: the front must not move when fusion turns off ----- *)
+  let signature (outcome : Search.outcome) =
+    String.concat ";"
+      (List.map
+         (fun (m : Model.t) ->
+           Printf.sprintf "%h|%h|%h|%s" m.Model.train_error m.Model.complexity m.Model.intercept
+             (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") m.Model.weights))))
+         outcome.Search.front)
+  in
+  let front_of backend ?jobs ?shards ~fuse mode =
+    let data = fresh_data () in
+    Executor.with_executor ?jobs ?shards backend @@ fun executor ->
+    signature (Search.run ~seed ~executor ~eval_cache:mode ~fuse config ~data ~targets)
+  in
+  let reference = front_of Executor.Seq ~fuse:true Eval_cache.Off in
+  let front_cases =
+    [
+      ("seq_unfused_off", front_of Executor.Seq ~fuse:false Eval_cache.Off);
+      ("seq_unfused_exact", front_of Executor.Seq ~fuse:false Eval_cache.Exact);
+      ("seq_unfused_behavioral", front_of Executor.Seq ~fuse:false Eval_cache.Behavioral);
+      ("seq_fused_behavioral", front_of Executor.Seq ~fuse:true Eval_cache.Behavioral);
+      ("domains_4_fused_off", front_of Executor.Domains ~jobs:4 ~fuse:true Eval_cache.Off);
+      ("domains_4_unfused_off", front_of Executor.Domains ~jobs:4 ~fuse:false Eval_cache.Off);
+      ("processes_3_fused_off", front_of Executor.Processes ~shards:3 ~fuse:true Eval_cache.Off);
+      ( "processes_3_unfused_off",
+        front_of Executor.Processes ~shards:3 ~fuse:false Eval_cache.Off );
+    ]
+  in
+  let exactness = List.map (fun (name, s) -> (name, s = reference)) front_cases in
+  List.iter
+    (fun (name, ok) -> Printf.printf "front identical to fused seq baseline at %-26s %b\n" name ok)
+    exactness;
+  let fronts_identical = List.for_all snd exactness in
+  (* --- determinism: projected traces must not move either ------------------ *)
+  (* The per-generation fused_stats records depend on chunk boundaries and
+     cache state, so the deterministic projection must drop them: fuse
+     on/off and jobs 1/4 all project to the same lines. *)
+  let capture ?(jobs = 1) ~fuse () =
+    let data = fresh_data () in
+    Executor.with_executor ~jobs Executor.Domains @@ fun executor ->
+    let sink = Trace.memory () in
+    ignore (Search.run ~seed ~executor ~trace:sink ~fuse config ~data ~targets);
+    List.filter_map Trace.deterministic (Trace.contents sink) |> List.map Trace.to_line
+  in
+  let lines_fused = capture ~fuse:true () in
+  let lines_unfused = capture ~fuse:false () in
+  let lines_fused_par = capture ~jobs:4 ~fuse:true () in
+  let traces_identical = lines_fused = lines_unfused && lines_fused = lines_fused_par in
+  Printf.printf "deterministic projections identical with fusion on/off and jobs 1/4: %b\n"
+    traces_identical;
+  (* --- whole-search throughput: fusion must not slow the search ------------ *)
+  let best_of ~fuse =
+    let best = ref Float.infinity in
+    for _ = 1 to reps do
+      let data = fresh_data () in
+      let t0 = Unix.gettimeofday () in
+      ignore (Search.run ~seed ~fuse config ~data ~targets);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t_unfused_search = best_of ~fuse:false in
+  let t_fused_search = best_of ~fuse:true in
+  let search_not_slower = t_fused_search <= t_unfused_search +. 0.05 in
+  Printf.printf "%-34s %8.3f s\n" "search, fusion off" t_unfused_search;
+  Printf.printf "%-34s %8.3f s (%.2fx)\n" "search, fusion on" t_fused_search
+    (t_unfused_search /. t_fused_search);
+  (* --- record and gate ------------------------------------------------------ *)
+  let fronts_json =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (name, ok) -> Printf.sprintf "\"%s\": %b" name ok) exactness)
+    ^ " }"
+  in
+  write_artifact ~options ~name:"fuse"
+    [
+      ("samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("pop", string_of_int config.Config.pop_size);
+      ("gens", string_of_int config.Config.generations);
+      ("reps", string_of_int reps);
+      ("front_instances", string_of_int (Array.length front_instances));
+      ("distinct_bases", string_of_int distinct_bases);
+      ("nodes_in", string_of_int nodes_in);
+      ("nodes_out", string_of_int nodes_out);
+      ("cse_ratio", Printf.sprintf "%.3f" cse_ratio);
+      ("slots", string_of_int (Fused.slots fused));
+      ("tile", string_of_int (Fused.tile fused));
+      ("per_expr_us", Printf.sprintf "%.2f" (us t_per_expr));
+      ("fused_us", Printf.sprintf "%.2f" (us t_fused));
+      ("speedup", Printf.sprintf "%.3f" speedup);
+      ("speedup_floor", Printf.sprintf "%.2f" speedup_floor);
+      ("speedup_ok", string_of_bool speedup_ok);
+      ("rows_identical", string_of_bool rows_identical);
+      ("probe_identical", string_of_bool probe_identical);
+      ("fronts_identical", fronts_json);
+      ("traces_identical", string_of_bool traces_identical);
+      ("search_unfused_s", Printf.sprintf "%.4f" t_unfused_search);
+      ("search_fused_s", Printf.sprintf "%.4f" t_fused_search);
+      ("search_not_slower", string_of_bool search_not_slower);
+    ];
+  if not (rows_identical && probe_identical) then begin
+    Printf.eprintf "fuse: fused evaluation is not bit-identical to per-expression tapes\n";
+    exit 1
+  end;
+  if not fronts_identical then begin
+    Printf.eprintf "fuse: fronts differ between fuse settings\n";
+    exit 1
+  end;
+  if not traces_identical then begin
+    Printf.eprintf "fuse: deterministic trace projections differ between fuse settings\n";
+    exit 1
+  end;
+  if not speedup_ok then begin
+    Printf.eprintf "fuse: fused speedup %.2fx below the %.1fx floor\n" speedup speedup_floor;
+    exit 1
+  end;
+  if not search_not_slower then begin
+    Printf.eprintf "fuse: fused search slower than unfused (%.3fs vs %.3fs)\n" t_fused_search
+      t_unfused_search;
     exit 1
   end
 
@@ -1383,4 +1631,5 @@ let () =
   if wants "regress" then experiment_regress options;
   if wants "trace" then experiment_trace options;
   if wants "dedup" then experiment_dedup options;
+  if wants "fuse" then experiment_fuse options;
   if wants "micro" then experiment_micro ()

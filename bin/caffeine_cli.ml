@@ -135,7 +135,8 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after eval_cache eval_cache_limit out =
+let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after eval_cache eval_cache_limit no_fuse out =
+  let fuse = not no_fuse in
   let train = load_table train_path in
   let data, raw_targets = split_target train target in
   let var_names = Dataset.var_names data in
@@ -251,7 +252,7 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
           processed := model :: !processed;
           save_sag_snapshot ~front ~processed:(List.rev !processed) ~gen:index
         in
-        Sag.process_front ~executor ~trace ~already ~on_model ~wb:config.Config.wb
+        Sag.process_front ~executor ~trace ~already ~on_model ~fuse ~wb:config.Config.wb
           ~wvc:config.Config.wvc front ~data ~targets
       end
     in
@@ -268,7 +269,7 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
     | Some _ | None ->
         let outcome =
           Search.run ~seed ~executor ~trace ?on_generation ?checkpoint_path ~checkpoint_every
-            ?resume:resume_snapshot ~eval_cache ~eval_cache_limit config ~data ~targets
+            ?resume:resume_snapshot ~eval_cache ~eval_cache_limit ~fuse config ~data ~targets
         in
         run_sag outcome.Search.front
   in
@@ -309,6 +310,11 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
         let test_set, test_raw = split_target test target in
         Some (test_set, Array.map transform test_raw)
   in
+  (* One fused pass over the whole front fills the testing dataset's column
+     cache before the per-model error loop below reads it. *)
+  (match test_data with
+  | Some (test_set, _) when fuse -> Model.warm_front front test_set
+  | _ -> ());
   Printf.printf "\n%-10s %-10s %-9s expression\n" "train err" "test err" "complexity";
   List.iter
     (fun (m : Model.t) ->
@@ -335,10 +341,23 @@ let fit train_path test_path target pop gens seed jobs backend shards log_target
       (* Coordinator-side counters only: under --backend processes the
          worker caches live and die in the forked workers. *)
       let g = Eval_cache.global_stats () in
-      Printf.printf "  eval cache (%s): %d hits, %d misses, %d evictions\n"
+      let lookups = g.Eval_cache.total_hits + g.Eval_cache.total_misses in
+      let hit_rate =
+        if lookups = 0 then 0. else 100. *. float_of_int g.Eval_cache.total_hits /. float_of_int lookups
+      in
+      Printf.printf "  eval cache (%s): %d hits, %d misses (%.1f%% hit rate), %d evictions\n"
         (Eval_cache.mode_to_string eval_cache)
-        g.Eval_cache.total_hits g.Eval_cache.total_misses g.Eval_cache.total_evictions
-    end
+        g.Eval_cache.total_hits g.Eval_cache.total_misses hit_rate g.Eval_cache.total_evictions
+    end;
+    (let nodes_in =
+       Metrics.counter_value (Metrics.counter Metrics.default "fused.nodes_in")
+     and nodes_out =
+       Metrics.counter_value (Metrics.counter Metrics.default "fused.nodes_out")
+     in
+     if nodes_out > 0 then
+       Printf.printf "  fused eval: %d DAG nodes before sharing, %d after (CSE ratio %.2fx)\n"
+         nodes_in nodes_out
+         (float_of_int nodes_in /. float_of_int nodes_out))
   end;
   if metrics then begin
     Dataset.publish_metrics data;
@@ -416,7 +435,19 @@ let verbose_arg =
     & info [ "verbose" ]
         ~doc:
           "Print dataset cache statistics (basis-column and dot-product \
-           hits/misses/evictions) and, with --eval-cache, the evaluation-cache counters.")
+           hits/misses/evictions), the fused-evaluation CSE ratio (DAG nodes before and \
+           after cross-tree sharing) and, with --eval-cache, the evaluation-cache counters \
+           and hit rate.")
+
+let no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ]
+        ~doc:
+          "Disable fused multi-expression evaluation: each basis is compiled and evaluated \
+           on its own tape instead of batching a generation's (or the front's) distinct \
+           bases into one shared DAG.  Results are bit-identical either way; the flag \
+           exists for benchmarking and bisection.")
 
 let fit_out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the model front to a models file.")
@@ -511,7 +542,7 @@ let fit_cmd =
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
       $ backend_arg $ shard_arg $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
       $ metrics_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg
-      $ eval_cache_arg $ eval_cache_limit_arg $ fit_out_arg)
+      $ eval_cache_arg $ eval_cache_limit_arg $ no_fuse_arg $ fit_out_arg)
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -533,6 +564,9 @@ let predict models_path data_path target log_target =
       end;
       let transform v = if log_target then log10 v else v in
       let targets = Array.map transform raw_targets in
+      (* Fill the fresh dataset's column cache with one fused pass over
+         every model before the per-model scoring loop. *)
+      Model.warm_front models data;
       Printf.printf "%-10s %-9s expression\n" "error" "#bases";
       List.iter
         (fun (m : Model.t) ->
@@ -560,17 +594,29 @@ let export models_path language index out =
       Printf.eprintf "cannot load models: %s\n" msg;
       2
   | Ok (var_names, models) -> (
-      match List.nth_opt models index with
-      | None ->
-          Printf.eprintf "model index %d out of range (file has %d models)\n" index
-            (List.length models);
-          2
-      | Some model ->
-          let source =
-            match language with
-            | `C -> Caffeine.Export.to_c ~name:"caffeine_model" ~var_names model
-            | `Verilog_a -> Caffeine.Export.to_verilog_a ~name:"caffeine_model" ~var_names model
-          in
+      let render_single model =
+        match language with
+        | `C -> Some (Caffeine.Export.to_c ~name:"caffeine_model" ~var_names model)
+        | `Verilog_a -> Some (Caffeine.Export.to_verilog_a ~name:"caffeine_model" ~var_names model)
+        | `C_front -> None
+      in
+      let source =
+        match language with
+        | `C_front ->
+            (* Whole front in one function: shared subexpressions are
+               hash-consed into single locals; --index is ignored. *)
+            Some (Caffeine.Export.to_c_front ~name:"caffeine_front" ~var_names models)
+        | `C | `Verilog_a -> (
+            match List.nth_opt models index with
+            | None ->
+                Printf.eprintf "model index %d out of range (file has %d models)\n" index
+                  (List.length models);
+                None
+            | Some model -> render_single model)
+      in
+      match source with
+      | None -> 2
+      | Some source ->
           (match out with
           | None -> print_string source
           | Some path ->
@@ -584,10 +630,20 @@ let language_arg =
   let parse = function
     | "c" -> Ok `C
     | "verilog-a" | "va" -> Ok `Verilog_a
-    | other -> Error (`Msg (Printf.sprintf "unknown language %S (use c or verilog-a)" other))
+    | "c-front" -> Ok `C_front
+    | other -> Error (`Msg (Printf.sprintf "unknown language %S (use c, verilog-a or c-front)" other))
   in
-  let print ppf l = Format.pp_print_string ppf (match l with `C -> "c" | `Verilog_a -> "verilog-a") in
-  Arg.(value & opt (conv (parse, print)) `C & info [ "language" ] ~docv:"LANG" ~doc:"c or verilog-a.")
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with `C -> "c" | `Verilog_a -> "verilog-a" | `C_front -> "c-front")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `C
+    & info [ "language" ] ~docv:"LANG"
+        ~doc:
+          "c or verilog-a (one model, see --index), or c-front (the whole front as one C \
+           function with hash-consed shared subexpressions, one output per model).")
 
 let index_arg =
   Arg.(value & opt int 0 & info [ "index" ] ~docv:"N" ~doc:"Which model in the file (0-based; models are complexity-sorted).")
@@ -775,6 +831,7 @@ let trace_command path counts =
       | Trace.Sag_model _ -> "sag_model"
       | Trace.Cache_stats _ -> "cache_stats"
       | Trace.Eval_cache_stats _ -> "eval_cache_stats"
+      | Trace.Fused_stats _ -> "fused_stats"
       | Trace.Checkpoint_written _ -> "checkpoint_written"
       | Trace.Run_resumed _ -> "run_resumed"
       | Trace.Warning _ -> "warning"
@@ -821,9 +878,10 @@ let counts_arg =
         ~doc:
           "Print the deterministic projection of each record instead of a summary — \
            byte-identical for the same seeded run at any --jobs setting.  Wall times are \
-           zeroed; the dataset cache_stats record and the eval_cache_stats record (the final \
-           eval.cache_hits/misses/evictions counters of --eval-cache runs) are dropped, since \
-           both depend on scheduling; per-generation op_stats records are kept verbatim.  \
+           zeroed; the dataset cache_stats record, the eval_cache_stats record (the final \
+           eval.cache_hits/misses/evictions counters of --eval-cache runs) and per-generation \
+           fused_stats records are dropped, since all depend on scheduling or cache state; \
+           per-generation op_stats records are kept verbatim.  \
            Note that a generation's behavioral_diversity field is jobs-invariant but differs \
            across --eval-cache modes, so only compare projections of runs with the same mode.")
 

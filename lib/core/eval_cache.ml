@@ -168,12 +168,15 @@ let probe_size t = Array.length t.probe_indices
 (* --- probe signatures and fingerprints ----------------------------------- *)
 
 (* Raw probe outputs of every basis, concatenated in basis order — the
-   exact-match key of L2.  [Dataset.probe] returns the same IEEE words
-   whether or not a full column was ever cached, so signatures are stable
-   under column-cache eviction. *)
+   exact-match key of L2.  Probing goes through the fused evaluator
+   ([Dataset.probe_many]) so subtrees shared between an individual's
+   bases are walked once; its rows match per-basis [Dataset.probe] bit
+   for bit in every cache state, so signatures are stable under
+   column-cache eviction and identical to what per-basis probing would
+   produce. *)
 let signature t individual =
-  let per_basis = Array.map (fun b -> Dataset.probe t.data b ~indices:t.probe_indices) individual in
-  Array.concat (Array.to_list per_basis)
+  Array.concat
+    (Array.to_list (Dataset.probe_many t.data individual ~indices:t.probe_indices))
 
 (* Diversity fingerprint: the signature quantized to the configured
    precision, as IEEE words.  Non-finite probe outputs collapse to

@@ -15,6 +15,16 @@ val to_c : name:string -> var_names:string array -> Model.t -> string
     per design variable mapping names to indices.  Uses [math.h]
     functions; compiles standalone with [-lm]. *)
 
+val to_c_front : name:string -> var_names:string array -> Model.t list -> string
+(** A whole Pareto front as one C99 function
+    [void <name>(const double *x, double *out)] filling [out.(k)] with
+    model [k]'s response.  The front is hash-consed into a fused DAG
+    ({!Caffeine_expr.Fused.compile_wsums}): every subexpression shared
+    within or across models is emitted as exactly one [const double tN]
+    local, in topological order — front neighbors overlap heavily, so the
+    generated code is typically far smaller (and faster to evaluate) than
+    the concatenation of per-model {!to_c} functions. *)
+
 val to_verilog_a : name:string -> var_names:string array -> Model.t -> string
 (** An analog function block [analog function real <name>; input ...] for
     inclusion in a Verilog-A module. *)

@@ -43,6 +43,18 @@ val predict_point : t -> float array -> float
 val predict : t -> Dataset.t -> float array
 (** Batched response over a dataset, from cached basis columns. *)
 
+val warm : t -> Dataset.t -> unit
+(** Fill the dataset's column cache for every basis of the model through
+    one fused tape ({!Dataset.warm_columns}): subtrees shared between the
+    model's bases evaluate once.  Purely a throughput optimization —
+    subsequent {!predict} / {!error_on} calls return bit-identical
+    results with or without warming. *)
+
+val warm_front : t list -> Dataset.t -> unit
+(** {!warm} for a whole front at once, sharing subtrees {e across}
+    models — fronts grown by the search overlap heavily, so this is the
+    cheap way to prepare SAG, scoring and export passes. *)
+
 val error_on : t -> data:Dataset.t -> targets:float array -> float
 (** Normalized error on a dataset; [infinity] when predictions are not
     finite. *)

@@ -44,6 +44,7 @@ val process_front :
   ?trace:Caffeine_obs.Trace.sink ->
   ?already:Model.t list ->
   ?on_model:(int -> Model.t -> unit) ->
+  ?fuse:bool ->
   wb:float ->
   wvc:float ->
   Model.t list ->
@@ -59,16 +60,23 @@ val process_front :
     [List.length already] members are taken from it verbatim instead of
     being re-simplified.  [on_model] observes each freshly simplified
     member (index in [front], result) as it completes; the CLI checkpoints
-    from this callback. *)
+    from this callback.
+
+    [fuse] (default [true]) pre-warms the dataset's column cache with one
+    fused evaluation of the whole front ({!Model.warm_front}) before the
+    per-model selection loops; results are bit-identical either way. *)
 
 val test_tradeoff :
   ?trace:Caffeine_obs.Trace.sink ->
+  ?fuse:bool ->
   Model.t list ->
   data:Dataset.t ->
   targets:float array ->
   scored list
 (** Score each model on testing data and keep only models on the
     (test error, complexity) tradeoff, sorted by increasing complexity.
+    [fuse] (default [true]) warms the testing dataset's columns with one
+    fused front evaluation first; scores are bit-identical either way.
 
     When {e every} model's test error is non-finite (the whole front blew
     up on out-of-range testing samples), an empty result would silently

@@ -79,7 +79,7 @@ let with_search_executor ?executor config f =
 
 let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?on_generation
     ?start ?on_checkpoint ?(eval_cache = Eval_cache.Off)
-    ?(eval_cache_limit = Eval_cache.default_limit) config ~data ~targets =
+    ?(eval_cache_limit = Eval_cache.default_limit) ?(fuse = true) config ~data ~targets =
   let dims = validate_data ~data ~targets in
   let wb = config.Config.wb and wvc = config.Config.wvc in
   let objectives individual =
@@ -100,6 +100,30 @@ let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?o
     Option.map
       (fun c -> { Nsga2.lookup = Eval_cache.lookup c; store = Eval_cache.store c })
       eval_cache
+  in
+  (* Fused warming: before a chunk of genomes is evaluated, all of their
+     bases are hash-consed into one Fused DAG and the missing columns are
+     computed together (shared subtrees once), so the per-genome fits that
+     follow hit the column cache.  Purely a throughput hint — warmed
+     columns are bit-identical to lazily computed ones — so fronts do not
+     move with fusion on or off.  The accumulators are atomics because
+     [prepare] runs on pool domains; totals are drained per generation
+     into a Fused_stats trace record (dropped by the deterministic
+     projection, like the other effectiveness reports). *)
+  let fused_batches = Atomic.make 0
+  and fused_nodes_in = Atomic.make 0
+  and fused_nodes_out = Atomic.make 0 in
+  let prepare =
+    if not fuse then None
+    else
+      Some
+        (fun (chunk : Vary.individual array) ->
+          let stats = Dataset.warm_columns data (Array.concat (Array.to_list chunk)) in
+          if stats.Dataset.fused_bases > 0 then begin
+            Atomic.incr fused_batches;
+            ignore (Atomic.fetch_and_add fused_nodes_in stats.Dataset.nodes_in);
+            ignore (Atomic.fetch_and_add fused_nodes_out stats.Dataset.nodes_out)
+          end)
   in
   (* Record construction (objective sorts, variation tallies) happens only
      when someone listens — with the null sink and no callback a traced
@@ -158,9 +182,23 @@ let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?o
         }
       in
       Vary.reset_stats vary_stats;
+      let fused_record : Trace.fused_stats option =
+        if fuse then
+          Some
+            {
+              gen;
+              batches = Atomic.exchange fused_batches 0;
+              nodes_in = Atomic.exchange fused_nodes_in 0;
+              nodes_out = Atomic.exchange fused_nodes_out 0;
+            }
+        else None
+      in
       if not (Trace.is_null trace) then begin
         Trace.emit trace (Trace.Generation record);
-        Trace.emit trace (Trace.Op_stats op_record)
+        Trace.emit trace (Trace.Op_stats op_record);
+        match fused_record with
+        | Some f -> Trace.emit trace (Trace.Fused_stats f)
+        | None -> ()
       end;
       match on_generation with None -> () | Some f -> f record
     end;
@@ -173,7 +211,7 @@ let run_with_rng ~rng ?(executor = Executor.sequential) ?(trace = Trace.null) ?o
     match on_checkpoint with None -> () | Some f -> f gen population
   in
   let population =
-    Nsga2.run ~on_generation:notify ~executor ?start ?cache:nsga_cache ~rng
+    Nsga2.run ~on_generation:notify ~executor ?start ?cache:nsga_cache ?prepare ~rng
       {
         Nsga2.pop_size = config.Config.pop_size;
         generations = config.Config.generations;
@@ -324,7 +362,7 @@ let island_start = function
    to [deliver] in island order, so the emitted trace is the sequential
    trace (plus one Migration record per island). *)
 let run_islands_processes ~shards ~trace ?on_generation ?checkpoint ~eval_cache
-    ~eval_cache_limit islands config ~data ~targets =
+    ~eval_cache_limit ~fuse islands config ~data ~targets =
   let generations = config.Config.generations in
   let observing = (not (Trace.is_null trace)) || Option.is_some on_generation in
   let run_island ~emit ~progress ~island:_ state =
@@ -344,7 +382,7 @@ let run_islands_processes ~shards ~trace ?on_generation ?checkpoint ~eval_cache
         in
         let outcome =
           run_with_rng ~rng ~trace:worker_trace ?start ?on_checkpoint ~eval_cache
-            ~eval_cache_limit config ~data ~targets
+            ~eval_cache_limit ~fuse config ~data ~targets
         in
         outcome.front
   in
@@ -370,7 +408,7 @@ let run_islands_processes ~shards ~trace ?on_generation ?checkpoint ~eval_cache
 (* {3 The in-process backends (sequential and domain pool)} *)
 
 let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cache
-    ~eval_cache_limit islands config ~data ~targets =
+    ~eval_cache_limit ~fuse islands config ~data ~targets =
   let generations = config.Config.generations in
   let run_island k =
     match islands.(k) with
@@ -394,7 +432,7 @@ let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cac
              below, those nested calls fall back to sequential evaluation
              inside the island. *)
           run_with_rng ~rng ~executor ~trace ?on_generation ?start ?on_checkpoint ~eval_cache
-            ~eval_cache_limit config ~data ~targets
+            ~eval_cache_limit ~fuse config ~data ~targets
         in
         (match checkpoint with
         | Some ctx ->
@@ -416,14 +454,14 @@ let run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cac
   else Array.map run_island indices
 
 let run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
-    islands config ~data ~targets =
+    ~fuse islands config ~data ~targets =
   match Executor.backend executor with
   | Executor.Processes ->
       run_islands_processes ~shards:(Executor.shards executor) ~trace ?on_generation
-        ?checkpoint ~eval_cache ~eval_cache_limit islands config ~data ~targets
+        ?checkpoint ~eval_cache ~eval_cache_limit ~fuse islands config ~data ~targets
   | Executor.Seq | Executor.Domains ->
       run_islands_in_process ~executor ~trace ?on_generation ?checkpoint ~eval_cache
-        ~eval_cache_limit islands config ~data ~targets
+        ~eval_cache_limit ~fuse islands config ~data ~targets
 
 let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry config ~data
     ~targets =
@@ -448,7 +486,7 @@ let checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry co
 
 let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
     ?(checkpoint_every = 10) ?resume ?(eval_cache = Eval_cache.Off)
-    ?(eval_cache_limit = Eval_cache.default_limit) config ~data ~targets =
+    ?(eval_cache_limit = Eval_cache.default_limit) ?(fuse = true) config ~data ~targets =
   ignore (validate_data ~data ~targets);
   let fingerprint, checkpoint =
     checkpoint_inputs ?checkpoint_path ?resume ~checkpoint_every ~seed ~entry:"Search.run"
@@ -465,7 +503,7 @@ let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_
     let on_generation = Option.map (fun f ~island:_ record -> f record) on_generation in
     let fronts =
       run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
-        islands config ~data ~targets
+        ~fuse islands config ~data ~targets
     in
     {
       front = fronts.(0);
@@ -478,7 +516,7 @@ let run ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_
 
 let run_multi ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?checkpoint_path
     ?(checkpoint_every = 10) ?resume ?(eval_cache = Eval_cache.Off)
-    ?(eval_cache_limit = Eval_cache.default_limit) ~restarts config ~data ~targets =
+    ?(eval_cache_limit = Eval_cache.default_limit) ?(fuse = true) ~restarts config ~data ~targets =
   if restarts < 1 then invalid_arg "Search.run_multi: need at least 1 restart";
   ignore (validate_data ~data ~targets);
   let fingerprint, checkpoint =
@@ -502,7 +540,7 @@ let run_multi ?(seed = 17) ?executor ?(trace = Trace.null) ?on_generation ?check
   with_search_executor ?executor config @@ fun executor ->
   let fronts =
     run_islands ~executor ~trace ?on_generation ?checkpoint ~eval_cache ~eval_cache_limit
-      islands config ~data ~targets
+      ~fuse islands config ~data ~targets
   in
   let outcome =
     {

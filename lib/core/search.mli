@@ -60,6 +60,7 @@ val run :
   ?resume:Checkpoint.t ->
   ?eval_cache:Eval_cache.mode ->
   ?eval_cache_limit:int ->
+  ?fuse:bool ->
   Config.t ->
   data:Dataset.t ->
   targets:float array ->
@@ -94,6 +95,19 @@ val run :
     state: they never enter checkpoint snapshots, and resumed runs start
     cold.
 
+    [fuse] (default [true]) evaluates each generation's miss-batch
+    through fused multi-expression tapes ({!Caffeine_expr.Fused}): the
+    batch is split into one chunk per executor job (one chunk on
+    sequential and process executors), each worker hash-conses its
+    chunk's bases into a shared DAG, and subtrees shared across the chunk
+    are evaluated once with cache-tiled kernels before the per-genome
+    fits run against the warmed column cache.  Fused columns are
+    bit-identical to per-expression ones, so the evolved front is the
+    same with fusion on or off, at every backend and cache mode.  When
+    observing, one {!Caffeine_obs.Trace.Fused_stats} record per
+    generation reports the cross-tree CSE ratio (dropped by the
+    deterministic projection).
+
     [checkpoint_path] makes the run durable: every [checkpoint_every]
     generations (default 10) and once when the search completes, the full
     run state — population with objectives, generation counter, generator
@@ -117,6 +131,7 @@ val run_multi :
   ?resume:Checkpoint.t ->
   ?eval_cache:Eval_cache.mode ->
   ?eval_cache_limit:int ->
+  ?fuse:bool ->
   restarts:int ->
   Config.t ->
   data:Dataset.t ->

@@ -141,7 +141,7 @@ type 'a cache = {
   store : 'a -> float array -> unit;
 }
 
-let run ?on_generation ?(executor = Executor.sequential) ?start ?cache ~rng config =
+let run ?on_generation ?(executor = Executor.sequential) ?start ?cache ?prepare ~rng config =
   if config.pop_size < 2 then invalid_arg "Nsga2.run: pop_size must be at least 2";
   let evaluate genome = sanitize (config.objectives genome) in
   (* Objective evaluation is the dominant cost and is independent per
@@ -155,9 +155,43 @@ let run ?on_generation ?(executor = Executor.sequential) ?start ?cache ~rng conf
      cache never sees concurrent access from pool workers, and the result
      array is the same whether a value was cached or recomputed (the
      cache contract). *)
+  let eval_indices genomes indices =
+    match prepare with
+    | None -> Executor.map executor (fun i -> evaluate genomes.(i)) indices
+    | Some prepare ->
+        (* Batched path: split the miss-batch into contiguous chunks — one
+           per executor slot, doubled for load balance — and let each
+           worker run [prepare] on its own chunk before evaluating it.
+           [prepare] must be a pure throughput hint (fused cache warming):
+           chunk boundaries vary with the jobs setting, so results must
+           not depend on which genomes were prepared together.  Seq and
+           process executors report one job, giving a single maximal
+           batch. *)
+        let total = Array.length indices in
+        if total = 0 then [||]
+        else begin
+          let chunk_count = Stdlib.min total (Stdlib.max 1 (2 * Executor.jobs executor)) in
+          let chunks =
+            Array.init chunk_count (fun c ->
+                let lo = c * total / chunk_count and hi = (c + 1) * total / chunk_count in
+                Array.sub indices lo (hi - lo))
+          in
+          let results =
+            Executor.map executor
+              (fun chunk ->
+                prepare (Array.map (fun i -> genomes.(i)) chunk);
+                Array.map (fun i -> evaluate genomes.(i)) chunk)
+              chunks
+          in
+          Array.concat (Array.to_list results)
+        end
+  in
   let evaluate_all genomes =
     match cache with
-    | None -> Executor.map executor evaluate genomes
+    | None -> (
+        match prepare with
+        | None -> Executor.map executor evaluate genomes
+        | Some _ -> eval_indices genomes (Array.init (Array.length genomes) Fun.id))
     | Some cache ->
         let n = Array.length genomes in
         let results = Array.make n [||] in
@@ -168,7 +202,7 @@ let run ?on_generation ?(executor = Executor.sequential) ?start ?cache ~rng conf
           | None -> missing := i :: !missing
         done;
         let missing = Array.of_list !missing in
-        let computed = Executor.map executor (fun i -> evaluate genomes.(i)) missing in
+        let computed = eval_indices genomes missing in
         Array.iteri
           (fun k i ->
             results.(i) <- computed.(k);

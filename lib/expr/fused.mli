@@ -1,0 +1,93 @@
+(** Fused evaluation of {e sets} of canonical-form basis functions.
+
+    {!Compiled} lowers one basis to one postfix tape; evaluating a whole
+    generation (or a whole Pareto front) that way recomputes every subtree
+    shared between candidates — and GP populations under set crossover
+    share enormously.  This module hash-conses a set of bases into a
+    single DAG using the same structural identity as {!Compiled.Key}
+    (structural equality, weights by IEEE bits), emits one
+    topologically-ordered tape where each distinct subtree is computed
+    exactly once, and evaluates it with cache-tiled kernels: the sample
+    dimension is blocked so the whole working set (one tile per live
+    slot) stays L1/L2-resident, inner loops use unsafe accesses, and
+    per-root output rows are the only allocations — intermediate tiles
+    live in a reusable scratch arena whose slots are recycled by liveness
+    (a value's slot is reused as soon as its last consumer has read it).
+
+    Results are {b bit-identical} to per-expression {!Compiled}
+    evaluation: every DAG node corresponds to one instruction of the
+    single-expression tape, applied in the same order and association
+    ({!Compiled}'s lowering is mirrored exactly, including the eager
+    4-operand conditional, the [Div]-by-zero NaN guard and the monomial
+    fill order), and all kernels are elementwise, so fusing, tiling and
+    slot reuse cannot change any IEEE word.  Fusion is therefore safe on
+    the search hot path: workers fusing their own chunk of a generation
+    produce the same objectives as sequential per-expression evaluation. *)
+
+type node =
+  | Const of float
+  | Vc of { vars : int array; exps : int array }
+      (** Monomial over the nonzero-exponent design variables. *)
+  | Unary of Op.unary * int
+  | Binary of Op.binary * int * int
+  | Lte of { test : int; threshold : int; less : int; otherwise : int }
+  | Mul of int * int  (** One step of a basis's factor-product fold. *)
+  | Fma of { acc : int; w : float; term : int }
+      (** One step of a weighted-sum fold: [acc +. (w *. term)]. *)
+
+type t
+(** A fused DAG compiled to a slot-allocated, tiled kernel tape. *)
+
+val compile : Expr.basis array -> t
+(** Hash-cons the bases into one DAG and compile it.  [compile [||]] is
+    valid and evaluates to zero output rows.  Products and weighted sums
+    are consed one fold step at a time ({!Mul}/{!Fma} chains), so shared
+    {e prefixes} of factor lists and term lists deduplicate too, not just
+    whole subtrees. *)
+
+val compile_wsums : Expr.wsum array -> t
+(** Fuse whole weighted sums (one root per wsum) — a model's
+    [intercept + Σ wⱼ·basisⱼ] is a wsum, so this fuses entire fronts for
+    export and serving. *)
+
+val roots : t -> int array
+(** Node id of each input expression, in input order.  Duplicate inputs
+    map to the same node id but keep distinct output rows. *)
+
+val nodes : t -> node array
+(** The DAG in topological (creation) order: children precede parents.
+    This is the codegen surface for fused export. *)
+
+val nodes_in : t -> int
+(** DAG nodes the input expressions would create without sharing — the
+    per-expression compilation cost. *)
+
+val nodes_out : t -> int
+(** Distinct DAG nodes after hash-consing ([Array.length (nodes t)]).
+    [nodes_in / nodes_out] is the cross-tree CSE ratio. *)
+
+val tile : t -> int
+(** Samples per block: chosen at compile time so all live slots' tiles
+    fit the L1 budget, clamped to keep per-tile loop overhead amortized. *)
+
+val slots : t -> int
+(** Scratch columns needed (after liveness-based slot reuse). *)
+
+type scratch
+(** Reusable arena of tile buffers; grows to the largest
+    (slots × tile width) seen and can be shared by sequential calls. *)
+
+val scratch : unit -> scratch
+
+val eval_columns :
+  t -> scratch:scratch -> columns:float array array -> n:int -> float array array
+(** [eval_columns t ~scratch ~columns ~n] evaluates every root over all
+    [n] samples ([columns.(v).(i)] is design variable [v] at sample [i]).
+    Row [r] of the result is a fresh length-[n] column equal, bit for
+    bit, to [Compiled.eval_columns (Compiled.compile bases.(r)) ...]. *)
+
+val eval_probe : t -> columns:float array array -> indices:int array -> float array array
+(** Evaluate every root at the selected sample indices only — the fused
+    behavioral-fingerprint probe.  Entry [(r, j)] equals the
+    corresponding entry of per-expression {!Compiled.eval_probe} bit for
+    bit.  [indices] may be empty, a single index, or contain repeats. *)

@@ -1,5 +1,6 @@
 module Expr = Caffeine_expr.Expr
 module Compiled = Caffeine_expr.Compiled
+module Fused = Caffeine_expr.Fused
 
 (* The basis-column memo table is sharded by the full structural hash, each
    shard behind its own mutex, so concurrent evaluators (parallel NSGA-II
@@ -66,6 +67,8 @@ type t = {
   scratch_key : Compiled.scratch Domain.DLS.key;
       (* per-domain scratch: column evaluation reuses buffers without
          sharing them across concurrent evaluators *)
+  fused_scratch_key : Fused.scratch Domain.DLS.key;
+      (* per-domain tile arena for fused batch evaluation *)
   shards : shard array;  (* basis -> value column on this data *)
   mutable cache_limit : int;  (* max cached columns across all shards *)
   dot_shards : dot_shard array;
@@ -108,6 +111,7 @@ let make ?var_names columns n =
     columns;
     n;
     scratch_key = Domain.DLS.new_key (fun () -> Compiled.scratch ());
+    fused_scratch_key = Domain.DLS.new_key (fun () -> Fused.scratch ());
     shards =
       Array.init shard_count (fun _ ->
           { lock = Mutex.create (); table = Compiled.Tbl.create 64;
@@ -216,6 +220,80 @@ let probe data basis ~indices =
   match cached with
   | Some col -> Array.map (fun i -> col.(i)) indices
   | None -> Compiled.eval_probe (Compiled.compile basis) ~columns:data.columns ~indices
+
+(* --- fused batch evaluation ---------------------------------------------- *)
+
+module Metrics = Caffeine_obs.Metrics
+
+let c_fused_nodes_in = Metrics.counter Metrics.default "fused.nodes_in"
+let c_fused_nodes_out = Metrics.counter Metrics.default "fused.nodes_out"
+let g_fused_cse_ratio = Metrics.gauge Metrics.default "fused.cse_ratio"
+
+type fuse_stats = { fused_bases : int; nodes_in : int; nodes_out : int }
+
+let record_fusion fused =
+  let nodes_in = Fused.nodes_in fused and nodes_out = Fused.nodes_out fused in
+  Metrics.add c_fused_nodes_in nodes_in;
+  Metrics.add c_fused_nodes_out nodes_out;
+  let total_in = Metrics.counter_value c_fused_nodes_in
+  and total_out = Metrics.counter_value c_fused_nodes_out in
+  Metrics.set_gauge g_fused_cse_ratio
+    (float_of_int total_in /. float_of_int (Stdlib.max 1 total_out));
+  (nodes_in, nodes_out)
+
+let warm_columns data bases =
+  (* One pass to find the bases with no memoized column (first occurrence
+     only: a fused compile handles duplicate roots, but the cache needs
+     one install per distinct basis), then one fused evaluation of all of
+     them together, installed under the same bounded-shard policy as
+     [basis_column].  Each row of the fused result is bit-identical to the
+     per-expression column, so a warmed cache serves exactly the values a
+     cold one would have computed. *)
+  let seen = Compiled.Tbl.create (Array.length bases) in
+  let rev_missing = ref [] in
+  Array.iter
+    (fun basis ->
+      if not (Compiled.Tbl.mem seen basis) then begin
+        Compiled.Tbl.add seen basis ();
+        let shard = shard_of data basis in
+        Mutex.lock shard.lock;
+        let cached = Compiled.Tbl.mem shard.table basis in
+        Mutex.unlock shard.lock;
+        if not cached then rev_missing := basis :: !rev_missing
+      end)
+    bases;
+  match !rev_missing with
+  | [] -> { fused_bases = 0; nodes_in = 0; nodes_out = 0 }
+  | rev ->
+      let missing = Array.of_list (List.rev rev) in
+      let fused = Fused.compile missing in
+      let scratch = Domain.DLS.get data.fused_scratch_key in
+      let columns = Fused.eval_columns fused ~scratch ~columns:data.columns ~n:data.n in
+      let per_shard_limit = Stdlib.max 1 (data.cache_limit / shard_count) in
+      Array.iteri
+        (fun k basis ->
+          let shard = shard_of data basis in
+          Mutex.lock shard.lock;
+          (* The fused evaluation stands in for the per-basis miss path. *)
+          shard.misses <- shard.misses + 1;
+          if Compiled.Tbl.length shard.table >= per_shard_limit then begin
+            shard.evictions <- shard.evictions + Compiled.Tbl.length shard.table;
+            Compiled.Tbl.reset shard.table
+          end;
+          if not (Compiled.Tbl.mem shard.table basis) then
+            Compiled.Tbl.add shard.table basis columns.(k);
+          Mutex.unlock shard.lock)
+        missing;
+      let nodes_in, nodes_out = record_fusion fused in
+      { fused_bases = Array.length missing; nodes_in; nodes_out }
+
+let probe_many data bases ~indices =
+  (* Probes never fill the column cache (same policy as [probe]); the
+     fused path exists so fingerprinting a whole individual stops
+     re-walking subtrees its bases share.  Values are bit-identical to
+     per-basis [probe] in every cache state, so fingerprints cannot
+     depend on whether an individual went through the fused path. *)
+  Fused.eval_probe (Fused.compile bases) ~columns:data.columns ~indices
 
 (* --- dot products -------------------------------------------------------- *)
 
@@ -348,8 +426,6 @@ let stats data =
 
 (* Gauges, not counters: {!stats} is a point-in-time aggregate over the
    shards, so each publication overwrites the previous snapshot. *)
-module Metrics = Caffeine_obs.Metrics
-
 let g_columns_cached = Metrics.gauge Metrics.default "dataset.columns_cached"
 let g_column_hits = Metrics.gauge Metrics.default "dataset.column_hits"
 let g_column_misses = Metrics.gauge Metrics.default "dataset.column_misses"

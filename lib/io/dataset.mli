@@ -27,6 +27,7 @@
 
 module Expr = Caffeine_expr.Expr
 module Compiled = Caffeine_expr.Compiled
+module Fused = Caffeine_expr.Fused
 
 type t
 
@@ -83,6 +84,31 @@ val probe : t -> Expr.basis -> indices:int array -> float array
     at the probe points only, {e without} filling the column cache; both
     paths return the same IEEE words, so probe outputs do not depend on
     cache state ({!clear_cache} mid-run included). *)
+
+type fuse_stats = {
+  fused_bases : int;  (** distinct bases that had no memoized column *)
+  nodes_in : int;  (** DAG nodes before cross-tree sharing *)
+  nodes_out : int;  (** distinct DAG nodes actually evaluated *)
+}
+
+val warm_columns : t -> Expr.basis array -> fuse_stats
+(** [warm_columns data bases] fills the column cache for every basis that
+    has no memoized column yet, by hash-consing all of the missing bases
+    into one {!Caffeine_expr.Fused} DAG and evaluating shared subtrees
+    exactly once with tiled kernels.  Each installed column is
+    bit-identical to what {!basis_column} would have computed, so warming
+    is purely a throughput optimization: subsequent {!basis_column} /
+    {!dot} / {!probe} calls return the same IEEE words whether or not a
+    batch was warmed (and under the same bounded-shard eviction policy).
+    Bumps the [fused.nodes_in] / [fused.nodes_out] counters and the
+    [fused.cse_ratio] gauge; the returned stats cover this call only. *)
+
+val probe_many : t -> Expr.basis array -> indices:int array -> float array array
+(** [probe_many data bases ~indices] is [probe] for every basis at once,
+    through one fused DAG — row [k] equals [probe data bases.(k) ~indices]
+    bit for bit, in every cache state.  Used by behavioral fingerprinting
+    so probing an individual evaluates subtrees shared between its bases
+    once.  Never fills the column cache. *)
 
 val dot : t -> Expr.basis -> Expr.basis -> float
 (** [dot data b1 b2] is the dot product of the two bases' value columns

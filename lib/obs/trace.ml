@@ -60,6 +60,13 @@ type eval_cache_stats = {
   eval_evictions : int;
 }
 
+type fused_stats = {
+  gen : int;
+  batches : int;
+  nodes_in : int;
+  nodes_out : int;
+}
+
 type run_end = {
   front : (float * float) list;
   total_wall_s : float;
@@ -98,6 +105,7 @@ type record =
   | Sag_model of sag_model
   | Cache_stats of cache_stats
   | Eval_cache_stats of eval_cache_stats
+  | Fused_stats of fused_stats
   | Run_end of run_end
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
@@ -217,6 +225,14 @@ let to_line record =
           ("eval_misses", int_field e.eval_misses);
           ("eval_evictions", int_field e.eval_evictions);
         ]
+  | Fused_stats f ->
+      add_fields buffer "fused_stats"
+        [
+          ("gen", int_field f.gen);
+          ("batches", int_field f.batches);
+          ("nodes_in", int_field f.nodes_in);
+          ("nodes_out", int_field f.nodes_out);
+        ]
   | Run_end r ->
       add_fields buffer "run_end"
         [
@@ -333,6 +349,14 @@ let of_line line =
                 eval_misses = Json.int_of fields "eval_misses";
                 eval_evictions = Json.int_of fields "eval_evictions";
               }
+        | Json.Str "fused_stats" ->
+            Fused_stats
+              {
+                gen = Json.int_of fields "gen";
+                batches = Json.int_of fields "batches";
+                nodes_in = Json.int_of fields "nodes_in";
+                nodes_out = Json.int_of fields "nodes_out";
+              }
         | Json.Str "run_end" ->
             Run_end
               {
@@ -382,6 +406,10 @@ let deterministic = function
   | Sag_model _ as record -> Some record
   | Cache_stats _ -> None
   | Eval_cache_stats _ -> None
+  (* Chunk boundaries (hence batch count and per-batch node totals) vary
+     with the jobs setting, and which bases are already cached varies with
+     evaluation-order races — reporting data, not part of the contract. *)
+  | Fused_stats _ -> None
   | Run_end r -> Some (Run_end { r with total_wall_s = 0. })
   | Checkpoint_written _ as record -> Some record
   | Run_resumed _ as record -> Some record

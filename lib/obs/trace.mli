@@ -94,6 +94,18 @@ type eval_cache_stats = {
     backend worker-side counters never reach the coordinator, so the whole
     record is dropped by {!deterministic} like {!cache_stats}. *)
 
+type fused_stats = {
+  gen : int;
+  batches : int;  (** fused warm batches this generation (one per executor chunk) *)
+  nodes_in : int;  (** DAG nodes the batches' bases would create unshared *)
+  nodes_out : int;  (** distinct DAG nodes actually evaluated *)
+}
+(** Per-generation cross-tree CSE effectiveness of fused evaluation
+    ({!Caffeine_expr.Fused}): [nodes_in / nodes_out] is the sharing
+    ratio.  Reporting data only — chunk boundaries follow the jobs
+    setting and already-cached bases depend on evaluation-order races —
+    so the record is dropped by {!deterministic}. *)
+
 type run_end = {
   front : (float * float) list;  (** (complexity, train NMSE) per model *)
   total_wall_s : float;  (** nondeterministic *)
@@ -141,6 +153,7 @@ type record =
   | Sag_model of sag_model
   | Cache_stats of cache_stats
   | Eval_cache_stats of eval_cache_stats
+  | Fused_stats of fused_stats
   | Run_end of run_end
   | Checkpoint_written of checkpoint_written
   | Run_resumed of run_resumed
@@ -155,8 +168,8 @@ val to_line : record -> string
 val of_line : string -> (record, string) result
 
 val deterministic : record -> record option
-(** The jobs-invariant projection: [None] for {!Cache_stats} and
-    {!Eval_cache_stats}; other records with their nondeterministic fields
+(** The jobs-invariant projection: [None] for {!Cache_stats},
+    {!Eval_cache_stats} and {!Fused_stats}; other records with their nondeterministic fields
     ([wall_s], [total_wall_s], {!migration}'s [shard]) zeroed.
     {!Op_stats} records are kept verbatim (variation is sequential on the
     coordinating domain).  Checkpoint, resume and warning records are kept

@@ -1,0 +1,259 @@
+(* Tests for the fused multi-expression engine: hash-consing a set of bases
+   into one DAG and evaluating it with tiled kernels must agree bit for bit
+   with the per-expression compiled tapes — on random expression sets, on
+   the probe edge cases (empty index set, single sample, repeated indices)
+   and through the dataset's warm-columns / probe-many entry points. *)
+
+module Rng = Caffeine_util.Rng
+module Expr = Caffeine_expr.Expr
+module Op = Caffeine_expr.Op
+module Compiled = Caffeine_expr.Compiled
+module Fused = Caffeine_expr.Fused
+module Dataset = Caffeine_io.Dataset
+module Opset = Caffeine.Opset
+module Gen = Caffeine.Gen
+
+let bits = Int64.bits_of_float
+
+let check_row_bits msg (expected : float array) (actual : float array) =
+  Alcotest.(check int) (msg ^ " length") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      if not (Int64.equal (bits e) (bits actual.(i))) then
+        Alcotest.failf "%s: sample %d: per-expression %.17g, fused %.17g" msg i e actual.(i))
+    expected
+
+let random_matrix rng ~n ~dims =
+  Array.init n (fun _ ->
+      Array.init dims (fun _ ->
+          (* Mix benign magnitudes with zeros and negatives so domain errors
+             (ln of negatives, 0^-e, division by zero) actually occur. *)
+          match Rng.int rng 8 with
+          | 0 -> 0.
+          | 1 -> -.Rng.range rng 0.1 3.0
+          | _ -> Rng.range rng 0.05 4.0))
+
+let columns_of_rows dims rows = Array.init dims (fun v -> Array.map (fun row -> row.(v)) rows)
+
+let random_bases rng ~count ~dims =
+  Array.init count (fun _ ->
+      Gen.random_basis rng Opset.default ~dims ~depth:(2 + Rng.int rng 4) ~max_vc_vars:dims)
+
+(* Per-expression reference: each basis on its own compiled tape. *)
+let reference_columns bases ~columns ~n =
+  let scratch = Compiled.scratch () in
+  Array.map (fun b -> Compiled.eval_columns (Compiled.compile b) ~scratch ~columns ~n) bases
+
+let reference_probe bases ~columns ~indices =
+  Array.map (fun b -> Compiled.eval_probe (Compiled.compile b) ~columns ~indices) bases
+
+(* --- full-column agreement on random sets -------------------------------- *)
+
+let test_random_sets_bit_identical () =
+  let rng = Rng.create ~seed:2027 () in
+  for trial = 1 to 50 do
+    let dims = 1 + Rng.int rng 6 in
+    let count = 1 + Rng.int rng 12 in
+    let n = 1 + Rng.int rng 40 in
+    let bases = random_bases rng ~count ~dims in
+    let columns = columns_of_rows dims (random_matrix rng ~n ~dims) in
+    let fused = Fused.compile bases in
+    let rows = Fused.eval_columns fused ~scratch:(Fused.scratch ()) ~columns ~n in
+    let expected = reference_columns bases ~columns ~n in
+    Array.iteri
+      (fun k row -> check_row_bits (Printf.sprintf "trial %d root %d" trial k) expected.(k) row)
+      rows
+  done
+
+(* --- probe edge cases ----------------------------------------------------- *)
+
+let test_probe_edge_cases () =
+  let rng = Rng.create ~seed:31 () in
+  let dims = 4 in
+  let n = 12 in
+  let bases = random_bases rng ~count:6 ~dims in
+  let columns = columns_of_rows dims (random_matrix rng ~n ~dims) in
+  let fused = Fused.compile bases in
+  let cases =
+    [
+      ("empty index set", [||]);
+      ("single sample", [| 7 |]);
+      ("repeated indices", [| 3; 3; 0; 3; 11; 0 |]);
+      ("all samples", Array.init n Fun.id);
+    ]
+  in
+  List.iter
+    (fun (name, indices) ->
+      let fused_rows = Fused.eval_probe fused ~columns ~indices in
+      let expected = reference_probe bases ~columns ~indices in
+      Array.iteri
+        (fun k row -> check_row_bits (Printf.sprintf "%s root %d" name k) expected.(k) row)
+        fused_rows;
+      (* The probe gathers the corresponding full-column entries. *)
+      let full = Fused.eval_columns fused ~scratch:(Fused.scratch ()) ~columns ~n in
+      Array.iteri
+        (fun k row ->
+          Array.iteri
+            (fun j idx ->
+              if not (Int64.equal (bits row.(j)) (bits full.(k).(idx))) then
+                Alcotest.failf "%s: root %d index %d disagrees with the full column" name k idx)
+            indices)
+        fused_rows)
+    cases
+
+let test_compiled_probe_edge_cases () =
+  (* The per-expression probe honors the same contracts on its own. *)
+  let rng = Rng.create ~seed:32 () in
+  let dims = 3 in
+  let n = 9 in
+  let basis = Gen.random_basis rng Opset.default ~dims ~depth:4 ~max_vc_vars:dims in
+  let columns = columns_of_rows dims (random_matrix rng ~n ~dims) in
+  let compiled = Compiled.compile basis in
+  let full = Compiled.eval_columns compiled ~scratch:(Compiled.scratch ()) ~columns ~n in
+  Alcotest.(check int) "empty probe" 0
+    (Array.length (Compiled.eval_probe compiled ~columns ~indices:[||]));
+  let single = Compiled.eval_probe compiled ~columns ~indices:[| n - 1 |] in
+  check_row_bits "single" [| full.(n - 1) |] single;
+  let repeated = Compiled.eval_probe compiled ~columns ~indices:[| 2; 2; 2 |] in
+  check_row_bits "repeated" [| full.(2); full.(2); full.(2) |] repeated
+
+(* --- single-sample evaluation -------------------------------------------- *)
+
+let test_single_sample_columns () =
+  let rng = Rng.create ~seed:33 () in
+  let dims = 5 in
+  let bases = random_bases rng ~count:8 ~dims in
+  let columns = columns_of_rows dims (random_matrix rng ~n:1 ~dims) in
+  let fused = Fused.compile bases in
+  let rows = Fused.eval_columns fused ~scratch:(Fused.scratch ()) ~columns ~n:1 in
+  let expected = reference_columns bases ~columns ~n:1 in
+  Array.iteri (fun k row -> check_row_bits (Printf.sprintf "root %d" k) expected.(k) row) rows
+
+(* --- hash-consing structure ----------------------------------------------- *)
+
+let test_empty_set () =
+  let fused = Fused.compile [||] in
+  Alcotest.(check int) "no roots" 0 (Array.length (Fused.roots fused));
+  Alcotest.(check int) "no nodes" 0 (Fused.nodes_out fused);
+  let rows = Fused.eval_columns fused ~scratch:(Fused.scratch ()) ~columns:[| [| 1. |] |] ~n:1 in
+  Alcotest.(check int) "no output rows" 0 (Array.length rows)
+
+let test_duplicates_collapse () =
+  let rng = Rng.create ~seed:34 () in
+  let dims = 4 in
+  let basis = Gen.random_basis rng Opset.default ~dims ~depth:4 ~max_vc_vars:dims in
+  let alone = Fused.compile [| basis |] in
+  let repeated = Fused.compile (Array.make 5 basis) in
+  (* Five copies of one basis share every DAG node; only the roots differ. *)
+  Alcotest.(check int) "same node count" (Fused.nodes_out alone) (Fused.nodes_out repeated);
+  let roots = Fused.roots repeated in
+  Alcotest.(check int) "five roots" 5 (Array.length roots);
+  Array.iter (fun r -> Alcotest.(check int) "all roots share one node" roots.(0) r) roots;
+  (* Each duplicate still gets its own output row. *)
+  let columns = columns_of_rows dims (random_matrix rng ~n:7 ~dims) in
+  let rows = Fused.eval_columns repeated ~scratch:(Fused.scratch ()) ~columns ~n:7 in
+  Alcotest.(check int) "five rows" 5 (Array.length rows);
+  Array.iter (fun row -> check_row_bits "duplicate row" rows.(0) row) rows
+
+let test_cse_counters () =
+  let rng = Rng.create ~seed:35 () in
+  let dims = 4 in
+  let bases = random_bases rng ~count:10 ~dims in
+  let fused = Fused.compile bases in
+  Alcotest.(check bool) "nodes_out positive" true (Fused.nodes_out fused > 0);
+  Alcotest.(check bool) "sharing never inflates" true
+    (Fused.nodes_out fused <= Fused.nodes_in fused);
+  Alcotest.(check int) "nodes_out = |nodes|" (Array.length (Fused.nodes fused))
+    (Fused.nodes_out fused);
+  (* Duplicating the whole set doubles nodes_in but leaves nodes_out. *)
+  let doubled = Fused.compile (Array.append bases bases) in
+  Alcotest.(check int) "nodes_in doubles" (2 * Fused.nodes_in fused) (Fused.nodes_in doubled);
+  Alcotest.(check int) "nodes_out unchanged" (Fused.nodes_out fused) (Fused.nodes_out doubled)
+
+(* --- dataset integration --------------------------------------------------- *)
+
+let test_warm_columns_bit_identical () =
+  let rng = Rng.create ~seed:36 () in
+  let dims = 5 in
+  let n = 20 in
+  let rows = random_matrix rng ~n ~dims in
+  let bases = random_bases rng ~count:9 ~dims in
+  (* Lazily computed columns on one dataset... *)
+  let lazy_data = Dataset.of_rows rows in
+  let lazy_columns = Array.map (Dataset.basis_column lazy_data) bases in
+  (* ...must equal fused-warmed columns on a fresh dataset, bit for bit. *)
+  let warmed_data = Dataset.of_rows rows in
+  let stats = Dataset.warm_columns warmed_data bases in
+  Alcotest.(check bool) "some bases fused" true (stats.Dataset.fused_bases > 0);
+  Alcotest.(check bool) "warm CSE never inflates" true
+    (stats.Dataset.nodes_out <= stats.Dataset.nodes_in);
+  Array.iteri
+    (fun k b ->
+      check_row_bits
+        (Printf.sprintf "basis %d" k)
+        lazy_columns.(k)
+        (Dataset.basis_column warmed_data b))
+    bases;
+  (* Re-warming finds every column cached: nothing left to fuse. *)
+  let again = Dataset.warm_columns warmed_data bases in
+  Alcotest.(check int) "second warm is a no-op" 0 again.Dataset.fused_bases
+
+let test_probe_many_bit_identical () =
+  let rng = Rng.create ~seed:37 () in
+  let dims = 4 in
+  let n = 16 in
+  let rows = random_matrix rng ~n ~dims in
+  let data = Dataset.of_rows rows in
+  let bases = random_bases rng ~count:7 ~dims in
+  List.iter
+    (fun indices ->
+      let fused_rows = Dataset.probe_many data bases ~indices in
+      Array.iteri
+        (fun k b -> check_row_bits (Printf.sprintf "basis %d" k) (Dataset.probe data b ~indices)
+            fused_rows.(k))
+        bases)
+    [ [||]; [| 0 |]; [| 5; 5; 1 |]; Array.init n Fun.id ]
+
+(* --- qcheck property: fused ≡ per-expression ------------------------------ *)
+
+let close a b =
+  (* The engines are bit-identical by design; the property pins at least
+     1e-12 relative agreement so a future refactor that reassociates
+     (legitimately or not) fails loudly rather than silently. *)
+  if Float.is_nan a then Float.is_nan b
+  else if Float.is_nan b then false
+  else a = b || Float.abs (a -. b) <= 1e-12 *. Float.max 1. (Float.abs a)
+
+let property_tests =
+  [
+    QCheck.Test.make ~name:"fused set evaluation matches per-expression tapes" ~count:100
+      QCheck.small_int
+      (fun seed ->
+        let rng = Rng.create ~seed:(seed + 1) () in
+        let dims = 1 + Rng.int rng 5 in
+        let count = 1 + Rng.int rng 8 in
+        let n = 1 + Rng.int rng 25 in
+        let bases = random_bases rng ~count ~dims in
+        let columns = columns_of_rows dims (random_matrix rng ~n ~dims) in
+        let fused_rows =
+          Fused.eval_columns (Fused.compile bases) ~scratch:(Fused.scratch ()) ~columns ~n
+        in
+        let expected = reference_columns bases ~columns ~n in
+        Array.for_all2
+          (fun e row -> Array.for_all2 close e row)
+          expected fused_rows);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "random sets are bit-identical" `Quick test_random_sets_bit_identical;
+    Alcotest.test_case "probe edge cases (fused)" `Quick test_probe_edge_cases;
+    Alcotest.test_case "probe edge cases (compiled)" `Quick test_compiled_probe_edge_cases;
+    Alcotest.test_case "single-sample columns" `Quick test_single_sample_columns;
+    Alcotest.test_case "empty expression set" `Quick test_empty_set;
+    Alcotest.test_case "duplicate bases collapse to one node" `Quick test_duplicates_collapse;
+    Alcotest.test_case "CSE counters" `Quick test_cse_counters;
+    Alcotest.test_case "warm_columns is bit-identical" `Quick test_warm_columns_bit_identical;
+    Alcotest.test_case "probe_many is bit-identical" `Quick test_probe_many_bit_identical;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) property_tests

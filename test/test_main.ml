@@ -7,6 +7,7 @@ let () =
       ("grammar", Test_grammar.suite);
       ("expr", Test_expr.suite);
       ("compiled", Test_compiled.suite);
+      ("fused", Test_fused.suite);
       ("infix", Test_infix.suite);
       ("deriv", Test_deriv.suite);
       ("regress", Test_regress.suite);
