@@ -5,7 +5,7 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|parallel|regress|trace|dedup|fuse|micro]
+                                   eval|parallel|regress|trace|dedup|fuse|serve|micro]
                                   [--pop N] [--gens N] [--seed N] [--smoke]
 
    The search budget defaults to a few seconds per performance; pass
@@ -16,6 +16,7 @@ module Posyn = Caffeine_posyn.Posyn
 module Stats = Caffeine_util.Stats
 module Config = Caffeine.Config
 module Model = Caffeine.Model
+module Model_io = Caffeine.Model_io
 module Search = Caffeine.Search
 module Sag = Caffeine.Sag
 module Opset = Caffeine.Opset
@@ -1551,6 +1552,170 @@ let experiment_fuse options =
     exit 1
   end
 
+(* --- serve: protocol throughput and served bit-identity ------------------- *)
+
+let experiment_serve options =
+  let module Registry = Caffeine_serve.Registry in
+  let module Server = Caffeine_serve.Server in
+  let module Json = Caffeine_obs.Json in
+  let module Metrics = Caffeine_obs.Metrics in
+  section "serve: batched-predict throughput and bit-identity of served rows";
+  let train = Ota.doe_dataset ~dx:0.10 in
+  let n = Array.length train.Ota.inputs in
+  let dims = Array.length Ota.var_names in
+  let targets = Array.map (Ota.modeling_target Ota.Pm) (Ota.targets train Ota.Pm) in
+  let config =
+    Config.scaled
+      ~pop_size:(if options.smoke then 24 else Stdlib.max 24 (options.pop_size / 2))
+      ~generations:(if options.smoke then 12 else Stdlib.max 12 (options.generations / 5))
+      Config.paper
+  in
+  Printf.printf "workload: OTA PM front, %d samples x %d dims, pop %d, gens %d%s\n" n dims
+    config.Config.pop_size config.Config.generations
+    (if options.smoke then " (smoke)" else "");
+  let data = Dataset.of_rows ~var_names:Ota.var_names train.Ota.inputs in
+  let outcome = Search.run ~seed:options.seed config ~data ~targets in
+  let front_path = Filename.temp_file "caffeine_bench_serve" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove front_path with Sys_error _ -> ())
+    (fun () ->
+      Model_io.save ~path:front_path ~var_names:Ota.var_names outcome.Search.front;
+      (* The reference side re-loads the file: the contract is served rows vs
+         direct [Model.predict] of the same persisted front. *)
+      let var_names, models =
+        match Model_io.load ~path:front_path ~wb:config.Config.wb ~wvc:config.Config.wvc with
+        | Ok (var_names, models) -> (var_names, models)
+        | Error msg ->
+            Printf.eprintf "serve: cannot re-load saved front: %s\n" msg;
+            exit 1
+      in
+      assert (var_names = Ota.var_names);
+      let models_count = List.length models in
+      let metrics = Metrics.create () in
+      let registry =
+        match
+          Registry.create ~metrics ~path:front_path ~wb:config.Config.wb ~wvc:config.Config.wvc
+            ()
+        with
+        | Ok registry -> registry
+        | Error msg ->
+            Printf.eprintf "serve: cannot load registry: %s\n" msg;
+            exit 1
+      in
+      let server = Server.config ~metrics registry in
+      (* One predict request carrying the whole DOE batch, through the same
+         entry point the stdio/socket loops call per line. *)
+      let request =
+        let b = Buffer.create (n * dims * 8) in
+        Buffer.add_string b "{\"op\":\"predict\",\"rows\":[";
+        Array.iteri
+          (fun i row ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '[';
+            Array.iteri
+              (fun v x ->
+                if v > 0 then Buffer.add_char b ',';
+                Json.add_float b x)
+              row;
+            Buffer.add_char b ']')
+          train.Ota.inputs;
+        Buffer.add_string b "]}";
+        Buffer.contents b
+      in
+      let response = Server.handle_line server request in
+      let served =
+        match Json.parse response with
+        | Error msg ->
+            Printf.eprintf "serve: response is not JSON: %s\n" msg;
+            exit 1
+        | Ok json ->
+            let fields = Json.obj json in
+            (match Json.member fields "ok" with
+            | Json.Bool true -> ()
+            | _ ->
+                Printf.eprintf "serve: predict failed: %s\n" response;
+                exit 1);
+            Json.arr_of fields "outputs"
+            |> List.map (fun row ->
+                   Array.of_list (List.map (Json.to_float "outputs") (Json.to_arr "outputs" row)))
+            |> Array.of_list
+      in
+      (* --- bit-identity: served rows vs direct Model evaluation ------------- *)
+      let reference_data = Dataset.of_rows ~var_names train.Ota.inputs in
+      let bits = Int64.bits_of_float in
+      let rows_equal a b =
+        Array.length a = Array.length b && Array.for_all2 (fun x y -> bits x = bits y) a b
+      in
+      let direct = Array.of_list (List.map (fun m -> Model.predict m reference_data) models) in
+      let served_identical =
+        Array.length served = Array.length direct && Array.for_all2 rows_equal served direct
+      in
+      Printf.printf
+        "served %d models x %d rows; outputs bit-identical to direct Model.predict: %b\n"
+        models_count n served_identical;
+      (* --- protocol robustness: typed errors, not deaths --------------------- *)
+      let error_kind line =
+        match Json.parse (Server.handle_line server line) with
+        | Error _ -> "unparseable"
+        | Ok json -> (
+            let fields = Json.obj json in
+            match Json.member fields "ok" with
+            | Json.Bool false -> Json.str_of fields "error"
+            | _ -> "ok")
+      in
+      let robustness =
+        [
+          ("malformed line", error_kind "{nope", "parse_error");
+          ("wrong op", error_kind "{\"op\":\"frobnicate\"}", "bad_request");
+          ("ragged row", error_kind "{\"op\":\"predict\",\"rows\":[[1]]}", "bad_request");
+          ( "non-finite row",
+            error_kind
+              (Printf.sprintf "{\"op\":\"predict\",\"rows\":[[\"NaN\"%s]]}"
+                 (String.concat "" (List.init (dims - 1) (fun _ -> ",1")))),
+            "non_finite_input" );
+        ]
+      in
+      List.iter
+        (fun (what, got, expected) ->
+          Printf.printf "typed error for %-16s %s (expected %s)\n" what got expected)
+        robustness;
+      let errors_typed = List.for_all (fun (_, got, expected) -> got = expected) robustness in
+      (* --- throughput: full protocol path (parse + fused eval + encode) ------ *)
+      let t_request = time_per_run (fun () -> ignore (Server.handle_line server request)) in
+      let throughput = float_of_int (models_count * n) /. t_request in
+      let throughput_floor = 250_000. in
+      Printf.printf "%-34s %10.2f ms/request\n" "batched predict" (1e3 *. t_request);
+      Printf.printf "%-34s %10.0f predictions/s  (floor %.0f)\n" "throughput"
+        throughput throughput_floor;
+      let throughput_ok = throughput >= throughput_floor in
+      write_artifact ~options ~name:"serve"
+        [
+          ("samples", string_of_int n);
+          ("dims", string_of_int dims);
+          ("models", string_of_int models_count);
+          ("request_bytes", string_of_int (String.length request));
+          ("response_bytes", string_of_int (String.length response));
+          ("served_identical", string_of_bool served_identical);
+          ("errors_typed", string_of_bool errors_typed);
+          ("request_ms", Printf.sprintf "%.4f" (1e3 *. t_request));
+          ("predictions_per_s", Printf.sprintf "%.0f" throughput);
+          ("throughput_floor", Printf.sprintf "%.0f" throughput_floor);
+          ("throughput_ok", string_of_bool throughput_ok);
+        ];
+      if not served_identical then begin
+        Printf.eprintf "serve: served predictions differ from direct Model evaluation\n";
+        exit 1
+      end;
+      if not errors_typed then begin
+        Printf.eprintf "serve: malformed requests did not produce the expected typed errors\n";
+        exit 1
+      end;
+      if not throughput_ok then begin
+        Printf.eprintf "serve: throughput %.0f predictions/s below the %.0f floor\n" throughput
+          throughput_floor;
+        exit 1
+      end)
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -1632,4 +1797,5 @@ let () =
   if wants "trace" then experiment_trace options;
   if wants "dedup" then experiment_dedup options;
   if wants "fuse" then experiment_fuse options;
+  if wants "serve" then experiment_serve options;
   if wants "micro" then experiment_micro ()

@@ -10,6 +10,7 @@
      export     render a saved model as C or Verilog-A
      insight    variable usage, sensitivities and Sobol indices of a model
      trace      summarize / project a JSONL run trace written by fit --trace
+     serve      long-running model server over a line-oriented JSON protocol
 *)
 
 open Cmdliner
@@ -546,7 +547,7 @@ let fit_cmd =
 
 (* --- predict ------------------------------------------------------------ *)
 
-let predict models_path data_path target log_target =
+let predict models_path data_path target log_target dump =
   match Caffeine.Model_io.load ~path:models_path ~wb:10. ~wvc:0.25 with
   | Error msg ->
       Printf.eprintf "cannot load models: %s\n" msg;
@@ -574,6 +575,31 @@ let predict models_path data_path target log_target =
           Printf.printf "%9.2f%% %9d %s\n" (100. *. err) (Model.num_bases m)
             (Model.to_string ~var_names m))
         models;
+      (match dump with
+      | None -> ()
+      | Some path ->
+          (* Per-model predictions through direct [Model.predict], encoded
+             exactly as the serve protocol encodes its "outputs" field —
+             one [[...],...] line, models x rows — so the serving layer's
+             bit-identity contract is a plain [diff] away. *)
+          let b = Buffer.create 4096 in
+          Buffer.add_char b '[';
+          List.iteri
+            (fun k m ->
+              if k > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '[';
+              Array.iteri
+                (fun i y ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Caffeine_obs.Json.add_float b y)
+                (Model.predict m data);
+              Buffer.add_char b ']')
+            models;
+          Buffer.add_string b "]\n";
+          let channel = open_out path in
+          Buffer.output_buffer channel b;
+          close_out channel;
+          Printf.printf "dumped predictions for %d models to %s\n" (List.length models) path);
       0
 
 let models_arg =
@@ -582,9 +608,92 @@ let models_arg =
 let data_arg =
   Arg.(required & opt (some string) None & info [ "data" ] ~docv:"CSV" ~doc:"Dataset to evaluate on.")
 
+let dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~docv:"FILE"
+        ~doc:
+          "Also write the raw per-model predictions as one JSON array line (models x rows, \
+           the byte encoding the serve protocol uses for its \"outputs\" field).")
+
 let predict_cmd =
   let info = Cmd.info "predict" ~doc:"Evaluate saved models against a CSV dataset." in
-  Cmd.v info Term.(const predict $ models_arg $ data_arg $ target_arg $ log_target_arg)
+  Cmd.v info Term.(const predict $ models_arg $ data_arg $ target_arg $ log_target_arg $ dump_arg)
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve front_path socket_path _stdio reload wb wvc =
+  match Caffeine_serve.Registry.create ~path:front_path ~wb ~wvc () with
+  | Error msg ->
+      Printf.eprintf "cannot serve: %s\n" msg;
+      2
+  | Ok registry ->
+      let config = Caffeine_serve.Server.config ~reload registry in
+      Caffeine_serve.Server.install_sigterm config;
+      (* A client hanging up mid-response must not kill the server. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let front = Caffeine_serve.Registry.current registry in
+      Printf.eprintf "serving %d models over %d variables from %s%s\n%!"
+        (Array.length front.Caffeine_serve.Registry.models)
+        (Array.length front.Caffeine_serve.Registry.var_names)
+        front_path
+        (if reload then " (hot-reload on)" else "");
+      (match socket_path with
+      | Some path ->
+          Printf.eprintf "listening on %s\n%!" path;
+          Caffeine_serve.Server.serve_socket config ~path
+      | None -> Caffeine_serve.Server.serve_fds config ~input:Unix.stdin ~output:Unix.stdout);
+      0
+
+let front_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "front" ] ~docv:"FILE" ~doc:"Pareto-front models file written by fit --out.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix-domain socket at PATH instead of stdin/stdout.")
+
+let stdio_arg =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:"Serve on stdin/stdout (the default; protocol responses go to stdout, the \
+              startup banner to stderr).")
+
+let reload_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "reload" ]
+        ~doc:
+          "Poll the front file before each request and atomically swap in a freshly compiled \
+           front when its mtime or size changed; in-flight batches finish on the front they \
+           started with, and a malformed rewrite keeps the previous front serving.")
+
+let wb_arg =
+  Arg.(value & opt float 10. & info [ "wb" ] ~docv:"W" ~doc:"Complexity weight per basis (eq. 1).")
+
+let wvc_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "wvc" ] ~docv:"W" ~doc:"Complexity weight per variable-combo exponent (eq. 1).")
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Serve a saved Pareto front over a line-oriented JSON protocol (one request object \
+         per line: predict / front / explain / stats), compiled to one fused tape so served \
+         predictions are bit-identical to direct model evaluation.  SIGTERM drains \
+         gracefully: the in-flight request completes before exit."
+  in
+  Cmd.v info
+    Term.(const serve $ front_arg $ socket_arg $ stdio_arg $ reload_flag_arg $ wb_arg $ wvc_arg)
 
 (* --- export -------------------------------------------------------------- *)
 
@@ -936,6 +1045,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd; trace_cmd ]
+      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; serve_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd; trace_cmd ]
   in
   exit (Cmd.eval' group)

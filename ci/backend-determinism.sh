@@ -1,0 +1,24 @@
+#!/bin/sh
+# Trace and front determinism across backends: the trace projection must not
+# depend on the process-backend worker count.  Shard 1 is compared against
+# shard 3 (rather than against the in-process trace) because migration
+# records exist only under the process backend; the projection zeroes their
+# worker assignment so the two shard counts diff clean.  The printed fronts
+# must additionally match the sequential backend's exactly.
+. "$(dirname "$0")/lib.sh"
+
+build_cli
+
+"$CLI" gen-data --out "$scratch/backend-data.csv"
+"$CLI" fit --train "$scratch/backend-data.csv" --target PM --pop 30 --gens 10 --seed 17 \
+  --backend seq --out "$scratch/front-seq.txt"
+for shard in 1 3; do
+  "$CLI" fit --train "$scratch/backend-data.csv" --target PM --pop 30 --gens 10 --seed 17 \
+    --backend processes --shard "$shard" \
+    --out "$scratch/front-proc-$shard.txt" --trace "$scratch/trace-proc-$shard.jsonl"
+  diff -u "$scratch/front-seq.txt" "$scratch/front-proc-$shard.txt"
+  "$CLI" trace --counts "$scratch/trace-proc-$shard.jsonl" > "$scratch/counts-proc-$shard.txt"
+done
+diff -u "$scratch/counts-proc-1.txt" "$scratch/counts-proc-3.txt"
+
+echo "backend-determinism: OK"

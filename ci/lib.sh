@@ -1,0 +1,22 @@
+# Shared plumbing for the ci/ scripts.  Each script is self-contained and
+# runnable locally from any directory (ci/<name>.sh, or ci/check-all.sh for
+# the lot); in CI they run under `opam exec --` so `dune` resolves to the
+# opam switch.
+#
+# Scripts use the built binary directly instead of `dune exec` so signal
+# tests talk to the CLI process itself, not a wrapper.
+
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+CLI=_build/default/bin/caffeine_cli.exe
+
+build_cli() {
+  dune build bin/caffeine_cli.exe
+}
+
+# Artifacts of a script live in a scratch dir wiped on exit, pass or fail.
+scratch=$(mktemp -d "${TMPDIR:-/tmp}/caffeine-ci.XXXXXX")
+trap 'rm -rf "$scratch"' EXIT INT TERM

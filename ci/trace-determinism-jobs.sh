@@ -1,0 +1,17 @@
+#!/bin/sh
+# End-to-end trace determinism through the CLI: the same seeded fit at 1 and
+# 4 worker domains must project to identical count records.
+. "$(dirname "$0")/lib.sh"
+
+build_cli
+
+"$CLI" gen-data --out "$scratch/ota.csv"
+CAFFEINE_JOBS=1 "$CLI" fit --train "$scratch/ota.csv" --target PM \
+  --pop 30 --gens 10 --seed 17 --jobs 0 --trace "$scratch/trace-seq.jsonl"
+CAFFEINE_JOBS=4 "$CLI" fit --train "$scratch/ota.csv" --target PM \
+  --pop 30 --gens 10 --seed 17 --jobs 0 --trace "$scratch/trace-par.jsonl"
+"$CLI" trace --counts "$scratch/trace-seq.jsonl" > "$scratch/counts-seq.txt"
+"$CLI" trace --counts "$scratch/trace-par.jsonl" > "$scratch/counts-par.txt"
+diff -u "$scratch/counts-seq.txt" "$scratch/counts-par.txt"
+
+echo "trace-determinism-jobs: OK"

@@ -406,47 +406,72 @@ let load ~path =
   | exception Sys_error message -> Error message
   | channel -> (
       let lines = ref [] in
+      let lineno = ref 0 in
       (try
          while true do
            let line = input_line channel in
-           if String.trim line <> "" then lines := line :: !lines
+           incr lineno;
+           if String.trim line <> "" then lines := (!lineno, line) :: !lines
          done
        with
       | End_of_file -> close_in_noerr channel
       | exn ->
           close_in_noerr channel;
           raise exn);
-      match List.rev_map Json.parse_exn !lines with
-      | exception Json.Parse_error message -> Error (path ^ ": " ^ message)
+      (* Errors carry the 1-based line they were detected on, so a truncated
+         or hand-damaged snapshot reports [file:line: message] instead of a
+         bare exception.  Defects with no single offending line (a missing
+         island, a wrong line count) fall back to [file: message]. *)
+      let exception Located of int * string in
+      let at lineno f =
+        try f () with Json.Parse_error message -> raise (Located (lineno, message))
+      in
+      match
+        List.rev_map (fun (lineno, line) -> (lineno, at lineno (fun () -> Json.parse_exn line)))
+          !lines
+      with
+      | exception Located (lineno, message) ->
+          Error (Printf.sprintf "%s:%d: %s" path lineno message)
       | [] -> Error (path ^ ": empty checkpoint file")
-      | header :: rest -> (
+      | (header_line, header) :: rest -> (
           try
-            let fields = Json.obj header in
-            if Json.str_of fields "type" <> "caffeine_checkpoint" then
-              raise (Json.Parse_error "not a checkpoint file");
-            let file_version = Json.int_of fields "version" in
-            if file_version <> version then
-              raise
-                (Json.Parse_error
-                   (Printf.sprintf "unsupported snapshot version %d (this build reads version %d)"
-                      file_version version));
-            let fingerprint = Json.str_of fields "fingerprint" in
-            let seed = Json.int_of fields "seed" in
-            let restarts = Json.int_of fields "restarts" in
+            let fingerprint, seed, restarts, phase_name =
+              at header_line (fun () ->
+                  let fields = Json.obj header in
+                  if Json.str_of fields "type" <> "caffeine_checkpoint" then
+                    raise (Json.Parse_error "not a checkpoint file");
+                  let file_version = Json.int_of fields "version" in
+                  if file_version <> version then
+                    raise
+                      (Json.Parse_error
+                         (Printf.sprintf
+                            "unsupported snapshot version %d (this build reads version %d)"
+                            file_version version));
+                  let restarts = Json.int_of fields "restarts" in
+                  if restarts < 0 then
+                    raise
+                      (Json.Parse_error (Printf.sprintf "invalid restarts count %d" restarts));
+                  ( Json.str_of fields "fingerprint",
+                    Json.int_of fields "seed",
+                    restarts,
+                    Json.str_of fields "phase" ))
+            in
             let phase =
-              match Json.str_of fields "phase" with
+              match phase_name with
               | "evolving" ->
                   let islands = Array.make restarts None in
                   List.iter
-                    (fun line ->
-                      let fields = Json.obj line in
-                      if Json.str_of fields "type" <> "island" then
-                        raise (Json.Parse_error "expected an island line");
-                      let index = Json.int_of fields "index" in
-                      if index < 0 || index >= restarts then
-                        raise
-                          (Json.Parse_error (Printf.sprintf "island index %d out of range" index));
-                      islands.(index) <- Some (island_of fields))
+                    (fun (lineno, line) ->
+                      at lineno (fun () ->
+                          let fields = Json.obj line in
+                          if Json.str_of fields "type" <> "island" then
+                            raise (Json.Parse_error "expected an island line");
+                          let index = Json.int_of fields "index" in
+                          if index < 0 || index >= restarts then
+                            raise
+                              (Json.Parse_error
+                                 (Printf.sprintf "island index %d out of range" index));
+                          islands.(index) <- Some (island_of fields)))
                     rest;
                   Evolving
                     (Array.mapi
@@ -459,14 +484,21 @@ let load ~path =
                        islands)
               | "simplifying" -> (
                   match rest with
-                  | [ line ] ->
-                      let fields = Json.obj line in
-                      if Json.str_of fields "type" <> "sag" then
-                        raise (Json.Parse_error "expected a sag line");
-                      Simplifying
-                        { front = models_of fields "front"; processed = models_of fields "processed" }
+                  | [ (lineno, line) ] ->
+                      at lineno (fun () ->
+                          let fields = Json.obj line in
+                          if Json.str_of fields "type" <> "sag" then
+                            raise (Json.Parse_error "expected a sag line");
+                          Simplifying
+                            {
+                              front = models_of fields "front";
+                              processed = models_of fields "processed";
+                            })
                   | _ -> raise (Json.Parse_error "expected exactly one sag line"))
-              | name -> raise (Json.Parse_error (Printf.sprintf "unknown phase %S" name))
+              | name ->
+                  raise (Located (header_line, Printf.sprintf "unknown phase %S" name))
             in
             Ok { fingerprint; seed; restarts; phase }
-          with Json.Parse_error message -> Error (path ^ ": " ^ message)))
+          with
+          | Located (lineno, message) -> Error (Printf.sprintf "%s:%d: %s" path lineno message)
+          | Json.Parse_error message -> Error (path ^ ": " ^ message)))

@@ -185,6 +185,50 @@ let test_load_rejects_bad_input () =
              in
              occurs 0))
 
+let test_load_errors_name_file_and_line () =
+  (* A damaged snapshot must come back as one [file:line: message] string —
+     the CLI prints it verbatim — never a raw exception. *)
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  let error_of path =
+    match Checkpoint.load ~path with
+    | Ok _ -> Alcotest.fail "damaged snapshot accepted"
+    | Error message -> message
+  in
+  with_temp_file (fun path ->
+      (* Garbage on the very first line. *)
+      spit path "not json at all\n";
+      Alcotest.(check bool) "garbage names line 1" true (starts_with (path ^ ":1:") (error_of path));
+      (* A real snapshot with one island line replaced by garbage: the
+         report must point at that line, not the header. *)
+      let rng = Rng.create ~seed:23 () in
+      let snapshot =
+        {
+          Checkpoint.fingerprint = "fp";
+          seed = 1;
+          restarts = 2;
+          phase =
+            Checkpoint.Evolving
+              [| Checkpoint.Pending (Rng.to_state rng); Checkpoint.Pending (Rng.to_state rng) |];
+        }
+      in
+      Checkpoint.save ~path snapshot;
+      let lines = String.split_on_char '\n' (slurp path) in
+      let damaged =
+        List.mapi (fun i line -> if i = 2 then "{\"type\":\"island\",truncated" else line) lines
+      in
+      spit path (String.concat "\n" damaged);
+      Alcotest.(check bool) "damaged island names line 3" true
+        (starts_with (path ^ ":3:") (error_of path));
+      (* Truncation that drops a whole island line has no single offending
+         line: the report still names the file. *)
+      Checkpoint.save ~path snapshot;
+      let lines = String.split_on_char '\n' (slurp path) in
+      spit path (String.concat "\n" (List.filteri (fun i _ -> i <> 2) lines));
+      Alcotest.(check bool) "missing island names file" true
+        (starts_with (path ^ ":") (error_of path)))
+
 let test_validate () =
   let rng = Rng.create ~seed:14 () in
   let snapshot =
@@ -339,6 +383,8 @@ let suite =
     Alcotest.test_case "snapshot round-trip: evolving" `Quick test_snapshot_roundtrip_evolving;
     Alcotest.test_case "snapshot round-trip: simplifying" `Quick test_snapshot_roundtrip_simplifying;
     Alcotest.test_case "load rejects bad input" `Quick test_load_rejects_bad_input;
+    Alcotest.test_case "load errors name file and line" `Quick
+      test_load_errors_name_file_and_line;
     Alcotest.test_case "validate matches run inputs" `Quick test_validate;
     Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
     Alcotest.test_case "run: kill/resume bit-identical" `Quick test_run_kill_resume_bit_identical;

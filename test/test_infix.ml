@@ -213,7 +213,72 @@ let test_model_io_parse_error_reported () =
   close_out channel;
   (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
   | Ok _ -> Alcotest.fail "expected a parse error"
-  | Error msg -> Alcotest.(check bool) "line number included" true (String.length msg > 0));
+  | Error msg ->
+      (* The error must name the file and the offending line, [file:line:]. *)
+      let prefix = path ^ ":2:" in
+      Alcotest.(check bool) "file and line named" true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix));
+  Sys.remove path
+
+let test_model_io_train_error_roundtrip () =
+  (* Stored errors survive save/load exactly, including the three
+     non-finite values a Pareto front can legitimately carry. *)
+  let basis = Expr.{ vc = Some [| 1; 0; 0 |]; factors = [] } in
+  let model train_error =
+    {
+      Model.bases = [| basis |];
+      intercept = 1.5;
+      weights = [| 2.25 |];
+      train_error;
+      complexity = 0.;
+    }
+  in
+  let stored = [ 0.03125; Float.nan; Float.infinity; Float.neg_infinity; 1e-17 ] in
+  let path = Filename.temp_file "caffeine_models" ".txt" in
+  Model_io.save ~path ~var_names:names (List.map model stored);
+  (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok (_, loaded) ->
+      Alcotest.(check int) "all models loaded" (List.length stored) (List.length loaded);
+      List.iter2
+        (fun expected (m : Model.t) ->
+          (* NaN has many bit patterns and [float_of_string "nan"] is free
+             to pick any of them; finite and infinite values must be exact. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "train_error %h round-trips" expected)
+            true
+            (if Float.is_nan expected then Float.is_nan m.Model.train_error
+             else Int64.bits_of_float expected = Int64.bits_of_float m.Model.train_error))
+        stored loaded);
+  Sys.remove path
+
+let test_model_io_no_directive_loads_nan () =
+  (* Files written before the [#:] directives (or by hand) still load, with
+     the error unknown. *)
+  let path = Filename.temp_file "caffeine_models" ".txt" in
+  let channel = open_out path in
+  output_string channel "# comment\nvars: a b c\n1.5 + 2 * a\n";
+  close_out channel;
+  (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok (_, [ m ]) ->
+      Alcotest.(check bool) "train_error is nan" true (Float.is_nan m.Model.train_error)
+  | Ok (_, models) -> Alcotest.failf "expected 1 model, got %d" (List.length models));
+  Sys.remove path
+
+let test_model_io_bad_directive_reported () =
+  let path = Filename.temp_file "caffeine_models" ".txt" in
+  let channel = open_out path in
+  output_string channel "vars: a b c\n#: train_error=not_a_number\n1 + 2 * a\n";
+  close_out channel;
+  (match Model_io.load ~path ~wb:10. ~wvc:0.25 with
+  | Ok _ -> Alcotest.fail "expected a directive error"
+  | Error msg ->
+      let prefix = path ^ ":2:" in
+      Alcotest.(check bool) "directive line named" true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix));
   Sys.remove path
 
 let suite =
@@ -232,4 +297,8 @@ let suite =
     Alcotest.test_case "round-trip: printed models" `Quick test_roundtrip_printed_models;
     Alcotest.test_case "model io: save/load" `Quick test_model_io_roundtrip;
     Alcotest.test_case "model io: parse error" `Quick test_model_io_parse_error_reported;
+    Alcotest.test_case "model io: train_error round-trip" `Quick
+      test_model_io_train_error_roundtrip;
+    Alcotest.test_case "model io: no directive -> nan" `Quick test_model_io_no_directive_loads_nan;
+    Alcotest.test_case "model io: bad directive" `Quick test_model_io_bad_directive_reported;
   ]

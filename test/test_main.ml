@@ -22,6 +22,7 @@ let () =
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("export", Test_export.suite);
+      ("serve", Test_serve.suite);
       ("io", Test_io.suite);
       ("cli", Test_cli.suite);
     ]
