@@ -5,8 +5,10 @@
 
      dune exec bench/main.exe -- [--experiment all|fig3|table1|table2|fig4|
                                    ablation-grammar|ablation-sag|ablation-moo|
-                                   eval|parallel|regress|trace|dedup|fuse|serve|micro]
+                                   eval|parallel|regress|trace|dedup|fuse|serve|
+                                   stream|micro]
                                   [--pop N] [--gens N] [--seed N] [--smoke]
+                                  [--stream-only]
 
    The search budget defaults to a few seconds per performance; pass
    --pop 200 --gens 5000 to match the paper's 12-hour runs. *)
@@ -25,6 +27,9 @@ module Compiled = Caffeine_expr.Compiled
 module Linfit = Caffeine_regress.Linfit
 module Pool = Caffeine_par.Pool
 module Executor = Caffeine_par.Executor
+module Colstore = Caffeine_io.Colstore
+module Circuit = Caffeine_spice.Circuit
+module Tran = Caffeine_spice.Tran
 
 (* The reference tree interpreter — only the compiled_vs_interpreted group
    and the micro-benchmarks may touch it; everything else evaluates through
@@ -37,6 +42,10 @@ type options = {
   generations : int;
   seed : int;
   smoke : bool;  (** shrink workloads for CI: same checks, smaller timings *)
+  stream_only : bool;
+      (** stream experiment: skip the in-memory comparison fit, so an
+          external [/usr/bin/time -v] wrapper measures the out-of-core
+          path's peak RSS alone (ci/stream-gate.sh) *)
 }
 
 let parse_options () =
@@ -45,6 +54,7 @@ let parse_options () =
   let generations = ref 150 in
   let seed = ref 11 in
   let smoke = ref false in
+  let stream_only = ref false in
   let rec scan = function
     | [] -> ()
     | "--experiment" :: v :: rest ->
@@ -62,6 +72,9 @@ let parse_options () =
     | "--smoke" :: rest ->
         smoke := true;
         scan rest
+    | "--stream-only" :: rest ->
+        stream_only := true;
+        scan rest
     | flag :: _ ->
         Printf.eprintf "unknown argument %s\n" flag;
         exit 2
@@ -73,6 +86,7 @@ let parse_options () =
     generations = !generations;
     seed = !seed;
     smoke = !smoke;
+    stream_only = !stream_only;
   }
 
 let section title =
@@ -1716,6 +1730,226 @@ let experiment_serve options =
         exit 1
       end)
 
+(* --- stream: out-of-core million-sample regression ----------------------- *)
+
+(* Peak resident set of this process so far (VmHWM), in bytes.  Linux-only;
+   [None] elsewhere, in which case the in-process RSS assertion is skipped
+   (ci/stream-gate.sh still asserts via /usr/bin/time -v). *)
+let vm_hwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let found = ref None in
+      (try
+         while !found = None do
+           let line = input_line ic in
+           if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+             found := Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+                 (fun kb -> Some (kb * 1024))
+         done
+       with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+      close_in ic;
+      !found
+
+(* The native large-N producer: a transient simulation streamed row by row
+   into an on-disk column store, then regressed out of core.  An RC lowpass
+   driven by deterministic wideband noise gives a target (vout at step k)
+   that is exactly linear in a few lagged waveform features, so the fit is
+   well-conditioned at any N and the streamed coefficients can be checked
+   against the in-memory path.
+
+   The RSS assertion is the point of the experiment: the streamed fit over
+   >= 2^20 samples must peak below half of what the dense feature matrix
+   alone would occupy (dims x n x 8 bytes).  The budget is checked in
+   process via VmHWM, and externally by ci/stream-gate.sh running this
+   experiment with --stream-only under /usr/bin/time -v. *)
+let experiment_stream options =
+  section "Streaming out-of-core regression (million-sample waveform fit)";
+  (* The transient solver and the chunk loop are allocation-churny; a
+     tighter space overhead keeps the major heap near the live set so the
+     high-water mark measures the algorithm, not GC slack. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 60 };
+  let step = 1e-6 in
+  let lag_max = 512 in
+  let rows_wanted = 1 lsl 20 in
+  let num_steps = rows_wanted + lag_max - 1 in
+  (* ceil(duration/step) must give exactly [num_steps] despite float
+     division noise, hence the half-step backoff. *)
+  let duration = (float_of_int num_steps -. 0.5) *. step in
+  let chunk_rows = 32768 in
+  (* Deterministic wideband stimulus: hash noise decorrelates adjacent
+     vin lags (keeping the Gram well-conditioned); the slow sine adds a
+     smooth large-signal component. *)
+  let vin_at k =
+    let x = (sin ((float_of_int k *. 12.9898) +. 78.233)) *. 43758.5453 in
+    let noise = (2. *. (x -. Float.floor x)) -. 1. in
+    (0.6 *. noise) +. (0.3 *. sin (2. *. Float.pi *. 3125. *. (float_of_int k *. step)))
+  in
+  let stimulus name time =
+    if name = "vin" then Some (vin_at (int_of_float (Float.round (time /. step)))) else None
+  in
+  (* vin -- 1k -- vout -- 20n -- gnd: tau = 20 us = 20 steps, so vout at
+     lag 512 is decorrelated from vout at lag 1. *)
+  let circuit =
+    Circuit.make
+      [
+        Circuit.Vsource { name = "vin"; pos = 1; neg = 0; dc = 0.; ac = 0. };
+        Circuit.Resistor { name = "r1"; n1 = 1; n2 = 2; ohms = 1000. };
+        Circuit.Capacitor { name = "c1"; n1 = 2; n2 = 0; farads = 20e-9 };
+      ]
+  in
+  let feature_names =
+    Array.append
+      (Array.init 10 (fun l -> Printf.sprintf "vin_l%d" l))
+      [| "vout_l1"; Printf.sprintf "vout_l%d" lag_max |]
+  in
+  let dims = Array.length feature_names in
+  let names = Array.append feature_names [| "vout" |] in
+  let path = Filename.temp_file "caffeine_stream_bench" ".cafs" in
+  (match vm_hwm_bytes () with
+  | Some b -> Printf.printf "[rss] baseline: %.1f MB\n%!" (float_of_int b /. 1048576.)
+  | None -> ());
+  let writer = Colstore.Writer.create ~path ~var_names:names ~chunk_rows () in
+  let ring = lag_max + 1 in
+  let vin_hist = Array.make ring 0. and vout_hist = Array.make ring 0. in
+  let row = Array.make (Array.length names) 0. in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Tran.simulate_stream ~circuit ~step ~duration ~stimulus
+       ~on_step:(fun ~k ~time:_ voltages ->
+         let slot = k mod ring in
+         vin_hist.(slot) <- voltages.(1);
+         vout_hist.(slot) <- voltages.(2);
+         if k >= lag_max then begin
+           for l = 0 to 9 do
+             row.(l) <- vin_hist.((k - l) mod ring)
+           done;
+           row.(10) <- vout_hist.((k - 1) mod ring);
+           row.(11) <- vout_hist.((k - lag_max) mod ring);
+           row.(12) <- vout_hist.(slot);
+           Colstore.Writer.append_row writer row
+         end)
+       ()
+   with
+  | Error msg ->
+      Printf.eprintf "stream: transient failed: %s\n" msg;
+      exit 1
+  | Ok (_ : int) -> ());
+  Colstore.Writer.close writer;
+  let t_sim = Unix.gettimeofday () -. t0 in
+  let store = Colstore.openfile path in
+  let n = Colstore.n_rows store in
+  Printf.printf "simulated + packed %d samples x %d features in %.1f s (%s, %d-row chunks)\n%!"
+    n dims t_sim (Filename.basename path) chunk_rows;
+  (match vm_hwm_bytes () with
+  | Some b -> Printf.printf "[rss] after simulation: %.1f MB\n%!" (float_of_int b /. 1048576.)
+  | None -> ());
+  let targets = Colstore.column store dims in
+  let data = Dataset.of_colstore ~exclude:[ "vout" ] store in
+  (* 12 plain variable bases plus one squared term: the linear recurrence
+     vout_k = a*vout_{k-1} + b*vin_k + c*vin_{k-1} is inside the span, so
+     train error collapses to Newton-tolerance noise. *)
+  let bases =
+    Array.init (dims + 1) (fun j ->
+        let exponents =
+          Array.init dims (fun d -> if j < dims then (if d = j then 1 else 0)
+                                    else if d = 0 then 2 else 0)
+        in
+        { Interp.vc = Some exponents; factors = [] })
+  in
+  let wb = Config.paper.Config.wb and wvc = Config.paper.Config.wvc in
+  let t1 = Unix.gettimeofday () in
+  let streamed =
+    match Model.fit ~wb ~wvc bases ~data ~targets with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "stream: out-of-core fit was rejected\n";
+        exit 1
+  in
+  let t_fit = Unix.gettimeofday () -. t1 in
+  let fallbacks =
+    Caffeine_obs.Metrics.counter_value
+      (Caffeine_obs.Metrics.counter Caffeine_obs.Metrics.default "linfit.gram_fallbacks")
+  in
+  Printf.printf "streamed fit: %d bases in %.1f s, train error %.3e (gram fallbacks: %d)\n%!"
+    (Model.num_bases streamed) t_fit streamed.Model.train_error fallbacks;
+  (* Snapshot the high-water mark BEFORE anything dense is materialized:
+     this is the number the 50%% budget judges. *)
+  let peak = vm_hwm_bytes () in
+  let dense_bytes = dims * n * 8 in
+  let budget_bytes = dense_bytes / 2 in
+  let rss_ok, peak_str, ratio_str =
+    match peak with
+    | None -> (true, "null", "null")
+    | Some bytes ->
+        ( bytes < budget_bytes,
+          string_of_int bytes,
+          Printf.sprintf "%.3f" (float_of_int bytes /. float_of_int dense_bytes) )
+  in
+  (match peak with
+  | None -> Printf.printf "peak RSS: unavailable (not Linux?); budget %d bytes\n" budget_bytes
+  | Some bytes ->
+      Printf.printf "peak RSS %.1f MB vs dense feature matrix %.1f MB (budget 50%% = %.1f MB): %s\n"
+        (float_of_int bytes /. 1048576.)
+        (float_of_int dense_bytes /. 1048576.)
+        (float_of_int budget_bytes /. 1048576.)
+        (if rss_ok then "OK" else "OVER BUDGET"));
+  (* In-memory comparison fit: identical bases and targets over resident
+     columns.  Skipped under --stream-only so the external time(1) wrapper
+     sees the out-of-core path's footprint alone. *)
+  let agreement =
+    if options.stream_only then None
+    else begin
+      let columns = Array.init dims (fun d -> Colstore.column store d) in
+      let dense_data = Dataset.of_columns ~var_names:feature_names columns in
+      match Model.fit ~wb ~wvc bases ~data:dense_data ~targets with
+      | None ->
+          Printf.eprintf "stream: in-memory comparison fit was rejected\n";
+          exit 1
+      | Some dense ->
+          let delta = ref (Float.abs (dense.Model.intercept -. streamed.Model.intercept)) in
+          Array.iteri
+            (fun j w -> delta := Float.max !delta (Float.abs (w -. streamed.Model.weights.(j))))
+            dense.Model.weights;
+          let err_delta = Float.abs (dense.Model.train_error -. streamed.Model.train_error) in
+          Printf.printf
+            "in-memory comparison: max coefficient delta %.3e, train-error delta %.3e\n%!"
+            !delta err_delta;
+          Some (Float.max !delta err_delta)
+    end
+  in
+  let agreement_ok = match agreement with None -> true | Some d -> d <= 1e-8 in
+  Colstore.close store;
+  Sys.remove path;
+  write_artifact ~options ~name:"stream"
+    [
+      ("n_samples", string_of_int n);
+      ("dims", string_of_int dims);
+      ("bases", string_of_int (Array.length bases));
+      ("chunk_rows", string_of_int chunk_rows);
+      ("sim_seconds", Printf.sprintf "%.2f" t_sim);
+      ("fit_seconds", Printf.sprintf "%.2f" t_fit);
+      ("train_error", Printf.sprintf "%.6e" streamed.Model.train_error);
+      ("gram_fallbacks", string_of_int fallbacks);
+      ("peak_rss_bytes", peak_str);
+      ("dense_bytes", string_of_int dense_bytes);
+      ("budget_bytes", string_of_int budget_bytes);
+      ("rss_ratio", ratio_str);
+      ("rss_ok", string_of_bool rss_ok);
+      ("stream_only", string_of_bool options.stream_only);
+      ( "max_delta_vs_dense",
+        match agreement with None -> "null" | Some d -> Printf.sprintf "%.3e" d );
+      ("agreement_ok", string_of_bool agreement_ok);
+    ];
+  if not rss_ok then begin
+    Printf.eprintf "stream: peak RSS exceeded 50%% of the dense feature-matrix footprint\n";
+    exit 1
+  end;
+  if not agreement_ok then begin
+    Printf.eprintf "stream: streamed fit disagrees with the in-memory path beyond 1e-8\n";
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let experiment_micro () =
@@ -1791,6 +2025,10 @@ let () =
   if wants "tran-slew" then with_context experiment_tran_slew;
   (* Opt-in only: not included in --experiment all. *)
   if options.experiment = "miller" then experiment_miller options;
+  (* Opt-in only: the RSS assertion judges the process high-water mark, so
+     the streaming experiment must not share a process with experiments
+     that allocate dense workloads first. *)
+  if options.experiment = "stream" then experiment_stream options;
   if wants "eval" then experiment_eval options;
   if wants "parallel" then experiment_parallel options;
   if wants "regress" then experiment_regress options;

@@ -17,6 +17,7 @@ open Cmdliner
 
 module Ota = Caffeine_ota.Ota
 module Csv = Caffeine_io.Csv
+module Colstore = Caffeine_io.Colstore
 module Dataset = Caffeine_io.Dataset
 module Grammar = Caffeine_grammar.Grammar
 module Config = Caffeine.Config
@@ -136,10 +137,74 @@ let split_target table target =
       let data = Dataset.of_table ~exclude:(target :: performance_names) table in
       (data, targets)
 
-let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after eval_cache eval_cache_limit no_fuse out =
+(* CSV -> column store, one row at a time: the whole point is never holding
+   the table in memory, so the writer is created from the header callback
+   and rows append as they parse. *)
+let pack_csv ~csv_path ~out ~chunk_rows =
+  let writer = ref None in
+  let result =
+    Csv.stream ~path:csv_path
+      ~header:(fun names ->
+        writer := Some (Colstore.Writer.create ~path:out ~var_names:names ~chunk_rows ());
+        Ok ())
+      ~row:(fun ~lineno:_ values ->
+        Colstore.Writer.append_row (Option.get !writer) values;
+        Ok ())
+  in
+  (match !writer with Some w -> Colstore.Writer.close w | None -> ());
+  match result with
+  | Ok () -> Ok ()
+  | Error msg ->
+      (try Sys.remove out with Sys_error _ -> ());
+      Error msg
+
+(* Streaming dataset source for fit --data-stream: a .cafs column store is
+   opened in place; a CSV is packed into a temporary store first (deleted
+   at exit).  The target column is the only one materialized. *)
+let load_streaming ~path ~target ~chunk_rows =
+  let store_path, temporary =
+    if Filename.check_suffix path ".cafs" then (path, false)
+    else begin
+      let tmp = Filename.temp_file "caffeine_stream" ".cafs" in
+      (match pack_csv ~csv_path:path ~out:tmp ~chunk_rows with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "cannot read %s: %s\n" path msg;
+          exit 2);
+      (tmp, true)
+    end
+  in
+  let store = Colstore.openfile store_path in
+  if temporary then
+    at_exit (fun () -> try Sys.remove store_path with Sys_error _ -> ());
+  let names = Colstore.var_names store in
+  let target_index =
+    let found = ref (-1) in
+    Array.iteri (fun i name -> if !found < 0 && name = target then found := i) names;
+    if !found < 0 then begin
+      Printf.eprintf "no column named %s (available: %s)\n" target
+        (String.concat ", " (Array.to_list names));
+      exit 2
+    end;
+    !found
+  in
+  let targets = Colstore.column store target_index in
+  let performance_names = List.map Ota.performance_name Ota.all_performances in
+  let data = Dataset.of_colstore ~exclude:(target :: performance_names) store in
+  (data, targets)
+
+let fit train_path test_path target pop gens seed jobs backend shards log_target grammar_path max_bases no_sag verbose trace_path metrics checkpoint_opt checkpoint_every resume_path kill_after eval_cache eval_cache_limit no_fuse data_stream chunk_rows out =
   let fuse = not no_fuse in
-  let train = load_table train_path in
-  let data, raw_targets = split_target train target in
+  let data, raw_targets =
+    (* A .cafs store has no dense representation to load — packed input
+       always takes the streaming path, flag or no flag. *)
+    if data_stream || Filename.check_suffix train_path ".cafs" then
+      load_streaming ~path:train_path ~target ~chunk_rows
+    else begin
+      let train = load_table train_path in
+      split_target train target
+    end
+  in
   let var_names = Dataset.var_names data in
   let transform v = if log_target then log10 v else v in
   let targets = Array.map transform raw_targets in
@@ -536,6 +601,27 @@ let eval_cache_limit_arg =
           "Maximum entries per cache level before shard-wise eviction (default 65536).  \
            Evictions only cost recomputation; they never change results.")
 
+let data_stream_arg =
+  Arg.(
+    value & flag
+    & info [ "data-stream" ]
+        ~doc:
+          "Stream the training data from disk instead of loading it in memory: a \
+           $(b,.cafs) column store (see the $(b,pack) subcommand) is read chunk by chunk; \
+           a CSV is packed into a temporary store first.  Fits accumulate their Gram \
+           products in one pass per individual (memoized across the population), so peak \
+           memory is bounded by one chunk plus the target column — million-sample datasets \
+           fit in tens of megabytes.  The final front is byte-identical to the in-memory \
+           path at every backend.")
+
+let chunk_rows_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "chunk-rows" ] ~docv:"N"
+        ~doc:
+          "Rows per chunk when packing a CSV for --data-stream (default 65536).  Purely a \
+           memory/throughput trade-off: results are bit-identical for every value.")
+
 let fit_cmd =
   let info = Cmd.info "fit" ~doc:"Evolve template-free symbolic models for a CSV column." in
   Cmd.v info
@@ -543,7 +629,38 @@ let fit_cmd =
       const fit $ train_arg $ test_arg $ target_arg $ pop_arg $ gens_arg $ seed_arg $ jobs_arg
       $ backend_arg $ shard_arg $ log_target_arg $ grammar_arg $ max_bases_arg $ no_sag_arg $ verbose_arg $ trace_out_arg
       $ metrics_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg
-      $ eval_cache_arg $ eval_cache_limit_arg $ no_fuse_arg $ fit_out_arg)
+      $ eval_cache_arg $ eval_cache_limit_arg $ no_fuse_arg $ data_stream_arg $ chunk_rows_arg
+      $ fit_out_arg)
+
+(* --- pack --------------------------------------------------------------- *)
+
+let pack csv_path chunk_rows out =
+  match pack_csv ~csv_path ~out ~chunk_rows with
+  | Error msg ->
+      Printf.eprintf "cannot pack %s: %s\n" csv_path msg;
+      2
+  | Ok () ->
+      let store = Colstore.openfile out in
+      Printf.printf "packed %d rows x %d columns into %s (%d rows per chunk)\n"
+        (Colstore.n_rows store)
+        (Array.length (Colstore.var_names store))
+        out (Colstore.chunk_rows store);
+      Colstore.close store;
+      0
+
+let pack_csv_arg =
+  let doc = "Input CSV (header row; numeric cells)." in
+  Arg.(required & opt (some string) None & info [ "csv" ] ~docv:"CSV" ~doc)
+
+let pack_cmd =
+  let info =
+    Cmd.info "pack"
+      ~doc:
+        "Convert a CSV dataset into a chunked binary column store (.cafs) for fit \
+         --data-stream.  The CSV is parsed one line at a time, so files far larger than \
+         memory pack fine."
+  in
+  Cmd.v info Term.(const pack $ pack_csv_arg $ chunk_rows_arg $ out_arg "data.cafs")
 
 (* --- predict ------------------------------------------------------------ *)
 
@@ -1045,6 +1162,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ gen_data_cmd; simulate_cmd; fit_cmd; predict_cmd; serve_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd; trace_cmd ]
+      [ gen_data_cmd; simulate_cmd; fit_cmd; pack_cmd; predict_cmd; serve_cmd; grammar_cmd; analyze_cmd; export_cmd; insight_cmd; trace_cmd ]
   in
   exit (Cmd.eval' group)

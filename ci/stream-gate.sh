@@ -1,0 +1,101 @@
+#!/bin/sh
+# The streaming (out-of-core) contract, end to end:
+#
+#   1. Ingestion bugfixes at the CLI level: CRLF files parse (and error
+#      messages quote cells without the carriage return), duplicate CSV
+#      headers are rejected naming the column and both positions.
+#   2. Front bit-identity: the same seeded fit must print byte-identical
+#      fronts dense vs --data-stream, from CSV input and from a packed
+#      .cafs store, across execution backends.
+#   3. The memory gate: bench --experiment stream fits >= 2^20 waveform
+#      samples and asserts (via VmHWM, in process) that peak RSS stays
+#      under 50% of the dense feature-matrix footprint; when
+#      /usr/bin/time is available the assertion is repeated externally
+#      against its "Maximum resident set size".
+#
+# Artifacts: BENCH_stream.json in the repo root (uploaded by CI).
+. "$(dirname "$0")/lib.sh"
+
+build_cli
+dune build bench/main.exe
+BENCH=_build/default/bench/main.exe
+
+# --- 1. ingestion bugfix sweep -------------------------------------------
+
+"$CLI" gen-data --out "$scratch/data.csv"
+
+# CRLF input must parse identically to LF input.
+awk '{ printf "%s\r\n", $0 }' "$scratch/data.csv" > "$scratch/data-crlf.csv"
+"$CLI" fit --train "$scratch/data.csv" --target PM --pop 20 --gens 5 --seed 9 \
+  --out "$scratch/front-lf.txt"
+"$CLI" fit --train "$scratch/data-crlf.csv" --target PM --pop 20 --gens 5 --seed 9 \
+  --out "$scratch/front-crlf.txt"
+diff -u "$scratch/front-lf.txt" "$scratch/front-crlf.txt"
+
+# A bad cell in a CRLF file must be quoted without the carriage return.
+printf 'x,PM\r\n1,zzz\r\n' > "$scratch/bad-crlf.csv"
+if "$CLI" fit --train "$scratch/bad-crlf.csv" --target PM --out "$scratch/never.txt" \
+    2> "$scratch/bad-crlf.err"; then
+  echo "stream-gate: bad CRLF cell was accepted" >&2; exit 1
+fi
+grep -q 'bad number "zzz"' "$scratch/bad-crlf.err"
+if grep -q "$(printf '\r')" "$scratch/bad-crlf.err"; then
+  echo "stream-gate: carriage return leaked into the error message" >&2; exit 1
+fi
+
+# Duplicate headers must be rejected naming the column and both positions.
+printf 'x,y,x\n1,2,3\n' > "$scratch/dup.csv"
+if "$CLI" fit --train "$scratch/dup.csv" --target y --out "$scratch/never.txt" \
+    2> "$scratch/dup.err"; then
+  echo "stream-gate: duplicate header was accepted" >&2; exit 1
+fi
+grep -q 'duplicate column name "x"' "$scratch/dup.err"
+grep -q 'columns 1 and 3' "$scratch/dup.err"
+
+# --- 2. dense vs streamed front bit-identity ------------------------------
+
+"$CLI" fit --train "$scratch/data.csv" --target PM --pop 30 --gens 8 --seed 17 \
+  --out "$scratch/front-dense.txt"
+"$CLI" fit --train "$scratch/data.csv" --target PM --pop 30 --gens 8 --seed 17 \
+  --data-stream --chunk-rows 37 --out "$scratch/front-stream.txt"
+diff -u "$scratch/front-dense.txt" "$scratch/front-stream.txt"
+
+# Packed column-store input, across backends.
+"$CLI" pack --csv "$scratch/data.csv" --chunk-rows 64 --out "$scratch/data.cafs"
+"$CLI" fit --train "$scratch/data.cafs" --target PM --pop 30 --gens 8 --seed 17 \
+  --data-stream --backend domains --jobs 3 --out "$scratch/front-cafs-domains.txt"
+diff -u "$scratch/front-dense.txt" "$scratch/front-cafs-domains.txt"
+"$CLI" fit --train "$scratch/data.cafs" --target PM --pop 30 --gens 8 --seed 17 \
+  --data-stream --backend processes --shard 2 --out "$scratch/front-cafs-proc.txt"
+diff -u "$scratch/front-dense.txt" "$scratch/front-cafs-proc.txt"
+
+# .cafs input implies --data-stream — a packed store must never fall
+# through to the CSV parser.
+"$CLI" fit --train "$scratch/data.cafs" --target PM --pop 30 --gens 8 --seed 17 \
+  --out "$scratch/front-cafs-noflag.txt"
+diff -u "$scratch/front-dense.txt" "$scratch/front-cafs-noflag.txt"
+
+# --- 3. million-sample RSS gate -------------------------------------------
+
+# The bench asserts VmHWM < 50% of the dense footprint in process and
+# exits non-zero on violation (and on streamed-vs-dense disagreement).
+if [ -x /usr/bin/time ]; then
+  /usr/bin/time -v "$BENCH" --experiment stream --stream-only --smoke \
+    2> "$scratch/time.out"
+  max_kb=$(awk '/Maximum resident set size/ { print $NF }' "$scratch/time.out")
+  budget_kb=$(awk -F'[ ,]+' '/"budget_bytes"/ { print int($3 / 1024) }' BENCH_stream.json)
+  echo "stream-gate: external max RSS ${max_kb} kB (budget ${budget_kb} kB)"
+  if [ "$max_kb" -ge "$budget_kb" ]; then
+    echo "stream-gate: external RSS measurement exceeds the 50% budget" >&2
+    exit 1
+  fi
+else
+  echo "stream-gate: /usr/bin/time not available; relying on the in-process VmHWM assertion"
+  "$BENCH" --experiment stream --stream-only --smoke
+fi
+
+# Full run: streamed coefficients vs the in-memory path (1e-8 gate, in
+# practice bit-identical) and the final BENCH_stream.json artifact.
+"$BENCH" --experiment stream --smoke
+
+echo "stream-gate: OK"

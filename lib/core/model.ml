@@ -27,38 +27,65 @@ let basis_columns bases data =
   let columns = Array.map (Dataset.basis_column data) bases in
   if Array.for_all Stats.is_finite_array columns then Some columns else None
 
+let accept ~wb ~wvc bases fitted =
+  if
+    Float.is_finite fitted.Linfit.train_error
+    && Float.is_finite fitted.Linfit.intercept
+    && Stats.is_finite_array fitted.Linfit.weights
+  then
+    Some
+      {
+        bases;
+        intercept = fitted.Linfit.intercept;
+        weights = fitted.Linfit.weights;
+        train_error = fitted.Linfit.train_error;
+        complexity = complexity_of ~wb ~wvc bases;
+      }
+  else None
+
+(* Out-of-core fit: the bordered Gram is accumulated (or served from the
+   dot cache) in one pass over the chunks by [Dataset.gram], the solve is
+   the same guarded Cholesky core as the dense path, and the prediction
+   pass re-streams the chunks.  Every product and every prediction is
+   bit-identical to the dense computation, so the two storage paths
+   produce byte-identical fronts. *)
+let fit_streamed ~wb ~wvc bases ~data ~targets =
+  let g = Dataset.gram data bases ~targets in
+  if not (Array.for_all Fun.id g.Dataset.finite_bases) then None
+  else
+    match
+      Linfit.fit_stream
+        ~dot:(fun i j -> g.Dataset.dots.(i).(j))
+        ~dot_y:(fun i -> g.Dataset.dot_ys.(i))
+        ~col_sum:(fun i -> g.Dataset.col_sums.(i))
+        ~k:(Array.length bases) ~n:(Dataset.n_samples data)
+        ~iter:(fun f -> Dataset.iter_basis_chunks data bases ~f)
+        ~targets
+    with
+    | fitted -> accept ~wb ~wvc bases fitted
+    | exception Caffeine_linalg.Decomp.Singular -> None
+
 let fit ~wb ~wvc bases ~data ~targets =
-  match basis_columns bases data with
-  | None -> None
-  | Some columns -> (
-      (* Per-individual fits go through the Gram fast path: every entry of
-         the bordered Gram matrix is a dot product memoized on the dataset,
-         so individuals whose bases recur across the population (the common
-         case under set crossover) reuse cached products instead of
-         refactorizing from scratch. *)
-      match
-        Linfit.fit_gram
-          ~dot:(fun i j -> Dataset.dot data bases.(i) bases.(j))
-          ~dot_y:(fun i -> Dataset.dot_target data bases.(i) ~targets)
-          ~col_sum:(fun i -> Dataset.column_sum data bases.(i))
-          ~basis_values:columns ~targets
-      with
-      | fitted ->
-          if
-            Float.is_finite fitted.Linfit.train_error
-            && Float.is_finite fitted.Linfit.intercept
-            && Stats.is_finite_array fitted.Linfit.weights
-          then
-            Some
-              {
-                bases;
-                intercept = fitted.Linfit.intercept;
-                weights = fitted.Linfit.weights;
-                train_error = fitted.Linfit.train_error;
-                complexity = complexity_of ~wb ~wvc bases;
-              }
-          else None
-      | exception Caffeine_linalg.Decomp.Singular -> None)
+  if Dataset.is_chunked data && Array.length bases > 0 then
+    fit_streamed ~wb ~wvc bases ~data ~targets
+  else
+    match basis_columns bases data with
+    | None -> None
+    | Some columns -> (
+        (* Per-individual fits go through the Gram fast path: every entry of
+           the bordered Gram matrix is a dot product memoized on the dataset,
+           so individuals whose bases recur across the population (the common
+           case under set crossover) reuse cached products instead of
+           refactorizing from scratch. *)
+        match
+          Linfit.fit_gram
+            ~dot:(fun i j -> Dataset.dot data bases.(i) bases.(j))
+            ~dot_y:(fun i -> Dataset.dot_target data bases.(i) ~targets)
+            ~col_sum:(fun i -> Dataset.column_sum data bases.(i))
+            ~basis_values:columns ~targets
+        with
+        | fitted -> accept ~wb ~wvc bases fitted
+        | exception Caffeine_linalg.Decomp.Singular -> None)
 
 let evaluator model =
   let compiled = Array.map Compiled.compile model.bases in

@@ -193,7 +193,9 @@ let apply_binary_column op x y n =
         x.(i) <- Op.apply_binary op x.(i) y.(i)
       done
 
-let eval_columns t ~scratch ~columns ~n =
+(* Runs the column tape and leaves the result in [scratch.bufs.(0)]
+   (first [n] cells); the public entry points copy it out. *)
+let eval_columns_core t ~scratch ~columns ~n =
   ensure scratch ~slots:(Stdlib.max 1 t.max_stack) ~n;
   let bufs = scratch.bufs in
   let sp = ref 0 in
@@ -234,8 +236,17 @@ let eval_columns t ~scratch ~columns ~n =
             acc.(i) <- acc.(i) +. (w *. b.(i))
           done;
           decr sp)
-    t.code;
-  Array.sub bufs.(0) 0 n
+    t.code
+
+let eval_columns t ~scratch ~columns ~n =
+  eval_columns_core t ~scratch ~columns ~n;
+  Array.sub scratch.bufs.(0) 0 n
+
+let eval_columns_into t ~scratch ~columns ~n ~out =
+  if Array.length out < n then
+    invalid_arg "Compiled.eval_columns_into: output buffer shorter than n";
+  eval_columns_core t ~scratch ~columns ~n;
+  Array.blit scratch.bufs.(0) 0 out 0 n
 
 (* --- probe-subsample evaluation --- *)
 

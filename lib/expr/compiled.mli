@@ -50,6 +50,19 @@ val eval_columns :
     [i] (column-major / struct-of-arrays).  Returns a fresh length-[n]
     result column; the scratch buffers are reused across calls. *)
 
+val eval_columns_into :
+  t ->
+  scratch:scratch ->
+  columns:float array array ->
+  n:int ->
+  out:float array ->
+  unit
+(** {!eval_columns} into a caller-owned buffer: fills the first [n] cells
+    of [out] (cells past [n] are untouched) with the same IEEE words a
+    fresh {!eval_columns} call would return.  Used by the chunked dataset
+    path to evaluate per-chunk without allocating a column per chunk.
+    Raises [Invalid_argument] when [out] is shorter than [n]. *)
+
 val eval_probe : t -> columns:float array array -> indices:int array -> float array
 (** [eval_probe c ~columns ~indices] evaluates the tape at the selected
     sample indices only — the behavioral-fingerprint probe of the

@@ -399,6 +399,26 @@ let eval_over t ~scratch:s ~columns ~indices ~n =
 
 let eval_columns t ~scratch ~columns ~n = eval_over t ~scratch ~columns ~indices:None ~n
 
+let eval_columns_into t ~scratch:s ~columns ~n ~out =
+  if Array.length out <> Array.length t.root_ids then
+    invalid_arg "Fused.eval_columns_into: one output buffer per root required";
+  Array.iter
+    (fun buf ->
+      if Array.length buf < n then
+        invalid_arg "Fused.eval_columns_into: output buffer shorter than n")
+    out;
+  if Array.length t.code = 0 then Array.iter (fun buf -> Array.fill buf 0 n 0.) out
+  else begin
+    ensure s ~slots:(Stdlib.max 1 t.slot_count) ~width:t.tile_width;
+    let bufs = s.bufs in
+    let lo = ref 0 in
+    while !lo < n do
+      let len = Stdlib.min t.tile_width (n - !lo) in
+      exec_tile t.code bufs ~columns ~outputs:out ~indices:None ~lo:!lo ~len;
+      lo := !lo + len
+    done
+  end
+
 let eval_probe t ~columns ~indices =
   eval_over t ~scratch:(scratch ()) ~columns ~indices:(Some indices)
     ~n:(Array.length indices)

@@ -86,6 +86,20 @@ val eval_columns :
     Row [r] of the result is a fresh length-[n] column equal, bit for
     bit, to [Compiled.eval_columns (Compiled.compile bases.(r)) ...]. *)
 
+val eval_columns_into :
+  t ->
+  scratch:scratch ->
+  columns:float array array ->
+  n:int ->
+  out:float array array ->
+  unit
+(** {!eval_columns} writing into caller-owned buffers: fills the first [n]
+    cells of [out.(r)] with root [r]'s values (cells past [n] are left
+    untouched).  The streaming (chunked) dataset path calls this once per
+    chunk with buffers allocated once per pass, so a million-row fit does
+    not churn a fresh result matrix per chunk.  Raises [Invalid_argument]
+    unless [out] has one buffer of length >= [n] per root. *)
+
 val eval_probe : t -> columns:float array array -> indices:int array -> float array array
 (** Evaluate every root at the selected sample indices only — the fused
     behavioral-fingerprint probe.  Entry [(r, j)] equals the

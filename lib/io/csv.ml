@@ -22,67 +22,136 @@ let write ~path table =
           output_char channel '\n')
         table.rows)
 
-let read ~path =
+(* Files written on Windows (or passed through tools that normalize line
+   endings) terminate lines with "\r\n"; [input_line] only strips the
+   '\n', so every last cell would otherwise carry a trailing '\r' into
+   number parsing and error messages. *)
+let strip_cr line =
+  let len = String.length line in
+  if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line
+
+let check_duplicate_header header =
+  let seen = Hashtbl.create (Array.length header) in
+  let duplicate = ref None in
+  Array.iteri
+    (fun i name ->
+      if !duplicate = None then
+        match Hashtbl.find_opt seen name with
+        | Some first ->
+            (* Columns are bound by name downstream (--target, exclusion
+               lists); a duplicate would silently resolve to the first
+               occurrence and bind the wrong data. *)
+            duplicate :=
+              Some
+                (Printf.sprintf "duplicate column name %S (columns %d and %d)" name (first + 1)
+                   (i + 1))
+        | None -> Hashtbl.add seen name i)
+    header;
+  !duplicate
+
+let parse_row ~width lineno line =
+  let cells = String.split_on_char ',' line in
+  if List.length cells <> width then
+    Error
+      (Printf.sprintf "line %d: expected %d cells, found %d" lineno width (List.length cells))
+  else begin
+    let values = Array.make width 0. in
+    let failed = ref None in
+    List.iteri
+      (fun i cell ->
+        let cell = String.trim cell in
+        match float_of_string_opt cell with
+        | Some v -> values.(i) <- v
+        | None ->
+            if !failed = None then
+              failed := Some (Printf.sprintf "line %d: bad number %S" lineno cell))
+      cells;
+    match !failed with Some msg -> Error msg | None -> Ok values
+  end
+
+(* Incremental driver shared by {!stream} and {!read}: one line in memory
+   at a time, blank lines skipped but counted (error messages use real
+   file positions), trailing '\r' stripped before any parsing. *)
+let stream ~path ~header ~row =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | channel ->
       Fun.protect
         ~finally:(fun () -> close_in channel)
         (fun () ->
-          let lines = ref [] in
           let lineno = ref 0 in
-          (try
-             while true do
-               let line = input_line channel in
-               incr lineno;
-               lines := (!lineno, line) :: !lines
-             done
-           with End_of_file -> ());
-          (* Blank lines are skipped, but every kept line remembers its
-             position in the file, so error messages point at the real line
-             even when blank lines precede it. *)
-          let lines = List.filter (fun (_, line) -> String.trim line <> "") (List.rev !lines) in
-          match lines with
-          | [] -> Error "empty file"
-          | [ (_, _) ] -> Error "no data rows: the file contains only a header"
-          | (_, header_line) :: data_lines ->
-              let header =
+          let next_line () =
+            (* Next non-blank line, or None at end of file. *)
+            let rec go () =
+              match input_line channel with
+              | exception End_of_file -> None
+              | line ->
+                  incr lineno;
+                  let line = strip_cr line in
+                  if String.trim line = "" then go () else Some line
+            in
+            go ()
+          in
+          match next_line () with
+          | None -> Error "empty file"
+          | Some header_line -> (
+              let names =
                 Array.of_list (List.map String.trim (String.split_on_char ',' header_line))
               in
-              let width = Array.length header in
-              let parse_row lineno line =
-                let cells = String.split_on_char ',' line in
-                if List.length cells <> width then
-                  Error (Printf.sprintf "line %d: expected %d cells, found %d" lineno width
-                           (List.length cells))
-                else
-                  let values = Array.make width 0. in
-                  let failed = ref None in
-                  List.iteri
-                    (fun i cell ->
-                      match float_of_string_opt (String.trim cell) with
-                      | Some v -> values.(i) <- v
-                      | None ->
-                          if !failed = None then
-                            failed := Some (Printf.sprintf "line %d: bad number %S" lineno cell))
-                    cells;
-                  match !failed with Some msg -> Error msg | None -> Ok values
-              in
-              let rec parse_all acc = function
-                | [] -> Ok (Array.of_list (List.rev acc))
-                | (lineno, line) :: rest -> (
-                    match parse_row lineno line with
-                    | Ok row -> parse_all (row :: acc) rest
-                    | Error _ as e -> e)
-              in
-              (match parse_all [] data_lines with
-              | Ok rows -> Ok { header; rows }
-              | Error msg -> Error msg))
+              match check_duplicate_header names with
+              | Some msg -> Error msg
+              | None -> (
+                  match header names with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      let width = Array.length names in
+                      let rec drain saw_row =
+                        match next_line () with
+                        | None ->
+                            if saw_row then Ok ()
+                            else Error "no data rows: the file contains only a header"
+                        | Some line -> (
+                            match parse_row ~width !lineno line with
+                            | Error _ as e -> e
+                            | Ok values -> (
+                                match row ~lineno:!lineno values with
+                                | Error _ as e -> e
+                                | Ok () -> drain true))
+                      in
+                      drain false)))
+
+let read ~path =
+  let header = ref [||] in
+  let rows = ref [] in
+  match
+    stream ~path
+      ~header:(fun names ->
+        header := names;
+        Ok ())
+      ~row:(fun ~lineno:_ values ->
+        rows := values :: !rows;
+        Ok ())
+  with
+  | Error _ as e -> e
+  | Ok () -> Ok { header = !header; rows = Array.of_list (List.rev !rows) }
 
 let column_index table name =
   let rec search i =
     if i >= Array.length table.header then raise Not_found
-    else if table.header.(i) = name then i
+    else if table.header.(i) = name then begin
+      (* Tables read through {!read} can no longer carry duplicates, but the
+         type is public: refuse to guess between two same-named columns. *)
+      let rec dup j =
+        if j >= Array.length table.header then ()
+        else if table.header.(j) = name then
+          invalid_arg
+            (Printf.sprintf "Csv.column_index: duplicate column name %S (columns %d and %d)"
+               name i j)
+        else dup (j + 1)
+      in
+      dup (i + 1);
+      i
+    end
     else search (i + 1)
   in
   search 0

@@ -16,9 +16,22 @@ val write : path:string -> table -> unit
 val read : path:string -> (table, string) result
 (** Parse a file written by {!write} (or compatible).  Blank lines are
     skipped; error messages still use the line's position in the file,
-    blank lines included.  A file whose only non-blank line is the header
-    is rejected ("no data rows").  Returns [Error] with a line-numbered
-    message on malformed input. *)
+    blank lines included.  Lines may end in ["\r\n"]; the carriage return
+    is stripped before parsing.  Duplicate header names are rejected with
+    an error naming the column and both positions.  A file whose only
+    non-blank line is the header is rejected ("no data rows").  Returns
+    [Error] with a line-numbered message on malformed input. *)
+
+val stream :
+  path:string ->
+  header:(string array -> (unit, string) result) ->
+  row:(lineno:int -> float array -> (unit, string) result) ->
+  (unit, string) result
+(** Incremental variant of {!read}: the file is parsed one line at a time
+    (never buffered whole), [header] is called once with the column names,
+    then [row] once per data row with its 1-based file line number.  Either
+    callback may return [Error] to abort the scan.  Same validation rules
+    as {!read} — {!read} is implemented on top of this. *)
 
 val column : table -> string -> float array
 (** Extract a column by name.  Raises [Not_found]. *)

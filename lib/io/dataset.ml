@@ -60,9 +60,24 @@ type dot_shard = {
   mutable dot_evictions : int;
 }
 
+(* Out-of-core storage: samples arrive as row chunks from a pull-based
+   source instead of resident columns.  [src_iter] visits the chunks in
+   row order with reused buffers (only [len] leading cells are valid);
+   [src_gather] is the random-access path for probes.  The concrete source
+   is either a {!Colstore} file or a sliced in-memory matrix (tests). *)
+type chunk_source = {
+  src_chunk_rows : int;
+  src_iter : (row0:int -> len:int -> float array array -> unit) -> unit;
+  src_gather : int array -> float array array;
+}
+
+type storage =
+  | Dense of float array array  (* columns.(v).(i): variable v at sample i *)
+  | Chunked of chunk_source
+
 type t = {
   var_names : string array;
-  columns : float array array;  (* columns.(v).(i): variable v at sample i *)
+  storage : storage;
   n : int;
   scratch_key : Compiled.scratch Domain.DLS.key;
       (* per-domain scratch: column evaluation reuses buffers without
@@ -73,7 +88,15 @@ type t = {
   mutable cache_limit : int;  (* max cached columns across all shards *)
   dot_shards : dot_shard array;
   mutable dot_cache_limit : int;  (* max cached products across all shards *)
-  ones : float array;  (* registered as target id 0: ⟨col, 1⟩ = column sum *)
+  finite_lock : Mutex.t;
+  finite_table : bool Compiled.Tbl.t;
+      (* chunked storage only: per-basis finiteness screened during the
+         streaming Gram pass, cached so repeat fits skip the data pass *)
+  ones : float array;  (* registered as target id 0: ⟨col, 1⟩ = column sum.
+                          On chunked storage this is a private 1-element
+                          sentinel (a full ones column would defeat the
+                          memory bound); the streamed ⟨col, 1⟩ multiplies
+                          by the literal 1. instead. *)
   targets_lock : Mutex.t;
   mutable registered_targets : (float array * int) list;  (* keyed by (==) *)
   mutable next_target_id : int;
@@ -95,20 +118,17 @@ let default_dot_cache_limit = 131_072
 
 let default_names dims = Array.init dims (fun v -> Printf.sprintf "x%d" v)
 
-let make ?var_names columns n =
-  let dims = Array.length columns in
-  if dims = 0 then invalid_arg "Dataset: zero design variables";
-  let var_names =
-    match var_names with
-    | None -> default_names dims
-    | Some names ->
-        if Array.length names <> dims then invalid_arg "Dataset: name/column count mismatch";
-        names
-  in
-  let ones = Array.make n 1. in
+let resolve_names ~dims var_names =
+  match var_names with
+  | None -> default_names dims
+  | Some names ->
+      if Array.length names <> dims then invalid_arg "Dataset: name/column count mismatch";
+      names
+
+let make_with ~var_names ~storage ~n ~ones =
   {
     var_names;
-    columns;
+    storage;
     n;
     scratch_key = Domain.DLS.new_key (fun () -> Compiled.scratch ());
     fused_scratch_key = Domain.DLS.new_key (fun () -> Fused.scratch ());
@@ -123,19 +143,48 @@ let make ?var_names columns n =
             target_dots = Target_tbl.create 64;
             dot_hits = 0; dot_misses = 0; dot_evictions = 0 });
     dot_cache_limit = default_dot_cache_limit;
+    finite_lock = Mutex.create ();
+    finite_table = Compiled.Tbl.create 64;
     ones;
     targets_lock = Mutex.create ();
     registered_targets = [ (ones, 0) ];
     next_target_id = 1;
   }
 
+let make ?var_names columns n =
+  let dims = Array.length columns in
+  if dims = 0 then invalid_arg "Dataset: zero design variables";
+  let var_names = resolve_names ~dims var_names in
+  (* Every consumer downstream — fused kernels included — indexes columns
+     with unsafe accesses trusting [n], so a short column here would read
+     out of bounds later.  Reject it now, naming the variable. *)
+  Array.iteri
+    (fun v col ->
+      if Array.length col <> n then
+        invalid_arg
+          (Printf.sprintf "Dataset: column %S has %d values, expected %d" var_names.(v)
+             (Array.length col) n))
+    columns;
+  make_with ~var_names ~storage:(Dense columns) ~n ~ones:(Array.make n 1.)
+
+let make_chunked ?var_names ~dims source n =
+  if dims = 0 then invalid_arg "Dataset: zero design variables";
+  if n < 1 then invalid_arg "Dataset: streaming source has no samples";
+  if source.src_chunk_rows < 1 then invalid_arg "Dataset: chunk_rows must be positive";
+  let var_names = resolve_names ~dims var_names in
+  (* The sentinel ones array is never exposed; its only job is holding
+     target id 0 in the physical-identity registry.  No caller-supplied
+     target can alias it ([Array.make] allocates fresh), so ⟨col, 1⟩
+     lookups cannot collide with a real target. *)
+  make_with ~var_names ~storage:(Chunked source) ~n ~ones:(Array.make 1 1.)
+
 let of_columns ?var_names columns =
   if Array.length columns = 0 then invalid_arg "Dataset.of_columns: no columns";
   let n = Array.length columns.(0) in
   if n = 0 then invalid_arg "Dataset.of_columns: empty columns";
-  Array.iter
-    (fun col -> if Array.length col <> n then invalid_arg "Dataset.of_columns: ragged columns")
-    columns;
+  (* Length validation happens in [make], which names the offending
+     variable — a generic "ragged columns" duplicate here would shadow
+     the more useful message. *)
   make ?var_names columns n
 
 let of_rows ?var_names rows =
@@ -155,31 +204,120 @@ let of_table ?(exclude = []) table =
   let names, rows = Csv.columns_except table exclude in
   of_rows ~var_names:names rows
 
+let chunked_of_columns ?var_names ~chunk_rows columns =
+  if Array.length columns = 0 then invalid_arg "Dataset.chunked_of_columns: no columns";
+  let n = Array.length columns.(0) in
+  if n = 0 then invalid_arg "Dataset.chunked_of_columns: empty columns";
+  Array.iter
+    (fun col ->
+      if Array.length col <> n then
+        invalid_arg "Dataset.chunked_of_columns: ragged columns")
+    columns;
+  let dims = Array.length columns in
+  let src_iter f =
+    (* Fresh buffers per pass: sliced views of the resident matrix, the
+       in-memory stand-in the equivalence tests stream against. *)
+    let buffers = Array.init dims (fun _ -> Array.make chunk_rows 0.) in
+    let row0 = ref 0 in
+    while !row0 < n do
+      let len = Stdlib.min chunk_rows (n - !row0) in
+      for v = 0 to dims - 1 do
+        Array.blit columns.(v) !row0 buffers.(v) 0 len
+      done;
+      f ~row0:!row0 ~len buffers;
+      row0 := !row0 + len
+    done
+  in
+  let src_gather indices =
+    Array.map (fun col -> Array.map (fun i -> col.(i)) indices) columns
+  in
+  make_chunked ?var_names ~dims { src_chunk_rows = chunk_rows; src_iter; src_gather } n
+
+let of_colstore ?(exclude = []) store =
+  let all_names = Colstore.var_names store in
+  let keep = ref [] in
+  Array.iteri
+    (fun v name -> if not (List.mem name exclude) then keep := v :: !keep)
+    all_names;
+  let keep = Array.of_list (List.rev !keep) in
+  let dims = Array.length keep in
+  if dims = 0 then invalid_arg "Dataset.of_colstore: every column is excluded";
+  let var_names = Array.map (fun v -> all_names.(v)) keep in
+  let n = Colstore.n_rows store in
+  let remap columns = Array.map (fun v -> columns.(v)) keep in
+  let src_iter f =
+    Colstore.iter_chunks store ~f:(fun ~row0 ~len columns -> f ~row0 ~len (remap columns))
+  in
+  let src_gather indices = remap (Colstore.gather store ~indices) in
+  make_chunked ~var_names ~dims
+    { src_chunk_rows = Colstore.chunk_rows store; src_iter; src_gather }
+    n
+
 let n_samples data = data.n
-let dims data = Array.length data.columns
+let dims data = Array.length data.var_names
 let var_names data = data.var_names
-let column data v = data.columns.(v)
-let point data i = Array.map (fun col -> col.(i)) data.columns
+let is_chunked data = match data.storage with Dense _ -> false | Chunked _ -> true
+let chunk_rows data =
+  match data.storage with Dense _ -> data.n | Chunked src -> src.src_chunk_rows
+
+let column data v =
+  match data.storage with
+  | Dense columns -> columns.(v)
+  | Chunked src ->
+      let out = Array.make data.n 0. in
+      src.src_iter (fun ~row0 ~len columns -> Array.blit columns.(v) 0 out row0 len);
+      out
+
+let point data i =
+  match data.storage with
+  | Dense columns -> Array.map (fun col -> col.(i)) columns
+  | Chunked src ->
+      let gathered = src.src_gather [| i |] in
+      Array.map (fun col -> col.(0)) gathered
 
 let rows data =
-  Array.init data.n (fun i -> point data i)
+  match data.storage with
+  | Dense _ -> Array.init data.n (fun i -> point data i)
+  | Chunked _ -> invalid_arg "Dataset.rows: not supported on streaming datasets"
 
 let split data ~at =
-  if at <= 0 || at >= data.n then invalid_arg "Dataset.split: index out of range";
-  let part offset count =
-    make ~var_names:data.var_names
-      (Array.map (fun col -> Array.sub col offset count) data.columns)
-      count
-  in
-  (part 0 at, part at (data.n - at))
+  match data.storage with
+  | Chunked _ -> invalid_arg "Dataset.split: not supported on streaming datasets"
+  | Dense columns ->
+      if at <= 0 || at >= data.n then invalid_arg "Dataset.split: index out of range";
+      let part offset count =
+        make ~var_names:data.var_names
+          (Array.map (fun col -> Array.sub col offset count) columns)
+          count
+      in
+      (part 0 at, part at (data.n - at))
 
 let eval_column compiled data =
   let scratch = Domain.DLS.get data.scratch_key in
-  Compiled.eval_columns compiled ~scratch ~columns:data.columns ~n:data.n
+  match data.storage with
+  | Dense columns -> Compiled.eval_columns compiled ~scratch ~columns ~n:data.n
+  | Chunked src ->
+      (* Chunk-by-chunk evaluation is elementwise identical to whole-column
+         evaluation ([Compiled.eval_columns] applies the same tape op to
+         each sample independently), so materialized columns match the
+         dense path bit for bit. *)
+      let out = Array.make data.n 0. in
+      src.src_iter (fun ~row0 ~len columns ->
+          let part = Compiled.eval_columns compiled ~scratch ~columns ~n:len in
+          Array.blit part 0 out row0 len);
+      out
 
 let shard_of data basis = data.shards.(Compiled.hash_basis basis land (shard_count - 1))
 
 let basis_column data basis =
+  match data.storage with
+  | Chunked _ ->
+      (* Bypass policy (DESIGN §7j): an out-of-core column is [n] floats —
+         caching even a few would blow the memory budget streaming exists
+         to hold, so chunked storage materializes fresh and never fills
+         the column cache.  Dot products, being scalars, stay cached. *)
+      eval_column (Compiled.compile basis) data
+  | Dense _ ->
   let shard = shard_of data basis in
   Mutex.lock shard.lock;
   match Compiled.Tbl.find_opt shard.table basis with
@@ -212,14 +350,27 @@ let basis_column data basis =
    the same IEEE words ([Compiled.eval_probe] matches [eval_columns] entry
    for entry), so fingerprints are stable across cache eviction. *)
 
+(* On chunked storage, probes gather the input variables at the probe rows
+   and evaluate with identity indices over the gathered slices: probe
+   evaluation is elementwise, so the values match what a materialized
+   column would hold at those rows — fingerprints agree across storage
+   kinds. *)
+let identity_indices indices = Array.init (Array.length indices) Fun.id
+
 let probe data basis ~indices =
-  let shard = shard_of data basis in
-  Mutex.lock shard.lock;
-  let cached = Compiled.Tbl.find_opt shard.table basis in
-  Mutex.unlock shard.lock;
-  match cached with
-  | Some col -> Array.map (fun i -> col.(i)) indices
-  | None -> Compiled.eval_probe (Compiled.compile basis) ~columns:data.columns ~indices
+  match data.storage with
+  | Chunked src ->
+      let gathered = src.src_gather indices in
+      Compiled.eval_probe (Compiled.compile basis) ~columns:gathered
+        ~indices:(identity_indices indices)
+  | Dense columns -> (
+      let shard = shard_of data basis in
+      Mutex.lock shard.lock;
+      let cached = Compiled.Tbl.find_opt shard.table basis in
+      Mutex.unlock shard.lock;
+      match cached with
+      | Some col -> Array.map (fun i -> col.(i)) indices
+      | None -> Compiled.eval_probe (Compiled.compile basis) ~columns ~indices)
 
 (* --- fused batch evaluation ---------------------------------------------- *)
 
@@ -242,6 +393,14 @@ let record_fusion fused =
   (nodes_in, nodes_out)
 
 let warm_columns data bases =
+  match data.storage with
+  | Chunked _ ->
+      (* Nothing to warm: out-of-core columns are never cached (see
+         [basis_column]), so warming would materialize n-length arrays
+         only to drop them. *)
+      ignore bases;
+      { fused_bases = 0; nodes_in = 0; nodes_out = 0 }
+  | Dense dense_columns ->
   (* One pass to find the bases with no memoized column (first occurrence
      only: a fused compile handles duplicate roots, but the cache needs
      one install per distinct basis), then one fused evaluation of all of
@@ -268,7 +427,7 @@ let warm_columns data bases =
       let missing = Array.of_list (List.rev rev) in
       let fused = Fused.compile missing in
       let scratch = Domain.DLS.get data.fused_scratch_key in
-      let columns = Fused.eval_columns fused ~scratch ~columns:data.columns ~n:data.n in
+      let columns = Fused.eval_columns fused ~scratch ~columns:dense_columns ~n:data.n in
       let per_shard_limit = Stdlib.max 1 (data.cache_limit / shard_count) in
       Array.iteri
         (fun k basis ->
@@ -293,7 +452,12 @@ let probe_many data bases ~indices =
      re-walking subtrees its bases share.  Values are bit-identical to
      per-basis [probe] in every cache state, so fingerprints cannot
      depend on whether an individual went through the fused path. *)
-  Fused.eval_probe (Fused.compile bases) ~columns:data.columns ~indices
+  match data.storage with
+  | Dense columns -> Fused.eval_probe (Fused.compile bases) ~columns ~indices
+  | Chunked src ->
+      let gathered = src.src_gather indices in
+      Fused.eval_probe (Fused.compile bases) ~columns:gathered
+        ~indices:(identity_indices indices)
 
 (* --- dot products -------------------------------------------------------- *)
 
@@ -316,23 +480,100 @@ let trim_dot_shard data shard =
     Target_tbl.reset shard.target_dots
   end
 
+let pair_shard data key = data.dot_shards.(Pair_key.hash key land (shard_count - 1))
+let target_shard data key = data.dot_shards.(Target_key.hash key land (shard_count - 1))
+
+let find_pair data key =
+  let shard = pair_shard data key in
+  Mutex.lock shard.dot_lock;
+  let found = Pair_tbl.find_opt shard.pairs key in
+  (match found with
+  | Some _ -> shard.dot_hits <- shard.dot_hits + 1
+  | None -> shard.dot_misses <- shard.dot_misses + 1);
+  Mutex.unlock shard.dot_lock;
+  found
+
+let store_pair data key value =
+  let shard = pair_shard data key in
+  Mutex.lock shard.dot_lock;
+  trim_dot_shard data shard;
+  if not (Pair_tbl.mem shard.pairs key) then Pair_tbl.add shard.pairs key value;
+  Mutex.unlock shard.dot_lock
+
+let find_target data key =
+  let shard = target_shard data key in
+  Mutex.lock shard.dot_lock;
+  let found = Target_tbl.find_opt shard.target_dots key in
+  (match found with
+  | Some _ -> shard.dot_hits <- shard.dot_hits + 1
+  | None -> shard.dot_misses <- shard.dot_misses + 1);
+  Mutex.unlock shard.dot_lock;
+  found
+
+let store_target data key value =
+  let shard = target_shard data key in
+  Mutex.lock shard.dot_lock;
+  trim_dot_shard data shard;
+  if not (Target_tbl.mem shard.target_dots key) then Target_tbl.add shard.target_dots key value;
+  Mutex.unlock shard.dot_lock
+
+(* Streamed products carry one scalar accumulator across chunk boundaries
+   in row order, so every one of them reproduces the dense sequential
+   [dot_product] to the last bit (same additions, same order).  Pair dots
+   evaluate both bases through one fused tape per chunk; fused values are
+   bit-identical to per-expression compilation (§7h), which the dense
+   path's columns also come from. *)
+let chunked_dot data src b1 b2 =
+  let fused = Fused.compile [| b1; b2 |] in
+  let scratch = Domain.DLS.get data.fused_scratch_key in
+  let out = Array.init 2 (fun _ -> Array.make src.src_chunk_rows 0.) in
+  let acc = ref 0. in
+  src.src_iter (fun ~row0:_ ~len columns ->
+      Fused.eval_columns_into fused ~scratch ~columns ~n:len ~out;
+      let a = out.(0) and b = out.(1) in
+      for r = 0 to len - 1 do
+        acc := !acc +. (a.(r) *. b.(r))
+      done);
+  !acc
+
+let chunked_dot_target data src basis targets =
+  let compiled = Compiled.compile basis in
+  let scratch = Domain.DLS.get data.scratch_key in
+  let out = Array.make src.src_chunk_rows 0. in
+  let acc = ref 0. in
+  src.src_iter (fun ~row0 ~len columns ->
+      Compiled.eval_columns_into compiled ~scratch ~columns ~n:len ~out;
+      for r = 0 to len - 1 do
+        acc := !acc +. (out.(r) *. targets.(row0 + r))
+      done);
+  !acc
+
+(* ⟨col, 1⟩ with the multiplication by 1. spelled out: the dense path dots
+   the column against a literal ones vector, and bit-identity of the two
+   paths is part of the determinism contract. *)
+let chunked_column_sum data src basis =
+  let compiled = Compiled.compile basis in
+  let scratch = Domain.DLS.get data.scratch_key in
+  let out = Array.make src.src_chunk_rows 0. in
+  let acc = ref 0. in
+  src.src_iter (fun ~row0:_ ~len columns ->
+      Compiled.eval_columns_into compiled ~scratch ~columns ~n:len ~out;
+      for r = 0 to len - 1 do
+        acc := !acc +. (out.(r) *. 1.)
+      done);
+  !acc
+
 let dot data b1 b2 =
   let key = (b1, b2) in
-  let shard = data.dot_shards.(Pair_key.hash key land (shard_count - 1)) in
-  Mutex.lock shard.dot_lock;
-  match Pair_tbl.find_opt shard.pairs key with
-  | Some value ->
-      shard.dot_hits <- shard.dot_hits + 1;
-      Mutex.unlock shard.dot_lock;
-      value
+  match find_pair data key with
+  | Some value -> value
   | None ->
-      shard.dot_misses <- shard.dot_misses + 1;
-      Mutex.unlock shard.dot_lock;
-      let value = dot_product data.n (basis_column data b1) (basis_column data b2) in
-      Mutex.lock shard.dot_lock;
-      trim_dot_shard data shard;
-      if not (Pair_tbl.mem shard.pairs key) then Pair_tbl.add shard.pairs key value;
-      Mutex.unlock shard.dot_lock;
+      let value =
+        match data.storage with
+        | Dense _ -> dot_product data.n (basis_column data b1) (basis_column data b2)
+        | Chunked src -> chunked_dot data src b1 b2
+      in
+      store_pair data key value;
       value
 
 (* Target arrays are identified physically: the search and SAG pass the
@@ -355,25 +596,177 @@ let target_id data targets =
 let dot_target data basis ~targets =
   if Array.length targets <> data.n then invalid_arg "Dataset.dot_target: length mismatch";
   let key = (basis, target_id data targets) in
-  let shard = data.dot_shards.(Target_key.hash key land (shard_count - 1)) in
-  Mutex.lock shard.dot_lock;
-  match Target_tbl.find_opt shard.target_dots key with
-  | Some value ->
-      shard.dot_hits <- shard.dot_hits + 1;
-      Mutex.unlock shard.dot_lock;
-      value
+  match find_target data key with
+  | Some value -> value
   | None ->
-      shard.dot_misses <- shard.dot_misses + 1;
-      Mutex.unlock shard.dot_lock;
-      let value = dot_product data.n (basis_column data basis) targets in
-      Mutex.lock shard.dot_lock;
-      trim_dot_shard data shard;
-      if not (Target_tbl.mem shard.target_dots key) then
-        Target_tbl.add shard.target_dots key value;
-      Mutex.unlock shard.dot_lock;
+      let value =
+        match data.storage with
+        | Dense _ -> dot_product data.n (basis_column data basis) targets
+        | Chunked src -> chunked_dot_target data src basis targets
+      in
+      store_target data key value;
       value
 
-let column_sum data basis = dot_target data basis ~targets:data.ones
+let column_sum data basis =
+  match data.storage with
+  | Dense _ -> dot_target data basis ~targets:data.ones
+  | Chunked src -> (
+      (* Target id 0 is the ones vector; on chunked storage that vector is
+         only notional (never allocated at full length). *)
+      let key = (basis, 0) in
+      match find_target data key with
+      | Some value -> value
+      | None ->
+          let value = chunked_column_sum data src basis in
+          store_target data key value;
+          value)
+
+(* --- one-pass Gram accumulation (streaming fits) -------------------------- *)
+
+module Gram_stream = Caffeine_regress.Gram_stream
+module Stats = Caffeine_util.Stats
+
+type gram = {
+  dots : float array array;  (* k x k, symmetric, fully populated *)
+  dot_ys : float array;
+  col_sums : float array;
+  finite_bases : bool array;
+}
+
+let find_finite data basis =
+  Mutex.lock data.finite_lock;
+  let found = Compiled.Tbl.find_opt data.finite_table basis in
+  Mutex.unlock data.finite_lock;
+  found
+
+let store_finite data basis value =
+  Mutex.lock data.finite_lock;
+  if Compiled.Tbl.length data.finite_table >= data.cache_limit then
+    Compiled.Tbl.reset data.finite_table;
+  if not (Compiled.Tbl.mem data.finite_table basis) then
+    Compiled.Tbl.add data.finite_table basis value;
+  Mutex.unlock data.finite_lock
+
+let gram data bases ~targets =
+  if Array.length targets <> data.n then invalid_arg "Dataset.gram: target length mismatch";
+  let k = Array.length bases in
+  if k = 0 then { dots = [||]; dot_ys = [||]; col_sums = [||]; finite_bases = [||] }
+  else
+    match data.storage with
+    | Dense _ ->
+        (* Dense storage assembles from the memoized single-product API —
+           same cache, same values the streaming path would produce. *)
+        {
+          dots =
+            Array.init k (fun i -> Array.init k (fun j -> dot data bases.(i) bases.(j)));
+          dot_ys = Array.init k (fun i -> dot_target data bases.(i) ~targets);
+          col_sums = Array.init k (fun i -> column_sum data bases.(i));
+          finite_bases =
+            Array.init k (fun i -> Stats.is_finite_array (basis_column data bases.(i)));
+        }
+    | Chunked src ->
+        let tid = target_id data targets in
+        let dots = Array.make_matrix k k Float.nan in
+        let dot_ys = Array.make k Float.nan in
+        let col_sums = Array.make k Float.nan in
+        let finite_bases = Array.make k true in
+        let missing_dot = Array.make_matrix k k false in
+        let missing_dot_y = Array.make k false in
+        let missing_sum = Array.make k false in
+        let missing_finite = Array.make k false in
+        (* Which entries the caches already hold; any gap marks every basis
+           it involves for the evaluation pass. *)
+        let needed = Array.make k false in
+        for i = 0 to k - 1 do
+          (match find_target data (bases.(i), tid) with
+          | Some v -> dot_ys.(i) <- v
+          | None ->
+              missing_dot_y.(i) <- true;
+              needed.(i) <- true);
+          (match find_target data (bases.(i), 0) with
+          | Some v -> col_sums.(i) <- v
+          | None ->
+              missing_sum.(i) <- true;
+              needed.(i) <- true);
+          (match find_finite data bases.(i) with
+          | Some v -> finite_bases.(i) <- v
+          | None ->
+              missing_finite.(i) <- true;
+              needed.(i) <- true);
+          for j = i to k - 1 do
+            match find_pair data (bases.(i), bases.(j)) with
+            | Some v ->
+                dots.(i).(j) <- v;
+                dots.(j).(i) <- v
+            | None ->
+                missing_dot.(i).(j) <- true;
+                needed.(i) <- true;
+                needed.(j) <- true
+          done
+        done;
+        let needed_idx =
+          let rev = ref [] in
+          for i = k - 1 downto 0 do
+            if needed.(i) then rev := i :: !rev
+          done;
+          Array.of_list !rev
+        in
+        if Array.length needed_idx > 0 then begin
+          (* One pass over the data: evaluate every needed basis through a
+             fused tape per chunk and advance all accumulators.  The full
+             sub-Gram of the needed set is accumulated (a missing (i, j)
+             needs both columns in the pass anyway); cached entries keep
+             their cached value — recomputation would reproduce it bit for
+             bit, so nothing is overwritten either way. *)
+          let acc = Gram_stream.create (Array.length needed_idx) in
+          let fused = Fused.compile (Array.map (fun i -> bases.(i)) needed_idx) in
+          let scratch = Domain.DLS.get data.fused_scratch_key in
+          let out =
+            Array.init (Array.length needed_idx) (fun _ -> Array.make src.src_chunk_rows 0.)
+          in
+          src.src_iter (fun ~row0 ~len columns ->
+              Fused.eval_columns_into fused ~scratch ~columns ~n:len ~out;
+              Gram_stream.update acc ~columns:out ~targets ~row0 ~len);
+          let pos = Array.make k (-1) in
+          Array.iteri (fun p i -> pos.(i) <- p) needed_idx;
+          for i = 0 to k - 1 do
+            if missing_dot_y.(i) then begin
+              dot_ys.(i) <- Gram_stream.dot_y acc pos.(i);
+              store_target data (bases.(i), tid) dot_ys.(i)
+            end;
+            if missing_sum.(i) then begin
+              col_sums.(i) <- Gram_stream.col_sum acc pos.(i);
+              store_target data (bases.(i), 0) col_sums.(i)
+            end;
+            if missing_finite.(i) then begin
+              finite_bases.(i) <- Gram_stream.finite acc pos.(i);
+              store_finite data bases.(i) finite_bases.(i)
+            end;
+            for j = i to k - 1 do
+              if missing_dot.(i).(j) then begin
+                let v = Gram_stream.dot acc pos.(i) pos.(j) in
+                dots.(i).(j) <- v;
+                dots.(j).(i) <- v;
+                store_pair data (bases.(i), bases.(j)) v
+              end
+            done
+          done
+        end;
+        { dots; dot_ys; col_sums; finite_bases }
+
+let iter_basis_chunks data bases ~f =
+  if Array.length bases = 0 then invalid_arg "Dataset.iter_basis_chunks: no bases";
+  match data.storage with
+  | Dense _ ->
+      (* One "chunk" covering the whole dataset, from memoized columns. *)
+      f ~row0:0 ~len:data.n (Array.map (basis_column data) bases)
+  | Chunked src ->
+      let fused = Fused.compile bases in
+      let scratch = Domain.DLS.get data.fused_scratch_key in
+      let out = Array.init (Array.length bases) (fun _ -> Array.make src.src_chunk_rows 0.) in
+      src.src_iter (fun ~row0 ~len columns ->
+          Fused.eval_columns_into fused ~scratch ~columns ~n:len ~out;
+          f ~row0 ~len out)
 
 (* --- cache management ----------------------------------------------------- *)
 
@@ -459,7 +852,10 @@ let clear_cache data =
       Pair_tbl.reset shard.pairs;
       Target_tbl.reset shard.target_dots;
       Mutex.unlock shard.dot_lock)
-    data.dot_shards
+    data.dot_shards;
+  Mutex.lock data.finite_lock;
+  Compiled.Tbl.reset data.finite_table;
+  Mutex.unlock data.finite_lock
 
 let cache_limit data = data.cache_limit
 

@@ -47,24 +47,53 @@ val of_table : ?exclude:string list -> Csv.table -> t
     Raises [Invalid_argument] on a table with no data rows (header
     only). *)
 
+val chunked_of_columns : ?var_names:string array -> chunk_rows:int -> float array array -> t
+(** The same data as {!of_columns}, but served through the chunked
+    (streaming) storage path in [chunk_rows]-row slices — an in-memory
+    stand-in for a {!Colstore} file, used to pin streaming ≡ dense
+    equivalence in tests without touching disk.  All evaluation goes
+    through the chunk source: columns are never cached, dots accumulate
+    chunk by chunk (bit-identical to the dense sequential products — see
+    {!gram}). *)
+
+val of_colstore : ?exclude:string list -> Colstore.t -> t
+(** A streaming dataset over an open column store: every store variable
+    whose name is not excluded becomes a design variable, in store order.
+    The dataset keeps the store handle alive inside its chunk source —
+    target columns should be pulled separately with {!Colstore.column}.
+    Raises [Invalid_argument] when every column is excluded or the store
+    is empty. *)
+
 val n_samples : t -> int
 val dims : t -> int
 val var_names : t -> string array
 
+val is_chunked : t -> bool
+(** Whether this dataset streams from a chunk source (out-of-core path)
+    rather than holding resident columns. *)
+
+val chunk_rows : t -> int
+(** Rows per chunk of the streaming source; [n_samples] for dense
+    storage (one whole-dataset "chunk"). *)
+
 val column : t -> int -> float array
-(** The stored column for one variable — shared, do not mutate. *)
+(** The stored column for one variable — shared, do not mutate.  On
+    chunked storage the column is materialized fresh on every call
+    (checkpoint fingerprints are the intended consumer). *)
 
 val point : t -> int -> float array
 (** A fresh row: all variables at one sample. *)
 
 val rows : t -> float array array
 (** Fresh row-major copy (for row-oriented consumers, e.g. the posynomial
-    baseline). *)
+    baseline).  Raises [Invalid_argument] on chunked storage — an
+    out-of-core dataset has no in-memory row matrix. *)
 
 val split : t -> at:int -> t * t
 (** Train/test split at a sample index: samples [0..at-1] and [at..n-1],
     each with fresh caches.  Raises [Invalid_argument] unless
-    [0 < at < n_samples]. *)
+    [0 < at < n_samples], or on chunked storage (split the source file
+    instead). *)
 
 val eval_column : Compiled.t -> t -> float array
 (** Evaluate a compiled basis over every sample (fresh result column, no
@@ -127,6 +156,41 @@ val dot_target : t -> Expr.basis -> targets:float array -> float
 val column_sum : t -> Expr.basis -> float
 (** [Σ_i col.(i)] of the basis column — the border row of the regression
     engine's Gram matrix ([⟨col, 1⟩], cached like any target product). *)
+
+type gram = {
+  dots : float array array;  (** [k x k] symmetric: [⟨colᵢ, colⱼ⟩] *)
+  dot_ys : float array;  (** [⟨colᵢ, y⟩] *)
+  col_sums : float array;  (** [⟨colᵢ, 1⟩] *)
+  finite_bases : bool array;  (** whether column [i] is finite everywhere *)
+}
+
+val gram : t -> Expr.basis array -> targets:float array -> gram
+(** Every product {!Caffeine_regress.Linfit.fit_gram} needs for one
+    individual, in one batch.  On chunked storage this is the streaming
+    workhorse: entries already memoized in the dot cache are reused
+    without touching the data; the remaining entries are accumulated by
+    {!Caffeine_regress.Gram_stream} in a single pass over the chunks
+    (each scalar carried across chunk boundaries in row order, hence
+    bit-identical to the dense sequential products), then installed into
+    the caches.  Per-basis finiteness is screened in the same pass and
+    cached separately, so a fully-warm cache means no data pass at all.
+    On dense storage the entries come from {!dot} / {!dot_target} /
+    {!column_sum} directly.  Raises [Invalid_argument] when [targets]
+    does not have one entry per sample. *)
+
+val iter_basis_chunks :
+  t ->
+  Expr.basis array ->
+  f:(row0:int -> len:int -> float array array -> unit) ->
+  unit
+(** Visit the bases' value columns as row chunks in order — the
+    [iter] argument of {!Caffeine_regress.Linfit.fit_stream}.
+    [columns.(j)] holds basis [j]'s values for rows [row0 .. row0+len-1]
+    in its first [len] cells; buffers are only valid during the callback.
+    Chunked storage evaluates all bases through one fused tape per chunk
+    (never materializing a full column); dense storage makes a single
+    whole-dataset call from memoized columns.  Raises [Invalid_argument]
+    on an empty basis array. *)
 
 val cached_columns : t -> int
 (** Number of distinct bases memoized so far (cache introspection). *)

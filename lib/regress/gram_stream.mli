@@ -1,0 +1,36 @@
+(** Streaming Gram accumulator: build every product {!Linfit.fit_gram}
+    needs — [⟨colᵢ, colⱼ⟩], [⟨colᵢ, y⟩], [⟨colᵢ, 1⟩], per-column
+    finiteness — in one pass over row chunks, without ever materializing a
+    full column.
+
+    Each scalar accumulates row products in global row order (the
+    accumulator is carried across chunk boundaries), so the result is
+    bit-identical to the sequential dot product over the dense column —
+    not merely close: streaming and in-memory fits agree to the last IEEE
+    bit, which keeps Pareto fronts byte-identical across the two data
+    paths.  See DESIGN.md §7j. *)
+
+type t
+
+val create : int -> t
+(** [create k] starts an accumulator for [k] columns, all products zero.
+    Raises [Invalid_argument] when [k < 1]. *)
+
+val update : t -> columns:float array array -> targets:float array -> row0:int -> len:int -> unit
+(** Feed the chunk covering rows [row0 .. row0+len-1]: [columns.(i)] holds
+    column [i]'s values for those rows in its first [len] cells (longer
+    scratch buffers are fine), [targets] is the full dense target vector.
+    Chunks must arrive in row order with no gaps ([row0] must equal
+    {!rows_seen}); raises [Invalid_argument] otherwise. *)
+
+val rows_seen : t -> int
+
+val dot : t -> int -> int -> float
+(** [⟨colᵢ, colⱼ⟩] over the rows seen so far (symmetric). *)
+
+val dot_y : t -> int -> float
+val col_sum : t -> int -> float
+
+val finite : t -> int -> bool
+(** Whether every value of column [i] seen so far is finite — the
+    streaming stand-in for [Stats.is_finite_array] on the dense column. *)

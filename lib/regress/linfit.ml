@@ -124,91 +124,139 @@ let press ~basis_values ~targets =
         Decomp.press (design_matrix basis_values) targets
   end
 
+(* Shared core of the normal-equations fast path: assemble the bordered
+   Gram matrix from the supplied products and solve it with the guards —
+   unit-diagonal equilibration, a minimum Cholesky-pivot threshold, one
+   iterative-refinement step.  [None] means a guard tripped and the caller
+   must take its QR fallback.  Both the dense ({!fit_gram}) and the
+   streaming ({!fit_stream}) entry points run exactly this code, so a
+   given set of products yields the same coefficients word for word on
+   either data path. *)
+let gram_coefficients ~dot ~dot_y ~col_sum ~n ~k ~targets =
+  let dim = k + 1 in
+  let g =
+    Matrix.init dim dim (fun i j ->
+        if i = 0 && j = 0 then float_of_int n
+        else if i = 0 then col_sum (j - 1)
+        else if j = 0 then col_sum (i - 1)
+        else dot (i - 1) (j - 1))
+  in
+  let degenerate = ref false in
+  let d =
+    Array.init dim (fun i ->
+        let gii = Matrix.get g i i in
+        if Float.is_finite gii && gii > 0. then 1. /. sqrt gii
+        else begin
+          degenerate := true;
+          1.
+        end)
+  in
+  if !degenerate then None
+  else begin
+    let gs = Matrix.init dim dim (fun i j -> d.(i) *. Matrix.get g i j *. d.(j)) in
+    let rs =
+      Array.init dim (fun i ->
+          let raw = if i = 0 then Array.fold_left ( +. ) 0. targets else dot_y (i - 1) in
+          d.(i) *. raw)
+    in
+    match Decomp.cholesky gs with
+    | exception Decomp.Singular -> None
+    | l ->
+        let min_pivot = ref Float.infinity and max_pivot = ref 0. in
+        for i = 0 to dim - 1 do
+          let p = Matrix.get l i i in
+          if p < !min_pivot then min_pivot := p;
+          if p > !max_pivot then max_pivot := p
+        done;
+        (* Pivot ratio ~ 1/sqrt(cond): below 1e-3 the squared conditioning
+           threatens the 1e-8 agreement contract, so use QR instead. *)
+        if !min_pivot < 1e-3 *. !max_pivot then None
+        else begin
+          let lt = Matrix.transpose l in
+          let solve b = Decomp.solve_upper_triangular lt (Decomp.solve_lower_triangular l b) in
+          let x0 = solve rs in
+          let residual =
+            Array.init dim (fun i ->
+                let acc = ref rs.(i) in
+                for j = 0 to dim - 1 do
+                  acc := !acc -. (Matrix.get gs i j *. x0.(j))
+                done;
+                !acc)
+          in
+          let dx = solve residual in
+          Some (Array.init dim (fun i -> (x0.(i) +. dx.(i)) *. d.(i)))
+        end
+  end
+
+let finish_gram ~coeffs ~k ~predictions ~targets =
+  {
+    intercept = coeffs.(0);
+    weights = Array.sub coeffs 1 k;
+    predictions;
+    train_error = Stats.normalized_error targets predictions;
+  }
+
 (* Per-individual fast path: solve the normal equations from a bordered
    Gram matrix whose entries the caller supplies (typically memoized dot
-   products shared across the population).  Normal equations square the
-   conditioning, so the path guards itself — unit-diagonal equilibration,
-   a minimum Cholesky-pivot threshold, one iterative-refinement step — and
-   falls back to the QR path ({!fit}) whenever the guards trip. *)
+   products shared across the population), falling back to the QR path
+   ({!fit}) whenever a conditioning guard trips. *)
 let fit_gram ~dot ~dot_y ~col_sum ~basis_values ~targets =
   let k = Array.length basis_values in
   if k = 0 then fit_constant ~targets
   else begin
     let n = check_columns "Linfit.fit_gram" basis_values in
     if n <> Array.length targets then invalid_arg "Linfit.fit_gram: sample count mismatch";
-    let dim = k + 1 in
-    let g =
-      Matrix.init dim dim (fun i j ->
-          if i = 0 && j = 0 then float_of_int n
-          else if i = 0 then col_sum (j - 1)
-          else if j = 0 then col_sum (i - 1)
-          else dot (i - 1) (j - 1))
-    in
     Metrics.incr m_gram_fits;
-    let fallback () =
-      Metrics.incr m_gram_fallbacks;
-      fit ~basis_values ~targets
-    in
-    let degenerate = ref false in
-    let d =
-      Array.init dim (fun i ->
-          let gii = Matrix.get g i i in
-          if Float.is_finite gii && gii > 0. then 1. /. sqrt gii
-          else begin
-            degenerate := true;
-            1.
-          end)
-    in
-    if !degenerate then fallback ()
-    else begin
-      let gs = Matrix.init dim dim (fun i j -> d.(i) *. Matrix.get g i j *. d.(j)) in
-      let rs =
-        Array.init dim (fun i ->
-            let raw = if i = 0 then Array.fold_left ( +. ) 0. targets else dot_y (i - 1) in
-            d.(i) *. raw)
-      in
-      match Decomp.cholesky gs with
-      | exception Decomp.Singular -> fallback ()
-      | l ->
-          let min_pivot = ref Float.infinity and max_pivot = ref 0. in
-          for i = 0 to dim - 1 do
-            let p = Matrix.get l i i in
-            if p < !min_pivot then min_pivot := p;
-            if p > !max_pivot then max_pivot := p
-          done;
-          (* Pivot ratio ~ 1/sqrt(cond): below 1e-3 the squared conditioning
-             threatens the 1e-8 agreement contract, so use QR instead. *)
-          if !min_pivot < 1e-3 *. !max_pivot then fallback ()
-          else begin
-            let lt = Matrix.transpose l in
-            let solve b = Decomp.solve_upper_triangular lt (Decomp.solve_lower_triangular l b) in
-            let x0 = solve rs in
-            let residual =
-              Array.init dim (fun i ->
-                  let acc = ref rs.(i) in
-                  for j = 0 to dim - 1 do
-                    acc := !acc -. (Matrix.get gs i j *. x0.(j))
-                  done;
-                  !acc)
-            in
-            let dx = solve residual in
-            let coeffs = Array.init dim (fun i -> (x0.(i) +. dx.(i)) *. d.(i)) in
-            let predictions =
-              Array.init n (fun i ->
-                  let acc = ref coeffs.(0) in
-                  for j = 0 to k - 1 do
-                    acc := !acc +. (coeffs.(j + 1) *. basis_values.(j).(i))
-                  done;
-                  !acc)
-            in
-            {
-              intercept = coeffs.(0);
-              weights = Array.sub coeffs 1 k;
-              predictions;
-              train_error = Stats.normalized_error targets predictions;
-            }
-          end
-    end
+    match gram_coefficients ~dot ~dot_y ~col_sum ~n ~k ~targets with
+    | None ->
+        Metrics.incr m_gram_fallbacks;
+        fit ~basis_values ~targets
+    | Some coeffs ->
+        let predictions =
+          Array.init n (fun i ->
+              let acc = ref coeffs.(0) in
+              for j = 0 to k - 1 do
+                acc := !acc +. (coeffs.(j + 1) *. basis_values.(j).(i))
+              done;
+              !acc)
+        in
+        finish_gram ~coeffs ~k ~predictions ~targets
+  end
+
+(* Streaming variant: identical solve, but basis values arrive as row
+   chunks through [iter] instead of materialized columns.  The prediction
+   for each sample is computed with the same per-row operation order as
+   {!fit_gram}'s loop (each sample's accumulation is independent), so the
+   two paths return bit-identical predictions given bit-identical
+   products.  The QR fallback has no streaming form — it materializes the
+   columns through one [iter] pass and delegates to {!fit}, which is the
+   same computation the dense fallback performs. *)
+let fit_stream ~dot ~dot_y ~col_sum ~k ~n ~iter ~targets =
+  if k = 0 then fit_constant ~targets
+  else begin
+    if n < 1 then invalid_arg "Linfit.fit_stream: empty dataset";
+    if n <> Array.length targets then invalid_arg "Linfit.fit_stream: sample count mismatch";
+    Metrics.incr m_gram_fits;
+    match gram_coefficients ~dot ~dot_y ~col_sum ~n ~k ~targets with
+    | None ->
+        Metrics.incr m_gram_fallbacks;
+        let basis_values = Array.init k (fun _ -> Array.make n 0.) in
+        iter (fun ~row0 ~len (columns : float array array) ->
+            for j = 0 to k - 1 do
+              Array.blit columns.(j) 0 basis_values.(j) row0 len
+            done);
+        fit ~basis_values ~targets
+    | Some coeffs ->
+        let predictions = Array.make n 0. in
+        iter (fun ~row0 ~len (columns : float array array) ->
+            for i = 0 to len - 1 do
+              let acc = ref coeffs.(0) in
+              for j = 0 to k - 1 do
+                acc := !acc +. (coeffs.(j + 1) *. columns.(j).(i))
+              done;
+              predictions.(row0 + i) <- !acc
+            done);
+        finish_gram ~coeffs ~k ~predictions ~targets
   end
 
 let forward_select ?(executor = Caffeine_par.Executor.sequential) ?max_bases

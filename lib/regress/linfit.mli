@@ -63,6 +63,31 @@ val fit_gram :
     back to {!fit}, so the result always matches the QR answer within the
     engine's 1e-8 contract. *)
 
+val fit_stream :
+  dot:(int -> int -> float) ->
+  dot_y:(int -> float) ->
+  col_sum:(int -> float) ->
+  k:int ->
+  n:int ->
+  iter:((row0:int -> len:int -> float array array -> unit) -> unit) ->
+  targets:float array ->
+  t
+(** {!fit_gram} for out-of-core data: the [k] basis columns are never
+    materialized — [iter f] must visit the samples as row chunks in order,
+    calling [f ~row0 ~len columns] with [columns.(j)] holding column [j]'s
+    values for rows [row0 .. row0+len-1] in its first [len] cells.  The
+    Gram solve is the shared {!fit_gram} core (same guards, same
+    refinement), and the prediction pass applies the coefficients with the
+    same per-sample operation order, so given bit-identical products the
+    two entry points return bit-identical fits.  The supplied products are
+    typically a {!Gram_stream} accumulation (see
+    {!Caffeine_io.Dataset.gram}), whose chunk-carried accumulators
+    reproduce the dense sequential dot products exactly.  When a
+    conditioning guard trips, the columns are materialized through one
+    extra [iter] pass and the call falls back to {!fit} — the identical
+    fallback computation to {!fit_gram}'s.  [iter] is invoked at most
+    twice (prediction pass, or materialization on fallback). *)
+
 val predict : t -> basis_values:float array array -> float array
 (** Apply fitted weights to basis values measured at other sample points. *)
 

@@ -20,7 +20,8 @@ let capacitors_of circuit =
       | Circuit.Mosfet _ -> None)
     (Circuit.elements circuit)
 
-let simulate ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~duration () =
+let simulate_stream ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~duration
+    ~on_step () =
   if step <= 0. || duration <= 0. then invalid_arg "Tran.simulate: step and duration must be positive";
   let vsource_value time =
     match stimulus with
@@ -37,14 +38,13 @@ let simulate ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~dur
   | Ok start ->
       let caps = capacitors_of circuit in
       let num_steps = int_of_float (ceil (duration /. step)) in
-      let times = Array.init (num_steps + 1) (fun k -> float_of_int k *. step) in
-      let rows = Array.make (num_steps + 1) [||] in
-      rows.(0) <- Array.copy start.Dc.voltages;
+      let first = Array.copy start.Dc.voltages in
+      on_step ~k:0 ~time:0. first;
       (* Per-capacitor branch current, needed by the trapezoidal companion;
          zero at the operating point. *)
       let cap_currents = Array.make (List.length caps) 0. in
       let failed = ref None in
-      let previous = ref rows.(0) in
+      let previous = ref first in
       let k = ref 1 in
       while !failed = None && !k <= num_steps do
         let prev = !previous in
@@ -76,7 +76,7 @@ let simulate ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~dur
                   add_b n2 (-.ieq))
             caps
         in
-        let time = times.(!k) in
+        let time = float_of_int !k *. step in
         (match
            Dc.solve_with ~initial:prev ~vsource_value:(vsource_value time) ~extra_stamp:companion
              circuit
@@ -96,14 +96,25 @@ let simulate ?(integration = Trapezoidal) ?stimulus ?initial ~circuit ~step ~dur
                 in
                 cap_currents.(index) <- current)
               caps;
-            rows.(!k) <- Array.copy fresh;
-            previous := rows.(!k);
+            on_step ~k:!k ~time fresh;
+            previous := fresh;
             incr k);
         ()
       done;
-      (match !failed with
-      | Some msg -> Error msg
-      | None -> Ok { times; voltages = rows })
+      (match !failed with Some msg -> Error msg | None -> Ok num_steps)
+
+let simulate ?integration ?stimulus ?initial ~circuit ~step ~duration () =
+  if step <= 0. || duration <= 0. then invalid_arg "Tran.simulate: step and duration must be positive";
+  let num_steps = int_of_float (ceil (duration /. step)) in
+  let times = Array.init (num_steps + 1) (fun k -> float_of_int k *. step) in
+  let rows = Array.make (num_steps + 1) [||] in
+  match
+    simulate_stream ?integration ?stimulus ?initial ~circuit ~step ~duration
+      ~on_step:(fun ~k ~time:_ voltages -> rows.(k) <- Array.copy voltages)
+      ()
+  with
+  | Error _ as e -> e
+  | Ok (_ : int) -> Ok { times; voltages = rows }
 
 let slew_rates waveform ~node =
   let trace = node_waveform waveform node in

@@ -22,6 +22,26 @@ type waveform = {
 val node_waveform : waveform -> int -> float array
 (** One node's voltage trace. *)
 
+val simulate_stream :
+  ?integration:integration ->
+  ?stimulus:(string -> float -> float option) ->
+  ?initial:Dc.solution ->
+  circuit:Circuit.t ->
+  step:float ->
+  duration:float ->
+  on_step:(k:int -> time:float -> float array -> unit) ->
+  unit ->
+  (int, string) result
+(** Streaming form of {!simulate}: instead of materializing the whole
+    waveform (an [num_steps x nodes] matrix), [on_step ~k ~time voltages]
+    is called once per solved time point in order, starting with the
+    operating point at [k = 0].  The voltage array is only valid during
+    the callback and must not be mutated — copy what must outlive it.
+    Returns the number of integration steps taken.  This is the native
+    producer for million-sample waveform datasets: each solved step can
+    be appended straight to a {!Caffeine_io.Colstore} writer with O(1)
+    resident memory.  {!simulate} is implemented on top of this. *)
+
 val simulate :
   ?integration:integration ->
   ?stimulus:(string -> float -> float option) ->

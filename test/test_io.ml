@@ -101,6 +101,59 @@ let test_read_header_only () =
   expect_error_containing "a,b\n" "only a header";
   expect_error_containing "a,b\n\n\n" "only a header"
 
+let test_duplicate_header_rejected () =
+  (* A duplicate name would silently bind --target / exclusions to the
+     first occurrence; the error must name the column and both positions. *)
+  expect_error_containing "a,b,a\n1,2,3\n" "duplicate column name \"a\"";
+  expect_error_containing "a,b,a\n1,2,3\n" "columns 1 and 3";
+  expect_error_containing "x,x\n1,2\n" "columns 1 and 2";
+  (* CRLF must not defeat the duplicate check on the last column. *)
+  expect_error_containing "a,b,b\r\n1,2,3\r\n" "duplicate column name \"b\""
+
+let test_crlf_error_messages_trimmed () =
+  (* The offending cell is quoted without its carriage return: pre-fix the
+     message read [bad number "zzz\r"], pointing users at a phantom cell. *)
+  let path = write_text "a,b\r\n1,zzz\r\n" in
+  (match Csv.read ~path with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+      Alcotest.(check bool) "no carriage return in message" false
+        (String.contains msg '\r');
+      let fragment = "bad number \"zzz\"" in
+      let len = String.length fragment in
+      let rec occurs i =
+        i + len <= String.length msg && (String.sub msg i len = fragment || occurs (i + 1))
+      in
+      Alcotest.(check bool) "quotes the trimmed cell" true (occurs 0));
+  Sys.remove path
+
+let test_stream_incremental () =
+  (* The streaming driver visits rows one at a time without materializing
+     the table; a row-callback error aborts the scan with its message. *)
+  let path = write_text "a,b\n1,2\n\n3,4\n5,6\n" in
+  let seen = ref [] in
+  (match
+     Csv.stream ~path
+       ~header:(fun names ->
+         Alcotest.(check bool) "header" true (names = [| "a"; "b" |]);
+         Ok ())
+       ~row:(fun ~lineno row ->
+         seen := (lineno, row.(0), row.(1)) :: !seen;
+         Ok ())
+   with
+  | Error msg -> Alcotest.failf "stream failed: %s" msg
+  | Ok () ->
+      Alcotest.(check bool) "rows in order with file line numbers" true
+        (List.rev !seen = [ (2, 1., 2.); (4, 3., 4.); (5, 5., 6.) ]));
+  (match
+     Csv.stream ~path
+       ~header:(fun _ -> Ok ())
+       ~row:(fun ~lineno _ -> if lineno >= 4 then Error "stop here" else Ok ())
+   with
+  | Ok () -> Alcotest.fail "expected the row error to propagate"
+  | Error msg -> Alcotest.(check string) "row error surfaces" "stop here" msg);
+  Sys.remove path
+
 let test_read_skips_blank_lines () =
   let path = Filename.temp_file "caffeine_csv" ".csv" in
   let channel = open_out path in
@@ -163,6 +216,38 @@ let test_dataset_validation () =
   expect_invalid (fun () -> Dataset.of_columns [| [| 1. |]; [| 1.; 2. |] |]);
   (* A header-only table has no samples to evaluate on. *)
   expect_invalid (fun () -> Dataset.of_table { Csv.header = [| "x"; "y" |]; rows = [||] })
+
+let test_dataset_ragged_names_offender () =
+  (* Regression: a short column once raised a generic "ragged columns"
+     message; every downstream consumer indexes columns with unsafe
+     accesses trusting n, so the rejection must say WHICH variable is
+     short and by how much. *)
+  let columns = [| [| 1.; 2.; 3. |]; [| 4.; 5. |]; [| 6.; 7.; 8. |] |] in
+  (match Dataset.of_columns ~var_names:[| "vdd"; "ibias"; "w1" |] columns with
+  | (_ : Dataset.t) -> Alcotest.fail "ragged columns accepted"
+  | exception Invalid_argument msg ->
+      let contains fragment =
+        let len = String.length fragment in
+        let rec occurs i =
+          i + len <= String.length msg && (String.sub msg i len = fragment || occurs (i + 1))
+        in
+        occurs 0
+      in
+      if not (contains "\"ibias\"") then
+        Alcotest.failf "message %S does not name the offending variable" msg;
+      if not (contains "has 2 values, expected 3") then
+        Alcotest.failf "message %S does not state the length mismatch" msg);
+  (* Default names still identify the column. *)
+  match Dataset.of_columns [| [| 1. |]; [| 2.; 3. |] |] with
+  | (_ : Dataset.t) -> Alcotest.fail "ragged columns accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "default name in message" true
+        (let fragment = "\"x1\"" in
+         let len = String.length fragment in
+         let rec occurs i =
+           i + len <= String.length msg && (String.sub msg i len = fragment || occurs (i + 1))
+         in
+         occurs 0)
 
 let test_dataset_basis_column_memoizes () =
   let rows = [| [| 2. |]; [| 3. |]; [| 4. |] |] in
@@ -260,6 +345,85 @@ let test_dataset_stats_counters () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* --- Colstore ------------------------------------------------------------ *)
+
+module Colstore = Caffeine_io.Colstore
+
+let write_store ~chunk_rows ~rows ~dims =
+  let path = Filename.temp_file "caffeine_colstore" ".cafs" in
+  let var_names = Array.init dims (fun d -> Printf.sprintf "v%d" d) in
+  let writer = Colstore.Writer.create ~path ~var_names ~chunk_rows () in
+  let cell r d = float_of_int ((r * 17) + (d * 5)) /. 3. in
+  let row = Array.make dims 0. in
+  for r = 0 to rows - 1 do
+    for d = 0 to dims - 1 do
+      row.(d) <- cell r d
+    done;
+    Colstore.Writer.append_row writer row
+  done;
+  Colstore.Writer.close writer;
+  (path, cell)
+
+let check_store_contents ~mmap ~rows ~dims ~chunk_rows path cell =
+  let store = Colstore.openfile ~mmap path in
+  Alcotest.(check int) "n_rows" rows (Colstore.n_rows store);
+  Alcotest.(check int) "chunk_rows" chunk_rows (Colstore.chunk_rows store);
+  Alcotest.(check int) "dims" dims (Array.length (Colstore.var_names store));
+  (* Chunks arrive in row order, the last one short. *)
+  let visited = ref 0 in
+  Colstore.iter_chunks store ~f:(fun ~row0 ~len columns ->
+      Alcotest.(check int) "in order" !visited row0;
+      for d = 0 to dims - 1 do
+        for r = 0 to len - 1 do
+          if columns.(d).(r) <> cell (row0 + r) d then
+            Alcotest.failf "chunk cell (%d, %d) mismatch" (row0 + r) d
+        done
+      done;
+      visited := !visited + len);
+  Alcotest.(check int) "every row visited" rows !visited;
+  (* Whole-column materialization and random-access gather agree. *)
+  let col1 = Colstore.column store 1 in
+  Alcotest.(check int) "column length" rows (Array.length col1);
+  Alcotest.(check (float 0.)) "column cell" (cell (rows - 1) 1) col1.(rows - 1);
+  let indices = [| 0; rows - 1; chunk_rows; 3; 3 |] in
+  let gathered = Colstore.gather store ~indices in
+  Array.iteri
+    (fun j i ->
+      for d = 0 to dims - 1 do
+        if gathered.(d).(j) <> cell i d then Alcotest.failf "gather (%d, %d) mismatch" i d
+      done)
+    indices;
+  Alcotest.(check bool) "out-of-range gather rejected" true
+    (match Colstore.gather store ~indices:[| rows |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Colstore.close store
+
+let test_colstore_roundtrip () =
+  (* 2.5 chunks: exercises the compact last chunk on both read paths. *)
+  let rows = 25 and dims = 3 and chunk_rows = 10 in
+  let path, cell = write_store ~chunk_rows ~rows ~dims in
+  check_store_contents ~mmap:false ~rows ~dims ~chunk_rows path cell;
+  check_store_contents ~mmap:true ~rows ~dims ~chunk_rows path cell;
+  Sys.remove path
+
+let test_colstore_validation () =
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () ->
+      Colstore.Writer.create ~path:"/tmp/x.cafs" ~var_names:[||] ());
+  expect_invalid (fun () ->
+      Colstore.Writer.create ~path:"/tmp/x.cafs" ~var_names:[| "a" |] ~chunk_rows:0 ());
+  (* A non-store file is rejected by the magic check. *)
+  let path = Filename.temp_file "caffeine_colstore" ".cafs" in
+  let oc = open_out path in
+  output_string oc "definitely not a column store";
+  close_out oc;
+  expect_invalid (fun () -> Colstore.openfile path);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "write/read round-trip" `Quick test_write_read_roundtrip;
@@ -279,6 +443,13 @@ let suite =
     Alcotest.test_case "blank lines skipped" `Quick test_read_skips_blank_lines;
     Alcotest.test_case "error line numbers are file positions" `Quick test_read_error_line_numbers;
     Alcotest.test_case "CRLF files" `Quick test_read_crlf;
+    Alcotest.test_case "CRLF trimmed from error messages" `Quick test_crlf_error_messages_trimmed;
+    Alcotest.test_case "duplicate header rejected" `Quick test_duplicate_header_rejected;
+    Alcotest.test_case "incremental stream driver" `Quick test_stream_incremental;
     Alcotest.test_case "header-only rejected" `Quick test_read_header_only;
     Alcotest.test_case "ragged write rejected" `Quick test_write_rejects_ragged;
+    Alcotest.test_case "ragged dataset names the offender" `Quick
+      test_dataset_ragged_names_offender;
+    Alcotest.test_case "colstore round-trip (buffered and mmap)" `Quick test_colstore_roundtrip;
+    Alcotest.test_case "colstore validation" `Quick test_colstore_validation;
   ]

@@ -24,5 +24,6 @@ let () =
       ("export", Test_export.suite);
       ("serve", Test_serve.suite);
       ("io", Test_io.suite);
+      ("stream", Test_stream.suite);
       ("cli", Test_cli.suite);
     ]
